@@ -1,0 +1,501 @@
+//! bddbddb-style evaluation: Datalog over binary decision diagrams.
+//!
+//! bddbddb "pioneered the use of Datalog in program analysis by employing
+//! binary decision diagrams to compactly represent the results" (paper §2).
+//! This module implements the essential machinery from scratch:
+//!
+//! * a hash-consed BDD manager ([`BddManager`]) with unique table, operation
+//!   cache, `and`/`or`, existential quantification over a variable *bank*
+//!   and bank renaming;
+//! * binary relations encoded over three interleaved banks (x, z, y) of
+//!   `bits` Boolean variables each, MSB first — the interleaving bddbddb
+//!   uses so that composition `∃z. R(x,z) ∧ S(z,y)` stays order-compatible;
+//! * naïve fixpoint evaluation of composition-style recursion
+//!   (hash-consing makes the `==` fixpoint test O(1)).
+//!
+//! The paper's observation that bddbddb degrades with many variables /
+//! large domains falls out naturally: node counts explode once the
+//! overapproximation redundancy BDDs exploit disappears.
+
+use recstep_common::hash::FxHashMap;
+use recstep_common::Value;
+
+/// Node index (0 = false terminal, 1 = true terminal).
+pub type Ref = u32;
+
+/// The false terminal.
+pub const ZERO: Ref = 0;
+/// The true terminal.
+pub const ONE: Ref = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    ExistsBank(u8),
+    Rename(u8, u8),
+}
+
+/// Variable banks of the relation encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bank {
+    /// Source column.
+    X = 0,
+    /// Join (middle) column.
+    Z = 1,
+    /// Target column.
+    Y = 2,
+}
+
+/// Hash-consed BDD manager with relation-level helpers.
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: FxHashMap<Node, Ref>,
+    cache: FxHashMap<(Op, Ref, Ref), Ref>,
+    /// Bits per bank (domain size ≤ 2^bits).
+    bits: u32,
+}
+
+impl BddManager {
+    /// Manager for relations over domains of ≤ `2^bits` values.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0 && bits <= 31, "bits out of range");
+        let nodes = vec![
+            Node { var: u32::MAX, lo: ZERO, hi: ZERO }, // false
+            Node { var: u32::MAX, lo: ONE, hi: ONE },   // true
+        ];
+        BddManager { nodes, unique: FxHashMap::default(), cache: FxHashMap::default(), bits }
+    }
+
+    /// Bits per bank.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of live nodes (memory proxy; the paper's bddbddb memory story
+    /// is node-count blowup).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Variable id of `bank` bit `bit` (0 = most significant): interleaved
+    /// order x0 z0 y0 x1 z1 y1 ...
+    #[inline]
+    fn var_of(&self, bank: Bank, bit: u32) -> u32 {
+        bit * 3 + bank as u32
+    }
+
+    fn bank_of_var(var: u32) -> u8 {
+        (var % 3) as u8
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = self.nodes.len() as Ref;
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn var(&self, r: Ref) -> u32 {
+        if r <= ONE {
+            u32::MAX
+        } else {
+            self.nodes[r as usize].var
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == ZERO || g == ZERO {
+            return ZERO;
+        }
+        if f == ONE {
+            return g;
+        }
+        if g == ONE || f == g {
+            return f;
+        }
+        let key = (Op::And, f.min(g), f.max(g));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (vf, vg) = (self.var(f), self.var(g));
+        let v = vf.min(vg);
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let lo = self.and(f0, g0);
+        let hi = self.and(f1, g1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        if f == ONE || g == ONE {
+            return ONE;
+        }
+        if f == ZERO {
+            return g;
+        }
+        if g == ZERO || f == g {
+            return f;
+        }
+        let key = (Op::Or, f.min(g), f.max(g));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (vf, vg) = (self.var(f), self.var(g));
+        let v = vf.min(vg);
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let lo = self.or(f0, g0);
+        let hi = self.or(f1, g1);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    #[inline]
+    fn cofactors(&self, f: Ref, v: u32) -> (Ref, Ref) {
+        if f <= ONE || self.var(f) != v {
+            (f, f)
+        } else {
+            let n = self.nodes[f as usize];
+            (n.lo, n.hi)
+        }
+    }
+
+    /// Existentially quantify every variable of a bank.
+    pub fn exists_bank(&mut self, f: Ref, bank: Bank) -> Ref {
+        if f <= ONE {
+            return f;
+        }
+        let key = (Op::ExistsBank(bank as u8), f, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let lo = self.exists_bank(n.lo, bank);
+        let hi = self.exists_bank(n.hi, bank);
+        let r = if Self::bank_of_var(n.var) == bank as u8 {
+            self.or(lo, hi)
+        } else {
+            self.mk(n.var, lo, hi)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Rename every variable of bank `from` to the same bit of bank `to`
+    /// (the function must not depend on bank `to`). Order-safe because
+    /// banks interleave per bit.
+    pub fn rename_bank(&mut self, f: Ref, from: Bank, to: Bank) -> Ref {
+        if f <= ONE {
+            return f;
+        }
+        let key = (Op::Rename(from as u8, to as u8), f, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let lo = self.rename_bank(n.lo, from, to);
+        let hi = self.rename_bank(n.hi, from, to);
+        let var = if Self::bank_of_var(n.var) == from as u8 {
+            n.var - from as u32 + to as u32
+        } else {
+            n.var
+        };
+        let r = self.mk_ordered(var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// `mk` for rename results: adjacent-bank renames of bank-disjoint
+    /// functions preserve ordering, which we assert in debug builds.
+    fn mk_ordered(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        debug_assert!(self.var(lo) > var && self.var(hi) > var, "rename broke ordering");
+        self.mk(var, lo, hi)
+    }
+
+    /// The cube for one `(x, y)` pair over banks (bx, by).
+    fn pair_cube(&mut self, x: Value, y: Value, bx: Bank, by: Bank) -> Ref {
+        let mut f = ONE;
+        // Build bottom-up (highest variable id first).
+        for bit in (0..self.bits).rev() {
+            for &(bank, v) in &[(by, y), (bx, x)] {
+                let var = self.var_of(bank, bit);
+                let set = (v >> (self.bits - 1 - bit)) & 1 == 1;
+                f = if set { self.mk(var, ZERO, f) } else { self.mk(var, f, ZERO) };
+            }
+        }
+        f
+    }
+
+    /// Encode an edge list as a relation over banks `(bx, by)`.
+    pub fn from_edges(&mut self, edges: &[(Value, Value)], bx: Bank, by: Bank) -> Ref {
+        let mut f = ZERO;
+        for &(x, y) in edges {
+            debug_assert!(x >= 0 && y >= 0 && x < (1 << self.bits) && y < (1 << self.bits));
+            let cube = self.pair_cube(x, y, bx, by);
+            f = self.or(f, cube);
+        }
+        f
+    }
+
+    /// Decode a relation over banks `(X, Y)` back to sorted pairs.
+    pub fn to_pairs(&self, f: Ref) -> Vec<(Value, Value)> {
+        let mut out = Vec::new();
+        let mut assign = vec![None::<bool>; (self.bits * 3) as usize];
+        self.enumerate(f, 0, &mut assign, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn enumerate(
+        &self,
+        f: Ref,
+        next_var: u32,
+        assign: &mut Vec<Option<bool>>,
+        out: &mut Vec<(Value, Value)>,
+    ) {
+        if f == ZERO {
+            return;
+        }
+        let total = self.bits * 3;
+        if next_var == total {
+            debug_assert_eq!(f, ONE);
+            // Read x (bank 0) and y (bank 2); z must be don't-care.
+            let mut x: Value = 0;
+            let mut y: Value = 0;
+            for bit in 0..self.bits {
+                x = (x << 1) | assign[(bit * 3) as usize].unwrap_or(false) as Value;
+                y = (y << 1) | assign[(bit * 3 + 2) as usize].unwrap_or(false) as Value;
+            }
+            out.push((x, y));
+            return;
+        }
+        let v = self.var(f);
+        if v == next_var {
+            let n = self.nodes[f as usize];
+            assign[next_var as usize] = Some(false);
+            self.enumerate(n.lo, next_var + 1, assign, out);
+            assign[next_var as usize] = Some(true);
+            self.enumerate(n.hi, next_var + 1, assign, out);
+            assign[next_var as usize] = None;
+        } else {
+            // Skipped variable: don't-care. For z-bank variables both
+            // settings yield the same pair, so fix to false; x/y don't-care
+            // bits must branch.
+            let bank = Self::bank_of_var(next_var);
+            if bank == Bank::Z as u8 {
+                assign[next_var as usize] = Some(false);
+                self.enumerate(f, next_var + 1, assign, out);
+                assign[next_var as usize] = None;
+            } else {
+                for b in [false, true] {
+                    assign[next_var as usize] = Some(b);
+                    self.enumerate(f, next_var + 1, assign, out);
+                }
+                assign[next_var as usize] = None;
+            }
+        }
+    }
+
+    /// Relational composition `∃z. F(x,z) ∧ G(z,y)` for relations stored
+    /// over banks `(X, Y)`.
+    pub fn compose(&mut self, f: Ref, g: Ref) -> Ref {
+        let f_xz = self.rename_bank(f, Bank::Y, Bank::Z); // F(x,z)
+        let g_zy = self.rename_bank(g, Bank::X, Bank::Z); // G(z,y)
+        let both = self.and(f_xz, g_zy);
+        self.exists_bank(both, Bank::Z)
+    }
+
+    /// Transitive closure by naive iteration:
+    /// `T ← T ∨ (T ∘ A)` until the hash-consed fixpoint.
+    pub fn transitive_closure(&mut self, edges: Ref) -> Ref {
+        let mut t = edges;
+        loop {
+            let step = self.compose(t, edges);
+            let next = self.or(t, step);
+            if next == t {
+                return t;
+            }
+            t = next;
+        }
+    }
+}
+
+/// bddbddb-stand-in evaluation of TC over an edge list; returns the pairs
+/// and the peak node count (its memory proxy).
+pub fn bdd_tc(edges: &[(Value, Value)]) -> (Vec<(Value, Value)>, usize) {
+    let max = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap_or(0).max(1);
+    let bits = (64 - (max as u64).leading_zeros()).max(1);
+    let mut m = BddManager::new(bits);
+    let e = m.from_edges(edges, Bank::X, Bank::Y);
+    let t = m.transitive_closure(e);
+    (m.to_pairs(t), m.node_count())
+}
+
+/// bddbddb-stand-in evaluation of REACH from seed vertices.
+pub fn bdd_reach(edges: &[(Value, Value)], seeds: &[Value]) -> Vec<Value> {
+    let max = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .chain(seeds.iter().copied())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let bits = (64 - (max as u64).leading_zeros()).max(1);
+    let mut m = BddManager::new(bits);
+    let e = m.from_edges(edges, Bank::X, Bank::Y);
+    // Monadic set as relation with x fixed to 0.
+    let seed_pairs: Vec<(Value, Value)> = seeds.iter().map(|&s| (0, s)).collect();
+    let mut r = m.from_edges(&seed_pairs, Bank::X, Bank::Y);
+    loop {
+        let step = m.compose(r, e);
+        let next = m.or(r, step);
+        if next == r {
+            break;
+        }
+        r = next;
+    }
+    m.to_pairs(r).into_iter().map(|(_, y)| y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEngine;
+    use recstep_datalog::programs;
+    use std::collections::BTreeSet;
+
+    fn rand_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut m = BddManager::new(4);
+        let edges = vec![(0, 15), (7, 7), (3, 12), (15, 0)];
+        let f = m.from_edges(&edges, Bank::X, Bank::Y);
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        assert_eq!(m.to_pairs(f), expect);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut m = BddManager::new(3);
+        let a = m.from_edges(&[(1, 2), (3, 4)], Bank::X, Bank::Y);
+        let b = m.from_edges(&[(3, 4), (5, 6)], Bank::X, Bank::Y);
+        let ab = m.and(a, b);
+        assert_eq!(m.to_pairs(ab), vec![(3, 4)]);
+        let aob = m.or(a, b);
+        assert_eq!(m.to_pairs(aob), vec![(1, 2), (3, 4), (5, 6)]);
+        // Idempotence / identities.
+        assert_eq!(m.and(a, a), a);
+        assert_eq!(m.or(a, a), a);
+        assert_eq!(m.and(a, ONE), a);
+        assert_eq!(m.or(a, ZERO), a);
+        assert_eq!(m.and(a, ZERO), ZERO);
+        assert_eq!(m.or(a, ONE), ONE);
+    }
+
+    #[test]
+    fn compose_is_relational_join() {
+        let mut m = BddManager::new(3);
+        let f = m.from_edges(&[(1, 2), (4, 5)], Bank::X, Bank::Y);
+        let g = m.from_edges(&[(2, 3), (5, 1), (7, 7)], Bank::X, Bank::Y);
+        let c = m.compose(f, g);
+        assert_eq!(m.to_pairs(c), vec![(1, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn tc_matches_naive_oracle() {
+        let edges = rand_edges(25, 60, 17);
+        let mut oracle = NaiveEngine::new();
+        oracle.load_edges("arc", &edges);
+        oracle.run_source(programs::TC).unwrap();
+        let expect: BTreeSet<(Value, Value)> =
+            oracle.rows("tc").unwrap().iter().map(|r| (r[0], r[1])).collect();
+        let (got, nodes) = bdd_tc(&edges);
+        assert_eq!(got.into_iter().collect::<BTreeSet<_>>(), expect);
+        assert!(nodes > 2);
+    }
+
+    #[test]
+    fn reach_matches_naive_oracle() {
+        let edges = rand_edges(30, 70, 23);
+        let mut oracle = NaiveEngine::new();
+        oracle.load_edges("arc", &edges);
+        oracle.load("id", [vec![3]]);
+        oracle.run_source(programs::REACH).unwrap();
+        let expect: BTreeSet<Value> =
+            oracle.rows("reach").unwrap().iter().map(|r| r[0]).collect();
+        let got: BTreeSet<Value> = bdd_reach(&edges, &[3]).into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn dense_relation_compresses() {
+        // A complete bipartite relation has massive BDD sharing: node count
+        // must be far below the tuple count (the bddbddb value proposition).
+        let mut edges = Vec::new();
+        for x in 0..32 {
+            for y in 32..64 {
+                edges.push((x as Value, y as Value));
+            }
+        }
+        let mut m = BddManager::new(6);
+        let f = m.from_edges(&edges, Bank::X, Bank::Y);
+        assert_eq!(m.to_pairs(f).len(), 1024);
+        // 1024 tuples, but the function is "x < 32 ∧ y ≥ 32": a handful of
+        // decision nodes.
+        let live = count_reachable(&m, f);
+        assert!(live < 40, "dense relation should compress, got {live} nodes");
+    }
+
+    fn count_reachable(m: &BddManager, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r <= ONE || !seen.insert(r) {
+                continue;
+            }
+            let n = m.nodes[r as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn empty_relation() {
+        let mut m = BddManager::new(3);
+        let f = m.from_edges(&[], Bank::X, Bank::Y);
+        assert_eq!(f, ZERO);
+        assert!(m.to_pairs(f).is_empty());
+        assert_eq!(m.transitive_closure(f), ZERO);
+    }
+}

@@ -1,0 +1,444 @@
+//! Naïve bottom-up evaluation (paper §3.2).
+//!
+//! "In the naïve evaluation strategy, the rules are applied by using all the
+//! facts produced so far" — every iteration re-derives everything from the
+//! full relations until nothing new appears. This is both the paper's
+//! pedagogical baseline (the cost semi-naïve evaluation eliminates) and this
+//! repository's differential-testing oracle: a tuple-at-a-time interpreter
+//! so simple it is easy to trust.
+
+use std::collections::BTreeSet;
+
+use recstep_common::hash::FxHashMap;
+use recstep_common::lang::AggFunc;
+use recstep_common::{Error, Result, Value};
+use recstep_datalog::analyze::{analyze, Analysis};
+use recstep_datalog::ast::{AExpr, Atom, BodyTerm, HeadTerm, Literal, Rule};
+use recstep_datalog::parser::parse;
+
+type Tuples = BTreeSet<Vec<Value>>;
+
+/// The naïve evaluator.
+#[derive(Default)]
+pub struct NaiveEngine {
+    rels: FxHashMap<String, Tuples>,
+    /// Optional tuple budget: exceeding it aborts with an OOM error, like
+    /// the engine's byte budget (for honest OOM bars in the harness).
+    pub tuple_budget: Option<usize>,
+}
+
+impl NaiveEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load rows into an input relation.
+    pub fn load(&mut self, name: &str, rows: impl IntoIterator<Item = Vec<Value>>) {
+        self.rels.entry(name.to_string()).or_default().extend(rows);
+    }
+
+    /// Load binary edges.
+    pub fn load_edges(&mut self, name: &str, edges: &[(Value, Value)]) {
+        self.load(name, edges.iter().map(|&(a, b)| vec![a, b]));
+    }
+
+    /// Rows of a relation.
+    pub fn rows(&self, name: &str) -> Option<&Tuples> {
+        self.rels.get(name)
+    }
+
+    /// Row count of a relation (0 if absent).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.rels.get(name).map_or(0, BTreeSet::len)
+    }
+
+    /// Parse, analyze and evaluate a program. Returns the number of naive
+    /// iterations run (across strata).
+    pub fn run_source(&mut self, src: &str) -> Result<usize> {
+        let analysis = analyze(parse(src)?)?;
+        self.run(&analysis)
+    }
+
+    /// Evaluate an analyzed program.
+    pub fn run(&mut self, analysis: &Analysis) -> Result<usize> {
+        // Reset IDBs; make sure every relation exists.
+        for pred in &analysis.preds {
+            if pred.is_idb {
+                self.rels.insert(pred.name.clone(), Tuples::new());
+            } else {
+                self.rels.entry(pred.name.clone()).or_default();
+            }
+        }
+        for (name, vals) in &analysis.program.facts {
+            self.rels.entry(name.clone()).or_default().insert(vals.clone());
+        }
+        let mut iterations = 0usize;
+        for stratum in &analysis.strata {
+            loop {
+                iterations += 1;
+                let mut changed = false;
+                for &ri in &stratum.rules {
+                    let rule = &analysis.program.rules[ri];
+                    let derived = self.eval_rule(rule)?;
+                    let target = self.rels.get_mut(&rule.head.pred).expect("created above");
+                    if rule.has_aggregation() {
+                        changed |= absorb_aggregated(target, rule, derived)?;
+                    } else {
+                        for t in derived {
+                            changed |= target.insert(t);
+                        }
+                    }
+                }
+                if let Some(budget) = self.tuple_budget {
+                    let live: usize = self.rels.values().map(BTreeSet::len).sum();
+                    if live > budget {
+                        return Err(Error::exec(format!(
+                            "out of memory: {live} tuples > {budget} budget"
+                        )));
+                    }
+                }
+                if !stratum.recursive || !changed {
+                    break;
+                }
+            }
+        }
+        Ok(iterations)
+    }
+
+    /// All satisfying head tuples of one rule against the current database
+    /// (for aggregated heads: `[plain terms ‖ aggregate arguments]`).
+    fn eval_rule(&self, rule: &Rule) -> Result<Vec<Vec<Value>>> {
+        let positives: Vec<&Atom<BodyTerm>> = rule.positive_atoms().collect();
+        let mut out = Vec::new();
+        let mut binding: FxHashMap<&str, Value> = FxHashMap::default();
+        self.join_rec(rule, &positives, 0, &mut binding, &mut out)?;
+        Ok(out)
+    }
+
+    fn join_rec<'r>(
+        &self,
+        rule: &'r Rule,
+        atoms: &[&'r Atom<BodyTerm>],
+        depth: usize,
+        binding: &mut FxHashMap<&'r str, Value>,
+        out: &mut Vec<Vec<Value>>,
+    ) -> Result<()> {
+        if depth == atoms.len() {
+            // Comparisons.
+            for lit in &rule.body {
+                if let Literal::Cmp { lhs, op, rhs } = lit {
+                    if !op.apply(eval_aexpr(lhs, binding)?, eval_aexpr(rhs, binding)?) {
+                        return Ok(());
+                    }
+                }
+            }
+            // Negations.
+            for neg in rule.negated_atoms() {
+                let rel = self.rels.get(&neg.pred);
+                let tuple: Vec<Value> = neg
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        BodyTerm::Const(c) => Ok(*c),
+                        BodyTerm::Var(v) => binding
+                            .get(v.as_str())
+                            .copied()
+                            .ok_or_else(|| Error::analysis(format!("unbound {v}"))),
+                    })
+                    .collect::<Result<_>>()?;
+                if rel.is_some_and(|r| r.contains(&tuple)) {
+                    return Ok(());
+                }
+            }
+            // Head: plain terms first, aggregate arguments after (matching
+            // the engine's pre-aggregation layout).
+            let mut row = Vec::with_capacity(rule.head.terms.len());
+            for t in &rule.head.terms {
+                if let HeadTerm::Plain(e) = t {
+                    row.push(eval_aexpr(e, binding)?);
+                }
+            }
+            for t in &rule.head.terms {
+                if let HeadTerm::Agg { expr, .. } = t {
+                    row.push(eval_aexpr(expr, binding)?);
+                }
+            }
+            out.push(row);
+            return Ok(());
+        }
+        let atom = atoms[depth];
+        let Some(rel) = self.rels.get(&atom.pred) else {
+            return Ok(());
+        };
+        'tuples: for tuple in rel {
+            let mut bound_here: Vec<&'r str> = Vec::new();
+            for (t, &v) in atom.terms.iter().zip(tuple) {
+                match t {
+                    BodyTerm::Const(c) => {
+                        if *c != v {
+                            for b in bound_here.drain(..) {
+                                binding.remove(b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    BodyTerm::Var(name) => match binding.get(name.as_str()) {
+                        Some(&cur) if cur != v => {
+                            for b in bound_here.drain(..) {
+                                binding.remove(b);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(name.as_str(), v);
+                            bound_here.push(name.as_str());
+                        }
+                    },
+                }
+            }
+            self.join_rec(rule, atoms, depth + 1, binding, out)?;
+            for b in bound_here {
+                binding.remove(b);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Merge aggregated candidates into the head relation with the same
+/// semantics as the engine: MIN/MAX keep the extremal value per group
+/// (reporting change on improvement); other functions replace the group
+/// (valid in non-recursive strata only, which the analyzer guarantees for
+/// non-extremal aggregates).
+fn absorb_aggregated(target: &mut Tuples, rule: &Rule, pre_agg: Vec<Vec<Value>>) -> Result<bool> {
+    let mut group_positions = Vec::new();
+    let mut agg_positions = Vec::new();
+    let mut funcs = Vec::new();
+    for (i, t) in rule.head.terms.iter().enumerate() {
+        match t {
+            HeadTerm::Plain(_) => group_positions.push(i),
+            HeadTerm::Agg { func, .. } => {
+                agg_positions.push(i);
+                funcs.push(*func);
+            }
+        }
+    }
+    let g = group_positions.len();
+    // Aggregate candidates per group.
+    let mut grouped: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
+    for row in pre_agg {
+        let (group, args) = row.split_at(g);
+        match grouped.get_mut(group) {
+            Some(states) => {
+                for (st, (&a, &f)) in states.iter_mut().zip(args.iter().zip(&funcs)) {
+                    st.update(f, a);
+                }
+            }
+            None => {
+                grouped.insert(
+                    group.to_vec(),
+                    args.iter().zip(&funcs).map(|(&a, &f)| AggState::new(f, a)).collect(),
+                );
+            }
+        }
+    }
+    // Current value per group in the target.
+    let mut changed = false;
+    for (group, states) in grouped {
+        let mut new_row = vec![0; rule.head.terms.len()];
+        for (gi, &p) in group_positions.iter().enumerate() {
+            new_row[p] = group[gi];
+        }
+        for ((st, &p), &f) in states.iter().zip(&agg_positions).zip(&funcs) {
+            new_row[p] = st.finish(f);
+        }
+        // Find an existing row with the same group.
+        let existing: Option<Vec<Value>> = target
+            .iter()
+            .find(|row| group_positions.iter().enumerate().all(|(gi, &p)| row[p] == group[gi]))
+            .cloned();
+        match existing {
+            None => {
+                target.insert(new_row);
+                changed = true;
+            }
+            Some(old) => {
+                let improved = agg_positions.iter().zip(&funcs).any(|(&p, &f)| match f {
+                    AggFunc::Min => new_row[p] < old[p],
+                    AggFunc::Max => new_row[p] > old[p],
+                    _ => new_row[p] != old[p],
+                });
+                if improved {
+                    // Extremal merge: keep the best of old/new per column.
+                    let mut merged = new_row.clone();
+                    for (&p, &f) in agg_positions.iter().zip(&funcs) {
+                        merged[p] = match f {
+                            AggFunc::Min => merged[p].min(old[p]),
+                            AggFunc::Max => merged[p].max(old[p]),
+                            _ => merged[p],
+                        };
+                    }
+                    if merged != old {
+                        target.remove(&old);
+                        target.insert(merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    Ok(changed)
+}
+
+#[derive(Clone, Copy)]
+struct AggState {
+    acc: i128,
+    cnt: u64,
+}
+
+impl AggState {
+    fn new(func: AggFunc, v: Value) -> Self {
+        match func {
+            AggFunc::Count => AggState { acc: 1, cnt: 1 },
+            _ => AggState { acc: v as i128, cnt: 1 },
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: Value) {
+        match func {
+            AggFunc::Min => self.acc = self.acc.min(v as i128),
+            AggFunc::Max => self.acc = self.acc.max(v as i128),
+            AggFunc::Sum | AggFunc::Avg => {
+                self.acc += v as i128;
+                self.cnt += 1;
+            }
+            AggFunc::Count => {
+                self.acc += 1;
+                self.cnt += 1;
+            }
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Avg => (self.acc / self.cnt.max(1) as i128) as Value,
+            _ => self.acc as Value,
+        }
+    }
+}
+
+fn eval_aexpr(e: &AExpr, binding: &FxHashMap<&str, Value>) -> Result<Value> {
+    Ok(match e {
+        AExpr::Var(v) => *binding
+            .get(v.as_str())
+            .ok_or_else(|| Error::analysis(format!("unbound variable {v}")))?,
+        AExpr::Const(c) => *c,
+        AExpr::Add(a, b) => {
+            eval_aexpr(a, binding)?.wrapping_add(eval_aexpr(b, binding)?)
+        }
+        AExpr::Sub(a, b) => {
+            eval_aexpr(a, binding)?.wrapping_sub(eval_aexpr(b, binding)?)
+        }
+        AExpr::Mul(a, b) => {
+            eval_aexpr(a, binding)?.wrapping_mul(eval_aexpr(b, binding)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recstep_datalog::programs;
+
+    #[test]
+    fn tc_on_chain() {
+        let mut e = NaiveEngine::new();
+        e.load_edges("arc", &[(1, 2), (2, 3), (3, 4)]);
+        e.run_source(programs::TC).unwrap();
+        assert_eq!(e.row_count("tc"), 6);
+        assert!(e.rows("tc").unwrap().contains(&vec![1, 4]));
+    }
+
+    #[test]
+    fn naive_needs_more_iterations_than_depth() {
+        let mut e = NaiveEngine::new();
+        let chain: Vec<(Value, Value)> = (0..20).map(|i| (i, i + 1)).collect();
+        e.load_edges("arc", &chain);
+        let iters = e.run_source(programs::TC).unwrap();
+        assert!(iters >= 6, "fixpoint depth of TC on a 20-chain is log-ish, got {iters}");
+    }
+
+    #[test]
+    fn negation_complement() {
+        let mut e = NaiveEngine::new();
+        e.load_edges("arc", &[(1, 2), (2, 3)]);
+        e.run_source(programs::NTC).unwrap();
+        // nodes {1,2,3}; tc {(1,2),(2,3),(1,3)}; ntc = 9 - 3.
+        assert_eq!(e.row_count("ntc"), 6);
+    }
+
+    #[test]
+    fn recursive_min_cc() {
+        let mut e = NaiveEngine::new();
+        e.load_edges("arc", &[(5, 6), (6, 5), (1, 2)]);
+        e.run_source(programs::CC).unwrap();
+        let cc3 = e.rows("cc3").unwrap();
+        assert!(cc3.contains(&vec![5, 5]));
+        assert!(cc3.contains(&vec![6, 5]));
+        assert!(cc3.contains(&vec![2, 1]));
+        let cc: Vec<Vec<Value>> = e.rows("cc").unwrap().iter().cloned().collect();
+        assert_eq!(cc, vec![vec![1], vec![5]]);
+    }
+
+    #[test]
+    fn count_aggregation() {
+        let mut e = NaiveEngine::new();
+        e.load_edges("arc", &[(0, 1), (1, 2)]);
+        e.run_source(programs::GTC).unwrap();
+        let gtc = e.rows("gtc").unwrap();
+        assert!(gtc.contains(&vec![0, 2]));
+        assert!(gtc.contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn sssp_shortest_distance() {
+        let mut e = NaiveEngine::new();
+        e.load("arc", [vec![0, 1, 5], vec![0, 1, 2], vec![1, 2, 1]]);
+        e.load("id", [vec![0]]);
+        e.run_source(programs::SSSP).unwrap();
+        let sssp = e.rows("sssp").unwrap();
+        assert!(sssp.contains(&vec![0, 0]));
+        assert!(sssp.contains(&vec![1, 2]));
+        assert!(sssp.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let mut e = NaiveEngine::new();
+        e.load("s", [vec![1, 5], vec![2, 5], vec![3, 6]]);
+        e.run_source("r(x) :- s(x, 5).").unwrap();
+        let r = e.rows("r").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&vec![1]) && r.contains(&vec![2]));
+    }
+
+    #[test]
+    fn repeated_vars_in_atom_unify() {
+        let mut e = NaiveEngine::new();
+        e.load("s", [vec![1, 1], vec![1, 2], vec![3, 3]]);
+        e.run_source("r(x) :- s(x, x).").unwrap();
+        assert_eq!(e.row_count("r"), 2);
+    }
+
+    #[test]
+    fn tuple_budget_aborts() {
+        let mut e = NaiveEngine::new();
+        e.tuple_budget = Some(10);
+        let edges: Vec<(Value, Value)> = (0..20).map(|i| (i, (i + 1) % 20)).collect();
+        e.load_edges("arc", &edges);
+        let err = e.run_source(programs::TC).unwrap_err();
+        assert!(err.to_string().contains("out of memory"));
+    }
+}

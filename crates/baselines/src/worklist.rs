@@ -1,0 +1,423 @@
+//! Graspan-style worklist engine for CFL-reachability over binary grammars.
+//!
+//! Graspan "takes a context-free grammar representation and is thus
+//! restricted to binary relations — graphs", processing one edge at a time
+//! from a worklist and composing it with already-discovered edges (paper
+//! §2). This module implements that strategy: a normalized grammar over
+//! edge labels with production forms
+//!
+//! * `C ::= A`            (copy)
+//! * `C ::= rev(A)`       (reverse)
+//! * `C ::= A B`          (binary composition via a middle vertex)
+//! * `C(x,x) ::= A(x,_)`  / `C(y,y) ::= A(_,y)` (reflexive projections,
+//!   needed by CSPA's `valueFlow(x,x) :- assign(x,y)` rules)
+//!
+//! plus per-label in/out adjacency so both composition directions are
+//! cheap. Ternary Datalog rules normalize into chains of binary
+//! productions with intermediate labels (see [`grammars`]).
+
+use recstep_common::hash::{FxHashMap, FxHashSet};
+use recstep_common::{Error, Result, Value};
+
+/// Index of a label in a [`Grammar`].
+pub type LabelId = usize;
+
+/// One production of the normalized grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Production {
+    /// `dst ::= src`
+    Copy { dst: LabelId, src: LabelId },
+    /// `dst ::= rev(src)`
+    Reverse { dst: LabelId, src: LabelId },
+    /// `dst ::= a b` (compose through the shared middle vertex)
+    Compose { dst: LabelId, a: LabelId, b: LabelId },
+    /// `dst(x, x) ::= src(x, _)`
+    SelfSrc { dst: LabelId, src: LabelId },
+    /// `dst(y, y) ::= src(_, y)`
+    SelfDst { dst: LabelId, src: LabelId },
+}
+
+/// A normalized binary grammar.
+#[derive(Clone, Debug, Default)]
+pub struct Grammar {
+    labels: Vec<String>,
+    productions: Vec<Production>,
+}
+
+impl Grammar {
+    /// Empty grammar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a label, returning its id.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        if let Some(i) = self.labels.iter().position(|l| l == name) {
+            return i;
+        }
+        self.labels.push(name.to_string());
+        self.labels.len() - 1
+    }
+
+    /// Label id of an existing name.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.labels.iter().position(|l| l == name)
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Add a production.
+    pub fn add(&mut self, p: Production) {
+        self.productions.push(p);
+    }
+
+    /// The productions.
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+}
+
+/// Per-label edge storage: membership set plus out/in adjacency.
+struct LabelEdges {
+    set: FxHashSet<(u32, u32)>,
+    out: FxHashMap<u32, Vec<u32>>,
+    inn: FxHashMap<u32, Vec<u32>>,
+}
+
+impl LabelEdges {
+    fn new() -> Self {
+        LabelEdges { set: FxHashSet::default(), out: FxHashMap::default(), inn: FxHashMap::default() }
+    }
+
+    fn insert(&mut self, u: u32, v: u32) -> bool {
+        if !self.set.insert((u, v)) {
+            return false;
+        }
+        self.out.entry(u).or_default().push(v);
+        self.inn.entry(v).or_default().push(u);
+        true
+    }
+}
+
+/// Evaluation statistics of one worklist run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorklistStats {
+    /// Edges popped from the worklist.
+    pub popped: usize,
+    /// Edges inserted across all labels.
+    pub edges: usize,
+}
+
+/// The worklist engine.
+pub struct WorklistEngine {
+    grammar: Grammar,
+    edges: Vec<LabelEdges>,
+    /// Optional edge budget for honest OOM reporting.
+    pub edge_budget: Option<usize>,
+}
+
+impl WorklistEngine {
+    /// Engine over a grammar.
+    pub fn new(grammar: Grammar) -> Self {
+        let n = grammar.label_count();
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            edges.push(LabelEdges::new());
+        }
+        WorklistEngine { grammar, edges, edge_budget: None }
+    }
+
+    /// Load input edges under a label.
+    pub fn load(&mut self, label: &str, input: &[(Value, Value)]) -> Result<LabelId> {
+        let id = self
+            .grammar
+            .lookup(label)
+            .ok_or_else(|| Error::exec(format!("unknown label '{label}'")))?;
+        for &(u, v) in input {
+            if u < 0 || v < 0 || u > u32::MAX as Value || v > u32::MAX as Value {
+                return Err(Error::exec("worklist engine requires u32 vertex ids"));
+            }
+            self.edges[id].insert(u as u32, v as u32);
+        }
+        Ok(id)
+    }
+
+    /// Edge set of a label.
+    pub fn edges_of(&self, label: &str) -> Option<Vec<(Value, Value)>> {
+        let id = self.grammar.lookup(label)?;
+        let mut out: Vec<(Value, Value)> =
+            self.edges[id].set.iter().map(|&(u, v)| (u as Value, v as Value)).collect();
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Edge count of a label.
+    pub fn edge_count(&self, label: &str) -> usize {
+        self.grammar.lookup(label).map_or(0, |id| self.edges[id].set.len())
+    }
+
+    /// Run the worklist to fixpoint.
+    pub fn run(&mut self) -> Result<WorklistStats> {
+        let mut stats = WorklistStats::default();
+        // Seed the worklist with every present edge.
+        let mut work: Vec<(LabelId, u32, u32)> = Vec::new();
+        for (id, le) in self.edges.iter().enumerate() {
+            for &(u, v) in &le.set {
+                work.push((id, u, v));
+            }
+        }
+        let mut fresh: Vec<(LabelId, u32, u32)> = Vec::new();
+        while let Some((label, u, v)) = work.pop() {
+            stats.popped += 1;
+            fresh.clear();
+            for p in self.grammar.productions() {
+                match *p {
+                    Production::Copy { dst, src } if src == label => {
+                        fresh.push((dst, u, v));
+                    }
+                    Production::Reverse { dst, src } if src == label => {
+                        fresh.push((dst, v, u));
+                    }
+                    Production::SelfSrc { dst, src } if src == label => {
+                        fresh.push((dst, u, u));
+                    }
+                    Production::SelfDst { dst, src } if src == label => {
+                        fresh.push((dst, v, v));
+                    }
+                    Production::Compose { dst, a, b } => {
+                        // This edge as the A part: (u,v):A ∘ (v,w):B.
+                        if a == label {
+                            if let Some(ws) = self.edges[b].out.get(&v) {
+                                for &w in ws {
+                                    fresh.push((dst, u, w));
+                                }
+                            }
+                        }
+                        // This edge as the B part: (t,u):A ∘ (u,v):B.
+                        if b == label {
+                            if let Some(ts) = self.edges[a].inn.get(&u) {
+                                for &t in ts {
+                                    fresh.push((dst, t, v));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for &(dst, x, y) in &fresh {
+                if self.edges[dst].insert(x, y) {
+                    work.push((dst, x, y));
+                }
+            }
+            if let Some(budget) = self.edge_budget {
+                stats.edges = self.edges.iter().map(|e| e.set.len()).sum();
+                if stats.edges > budget {
+                    return Err(Error::exec(format!(
+                        "out of memory: {} edges > {budget} budget",
+                        stats.edges
+                    )));
+                }
+            }
+        }
+        stats.edges = self.edges.iter().map(|e| e.set.len()).sum();
+        Ok(stats)
+    }
+}
+
+/// Grammar builders for the benchmark programs expressible as
+/// CFL-reachability.
+pub mod grammars {
+    use super::{Grammar, Production::*};
+
+    /// Transitive closure: `tc ::= arc | tc arc`.
+    pub fn tc() -> Grammar {
+        let mut g = Grammar::new();
+        let arc = g.label("arc");
+        let tc = g.label("tc");
+        g.add(Copy { dst: tc, src: arc });
+        g.add(Compose { dst: tc, a: tc, b: arc });
+        g
+    }
+
+    /// CSDA: `null ::= nullEdge | null arc`.
+    pub fn csda() -> Grammar {
+        let mut g = Grammar::new();
+        let null_edge = g.label("nullEdge");
+        let arc = g.label("arc");
+        let null = g.label("null");
+        g.add(Copy { dst: null, src: null_edge });
+        g.add(Compose { dst: null, a: null, b: arc });
+        g
+    }
+
+    /// Andersen's analysis, normalized:
+    /// `pt ::= addressOf | assign pt | (load pt) pt | (rev(pt) store) pt`.
+    pub fn andersen() -> Grammar {
+        let mut g = Grammar::new();
+        let address_of = g.label("addressOf");
+        let assign = g.label("assign");
+        let load = g.label("load");
+        let store = g.label("store");
+        let pt = g.label("pointsTo");
+        let rpt = g.label("_rev_pointsTo");
+        let t_load = g.label("_load_pt");
+        let t_store = g.label("_rpt_store");
+        g.add(Copy { dst: pt, src: address_of });
+        g.add(Compose { dst: pt, a: assign, b: pt });
+        g.add(Compose { dst: t_load, a: load, b: pt });
+        g.add(Compose { dst: pt, a: t_load, b: pt });
+        g.add(Reverse { dst: rpt, src: pt });
+        g.add(Compose { dst: t_store, a: rpt, b: store });
+        g.add(Compose { dst: pt, a: t_store, b: pt });
+        g
+    }
+
+    /// CSPA, normalized (vf = valueFlow, ma = memoryAlias, va = valueAlias):
+    /// ```text
+    /// vf ::= assign | assign ma | vf vf
+    /// vf(x,x) ::= assign(x,_) | assign(_,x)
+    /// ma ::= (rev(deref) va) deref
+    /// ma(x,x) ::= assign(_,x) | assign(x,_)
+    /// va ::= rev(vf) vf | (rev(vf) ma) vf
+    /// ```
+    pub fn cspa() -> Grammar {
+        let mut g = Grammar::new();
+        let assign = g.label("assign");
+        let deref = g.label("dereference");
+        let vf = g.label("valueFlow");
+        let ma = g.label("memoryAlias");
+        let va = g.label("valueAlias");
+        let rvf = g.label("_rev_vf");
+        let rderef = g.label("_rev_deref");
+        let t1 = g.label("_rderef_va");
+        let t2 = g.label("_rvf_ma");
+        g.add(Copy { dst: vf, src: assign });
+        g.add(Compose { dst: vf, a: assign, b: ma });
+        g.add(Compose { dst: vf, a: vf, b: vf });
+        g.add(SelfSrc { dst: vf, src: assign });
+        g.add(SelfDst { dst: vf, src: assign });
+        g.add(SelfSrc { dst: ma, src: assign });
+        g.add(SelfDst { dst: ma, src: assign });
+        g.add(Reverse { dst: rderef, src: deref });
+        g.add(Compose { dst: t1, a: rderef, b: va });
+        g.add(Compose { dst: ma, a: t1, b: deref });
+        g.add(Reverse { dst: rvf, src: vf });
+        g.add(Compose { dst: va, a: rvf, b: vf });
+        g.add(Compose { dst: t2, a: rvf, b: ma });
+        g.add(Compose { dst: va, a: t2, b: vf });
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEngine;
+    use recstep_datalog::programs;
+    use std::collections::BTreeSet;
+
+    fn rand_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+    }
+
+    fn pairs(rows: &std::collections::BTreeSet<Vec<Value>>) -> BTreeSet<(Value, Value)> {
+        rows.iter().map(|r| (r[0], r[1])).collect()
+    }
+
+    #[test]
+    fn tc_matches_naive() {
+        let edges = rand_edges(30, 80, 3);
+        let mut oracle = NaiveEngine::new();
+        oracle.load_edges("arc", &edges);
+        oracle.run_source(programs::TC).unwrap();
+        let mut w = WorklistEngine::new(grammars::tc());
+        w.load("arc", &edges).unwrap();
+        let stats = w.run().unwrap();
+        let got: BTreeSet<(Value, Value)> = w.edges_of("tc").unwrap().into_iter().collect();
+        assert_eq!(got, pairs(oracle.rows("tc").unwrap()));
+        assert!(stats.popped >= stats.edges / 2);
+    }
+
+    #[test]
+    fn csda_matches_naive() {
+        let arc: Vec<(Value, Value)> = (0..50).map(|i| (i, i + 1)).collect();
+        let seeds = vec![(0, 0), (25, 25)];
+        let mut oracle = NaiveEngine::new();
+        oracle.load_edges("arc", &arc);
+        oracle.load_edges("nullEdge", &seeds);
+        oracle.run_source(programs::CSDA).unwrap();
+        let mut w = WorklistEngine::new(grammars::csda());
+        w.load("arc", &arc).unwrap();
+        w.load("nullEdge", &seeds).unwrap();
+        w.run().unwrap();
+        let got: BTreeSet<(Value, Value)> = w.edges_of("null").unwrap().into_iter().collect();
+        assert_eq!(got, pairs(oracle.rows("null").unwrap()));
+    }
+
+    #[test]
+    fn andersen_matches_naive() {
+        let addr = rand_edges(15, 12, 7);
+        let assign = rand_edges(15, 10, 8);
+        let load = rand_edges(15, 6, 9);
+        let store = rand_edges(15, 6, 10);
+        let mut oracle = NaiveEngine::new();
+        for (name, data) in
+            [("addressOf", &addr), ("assign", &assign), ("load", &load), ("store", &store)]
+        {
+            oracle.load_edges(name, data);
+        }
+        oracle.run_source(programs::ANDERSEN).unwrap();
+        let mut w = WorklistEngine::new(grammars::andersen());
+        w.load("addressOf", &addr).unwrap();
+        w.load("assign", &assign).unwrap();
+        w.load("load", &load).unwrap();
+        w.load("store", &store).unwrap();
+        w.run().unwrap();
+        let got: BTreeSet<(Value, Value)> =
+            w.edges_of("pointsTo").unwrap().into_iter().collect();
+        assert_eq!(got, pairs(oracle.rows("pointsTo").unwrap()));
+    }
+
+    #[test]
+    fn cspa_matches_naive() {
+        let assign = rand_edges(10, 8, 21);
+        let deref = rand_edges(10, 8, 22);
+        let mut oracle = NaiveEngine::new();
+        oracle.load_edges("assign", &assign);
+        oracle.load_edges("dereference", &deref);
+        oracle.run_source(programs::CSPA).unwrap();
+        let mut w = WorklistEngine::new(grammars::cspa());
+        w.load("assign", &assign).unwrap();
+        w.load("dereference", &deref).unwrap();
+        w.run().unwrap();
+        for rel in ["valueFlow", "valueAlias", "memoryAlias"] {
+            let got: BTreeSet<(Value, Value)> = w.edges_of(rel).unwrap().into_iter().collect();
+            assert_eq!(got, pairs(oracle.rows(rel).unwrap()), "{rel}");
+        }
+    }
+
+    #[test]
+    fn budget_aborts() {
+        let edges: Vec<(Value, Value)> = (0..40).map(|i| (i, (i + 1) % 40)).collect();
+        let mut w = WorklistEngine::new(grammars::tc());
+        w.load("arc", &edges).unwrap();
+        w.edge_budget = Some(100);
+        assert!(w.run().is_err());
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let mut w = WorklistEngine::new(grammars::tc());
+        assert!(w.load("nope", &[(1, 2)]).is_err());
+        assert!(w.load("arc", &[(-1, 2)]).is_err());
+    }
+}

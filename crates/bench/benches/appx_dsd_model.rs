@@ -1,0 +1,52 @@
+//! Appendix A: validating the DSD cost model — OPSD vs TPSD vs Dynamic
+//! across β = |R|/|Rδ|, plus the calibrated α.
+
+use recstep_bench::*;
+use recstep_exec::setdiff::{calibrate_alpha, choose_algo, set_difference, DsdState, SetDiffAlgo, SetDiffStrategy};
+use recstep_exec::ExecCtx;
+use recstep_storage::{Relation, Schema};
+use std::time::Instant;
+
+fn synth(n: usize, offset: i64) -> Relation {
+    let mut r = Relation::new(Schema::with_arity("t", 2));
+    for i in 0..n as i64 {
+        r.push_row(&[i + offset, (i * 7) % 100_000]);
+    }
+    r
+}
+
+fn main() {
+    header("Appendix A", "DSD cost model: OPSD vs TPSD vs Dynamic across beta");
+    let ctx = ExecCtx::with_threads(max_threads());
+    let alpha = calibrate_alpha(&ctx, 2, 3);
+    println!("  calibrated alpha = {alpha:.2} (threshold 2a/(a-1) = {:.2})", 2.0 * alpha / (alpha - 1.0));
+    let delta_n = (200_000u32 / scale().max(1)).max(2_000) as usize;
+    row(&cells(&["beta", "|R|", "OPSD", "TPSD", "Dynamic", "chosen"]));
+    for beta in [0.5f64, 1.0, 2.0, 4.0, 8.0, 32.0] {
+        let full_n = (delta_n as f64 * beta) as usize;
+        let delta = synth(delta_n, full_n as i64 / 2); // partial overlap
+        let full = synth(full_n, 0);
+        let time_for = |strategy: SetDiffStrategy| -> (f64, SetDiffAlgo) {
+            let mut st = DsdState::new(alpha);
+            // Prime mu like a previous TPSD iteration would.
+            st.prev_mu = Some(2.0);
+            let t0 = Instant::now();
+            let (_, algo) = set_difference(&ctx, delta.view(), full.view(), strategy, &mut st);
+            (t0.elapsed().as_secs_f64(), algo)
+        };
+        let (opsd, _) = time_for(SetDiffStrategy::AlwaysOpsd);
+        let (tpsd, _) = time_for(SetDiffStrategy::AlwaysTpsd);
+        let (dynamic, chosen) = time_for(SetDiffStrategy::Dynamic);
+        row(&[
+            format!("{beta}"),
+            full_n.to_string(),
+            format!("{:.4}s", opsd),
+            format!("{:.4}s", tpsd),
+            format!("{:.4}s", dynamic),
+            format!("{chosen:?}"),
+        ]);
+        // The model's hard guarantees.
+        assert_eq!(choose_algo(alpha, 0.5, None), SetDiffAlgo::Opsd);
+        assert_eq!(choose_algo(alpha, 1e6, None), SetDiffAlgo::Tpsd);
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 3: memory effect of each optimization (CSPA on the httpd
+//! stand-in) — peak engine bytes plus a live-bytes time series from the
+//! counting allocator.
+
+use recstep::{Config, DedupImpl, OofMode, PbmeMode, SetDiffStrategy};
+use recstep_bench::*;
+use recstep_common::mem::{self, CountingAlloc, MemSampler};
+use recstep_graphgen::program_analysis::{cspa, paper_system_programs};
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let spec = &paper_system_programs(scale())[2]; // httpd-sim
+    let input = cspa(spec.cspa_clusters, spec.cspa_cluster_size, 42);
+    header("Figure 3", &format!("Memory effects of optimizations: CSPA on {}", spec.name));
+    let base = || Config::default().pbme(PbmeMode::Off);
+    let variants: Vec<(&str, Config)> = vec![
+        ("RecStep", base()),
+        ("UIE-off", base().uie(false)),
+        ("DSD-off", base().setdiff(SetDiffStrategy::AlwaysOpsd)),
+        ("OOF-FA", base().oof(OofMode::Full)),
+        ("EOST-off", base().eost(false)),
+        ("FASTDEDUP-off", base().dedup(DedupImpl::Generic)),
+        ("OOF-NA", base().oof(OofMode::None)),
+        ("RecStep-NO-OP", Config::no_op()),
+    ];
+    row(&cells(&["variant", "peak alloc", "peak engine", "time"]));
+    for (name, cfg) in variants {
+        let mut e = recstep_engine(cfg.threads(max_threads()));
+        e.load_edges("assign", &input.assign).unwrap();
+        e.load_edges("dereference", &input.dereference).unwrap();
+        mem::reset_peak();
+        let sampler = MemSampler::start(Duration::from_millis(5));
+        let out = measure(|| e.run_source(recstep::programs::CSPA).map(|s| s.peak_bytes));
+        let series = sampler.finish();
+        let peak_alloc = mem::peak_bytes();
+        row(&[
+            name.to_string(),
+            mem::fmt_bytes(peak_alloc),
+            out.rows().map(mem::fmt_bytes).unwrap_or_default(),
+            out.cell(),
+        ]);
+        if name == "RecStep" || name == "RecStep-NO-OP" {
+            let pts = downsample(&series, 8);
+            let line: Vec<String> = pts
+                .iter()
+                .map(|s| format!("{:.2}s:{}", s.elapsed.as_secs_f64(), mem::fmt_bytes(s.live_bytes)))
+                .collect();
+            println!("    series[{name}]: {}", line.join(" "));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 6: memory saving of PBME on TC and SG over Gn-p graphs.
+//! NON-PBME on the larger graphs exhausts the budget (the paper's
+//! "(failed)" series); PBME completes within a flat bit-matrix footprint.
+
+use recstep::{Config, PbmeMode};
+use recstep_bench::*;
+use recstep_common::mem::{self, CountingAlloc};
+use recstep_graphgen::{as_values, gnp::gnp};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn run(program: &str, rel: &str, edges: &[(i64, i64)], pbme: PbmeMode) -> (Outcome, usize) {
+    let mut e = recstep_engine(Config::default().pbme(pbme).threads(max_threads()));
+    e.load_edges("arc", edges).unwrap();
+    mem::reset_peak();
+    let out = measure(|| e.run_source(program).map(|_| e.row_count(rel)));
+    (out, mem::peak_bytes())
+}
+
+fn main() {
+    let s = scale();
+    header("Figure 6", "Memory saving of PBME on TC and SG (Gn-p graphs)");
+    row(&cells(&["workload", "graph", "mode", "time", "peak alloc", "rows"]));
+    let tc_sizes = [(10_000u32, "G10K"), (20_000, "G20K"), (40_000, "G40K")];
+    for &(n_full, name) in &tc_sizes {
+        let n = (n_full / s).max(32);
+        let edges = as_values(&gnp(n, 0.001f64 * s as f64, 7));
+        for (mode, label) in [(PbmeMode::Off, "NON-PBME"), (PbmeMode::Force, "PBME")] {
+            let (out, peak) = run(recstep::programs::TC, "tc", &edges, mode);
+            row(&[
+                "TC".into(),
+                format!("{name}-sim(n={n})"),
+                label.into(),
+                out.cell(),
+                mem::fmt_bytes(peak),
+                out.rows().map(|r| r.to_string()).unwrap_or_default(),
+            ]);
+        }
+    }
+    let sg_sizes = [(5_000u32, "G5K"), (10_000, "G10K"), (20_000, "G20K")];
+    for &(n_full, name) in &sg_sizes {
+        let n = (n_full / s).max(32);
+        let edges = as_values(&gnp(n, 0.001f64 * s as f64, 9));
+        for (mode, label) in [(PbmeMode::Off, "NON-PBME"), (PbmeMode::Force, "PBME")] {
+            let (out, peak) = run(recstep::programs::SG, "sg", &edges, mode);
+            row(&[
+                "SG".into(),
+                format!("{name}-sim(n={n})"),
+                label.into(),
+                out.cell(),
+                mem::fmt_bytes(peak),
+                out.rows().map(|r| r.to_string()).unwrap_or_default(),
+            ]);
+        }
+    }
+}

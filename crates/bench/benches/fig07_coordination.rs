@@ -1,0 +1,80 @@
+//! Figure 7: SG-PBME with coordination vs. without, on a skewed G20K-sim —
+//! CPU utilization over time, wall time and memory; plus a threshold sweep
+//! (the trade-off the paper describes for the work-order threshold t).
+
+use recstep::{Config, PbmeMode};
+use recstep_bench::*;
+use recstep_common::mem::{self, CountingAlloc};
+use recstep_graphgen::as_values;
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A skewed graph: a few hub parents with huge fan-out plus a sparse rest —
+/// the regime where zero-coordination SG-PBME starves most threads.
+fn skewed(n: u32, seed: u64) -> Vec<(i64, i64)> {
+    let mut edges = recstep_graphgen::rmat::rmat(n, n as usize * 6, seed);
+    let fan = (n / 8).max(8);
+    for i in 0..fan {
+        edges.push((0, 1 + (i % (n - 1))));
+    }
+    as_values(&edges)
+}
+
+fn main() {
+    let n = (20_000u32 / scale()).max(64);
+    let edges = skewed(n, 3);
+    header("Figure 7", &format!("SG-PBME coordination vs. none (skewed G20K-sim, n={n})"));
+    row(&cells(&["variant", "time", "mean util", "peak alloc", "orders", "sg rows"]));
+    for (label, coord) in
+        [("PBME-NO-COORD", None), ("PBME-COORD(t=256)", Some(256usize))]
+    {
+        let mut e = recstep_engine(
+            Config::default().pbme(PbmeMode::Force).pbme_coordination(coord).threads(max_threads()),
+        );
+        e.load_edges("arc", &edges).unwrap();
+        let pool = e.pool_handle();
+        mem::reset_peak();
+        let busy0 = pool.busy_ns_total();
+        let t0 = std::time::Instant::now();
+        let stats = e.run_source(recstep::programs::SG).unwrap();
+        let wall = t0.elapsed();
+        let busy = pool.busy_ns_total() - busy0;
+        let util = busy as f64 / (wall.as_nanos() as f64 * pool.threads() as f64);
+        row(&[
+            label.into(),
+            format!("{:.3}s", wall.as_secs_f64()),
+            format!("{:.0}%", util.min(1.0) * 100.0),
+            mem::fmt_bytes(mem::peak_bytes()),
+            stats.coord_orders_posted.to_string(),
+            e.row_count("sg").to_string(),
+        ]);
+    }
+    println!("\n  threshold sweep (coordination trade-off):");
+    row(&cells(&["threshold", "time", "orders posted"]));
+    for t in [16usize, 256, 4096, 65536] {
+        let mut e = recstep_engine(
+            Config::default().pbme(PbmeMode::Force).pbme_coordination(Some(t)).threads(max_threads()),
+        );
+        e.load_edges("arc", &edges).unwrap();
+        let t0 = std::time::Instant::now();
+        let stats = e.run_source(recstep::programs::SG).unwrap();
+        row(&[
+            t.to_string(),
+            format!("{:.3}s", t0.elapsed().as_secs_f64()),
+            stats.coord_orders_posted.to_string(),
+        ]);
+    }
+    // Utilization time series of the no-coordination variant.
+    let mut e = recstep_engine(Config::default().pbme(PbmeMode::Force).threads(max_threads()));
+    e.load_edges("arc", &edges).unwrap();
+    let pool = e.pool_handle();
+    let (series, _) = sample_utilization(pool, Duration::from_millis(5), move || {
+        e.run_source(recstep::programs::SG).unwrap();
+    });
+    let pts = downsample(&series, 10);
+    let line: Vec<String> =
+        pts.iter().map(|(t, u)| format!("{:.2}s:{:.0}%", t.as_secs_f64(), u * 100.0)).collect();
+    println!("  no-coord utilization series: {}", line.join(" "));
+}

@@ -1,0 +1,44 @@
+//! Figure 8: speedup when scaling up cores — CSPA on the httpd stand-in
+//! and CC on the livejournal stand-in, threads 1..max.
+
+use recstep::{Config, PbmeMode};
+use recstep_bench::*;
+use recstep_graphgen::{as_values, program_analysis, realworld};
+
+fn main() {
+    let s = scale();
+    header("Figure 8", "Scaling-up on cores (speedup over 1 thread)");
+    let mut threads = vec![1usize, 2, 4, 8, 16, 32];
+    threads.retain(|&t| t <= max_threads());
+
+    // (a) CSPA on httpd-sim.
+    let spec = &program_analysis::paper_system_programs(s)[2];
+    let input = program_analysis::cspa(spec.cspa_clusters, spec.cspa_cluster_size, 42);
+    println!("  (a) CSPA on {}", spec.name);
+    row(&cells(&["threads", "time", "speedup"]));
+    let mut base = None;
+    for &t in &threads {
+        let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(t));
+        e.load_edges("assign", &input.assign).unwrap();
+        e.load_edges("dereference", &input.dereference).unwrap();
+        let out = measure(|| e.run_source(recstep::programs::CSPA).map(|_| e.row_count("valueFlow")));
+        let secs = out.secs().unwrap();
+        let b = *base.get_or_insert(secs);
+        row(&[t.to_string(), out.cell(), format!("{:.2}x", b / secs)]);
+    }
+
+    // (b) CC on livejournal-sim.
+    let lj = realworld::paper_realworld_specs(s * 4)[0];
+    let edges = as_values(&lj.generate(11));
+    println!("  (b) CC on {} (n={}, m={})", lj.name, lj.n, lj.m);
+    row(&cells(&["threads", "time", "speedup"]));
+    let mut base = None;
+    for &t in &threads {
+        let mut e = recstep_engine(Config::default().threads(t));
+        e.load_edges("arc", &edges).unwrap();
+        let out = measure(|| e.run_source(recstep::programs::CC).map(|_| e.row_count("cc3")));
+        let secs = out.secs().unwrap();
+        let b = *base.get_or_insert(secs);
+        row(&[t.to_string(), out.cell(), format!("{:.2}x", b / secs)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 9: scaling-up on data size — CC on the RMAT family and
+//! Andersen's analysis on datasets 1–7.
+
+use recstep::{Config, PbmeMode};
+use recstep_bench::*;
+use recstep_graphgen::{as_values, program_analysis, rmat};
+
+fn main() {
+    let s = scale();
+    header("Figure 9", "Scaling-up on data");
+
+    println!("  (a) CC on RMAT graphs");
+    row(&cells(&["graph", "n", "m", "time", "cc3 rows"]));
+    // First five of the paper's 8 sizes (the tail grows past laptop scale).
+    for spec in rmat::paper_rmat_specs(s * 8).into_iter().take(5) {
+        let edges = as_values(&rmat::rmat(spec.n, spec.m, 5));
+        let mut e = recstep_engine(Config::default().threads(max_threads()));
+        e.load_edges("arc", &edges).unwrap();
+        let out = measure(|| e.run_source(recstep::programs::CC).map(|_| e.row_count("cc3")));
+        row(&[
+            spec.name.to_string(),
+            spec.n.to_string(),
+            spec.m.to_string(),
+            out.cell(),
+            out.rows().map(|r| r.to_string()).unwrap_or_default(),
+        ]);
+    }
+
+    println!("  (b) Andersen's analysis on synthetic datasets 1-7");
+    row(&cells(&["dataset", "vars", "input", "time", "pointsTo"]));
+    for (i, (name, vars)) in program_analysis::paper_andersen_specs(s).into_iter().enumerate() {
+        let input = program_analysis::andersen(vars, 100 + i as u64);
+        let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
+        e.load_edges("addressOf", &input.address_of).unwrap();
+        e.load_edges("assign", &input.assign).unwrap();
+        e.load_edges("load", &input.load).unwrap();
+        e.load_edges("store", &input.store).unwrap();
+        let out =
+            measure(|| e.run_source(recstep::programs::ANDERSEN).map(|_| e.row_count("pointsTo")));
+        row(&[
+            name,
+            vars.to_string(),
+            input.len().to_string(),
+            out.cell(),
+            out.rows().map(|r| r.to_string()).unwrap_or_default(),
+        ]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 14: memory consumption of REACH / CC / SSSP on livejournal-sim.
+
+use recstep::{Config, PbmeMode};
+use recstep_baselines::setbased::SetEngine;
+use recstep_bench::*;
+use recstep_common::mem::{self, CountingAlloc};
+use recstep_graphgen::{as_values, realworld, with_weights};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let s = scale();
+    let spec = realworld::paper_realworld_specs(s.saturating_mul(60).max(60))[0];
+    let raw = spec.generate(7);
+    let src = source_vertices(spec.n, 1)[0];
+    header(
+        "Figure 14",
+        &format!("Memory consumption on {} (n={}, m={})", spec.name, spec.n, spec.m),
+    );
+    row(&cells(&["workload", "system", "time", "peak alloc"]));
+    for workload in ["REACH", "CC", "SSSP"] {
+        // RecStep.
+        {
+            let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
+            mem::reset_peak();
+            let out = run_workload(&mut e, workload, &raw, src);
+            row(&[workload.into(), "RecStep".into(), out.cell(), mem::fmt_bytes(mem::peak_bytes())]);
+        }
+        // BigDatalog-like.
+        {
+            let mut e = recstep_engine(Config::no_op().threads(max_threads()));
+            mem::reset_peak();
+            let out = run_workload(&mut e, workload, &raw, src);
+            row(&[
+                workload.into(),
+                "BigDatalog~".into(),
+                out.cell(),
+                mem::fmt_bytes(mem::peak_bytes()),
+            ]);
+        }
+        // Souffle-like (REACH only).
+        if workload == "REACH" {
+            let mut e = SetEngine::new(true);
+            e.tuple_budget = Some(budget_tuples());
+            e.load_edges("arc", &as_values(&raw));
+            e.load("id", [vec![src]]);
+            mem::reset_peak();
+            let out = measure(|| e.run_source(recstep::programs::REACH).map(|_| e.row_count("reach")));
+            row(&[workload.into(), "Souffle~".into(), out.cell(), mem::fmt_bytes(mem::peak_bytes())]);
+        } else {
+            row(&[workload.into(), "Souffle~".into(), "-".into(), "-".into()]);
+        }
+    }
+}
+
+fn run_workload(
+    e: &mut recstep::RecStep,
+    workload: &str,
+    raw: &[(u32, u32)],
+    src: i64,
+) -> Outcome {
+    match workload {
+        "REACH" => {
+            e.load_edges("arc", &as_values(raw)).unwrap();
+            e.load_relation("id", 1, &[vec![src]]).unwrap();
+            measure(|| e.run_source(recstep::programs::REACH).map(|_| e.row_count("reach")))
+        }
+        "CC" => {
+            e.load_edges("arc", &as_values(raw)).unwrap();
+            measure(|| e.run_source(recstep::programs::CC).map(|_| e.row_count("cc3")))
+        }
+        _ => {
+            e.load_weighted_edges("arc", &with_weights(raw, 100, 9)).unwrap();
+            e.load_relation("id", 1, &[vec![src]]).unwrap();
+            measure(|| e.run_source(recstep::programs::SSSP).map(|_| e.row_count("sssp")))
+        }
+    }
+}

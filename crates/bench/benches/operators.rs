@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the bottleneck operators (§5: set
+//! difference and deduplication) plus the hash join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recstep_common::lang::Expr;
+use recstep_exec::dedup::{deduplicate, DedupImpl};
+use recstep_exec::join::{hash_join, JoinSpec};
+use recstep_exec::setdiff::{set_difference, DsdState, SetDiffStrategy};
+use recstep_exec::ExecCtx;
+use recstep_storage::{Relation, Schema};
+
+fn mk(n: usize, stride: i64) -> Relation {
+    let mut r = Relation::new(Schema::with_arity("t", 2));
+    for i in 0..n as i64 {
+        r.push_row(&[(i * stride) % 65_536, i % 9_973]);
+    }
+    r
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let ctx = ExecCtx::with_threads(4);
+    let rel = mk(100_000, 3);
+    let mut g = c.benchmark_group("dedup");
+    g.sample_size(10);
+    for imp in [DedupImpl::Fast, DedupImpl::Generic, DedupImpl::Sort] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{imp:?}")), &imp, |b, &imp| {
+            b.iter(|| deduplicate(&ctx, rel.view(), imp, rel.len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_setdiff(c: &mut Criterion) {
+    let ctx = ExecCtx::with_threads(4);
+    let delta = mk(20_000, 7);
+    let full = mk(200_000, 1);
+    let mut g = c.benchmark_group("setdiff");
+    g.sample_size(10);
+    for strat in
+        [SetDiffStrategy::AlwaysOpsd, SetDiffStrategy::AlwaysTpsd, SetDiffStrategy::Dynamic]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{strat:?}")), &strat, |b, &s| {
+            b.iter(|| {
+                let mut st = DsdState::default();
+                set_difference(&ctx, delta.view(), full.view(), s, &mut st)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let ctx = ExecCtx::with_threads(4);
+    let left = mk(50_000, 3);
+    let right = mk(50_000, 5);
+    let output = [Expr::Col(1), Expr::Col(3)];
+    let mut g = c.benchmark_group("hash_join");
+    g.sample_size(10);
+    for build_left in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("build_left={build_left}")),
+            &build_left,
+            |b, &bl| {
+                let spec = JoinSpec {
+                    left_keys: &[0],
+                    right_keys: &[0],
+                    build_left: bl,
+                    output: &output,
+                    residual: &[],
+                };
+                b.iter(|| hash_join(&ctx, left.view(), right.view(), &spec));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dedup, bench_setdiff, bench_join);
+criterion_main!(benches);

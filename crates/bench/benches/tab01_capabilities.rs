@@ -1,0 +1,38 @@
+//! Table 1: qualitative comparison between the engines in this repository.
+
+use recstep::capabilities::table1;
+use recstep_bench::{cells, header, row};
+
+fn main() {
+    header("Table 1", "Summary of Comparison Between Different Systems");
+    row(&cells(&[
+        "system",
+        "scale-up",
+        "scale-out",
+        "memory",
+        "cpu-util",
+        "cpu-eff",
+        "tuning",
+        "mutual-rec",
+        "agg",
+        "rec-agg",
+    ]));
+    for c in table1() {
+        row(&[
+            c.name.split(' ').next().unwrap_or(c.name).to_string(),
+            yesno(c.scale_up),
+            yesno(c.scale_out),
+            c.memory_consumption.to_string(),
+            c.cpu_utilization.to_string(),
+            c.cpu_efficiency.to_string(),
+            c.tuning_required.split(' ').next().unwrap_or("").to_string(),
+            yesno(c.mutual_recursion),
+            yesno(c.non_recursive_aggregation),
+            yesno(c.recursive_aggregation),
+        ]);
+    }
+}
+
+fn yesno(b: bool) -> String {
+    if b { "yes".into() } else { "no".into() }
+}

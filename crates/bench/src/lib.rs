@@ -1,0 +1,210 @@
+//! Shared harness for the per-figure benchmark targets.
+//!
+//! Every table and figure of the paper's evaluation section has a bench
+//! target (`cargo bench -p recstep-bench --bench figNN_*`) that prints the
+//! same rows/series the paper reports. Absolute numbers differ (laptop vs.
+//! the paper's 2×10-core Xeon; scaled datasets), but the *shape* — who
+//! wins, by what factor, where crossovers fall — is the reproduction
+//! target; EXPERIMENTS.md records both.
+//!
+//! Dataset sizes default to laptop scale; set `RECSTEP_SCALE=<divisor>`
+//! (smaller divisor = closer to the paper's sizes, 1 = paper scale) to
+//! grow them.
+
+use std::time::{Duration, Instant};
+
+use recstep::{Config, RecStep, Value};
+use recstep_common::sched::ThreadPool;
+
+/// Divisor applied to the paper's dataset sizes (default laptop scale).
+pub fn scale() -> u32 {
+    std::env::var("RECSTEP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Default divisor: paper sizes / 50 keeps the whole suite in minutes.
+pub const DEFAULT_SCALE: u32 = 50;
+
+/// Threads used by "full parallelism" runs.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Outcome of one measured run.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Completed in the given wall time with a result-size witness.
+    Ok {
+        /// Wall time.
+        time: Duration,
+        /// Output tuples (sanity witness that engines agree).
+        rows: usize,
+    },
+    /// Ran out of its memory budget (the paper's OOM bars).
+    Oom,
+    /// The engine cannot express the workload (paper's missing bars,
+    /// e.g. Soufflé on recursive aggregation).
+    Unsupported,
+}
+
+impl Outcome {
+    /// Seconds, if completed.
+    pub fn secs(&self) -> Option<f64> {
+        match self {
+            Outcome::Ok { time, .. } => Some(time.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Output rows, if completed.
+    pub fn rows(&self) -> Option<usize> {
+        match self {
+            Outcome::Ok { rows, .. } => Some(*rows),
+            _ => None,
+        }
+    }
+
+    /// Render like the paper's bar labels.
+    pub fn cell(&self) -> String {
+        match self {
+            Outcome::Ok { time, .. } => format!("{:.3}s", time.as_secs_f64()),
+            Outcome::Oom => "OOM".into(),
+            Outcome::Unsupported => "-".into(),
+        }
+    }
+}
+
+/// Time a fallible engine run, mapping memory-budget errors to OOM.
+pub fn measure<F: FnOnce() -> recstep::Result<usize>>(f: F) -> Outcome {
+    let t0 = Instant::now();
+    match f() {
+        Ok(rows) => Outcome::Ok { time: t0.elapsed(), rows },
+        Err(e) if e.to_string().contains("out of memory") => Outcome::Oom,
+        Err(e) => panic!("benchmark run failed: {e}"),
+    }
+}
+
+/// Build a RecStep engine with the benchmark default memory budget.
+pub fn recstep_engine(cfg: Config) -> RecStep {
+    RecStep::new(cfg.mem_budget(budget_bytes())).expect("engine construction")
+}
+
+/// Per-run memory budget (scaled stand-in for the paper's 160 GB server).
+pub fn budget_bytes() -> usize {
+    std::env::var("RECSTEP_BUDGET_MB")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3072)
+        * (1 << 20)
+}
+
+/// Tuple budget equivalent for the set-based baselines (≈ 48 B per binary
+/// tuple including index overhead).
+pub fn budget_tuples() -> usize {
+    budget_bytes() / 48
+}
+
+/// Print a figure/table header.
+pub fn header(id: &str, caption: &str) {
+    println!();
+    println!("## {id}: {caption}");
+    println!("   (scale divisor {}, budget {} MiB)", scale(), budget_bytes() >> 20);
+}
+
+/// Print one aligned data row.
+pub fn row(cols: &[String]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("  {}", line.join(" "));
+}
+
+/// Convenience: stringify column headers.
+pub fn cells(strs: &[&str]) -> Vec<String> {
+    strs.iter().map(|s| s.to_string()).collect()
+}
+
+/// Sample a pool's utilization over a run executed on another thread.
+/// Returns `(elapsed, utilization)` pairs plus the run's wall time.
+pub fn sample_utilization<F>(
+    pool: std::sync::Arc<ThreadPool>,
+    every: Duration,
+    run: F,
+) -> (Vec<(Duration, f64)>, Duration)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let threads = pool.threads();
+    let handle = std::thread::spawn(run);
+    let t0 = Instant::now();
+    let mut series = Vec::new();
+    let mut last_busy = pool.busy_ns_total();
+    let mut last_t = t0;
+    while !handle.is_finished() {
+        std::thread::sleep(every);
+        let now = Instant::now();
+        let busy = pool.busy_ns_total();
+        let wall = now.duration_since(last_t).as_nanos() as f64 * threads as f64;
+        let util = ((busy.saturating_sub(last_busy)) as f64 / wall.max(1.0)).min(1.0);
+        series.push((now.duration_since(t0), util));
+        last_busy = busy;
+        last_t = now;
+    }
+    handle.join().expect("bench run panicked");
+    (series, t0.elapsed())
+}
+
+/// Downsample a series to at most `n` points for printing.
+pub fn downsample<T: Clone>(series: &[T], n: usize) -> Vec<T> {
+    if series.len() <= n || n == 0 {
+        return series.to_vec();
+    }
+    let step = series.len() as f64 / n as f64;
+    (0..n).map(|i| series[(i as f64 * step) as usize].clone()).collect()
+}
+
+/// Deterministic source-vertex choice for REACH/SSSP (the paper averages
+/// over ten random sources; we fix them for reproducibility).
+pub fn source_vertices(n: u32, k: usize) -> Vec<Value> {
+    (0..k as u32).map(|i| ((i.wrapping_mul(2654435761)) % n.max(1)) as Value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_cells() {
+        assert_eq!(Outcome::Oom.cell(), "OOM");
+        assert_eq!(Outcome::Unsupported.cell(), "-");
+        let ok = Outcome::Ok { time: Duration::from_millis(1500), rows: 3 };
+        assert_eq!(ok.cell(), "1.500s");
+        assert!(ok.secs().unwrap() > 1.4);
+        assert_eq!(ok.rows(), Some(3));
+    }
+
+    #[test]
+    fn measure_maps_oom() {
+        let out = measure(|| Err(recstep::Error::exec("out of memory: 1 > 0")));
+        assert!(matches!(out, Outcome::Oom));
+        let ok = measure(|| Ok(7));
+        assert!(matches!(ok, Outcome::Ok { rows: 7, .. }));
+    }
+
+    #[test]
+    fn downsample_caps_length() {
+        let s: Vec<u32> = (0..1000).collect();
+        let d = downsample(&s, 20);
+        assert_eq!(d.len(), 20);
+        assert_eq!(d[0], 0);
+        let short = downsample(&s[..5], 20);
+        assert_eq!(short.len(), 5);
+    }
+
+    #[test]
+    fn sources_are_in_range(){
+        let s = source_vertices(1000, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&v| (0..1000).contains(&v)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Dictionary encoding of symbolic domains.
+//!
+//! Datalog engines (RecStep included — paper §5.2 footnote 2) map the active
+//! domain of input data onto dense integers before evaluation so that tuples
+//! become fixed-width integer rows. [`Dictionary`] provides that mapping plus
+//! the reverse lookup needed to render results back symbolically.
+
+use crate::hash::FxHashMap;
+use crate::Value;
+
+/// Interns strings to dense [`Value`] ids starting at 0.
+#[derive(Default, Debug, Clone)]
+pub struct Dictionary {
+    map: FxHashMap<String, Value>,
+    rev: Vec<String>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its dense id (allocating a fresh one on first
+    /// sight).
+    pub fn intern(&mut self, s: &str) -> Value {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.rev.len() as Value;
+        self.map.insert(s.to_owned(), id);
+        self.rev.push(s.to_owned());
+        id
+    }
+
+    /// Look up an already-interned string.
+    pub fn get(&self, s: &str) -> Option<Value> {
+        self.map.get(s).copied()
+    }
+
+    /// Reverse lookup of an id.
+    pub fn resolve(&self, id: Value) -> Option<&str> {
+        usize::try_from(id).ok().and_then(|i| self.rev.get(i)).map(String::as_str)
+    }
+
+    /// Number of interned symbols (= size of the active domain).
+    pub fn len(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.rev.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut d = Dictionary::new();
+        let id = d.intern("x42");
+        assert_eq!(d.resolve(id), Some("x42"));
+        assert_eq!(d.get("x42"), Some(id));
+        assert_eq!(d.resolve(99), None);
+        assert_eq!(d.resolve(-1), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! The `recstep` command-line interface: evaluate a `.datalog` program over
+//! fact files, matching the paper's workflow (§4).
+//!
+//! ```text
+//! recstep PROGRAM.datalog [OPTIONS]
+//!
+//! Options:
+//!   --facts DIR       directory with <input>.facts files      [default: .]
+//!   --out DIR         directory for <output>.csv files        [default: ./out]
+//!   --threads N       worker threads (0 = all cores)          [default: 0]
+//!   --budget-mb MB    memory budget                           [default: 8192]
+//!   --explain         print the generated SQL and exit
+//!   --no-uie | --no-eost | --no-pbme | --oof-na | --oof-fa
+//!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd
+//!                     turn individual optimizations off (the paper's
+//!                     Figure 2 ablation switches)
+//!   --stats           print the evaluation statistics report
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use recstep::engine::RecStep;
+use recstep::io::run_datalog_file;
+use recstep::{Config, DedupImpl, OofMode, PbmeMode, SetDiffStrategy};
+
+struct Args {
+    program: PathBuf,
+    facts: PathBuf,
+    out: PathBuf,
+    cfg: Config,
+    explain: bool,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: recstep PROGRAM.datalog [--facts DIR] [--out DIR] [--threads N] \
+         [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
+         [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut program = None;
+    let mut facts = PathBuf::from(".");
+    let mut out = PathBuf::from("./out");
+    let mut cfg = Config::default();
+    let mut explain = false;
+    let mut stats = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--facts" => facts = PathBuf::from(value("--facts")),
+            "--out" => out = PathBuf::from(value("--out")),
+            "--threads" => {
+                cfg.threads = value("--threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--budget-mb" => {
+                cfg.mem_budget_bytes =
+                    value("--budget-mb").parse::<usize>().unwrap_or_else(|_| usage()) << 20
+            }
+            "--explain" => explain = true,
+            "--stats" => stats = true,
+            "--no-uie" => cfg.uie = false,
+            "--no-eost" => cfg.eost = false,
+            "--no-pbme" => cfg.pbme = PbmeMode::Off,
+            "--oof-na" => cfg.oof = OofMode::None,
+            "--oof-fa" => cfg.oof = OofMode::Full,
+            "--dedup-generic" => cfg.dedup = DedupImpl::Generic,
+            "--setdiff-opsd" => cfg.setdiff = SetDiffStrategy::AlwaysOpsd,
+            "--setdiff-tpsd" => cfg.setdiff = SetDiffStrategy::AlwaysTpsd,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            other => {
+                if program.replace(PathBuf::from(other)).is_some() {
+                    eprintln!("multiple program files given");
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(program) = program else {
+        usage();
+    };
+    Args { program, facts, out, cfg, explain, stats }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.explain {
+        let src = match std::fs::read_to_string(&args.program) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("recstep: cannot read {}: {e}", args.program.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match RecStep::explain(&src) {
+            Ok(sql) => {
+                println!("{sql}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("recstep: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut engine = match RecStep::new(args.cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("recstep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_datalog_file(&mut engine, &args.program, &args.facts, &args.out) {
+        Ok((stats_out, written)) => {
+            for (name, rows) in &written {
+                println!("{name}: {rows} rows -> {}/{name}.csv", args.out.display());
+            }
+            if args.stats {
+                println!("\nstrata: {}", stats_out.strata.len());
+                println!("iterations: {}", stats_out.iterations);
+                println!("queries issued: {}", stats_out.queries_issued);
+                println!("tuples considered: {}", stats_out.tuples_considered);
+                println!(
+                    "set difference: {} OPSD / {} TPSD",
+                    stats_out.opsd_runs, stats_out.tpsd_runs
+                );
+                println!("peak bytes (engine estimate): {}", stats_out.peak_bytes);
+                println!("io: {} bytes in {} flushes", stats_out.io_bytes, stats_out.io_flushes);
+                println!("pbme: {}", stats_out.strata.iter().any(|s| s.pbme));
+                println!("total: {:?}", stats_out.total);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("recstep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

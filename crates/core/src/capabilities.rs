@@ -1,0 +1,126 @@
+//! The qualitative system-comparison matrix (paper Table 1).
+//!
+//! Each engine in this repository reports its capabilities; the
+//! `tab01_capabilities` bench target prints the table. Values for the
+//! in-repo engines are facts about the implementations; the paper's
+//! qualitative rows (memory consumption, CPU utilization/efficiency, tuning
+//! burden) are carried over as the paper states them for the systems our
+//! baselines stand in for.
+
+/// One engine's row of Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Engine name.
+    pub name: &'static str,
+    /// Scales up with cores on one node.
+    pub scale_up: bool,
+    /// Scales out across nodes.
+    pub scale_out: bool,
+    /// Qualitative memory footprint ("low" / "medium" / "high").
+    pub memory_consumption: &'static str,
+    /// Qualitative multi-core utilization.
+    pub cpu_utilization: &'static str,
+    /// Qualitative CPU efficiency (Appendix B definition).
+    pub cpu_efficiency: &'static str,
+    /// Hyper-parameter tuning burden.
+    pub tuning_required: &'static str,
+    /// Supports mutual recursion.
+    pub mutual_recursion: bool,
+    /// Supports non-recursive aggregation.
+    pub non_recursive_aggregation: bool,
+    /// Supports recursive aggregation.
+    pub recursive_aggregation: bool,
+}
+
+/// Rows of Table 1 for the engines in this repository (each standing in for
+/// the correspondingly named system of the paper).
+pub fn table1() -> Vec<Capabilities> {
+    vec![
+        Capabilities {
+            name: "RecStep",
+            scale_up: true,
+            scale_out: false,
+            memory_consumption: "low",
+            cpu_utilization: "high",
+            cpu_efficiency: "high",
+            tuning_required: "no",
+            mutual_recursion: true,
+            non_recursive_aggregation: true,
+            recursive_aggregation: true,
+        },
+        Capabilities {
+            name: "Graspan (worklist baseline)",
+            scale_up: true,
+            scale_out: false,
+            memory_consumption: "low",
+            cpu_utilization: "medium",
+            cpu_efficiency: "low",
+            tuning_required: "yes (lightweight)",
+            mutual_recursion: true,
+            non_recursive_aggregation: false,
+            recursive_aggregation: false,
+        },
+        Capabilities {
+            name: "bddbddb (BDD baseline)",
+            scale_up: false,
+            scale_out: false,
+            memory_consumption: "low",
+            cpu_utilization: "poor",
+            cpu_efficiency: "-",
+            tuning_required: "yes (complex)",
+            mutual_recursion: true,
+            non_recursive_aggregation: false,
+            recursive_aggregation: false,
+        },
+        Capabilities {
+            name: "BigDatalog (generic parallel baseline)",
+            scale_up: true,
+            scale_out: true,
+            memory_consumption: "high",
+            cpu_utilization: "high",
+            cpu_efficiency: "medium",
+            tuning_required: "yes (moderate)",
+            mutual_recursion: false,
+            non_recursive_aggregation: true,
+            recursive_aggregation: true,
+        },
+        Capabilities {
+            name: "Souffle (compiled single-node baseline)",
+            scale_up: true,
+            scale_out: false,
+            memory_consumption: "medium",
+            cpu_utilization: "medium",
+            cpu_efficiency: "high",
+            tuning_required: "no",
+            mutual_recursion: true,
+            non_recursive_aggregation: true,
+            recursive_aggregation: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recstep_supports_everything_single_node() {
+        let t = table1();
+        let rs = t.iter().find(|c| c.name == "RecStep").unwrap();
+        assert!(rs.scale_up && !rs.scale_out);
+        assert!(rs.mutual_recursion && rs.non_recursive_aggregation && rs.recursive_aggregation);
+    }
+
+    #[test]
+    fn matches_paper_support_matrix() {
+        let t = table1();
+        let by = |n: &str| t.iter().find(|c| c.name.starts_with(n)).unwrap();
+        // Paper Table 1: BigDatalog lacks mutual recursion; Souffle lacks
+        // recursive aggregation; Graspan/bddbddb lack aggregation entirely.
+        assert!(!by("BigDatalog").mutual_recursion);
+        assert!(!by("Souffle").recursive_aggregation);
+        assert!(by("Souffle").non_recursive_aggregation);
+        assert!(!by("Graspan").non_recursive_aggregation);
+        assert!(!by("bddbddb").non_recursive_aggregation);
+    }
+}

@@ -1,0 +1,212 @@
+//! Engine configuration: every optimization of paper §5 is a toggle so the
+//! Figure 2/3 ablations can turn each one off individually.
+
+use recstep_exec::dedup::DedupImpl;
+use recstep_exec::setdiff::SetDiffStrategy;
+
+/// Statistics-collection policy driving on-the-fly re-optimization (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OofMode {
+    /// OOF-NA: plans are frozen after the first iteration (the same query
+    /// plan at every iteration).
+    None,
+    /// RecStep's default: collect exactly the statistics each operator
+    /// needs — sizes for join build-side choice, a conservative distinct
+    /// estimate for dedup sizing, min/max/sum only where aggregation needs
+    /// them.
+    Selective,
+    /// OOF-FA: collect the full statistics of every updated table at every
+    /// iteration.
+    Full,
+}
+
+/// When to use parallel bit-matrix evaluation (§5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PbmeMode {
+    /// Never.
+    Off,
+    /// Use it when the stratum matches the TC/SG pattern *and* the matrix
+    /// plus index fit the memory budget (the paper's build condition).
+    Auto,
+    /// Use it whenever the pattern matches, regardless of the budget check.
+    Force,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Unified IDB evaluation: issue all subqueries of an IDB as one query
+    /// (§5.1 UIE). Off = one query per subquery with separate temp tables.
+    pub uie: bool,
+    /// Statistics / re-optimization policy (§5.1 OOF).
+    pub oof: OofMode,
+    /// Set-difference strategy (§5.1 DSD; `Dynamic` is the paper's choice).
+    pub setdiff: SetDiffStrategy,
+    /// Evaluation as one single transaction (§5.2 EOST). Off = flush dirty
+    /// state after every state-changing query.
+    pub eost: bool,
+    /// Deduplication implementation (§5.2 FAST-DEDUP = `Fast`).
+    pub dedup: DedupImpl,
+    /// Bit-matrix evaluation policy (§5.3 PBME).
+    pub pbme: PbmeMode,
+    /// Work-order threshold for coordinated SG-PBME (Figure 7); `None` =
+    /// zero-coordination (the paper's default).
+    pub pbme_coordination: Option<usize>,
+    /// Memory budget in bytes. Evaluations exceeding it abort with an
+    /// out-of-memory error (how the harness reports OOM bars honestly).
+    pub mem_budget_bytes: usize,
+    /// Morsel size for parallel operators.
+    pub grain: usize,
+    /// Run the offline α calibration for the DSD cost model at engine
+    /// construction (Appendix A Eq. 7); otherwise use the default α = 2.
+    pub calibrate_dsd: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            threads: 0,
+            uie: true,
+            oof: OofMode::Selective,
+            setdiff: SetDiffStrategy::Dynamic,
+            eost: true,
+            dedup: DedupImpl::Fast,
+            pbme: PbmeMode::Auto,
+            pbme_coordination: None,
+            mem_budget_bytes: 8 << 30,
+            grain: 4096,
+            calibrate_dsd: false,
+        }
+    }
+}
+
+impl Config {
+    /// All optimizations on (the paper's RecStep configuration).
+    pub fn recstep() -> Self {
+        Config::default()
+    }
+
+    /// Everything off (the paper's RecStep-NO-OP ablation point).
+    pub fn no_op() -> Self {
+        Config {
+            uie: false,
+            oof: OofMode::None,
+            setdiff: SetDiffStrategy::AlwaysOpsd,
+            eost: false,
+            dedup: DedupImpl::Generic,
+            pbme: PbmeMode::Off,
+            ..Config::default()
+        }
+    }
+
+    /// Set worker threads.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Toggle UIE.
+    pub fn uie(mut self, on: bool) -> Self {
+        self.uie = on;
+        self
+    }
+
+    /// Set the OOF mode.
+    pub fn oof(mut self, mode: OofMode) -> Self {
+        self.oof = mode;
+        self
+    }
+
+    /// Set the set-difference strategy.
+    pub fn setdiff(mut self, s: SetDiffStrategy) -> Self {
+        self.setdiff = s;
+        self
+    }
+
+    /// Toggle EOST.
+    pub fn eost(mut self, on: bool) -> Self {
+        self.eost = on;
+        self
+    }
+
+    /// Set the dedup implementation.
+    pub fn dedup(mut self, d: DedupImpl) -> Self {
+        self.dedup = d;
+        self
+    }
+
+    /// Set the PBME mode.
+    pub fn pbme(mut self, mode: PbmeMode) -> Self {
+        self.pbme = mode;
+        self
+    }
+
+    /// Enable coordinated SG-PBME with the given work-order threshold.
+    pub fn pbme_coordination(mut self, threshold: Option<usize>) -> Self {
+        self.pbme_coordination = threshold;
+        self
+    }
+
+    /// Set the memory budget in bytes.
+    pub fn mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget_bytes = bytes;
+        self
+    }
+
+    /// Enable DSD α calibration at startup.
+    pub fn calibrate_dsd(mut self, on: bool) -> Self {
+        self.calibrate_dsd = on;
+        self
+    }
+
+    /// Resolved thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_optimizations_on() {
+        let c = Config::recstep();
+        assert!(c.uie);
+        assert!(c.eost);
+        assert_eq!(c.oof, OofMode::Selective);
+        assert_eq!(c.setdiff, SetDiffStrategy::Dynamic);
+        assert_eq!(c.dedup, DedupImpl::Fast);
+        assert_eq!(c.pbme, PbmeMode::Auto);
+    }
+
+    #[test]
+    fn no_op_turns_everything_off() {
+        let c = Config::no_op();
+        assert!(!c.uie);
+        assert!(!c.eost);
+        assert_eq!(c.oof, OofMode::None);
+        assert_eq!(c.setdiff, SetDiffStrategy::AlwaysOpsd);
+        assert_eq!(c.dedup, DedupImpl::Generic);
+        assert_eq!(c.pbme, PbmeMode::Off);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = Config::default().threads(3).uie(false).eost(false).mem_budget(1024);
+        assert_eq!(c.effective_threads(), 3);
+        assert!(!c.uie);
+        assert_eq!(c.mem_budget_bytes, 1024);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cores() {
+        assert!(Config::default().effective_threads() >= 1);
+    }
+}

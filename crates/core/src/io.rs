@@ -1,0 +1,184 @@
+//! File-based input/output for the paper's `.datalog` workflow.
+//!
+//! The paper's architecture (§4) reads "a .datalog file, which, along with
+//! the rules of the Datalog program, provides paths for the input and
+//! output tables". This module implements that workflow: relations named in
+//! `.input` directives load from `<facts-dir>/<name>.facts` (whitespace- or
+//! comma-separated integers, one fact per line, `#`/`//` comments), and
+//! relations named in `.output` directives are written to
+//! `<out-dir>/<name>.csv` after evaluation.
+
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use recstep_common::{Error, Result};
+use recstep_datalog::parser::parse_fact_line;
+
+use crate::engine::RecStep;
+use crate::stats::EvalStats;
+
+/// Load whitespace/comma-separated integer facts from `path` into relation
+/// `name` (created with `arity` if absent). Returns the number of facts
+/// loaded.
+pub fn load_facts_file(
+    engine: &mut RecStep,
+    name: &str,
+    arity: usize,
+    path: &Path,
+) -> Result<usize> {
+    let file = fs::File::open(path)
+        .map_err(|e| Error::exec(format!("cannot open {}: {e}", path.display())))?;
+    let reader = BufReader::new(file);
+    let mut rows = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let Some(vals) = parse_fact_line(&line) else {
+            continue;
+        };
+        if vals.len() != arity {
+            return Err(Error::exec(format!(
+                "{}:{}: expected {} values, found {}",
+                path.display(),
+                lineno + 1,
+                arity,
+                vals.len()
+            )));
+        }
+        rows.push(vals);
+    }
+    let n = rows.len();
+    engine.load_relation(name, arity, &rows)?;
+    Ok(n)
+}
+
+/// Write a relation as CSV to `path`. Returns the number of rows written.
+pub fn write_relation_csv(engine: &RecStep, name: &str, path: &Path) -> Result<usize> {
+    let rel = engine
+        .relation(name)
+        .ok_or_else(|| Error::exec(format!("unknown relation '{name}'")))?;
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    for r in 0..rel.len() {
+        for c in 0..rel.arity() {
+            if c > 0 {
+                w.write_all(b",")?;
+            }
+            write!(w, "{}", rel.col(c)[r])?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(rel.len())
+}
+
+/// Run the full `.datalog` file workflow: parse `program_path`, load every
+/// `.input` relation from `facts_dir/<name>.facts`, evaluate, and write
+/// every `.output` relation to `out_dir/<name>.csv`. Returns the evaluation
+/// statistics plus `(relation, rows)` pairs written.
+pub fn run_datalog_file(
+    engine: &mut RecStep,
+    program_path: &Path,
+    facts_dir: &Path,
+    out_dir: &Path,
+) -> Result<(EvalStats, Vec<(String, usize)>)> {
+    let src = fs::read_to_string(program_path)
+        .map_err(|e| Error::exec(format!("cannot read {}: {e}", program_path.display())))?;
+    let program = recstep_datalog::parser::parse(&src)?;
+    let analysis = recstep_datalog::analyze::analyze(program)?;
+    // Load .input relations before evaluation.
+    for name in &analysis.program.inputs {
+        let arity = analysis
+            .pred(name)
+            .map(|p| p.arity)
+            .ok_or_else(|| Error::exec(format!("unknown input relation '{name}'")))?;
+        load_facts_file(engine, name, arity, &facts_dir.join(format!("{name}.facts")))?;
+    }
+    let stats = engine.run_source(&src)?;
+    // Write .output relations (default: every IDB when none declared).
+    let outputs: Vec<String> = if analysis.program.outputs.is_empty() {
+        analysis.idbs().map(|p| p.name.clone()).collect()
+    } else {
+        analysis.program.outputs.clone()
+    };
+    let mut written = Vec::with_capacity(outputs.len());
+    for name in outputs {
+        let rows = write_relation_csv(engine, &name, &out_dir.join(format!("{name}.csv")))?;
+        written.push((name, rows));
+    }
+    Ok((stats, written))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("recstep-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn facts_file_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        fs::write(dir.join("arc.facts"), "# graph\n0 1\n1,2\n\n2\t3\n").unwrap();
+        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
+        let n = load_facts_file(&mut e, "arc", 2, &dir.join("arc.facts")).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(e.row_count("arc"), 3);
+        let written = write_relation_csv(&e, "arc", &dir.join("out/arc.csv")).unwrap();
+        assert_eq!(written, 3);
+        let text = fs::read_to_string(dir.join("out/arc.csv")).unwrap();
+        assert_eq!(text, "0,1\n1,2\n2,3\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arity_mismatch_in_facts_file_is_reported_with_position() {
+        let dir = tmpdir("arity");
+        fs::write(dir.join("arc.facts"), "0 1\n2 3 4\n").unwrap();
+        let mut e = RecStep::new(Config::default().threads(1)).unwrap();
+        let err = load_facts_file(&mut e, "arc", 2, &dir.join("arc.facts")).unwrap_err();
+        assert!(err.to_string().contains(":2:"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_datalog_file_workflow() {
+        let dir = tmpdir("workflow");
+        fs::write(
+            dir.join("tc.datalog"),
+            ".input arc\n.output tc\n\
+             tc(x, y) :- arc(x, y).\n\
+             tc(x, y) :- tc(x, z), arc(z, y).\n",
+        )
+        .unwrap();
+        fs::write(dir.join("arc.facts"), "0 1\n1 2\n").unwrap();
+        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
+        let (stats, written) =
+            run_datalog_file(&mut e, &dir.join("tc.datalog"), &dir, &dir.join("out")).unwrap();
+        assert!(stats.iterations >= 2);
+        assert_eq!(written, vec![("tc".to_string(), 3)]);
+        let text = fs::read_to_string(dir.join("out/tc.csv")).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["0,1", "0,2", "1,2"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_input_file_errors() {
+        let dir = tmpdir("missing");
+        fs::write(dir.join("p.datalog"), ".input arc\ntc(x, y) :- arc(x, y).\n").unwrap();
+        let mut e = RecStep::new(Config::default().threads(1)).unwrap();
+        let err =
+            run_datalog_file(&mut e, &dir.join("p.datalog"), &dir, &dir.join("out")).unwrap_err();
+        assert!(err.to_string().contains("cannot open"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

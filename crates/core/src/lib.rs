@@ -1,0 +1,45 @@
+//! # RecStep — a parallel in-memory Datalog engine on a relational substrate
+//!
+//! Rust reproduction of *Scaling-Up In-Memory Datalog Processing:
+//! Observations and Techniques* (Fan et al., VLDB 2019): a general-purpose
+//! Datalog engine evaluating stratified programs with negation and
+//! (recursive) aggregation by semi-naïve evaluation over a parallel
+//! columnar backend, with the paper's five engine optimizations — UIE, OOF,
+//! DSD, EOST, FAST-DEDUP — plus parallel bit-matrix evaluation (PBME) for
+//! dense-graph TC/SG strata. Every optimization is a [`Config`] toggle so
+//! the paper's ablations are one flag away.
+//!
+//! ```
+//! use recstep::{Config, RecStep};
+//!
+//! let mut engine = RecStep::new(Config::default().threads(2)).unwrap();
+//! engine.load_edges("arc", &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let stats = engine
+//!     .run_source("tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).")
+//!     .unwrap();
+//! assert_eq!(engine.row_count("tc"), 6);
+//! assert!(stats.iterations >= 1);
+//! ```
+
+pub mod capabilities;
+pub mod config;
+pub mod engine;
+pub mod io;
+pub mod pbme;
+pub mod stats;
+
+pub use config::{Config, OofMode, PbmeMode};
+pub use engine::RecStep;
+pub use stats::{EvalStats, PhaseTimes, StratumStats};
+
+// Re-exports so downstream users need only this crate.
+pub use recstep_common::{Error, Result, Value};
+pub use recstep_datalog::{analyze, parser, plan, programs, sqlgen};
+pub use recstep_exec::dedup::DedupImpl;
+pub use recstep_exec::setdiff::SetDiffStrategy;
+
+/// Parse + analyze + compile a program source in one call (for tools that
+/// want the plan without an engine, e.g. SQL rendering).
+pub fn compile_source(src: &str) -> Result<recstep_datalog::CompiledProgram> {
+    plan::compile(&analyze::analyze(parser::parse(src)?)?)
+}

@@ -1,0 +1,135 @@
+//! Evaluation statistics: the instrumentation behind the paper's figures.
+
+use std::time::Duration;
+
+use recstep_exec::setdiff::SetDiffAlgo;
+
+/// Wall-clock time spent in each engine phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Rule-body evaluation (joins, projections).
+    pub eval: Duration,
+    /// Deduplication.
+    pub dedup: Duration,
+    /// Set difference.
+    pub setdiff: Duration,
+    /// Aggregation (group-by and monotonic absorb).
+    pub aggregate: Duration,
+    /// Merging ∆R into R.
+    pub merge: Duration,
+    /// `analyze()` statistics collection.
+    pub analyze: Duration,
+    /// Simulated persistent-storage I/O.
+    pub io: Duration,
+    /// Bit-matrix evaluation.
+    pub pbme: Duration,
+}
+
+/// Per-stratum observations.
+#[derive(Clone, Debug, Default)]
+pub struct StratumStats {
+    /// Head relations of the stratum.
+    pub idbs: Vec<String>,
+    /// Iterations run (1 for non-recursive strata).
+    pub iterations: usize,
+    /// Whether PBME handled this stratum.
+    pub pbme: bool,
+}
+
+/// Statistics of one `run` of the engine.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// End-to-end wall time.
+    pub total: Duration,
+    /// Phase breakdown.
+    pub phase: PhaseTimes,
+    /// Per-stratum details.
+    pub strata: Vec<StratumStats>,
+    /// Total fixpoint iterations across strata.
+    pub iterations: usize,
+    /// Queries issued to the backend (the per-query overhead UIE batches).
+    pub queries_issued: usize,
+    /// Tuples produced by rule evaluation before deduplication.
+    pub tuples_considered: usize,
+    /// How often each set-difference algorithm ran.
+    pub opsd_runs: usize,
+    /// How often each set-difference algorithm ran.
+    pub tpsd_runs: usize,
+    /// Peak engine-estimated heap bytes (relations + operator tables).
+    pub peak_bytes: usize,
+    /// Bytes written to (simulated) persistent storage.
+    pub io_bytes: u64,
+    /// Flush operations against persistent storage.
+    pub io_flushes: u64,
+    /// Worker busy-time over the run (for CPU-utilization reporting).
+    pub busy: Duration,
+    /// Bit-matrix bytes allocated, when PBME ran.
+    pub pbme_matrix_bytes: usize,
+    /// Work orders posted by coordinated SG-PBME.
+    pub coord_orders_posted: u64,
+}
+
+impl EvalStats {
+    /// Record a set-difference algorithm choice.
+    pub(crate) fn note_setdiff(&mut self, algo: SetDiffAlgo) {
+        match algo {
+            SetDiffAlgo::Opsd => self.opsd_runs += 1,
+            SetDiffAlgo::Tpsd => self.tpsd_runs += 1,
+        }
+    }
+
+    /// Mean CPU utilization over the run: busy time divided by
+    /// `threads × wall`.
+    pub fn cpu_utilization(&self, threads: usize) -> f64 {
+        let denom = self.total.as_secs_f64() * threads.max(1) as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / denom).min(1.0)
+    }
+
+    /// CPU efficiency as defined in Appendix B: `1 / (t · n)` for runtime
+    /// `t` seconds on `n` cores.
+    pub fn cpu_efficiency(&self, threads: usize) -> f64 {
+        let t = self.total.as_secs_f64();
+        if t <= 0.0 {
+            return f64::INFINITY;
+        }
+        1.0 / (t * threads.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setdiff_counting() {
+        let mut s = EvalStats::default();
+        s.note_setdiff(SetDiffAlgo::Opsd);
+        s.note_setdiff(SetDiffAlgo::Opsd);
+        s.note_setdiff(SetDiffAlgo::Tpsd);
+        assert_eq!(s.opsd_runs, 2);
+        assert_eq!(s.tpsd_runs, 1);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let s = EvalStats {
+            total: Duration::from_secs(2),
+            busy: Duration::from_secs(6),
+            ..Default::default()
+        };
+        assert!((s.cpu_utilization(4) - 0.75).abs() < 1e-9);
+        // More busy than wall × threads clamps to 1.
+        assert_eq!(s.cpu_utilization(1), 1.0);
+        let zero = EvalStats::default();
+        assert_eq!(zero.cpu_utilization(4), 0.0);
+    }
+
+    #[test]
+    fn efficiency_definition() {
+        let s = EvalStats { total: Duration::from_secs(10), ..Default::default() };
+        assert!((s.cpu_efficiency(5) - 0.02).abs() < 1e-9);
+    }
+}

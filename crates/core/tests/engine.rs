@@ -1,0 +1,617 @@
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+//! End-to-end engine tests: every benchmark program on small inputs,
+//! cross-checked against independent oracles, across configuration space.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use recstep::{Config, DedupImpl, OofMode, PbmeMode, RecStep, SetDiffStrategy, Value};
+
+fn engine(cfg: Config) -> RecStep {
+    RecStep::new(cfg.threads(4)).unwrap()
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    }
+}
+
+fn random_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
+    let mut rnd = lcg(seed);
+    (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+}
+
+fn tc_oracle(n: usize, edges: &[(Value, Value)]) -> BTreeSet<(Value, Value)> {
+    let mut reach = vec![vec![false; n]; n];
+    for &(s, t) in edges {
+        reach[s as usize][t as usize] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if reach[i][j] {
+                out.insert((i as Value, j as Value));
+            }
+        }
+    }
+    out
+}
+
+fn rel_pairs(e: &RecStep, name: &str) -> BTreeSet<(Value, Value)> {
+    e.rows(name).unwrap().into_iter().map(|r| (r[0], r[1])).collect()
+}
+
+#[test]
+fn tc_matches_floyd_warshall() {
+    let n = 30;
+    let edges = random_edges(n as u64, 80, 42);
+    let mut e = engine(Config::default().pbme(PbmeMode::Off));
+    e.load_edges("arc", &edges).unwrap();
+    e.run_source(recstep::programs::TC).unwrap();
+    assert_eq!(rel_pairs(&e, "tc"), tc_oracle(n, &edges));
+}
+
+#[test]
+fn tc_pbme_agrees_with_tuple_engine() {
+    let n = 40;
+    let edges = random_edges(n as u64, 120, 7);
+    let mut tup = engine(Config::default().pbme(PbmeMode::Off));
+    tup.load_edges("arc", &edges).unwrap();
+    tup.run_source(recstep::programs::TC).unwrap();
+    let mut bit = engine(Config::default().pbme(PbmeMode::Force));
+    bit.load_edges("arc", &edges).unwrap();
+    let stats = bit.run_source(recstep::programs::TC).unwrap();
+    assert!(stats.strata.iter().any(|s| s.pbme), "PBME must have run");
+    assert_eq!(rel_pairs(&bit, "tc"), rel_pairs(&tup, "tc"));
+    assert_eq!(rel_pairs(&bit, "tc"), tc_oracle(n, &edges));
+}
+
+#[test]
+fn mirrored_tc_rule_is_equivalent() {
+    let edges = random_edges(25, 60, 11);
+    let mirrored = "tc(x, y) :- arc(x, y).\ntc(x, y) :- arc(x, z), tc(z, y).";
+    for pbme in [PbmeMode::Off, PbmeMode::Force] {
+        let mut e = engine(Config::default().pbme(pbme));
+        e.load_edges("arc", &edges).unwrap();
+        e.run_source(mirrored).unwrap();
+        assert_eq!(rel_pairs(&e, "tc"), tc_oracle(25, &edges), "pbme={pbme:?}");
+    }
+}
+
+#[test]
+fn sg_all_engines_agree() {
+    let edges = random_edges(30, 90, 3);
+    // Oracle via fixpoint over sets.
+    let mut adj: HashMap<Value, Vec<Value>> = HashMap::new();
+    for &(s, t) in &edges {
+        adj.entry(s).or_default().push(t);
+    }
+    let mut oracle: HashSet<(Value, Value)> = HashSet::new();
+    for kids in adj.values() {
+        for &x in kids {
+            for &y in kids {
+                if x != y {
+                    oracle.insert((x, y));
+                }
+            }
+        }
+    }
+    loop {
+        let mut fresh = Vec::new();
+        for &(a, b) in &oracle {
+            if let (Some(ka), Some(kb)) = (adj.get(&a), adj.get(&b)) {
+                for &x in ka {
+                    for &y in kb {
+                        if !oracle.contains(&(x, y)) {
+                            fresh.push((x, y));
+                        }
+                    }
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        oracle.extend(fresh);
+    }
+    let oracle: BTreeSet<(Value, Value)> = oracle.into_iter().collect();
+    for pbme in [PbmeMode::Off, PbmeMode::Force] {
+        let mut e = engine(Config::default().pbme(pbme));
+        e.load_edges("arc", &edges).unwrap();
+        e.run_source(recstep::programs::SG).unwrap();
+        assert_eq!(rel_pairs(&e, "sg"), oracle, "pbme={pbme:?}");
+    }
+}
+
+#[test]
+fn reach_matches_bfs() {
+    let n = 50u64;
+    let edges = random_edges(n, 120, 13);
+    let seed = 5 as Value;
+    let mut e = engine(Config::default());
+    e.load_edges("arc", &edges).unwrap();
+    e.load_relation("id", 1, &[vec![seed]]).unwrap();
+    e.run_source(recstep::programs::REACH).unwrap();
+    // BFS oracle (reach includes the seed itself via the base rule).
+    let mut adj: HashMap<Value, Vec<Value>> = HashMap::new();
+    for &(s, t) in &edges {
+        adj.entry(s).or_default().push(t);
+    }
+    let mut seen: BTreeSet<Value> = BTreeSet::new();
+    let mut queue = vec![seed];
+    seen.insert(seed);
+    while let Some(v) = queue.pop() {
+        for &t in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(t) {
+                queue.push(t);
+            }
+        }
+    }
+    let got: BTreeSet<Value> = e.rows("reach").unwrap().into_iter().map(|r| r[0]).collect();
+    assert_eq!(got, seen);
+}
+
+/// Union-find oracle for CC over the *directed propagation* semantics of the
+/// paper's program: labels flow along directed edges, so the fixpoint label
+/// of a vertex is the min vertex that reaches it (not the undirected
+/// component min). We therefore oracle with directed reachability.
+#[test]
+fn cc_labels_match_directed_reachability_min() {
+    let n = 25;
+    let edges = random_edges(n as u64, 70, 19);
+    let mut e = engine(Config::default());
+    e.load_edges("arc", &edges).unwrap();
+    e.run_source(recstep::programs::CC).unwrap();
+    let reach = tc_oracle(n, &edges);
+    // cc3(v) = min over {v's own label if v has outgoing edge} ∪ {u | u → v}.
+    let mut expect: HashMap<Value, Value> = HashMap::new();
+    let sources: BTreeSet<Value> = edges.iter().map(|&(s, _)| s).collect();
+    for &s in &sources {
+        expect.entry(s).and_modify(|m| *m = (*m).min(s)).or_insert(s);
+    }
+    for &(u, v) in &reach {
+        if sources.contains(&u) || sources.contains(&v) {
+            // label u propagates along u →* v when u itself got a label
+            if sources.contains(&u) {
+                expect.entry(v).and_modify(|m| *m = (*m).min(u)).or_insert(u);
+            }
+        }
+    }
+    let got: HashMap<Value, Value> =
+        e.rows("cc3").unwrap().into_iter().map(|r| (r[0], r[1])).collect();
+    assert_eq!(got, expect);
+    // cc2 mirrors cc3 after the final grouping; cc is the distinct labels.
+    let cc: BTreeSet<Value> = e.rows("cc").unwrap().into_iter().map(|r| r[0]).collect();
+    let labels: BTreeSet<Value> = expect.values().copied().collect();
+    assert_eq!(cc, labels);
+}
+
+#[test]
+fn sssp_matches_dijkstra() {
+    let n = 40u64;
+    let mut rnd = lcg(77);
+    let edges: Vec<(Value, Value, Value)> = (0..150)
+        .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value, (rnd() % 9 + 1) as Value))
+        .collect();
+    let src = 0 as Value;
+    let mut e = engine(Config::default());
+    e.load_weighted_edges("arc", &edges).unwrap();
+    e.load_relation("id", 1, &[vec![src]]).unwrap();
+    e.run_source(recstep::programs::SSSP).unwrap();
+    // Dijkstra oracle.
+    let mut adj: HashMap<Value, Vec<(Value, Value)>> = HashMap::new();
+    for &(s, t, w) in &edges {
+        adj.entry(s).or_default().push((t, w));
+    }
+    let mut dist: HashMap<Value, Value> = HashMap::from([(src, 0)]);
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0 as Value, src)));
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        if dist.get(&v).is_some_and(|&cur| d > cur) {
+            continue;
+        }
+        for &(t, w) in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            let nd = d + w;
+            if dist.get(&t).is_none_or(|&cur| nd < cur) {
+                dist.insert(t, nd);
+                heap.push(std::cmp::Reverse((nd, t)));
+            }
+        }
+    }
+    let got: HashMap<Value, Value> =
+        e.rows("sssp").unwrap().into_iter().map(|r| (r[0], r[1])).collect();
+    assert_eq!(got, dist);
+}
+
+#[test]
+fn ntc_is_complement_of_tc_over_nodes() {
+    let edges = random_edges(12, 25, 23);
+    let mut e = engine(Config::default());
+    e.load_edges("arc", &edges).unwrap();
+    e.run_source(recstep::programs::NTC).unwrap();
+    let tc = rel_pairs(&e, "tc");
+    let nodes: BTreeSet<Value> =
+        edges.iter().flat_map(|&(s, t)| [s, t]).collect();
+    let mut expect = BTreeSet::new();
+    for &x in &nodes {
+        for &y in &nodes {
+            if !tc.contains(&(x, y)) {
+                expect.insert((x, y));
+            }
+        }
+    }
+    assert_eq!(rel_pairs(&e, "ntc"), expect);
+}
+
+#[test]
+fn gtc_counts_reachable_vertices() {
+    let edges = vec![(0, 1), (1, 2), (2, 3)];
+    let mut e = engine(Config::default());
+    e.load_edges("arc", &edges).unwrap();
+    e.run_source(recstep::programs::GTC).unwrap();
+    let got: HashMap<Value, Value> =
+        e.rows("gtc").unwrap().into_iter().map(|r| (r[0], r[1])).collect();
+    assert_eq!(got, HashMap::from([(0, 3), (1, 2), (2, 1)]));
+}
+
+/// Andersen oracle: naive fixpoint over sets.
+fn andersen_oracle(
+    address_of: &[(Value, Value)],
+    assign: &[(Value, Value)],
+    load: &[(Value, Value)],
+    store: &[(Value, Value)],
+) -> BTreeSet<(Value, Value)> {
+    let mut pts: HashSet<(Value, Value)> = address_of.iter().copied().collect();
+    loop {
+        let mut fresh: Vec<(Value, Value)> = Vec::new();
+        let snapshot: Vec<(Value, Value)> = pts.iter().copied().collect();
+        for &(y, z) in assign {
+            for &(pz, x) in &snapshot {
+                if pz == z && !pts.contains(&(y, x)) {
+                    fresh.push((y, x));
+                }
+            }
+        }
+        for &(y, x) in load {
+            for &(px, z) in &snapshot {
+                if px == x {
+                    for &(pz, w) in &snapshot {
+                        if pz == z && !pts.contains(&(y, w)) {
+                            fresh.push((y, w));
+                        }
+                    }
+                }
+            }
+        }
+        for &(y, x) in store {
+            for &(py, z) in &snapshot {
+                if py == y {
+                    for &(px, w) in &snapshot {
+                        if px == x && !pts.contains(&(z, w)) {
+                            fresh.push((z, w));
+                        }
+                    }
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        pts.extend(fresh);
+    }
+    pts.into_iter().collect()
+}
+
+#[test]
+fn andersen_matches_naive_fixpoint() {
+    let mut rnd = lcg(31);
+    let n = 20u64;
+    let mut pick = |m: usize| -> Vec<(Value, Value)> {
+        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+    };
+    let address_of = pick(15);
+    let assign = pick(12);
+    let load = pick(8);
+    let store = pick(8);
+    let oracle = andersen_oracle(&address_of, &assign, &load, &store);
+    let mut e = engine(Config::default());
+    e.load_edges("addressOf", &address_of).unwrap();
+    e.load_edges("assign", &assign).unwrap();
+    e.load_edges("load", &load).unwrap();
+    e.load_edges("store", &store).unwrap();
+    e.run_source(recstep::programs::ANDERSEN).unwrap();
+    assert_eq!(rel_pairs(&e, "pointsTo"), oracle);
+}
+
+/// CSPA oracle: naive fixpoint of the full mutually recursive program.
+fn cspa_oracle(
+    assign: &[(Value, Value)],
+    deref: &[(Value, Value)],
+) -> (BTreeSet<(Value, Value)>, BTreeSet<(Value, Value)>, BTreeSet<(Value, Value)>) {
+    let mut vf: HashSet<(Value, Value)> = HashSet::new();
+    let mut va: HashSet<(Value, Value)> = HashSet::new();
+    let mut ma: HashSet<(Value, Value)> = HashSet::new();
+    for &(y, x) in assign {
+        vf.insert((y, x));
+        vf.insert((x, x));
+        vf.insert((y, y));
+        ma.insert((x, x));
+        ma.insert((y, y));
+    }
+    loop {
+        let mut changed = false;
+        let vf_now: Vec<_> = vf.iter().copied().collect();
+        let ma_now: Vec<_> = ma.iter().copied().collect();
+        let va_now: Vec<_> = va.iter().copied().collect();
+        for &(x, z) in assign {
+            for &(mz, y) in &ma_now {
+                if mz == z && vf.insert((x, y)) {
+                    changed = true;
+                }
+            }
+        }
+        for &(x, z) in &vf_now {
+            for &(z2, y) in &vf_now {
+                if z == z2 && vf.insert((x, y)) {
+                    changed = true;
+                }
+            }
+        }
+        for &(y, x) in deref {
+            for &(y2, z) in &va_now {
+                if y2 == y {
+                    for &(z2, w) in deref {
+                        if z2 == z && ma.insert((x, w)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        for &(z, x) in &vf_now {
+            for &(z2, y) in &vf_now {
+                if z == z2 && va.insert((x, y)) {
+                    changed = true;
+                }
+            }
+        }
+        for &(z, x) in &vf_now {
+            for &(z2, w) in &ma_now {
+                if z == z2 {
+                    for &(w2, y) in &vf_now {
+                        if w2 == w && va.insert((x, y)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (
+        vf.into_iter().collect(),
+        va.into_iter().collect(),
+        ma.into_iter().collect(),
+    )
+}
+
+#[test]
+fn cspa_mutual_recursion_matches_naive_fixpoint() {
+    let mut rnd = lcg(57);
+    let n = 12u64;
+    let assign: Vec<(Value, Value)> =
+        (0..10).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect();
+    let deref: Vec<(Value, Value)> =
+        (0..10).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect();
+    let (vf, va, ma) = cspa_oracle(&assign, &deref);
+    let mut e = engine(Config::default());
+    e.load_edges("assign", &assign).unwrap();
+    e.load_edges("dereference", &deref).unwrap();
+    e.run_source(recstep::programs::CSPA).unwrap();
+    assert_eq!(rel_pairs(&e, "valueFlow"), vf);
+    assert_eq!(rel_pairs(&e, "valueAlias"), va);
+    assert_eq!(rel_pairs(&e, "memoryAlias"), ma);
+}
+
+#[test]
+fn csda_long_chain_iterates_deeply() {
+    // Chain graph: null flows down ~200 arc steps.
+    let len = 200;
+    let arc: Vec<(Value, Value)> = (0..len).map(|i| (i as Value, (i + 1) as Value)).collect();
+    // PBME off: the point of CSDA is exercising the per-iteration tuple
+    // path (the pattern is TC-shaped, so Auto mode would take over).
+    let mut e = engine(Config::default().pbme(PbmeMode::Off));
+    e.load_edges("arc", &arc).unwrap();
+    e.load_edges("nullEdge", &[(0, 0)]).unwrap();
+    let stats = e.run_source(recstep::programs::CSDA).unwrap();
+    assert_eq!(e.row_count("null"), len + 1);
+    assert!(stats.iterations > len, "chain must drive ~one iteration per hop");
+}
+
+#[test]
+fn every_ablation_config_produces_identical_results() {
+    let edges = random_edges(24, 70, 91);
+    let reference = {
+        let mut e = engine(Config::default().pbme(PbmeMode::Off));
+        e.load_edges("arc", &edges).unwrap();
+        e.run_source(recstep::programs::TC).unwrap();
+        rel_pairs(&e, "tc")
+    };
+    let configs: Vec<(&str, Config)> = vec![
+        ("no-uie", Config::default().uie(false).pbme(PbmeMode::Off)),
+        ("oof-na", Config::default().oof(OofMode::None).pbme(PbmeMode::Off)),
+        ("oof-fa", Config::default().oof(OofMode::Full).pbme(PbmeMode::Off)),
+        ("opsd", Config::default().setdiff(SetDiffStrategy::AlwaysOpsd).pbme(PbmeMode::Off)),
+        ("tpsd", Config::default().setdiff(SetDiffStrategy::AlwaysTpsd).pbme(PbmeMode::Off)),
+        ("no-eost", Config::default().eost(false).pbme(PbmeMode::Off)),
+        ("generic-dedup", Config::default().dedup(DedupImpl::Generic).pbme(PbmeMode::Off)),
+        ("no-op", Config::no_op()),
+        ("pbme", Config::default().pbme(PbmeMode::Force)),
+        ("pbme-coord", Config::default().pbme(PbmeMode::Force).pbme_coordination(Some(16))),
+        ("calibrated", Config::default().pbme(PbmeMode::Off).calibrate_dsd(true)),
+    ];
+    for (name, cfg) in configs {
+        let mut e = engine(cfg);
+        e.load_edges("arc", &edges).unwrap();
+        e.run_source(recstep::programs::TC).unwrap();
+        assert_eq!(rel_pairs(&e, "tc"), reference, "config {name}");
+    }
+}
+
+#[test]
+fn sg_coordination_agrees_with_plain_pbme() {
+    let edges = random_edges(35, 120, 15);
+    let mut plain = engine(Config::default().pbme(PbmeMode::Force));
+    plain.load_edges("arc", &edges).unwrap();
+    plain.run_source(recstep::programs::SG).unwrap();
+    let mut coord = engine(Config::default().pbme(PbmeMode::Force).pbme_coordination(Some(8)));
+    coord.load_edges("arc", &edges).unwrap();
+    coord.run_source(recstep::programs::SG).unwrap();
+    assert_eq!(rel_pairs(&coord, "sg"), rel_pairs(&plain, "sg"));
+}
+
+#[test]
+fn inline_facts_work() {
+    let mut e = engine(Config::default());
+    let stats = e
+        .run_source(
+            "arc(1, 2). arc(2, 3).\n\
+             tc(x, y) :- arc(x, y).\n\
+             tc(x, y) :- tc(x, z), arc(z, y).",
+        )
+        .unwrap();
+    assert_eq!(
+        rel_pairs(&e, "tc"),
+        BTreeSet::from([(1, 2), (2, 3), (1, 3)])
+    );
+    assert!(stats.queries_issued > 0);
+}
+
+#[test]
+fn rerun_is_idempotent() {
+    let edges = random_edges(15, 40, 1);
+    let mut e = engine(Config::default());
+    e.load_edges("arc", &edges).unwrap();
+    e.run_source(recstep::programs::TC).unwrap();
+    let first = rel_pairs(&e, "tc");
+    e.run_source(recstep::programs::TC).unwrap();
+    assert_eq!(rel_pairs(&e, "tc"), first);
+}
+
+#[test]
+fn memory_budget_reports_oom() {
+    let edges = random_edges(200, 2000, 5);
+    let mut e = RecStep::new(
+        Config::default().threads(2).pbme(PbmeMode::Off).mem_budget(64 * 1024),
+    )
+    .unwrap();
+    e.load_edges("arc", &edges).unwrap();
+    let err = e.run_source(recstep::programs::TC).unwrap_err();
+    assert!(err.to_string().contains("out of memory"), "{err}");
+}
+
+#[test]
+fn eost_defers_io_relative_to_per_query() {
+    let edges = random_edges(30, 100, 8);
+    let run = |eost: bool| {
+        let mut e = engine(Config::default().eost(eost).pbme(PbmeMode::Off));
+        e.load_edges("arc", &edges).unwrap();
+        let stats = e.run_source(recstep::programs::TC).unwrap();
+        (stats.io_flushes, stats.io_bytes, rel_pairs(&e, "tc"))
+    };
+    let (eost_flushes, _, eost_result) = run(true);
+    let (pq_flushes, pq_bytes, pq_result) = run(false);
+    assert_eq!(eost_result, pq_result);
+    assert!(
+        pq_flushes > eost_flushes,
+        "per-query commit must flush more often ({pq_flushes} vs {eost_flushes})"
+    );
+    assert!(pq_bytes > 0);
+}
+
+#[test]
+fn dsd_switches_algorithms_during_tc() {
+    // A long chain makes |R| grow while |Rδ| stays small → β grows and DSD
+    // must eventually pick TPSD; OPSD runs at least once at the start.
+    let chain: Vec<(Value, Value)> = (0..120).map(|i| (i, i + 1)).collect();
+    let mut e = engine(
+        Config::default().setdiff(SetDiffStrategy::Dynamic).pbme(PbmeMode::Off),
+    );
+    e.load_edges("arc", &chain).unwrap();
+    let stats = e.run_source(recstep::programs::TC).unwrap();
+    assert!(stats.tpsd_runs > 0, "β growth must trigger TPSD");
+    assert!(stats.opsd_runs > 0, "early iterations must use OPSD");
+}
+
+#[test]
+fn stats_account_iterations_and_phases() {
+    let edges = random_edges(20, 60, 4);
+    let mut e = engine(Config::default().pbme(PbmeMode::Off));
+    e.load_edges("arc", &edges).unwrap();
+    let stats = e.run_source(recstep::programs::TC).unwrap();
+    assert!(stats.iterations >= 2);
+    assert_eq!(stats.strata.len(), 2);
+    assert!(stats.total.as_nanos() > 0);
+    assert!(stats.tuples_considered > 0);
+    assert!(stats.phase.eval.as_nanos() > 0);
+    assert!(stats.phase.dedup.as_nanos() > 0);
+}
+
+#[test]
+fn unknown_relation_in_program_is_created_empty() {
+    // `arc` never loaded: program runs over an empty EDB.
+    let mut e = engine(Config::default());
+    e.run_source(recstep::programs::TC).unwrap();
+    assert_eq!(e.row_count("tc"), 0);
+}
+
+#[test]
+fn arity_conflict_is_an_error() {
+    let mut e = engine(Config::default());
+    e.load_relation("arc", 3, &[vec![1, 2, 3]]).unwrap();
+    assert!(e.run_source(recstep::programs::TC).is_err());
+}
+
+#[test]
+fn explain_renders_sql_per_stratum() {
+    let sql = RecStep::explain(recstep::programs::TC).unwrap();
+    assert!(sql.contains("-- stratum 0 (non-recursive)"), "{sql}");
+    assert!(sql.contains("-- stratum 1 (recursive)"), "{sql}");
+    assert!(sql.contains("INSERT INTO tc_mDelta"), "{sql}");
+    assert!(sql.contains("tc_mDelta AS t0"), "{sql}");
+    assert!(RecStep::explain("r(x, y) :- r(x, x).").is_err()); // unsafe head var
+}
+
+#[test]
+fn symbolic_loading_roundtrips_through_dictionary() {
+    let mut dict = recstep_common::dict::Dictionary::new();
+    let mut e = engine(Config::default());
+    e.load_symbolic_edges(
+        "arc",
+        &mut dict,
+        &[("paris", "lyon"), ("lyon", "nice"), ("nice", "rome")],
+    )
+    .unwrap();
+    e.run_source(recstep::programs::TC).unwrap();
+    let tc = e.rows("tc").unwrap();
+    let paris = dict.get("paris").unwrap();
+    let rome = dict.get("rome").unwrap();
+    assert!(tc.contains(&vec![paris, rome]));
+    assert_eq!(dict.resolve(paris), Some("paris"));
+    assert_eq!(dict.len(), 4);
+}

@@ -1,0 +1,276 @@
+//! Abstract syntax of the Datalog dialect (paper §3).
+//!
+//! The dialect is pure Datalog extended with stratified negation (`!atom`),
+//! head aggregation (`MIN`/`MAX`/`SUM`/`COUNT`/`AVG`, recursive or not),
+//! integer arithmetic (`d1 + d2`) and comparisons (`x != y`, `d < 10`).
+
+use recstep_common::lang::{AggFunc, CmpOp};
+use recstep_common::Value;
+
+/// Arithmetic expression over rule variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AExpr {
+    /// Variable reference.
+    Var(String),
+    /// Integer literal.
+    Const(Value),
+    /// Addition.
+    Add(Box<AExpr>, Box<AExpr>),
+    /// Subtraction.
+    Sub(Box<AExpr>, Box<AExpr>),
+    /// Multiplication.
+    Mul(Box<AExpr>, Box<AExpr>),
+}
+
+impl AExpr {
+    /// Collect every variable mentioned, in order of first occurrence.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            AExpr::Var(v) => {
+                if !out.iter().any(|o| o == v) {
+                    out.push(v.clone());
+                }
+            }
+            AExpr::Const(_) => {}
+            AExpr::Add(a, b) | AExpr::Sub(a, b) | AExpr::Mul(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Render in surface syntax.
+    pub fn display(&self) -> String {
+        match self {
+            AExpr::Var(v) => v.clone(),
+            AExpr::Const(c) => c.to_string(),
+            AExpr::Add(a, b) => format!("{} + {}", a.display(), b.display()),
+            AExpr::Sub(a, b) => format!("{} - {}", a.display(), b.display()),
+            AExpr::Mul(a, b) => format!("{} * {}", a.display(), b.display()),
+        }
+    }
+}
+
+/// A term in a rule head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeadTerm {
+    /// A plain expression (variable, constant or arithmetic).
+    Plain(AExpr),
+    /// An aggregate `FUNC(expr)`.
+    Agg {
+        /// The aggregation operator.
+        func: AggFunc,
+        /// Its argument.
+        expr: AExpr,
+    },
+}
+
+impl HeadTerm {
+    /// Render in surface syntax.
+    pub fn display(&self) -> String {
+        match self {
+            HeadTerm::Plain(e) => e.display(),
+            HeadTerm::Agg { func, expr } => format!("{}({})", func.sql(), expr.display()),
+        }
+    }
+}
+
+/// A term in a body atom: a variable or a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BodyTerm {
+    /// Variable (anonymous `_` becomes a unique generated name).
+    Var(String),
+    /// Integer constant.
+    Const(Value),
+}
+
+impl BodyTerm {
+    /// Render in surface syntax.
+    pub fn display(&self) -> String {
+        match self {
+            BodyTerm::Var(v) => v.clone(),
+            BodyTerm::Const(c) => c.to_string(),
+        }
+    }
+}
+
+/// A predicate applied to terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom<T> {
+    /// Relation name.
+    pub pred: String,
+    /// Argument terms.
+    pub terms: Vec<T>,
+}
+
+impl<T> Atom<T> {
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// One literal of a rule body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Literal {
+    /// Positive atom.
+    Pos(Atom<BodyTerm>),
+    /// Negated atom (stratified negation, `!atom`).
+    Neg(Atom<BodyTerm>),
+    /// Comparison between arithmetic expressions.
+    Cmp {
+        /// Left operand.
+        lhs: AExpr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: AExpr,
+    },
+}
+
+/// A Datalog rule `head :- body.`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atom (its terms may aggregate).
+    pub head: Atom<HeadTerm>,
+    /// Body literals (empty for facts promoted to rules).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Positive body atoms, in order.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom<BodyTerm>> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Negated body atoms, in order.
+    pub fn negated_atoms(&self) -> impl Iterator<Item = &Atom<BodyTerm>> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// True if any head term aggregates.
+    pub fn has_aggregation(&self) -> bool {
+        self.head.terms.iter().any(|t| matches!(t, HeadTerm::Agg { .. }))
+    }
+
+    /// Render in surface syntax.
+    pub fn display(&self) -> String {
+        let head = format!(
+            "{}({})",
+            self.head.pred,
+            self.head.terms.iter().map(HeadTerm::display).collect::<Vec<_>>().join(", ")
+        );
+        if self.body.is_empty() {
+            return format!("{head}.");
+        }
+        let body = self
+            .body
+            .iter()
+            .map(|l| match l {
+                Literal::Pos(a) => format!(
+                    "{}({})",
+                    a.pred,
+                    a.terms.iter().map(BodyTerm::display).collect::<Vec<_>>().join(", ")
+                ),
+                Literal::Neg(a) => format!(
+                    "!{}({})",
+                    a.pred,
+                    a.terms.iter().map(BodyTerm::display).collect::<Vec<_>>().join(", ")
+                ),
+                Literal::Cmp { lhs, op, rhs } => {
+                    format!("{} {} {}", lhs.display(), op_src(*op), rhs.display())
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{head} :- {body}.")
+    }
+}
+
+fn op_src(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+/// A parsed Datalog program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Rules with non-empty bodies (plus any non-ground facts).
+    pub rules: Vec<Rule>,
+    /// Ground facts stated inline (`arc(1, 2).`).
+    pub facts: Vec<(String, Vec<Value>)>,
+    /// Relations named in `.input` directives.
+    pub inputs: Vec<String>,
+    /// Relations named in `.output` directives.
+    pub outputs: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_vars_dedups_in_order() {
+        let e = AExpr::Add(
+            Box::new(AExpr::Var("x".into())),
+            Box::new(AExpr::Mul(Box::new(AExpr::Var("y".into())), Box::new(AExpr::Var("x".into())))),
+        );
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn rule_display_roundtrips_shape() {
+        let rule = Rule {
+            head: Atom {
+                pred: "tc".into(),
+                terms: vec![
+                    HeadTerm::Plain(AExpr::Var("x".into())),
+                    HeadTerm::Plain(AExpr::Var("y".into())),
+                ],
+            },
+            body: vec![
+                Literal::Pos(Atom {
+                    pred: "tc".into(),
+                    terms: vec![BodyTerm::Var("x".into()), BodyTerm::Var("z".into())],
+                }),
+                Literal::Pos(Atom {
+                    pred: "arc".into(),
+                    terms: vec![BodyTerm::Var("z".into()), BodyTerm::Var("y".into())],
+                }),
+            ],
+        };
+        assert_eq!(rule.display(), "tc(x, y) :- tc(x, z), arc(z, y).");
+        assert!(!rule.has_aggregation());
+        assert_eq!(rule.positive_atoms().count(), 2);
+    }
+
+    #[test]
+    fn agg_head_display() {
+        let rule = Rule {
+            head: Atom {
+                pred: "cc3".into(),
+                terms: vec![
+                    HeadTerm::Plain(AExpr::Var("y".into())),
+                    HeadTerm::Agg { func: AggFunc::Min, expr: AExpr::Var("z".into()) },
+                ],
+            },
+            body: vec![],
+        };
+        assert!(rule.has_aggregation());
+        assert_eq!(rule.display(), "cc3(y, MIN(z)).");
+    }
+}

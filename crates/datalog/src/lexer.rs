@@ -1,0 +1,350 @@
+//! Hand-written lexer for `.datalog` sources.
+
+use recstep_common::{Error, Result, Value};
+
+/// Token kinds of the surface syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (relation, variable or aggregate name).
+    Ident(String),
+    /// Integer literal (always non-negative here; unary minus is syntax).
+    Int(Value),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `_` (anonymous variable)
+    Underscore,
+    /// `.input` / `.output` directives (keyword after the dot).
+    Directive(String),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its source position (1-based).
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenize a program source. `//`, `#` and `%` start line comments;
+/// `/* ... */` blocks nest one level deep (no nesting inside).
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let (l0, c0) = (line, col);
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'#' | b'%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::Parse {
+                            line: l0,
+                            col: c0,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'(' => {
+                out.push(Spanned { tok: Tok::LParen, line: l0, col: c0 });
+                bump!();
+            }
+            b')' => {
+                out.push(Spanned { tok: Tok::RParen, line: l0, col: c0 });
+                bump!();
+            }
+            b',' => {
+                out.push(Spanned { tok: Tok::Comma, line: l0, col: c0 });
+                bump!();
+            }
+            b'+' => {
+                out.push(Spanned { tok: Tok::Plus, line: l0, col: c0 });
+                bump!();
+            }
+            b'-' => {
+                out.push(Spanned { tok: Tok::Minus, line: l0, col: c0 });
+                bump!();
+            }
+            b'*' => {
+                out.push(Spanned { tok: Tok::Star, line: l0, col: c0 });
+                bump!();
+            }
+            b'=' => {
+                out.push(Spanned { tok: Tok::Eq, line: l0, col: c0 });
+                bump!();
+            }
+            b'!' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ne, line: l0, col: c0 });
+                } else {
+                    out.push(Spanned { tok: Tok::Bang, line: l0, col: c0 });
+                }
+            }
+            b'<' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Le, line: l0, col: c0 });
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, line: l0, col: c0 });
+                }
+            }
+            b'>' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ge, line: l0, col: c0 });
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, line: l0, col: c0 });
+                }
+            }
+            b':' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == b'-' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Turnstile, line: l0, col: c0 });
+                } else {
+                    return Err(Error::Parse {
+                        line: l0,
+                        col: c0,
+                        msg: "expected ':-'".into(),
+                    });
+                }
+            }
+            b'.' => {
+                bump!();
+                // `.input` / `.output` directive keyword?
+                if i < bytes.len() && (bytes[i].is_ascii_alphabetic()) {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        bump!();
+                    }
+                    let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
+                    match word.as_str() {
+                        "input" | "output" => {
+                            out.push(Spanned { tok: Tok::Directive(word), line: l0, col: c0 })
+                        }
+                        _ => {
+                            return Err(Error::Parse {
+                                line: l0,
+                                col: c0,
+                                msg: format!("unknown directive '.{word}'"),
+                            })
+                        }
+                    }
+                } else {
+                    out.push(Spanned { tok: Tok::Dot, line: l0, col: c0 });
+                }
+            }
+            b'_' if i + 1 >= bytes.len()
+                || !(bytes[i + 1].is_ascii_alphanumeric() || bytes[i + 1] == b'_') =>
+            {
+                out.push(Spanned { tok: Tok::Underscore, line: l0, col: c0 });
+                bump!();
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                let v: Value = text.parse().map_err(|_| Error::Parse {
+                    line: l0,
+                    col: c0,
+                    msg: format!("integer literal out of range: {text}"),
+                })?;
+                out.push(Spanned { tok: Tok::Int(v), line: l0, col: c0 });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
+                out.push(Spanned { tok: Tok::Ident(word), line: l0, col: c0 });
+            }
+            other => {
+                return Err(Error::Parse {
+                    line: l0,
+                    col: c0,
+                    msg: format!("unexpected character '{}'", other as char),
+                })
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_rule() {
+        assert_eq!(
+            toks("tc(x,y) :- arc(x,y)."),
+            vec![
+                Tok::Ident("tc".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Comma,
+                Tok::Ident("y".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Ident("arc".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Comma,
+                Tok::Ident("y".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators_and_comments() {
+        assert_eq!(
+            toks("x != y, a <= 3 // trailing\n# hash\n% percent\n/* block */ b >= _"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Ne,
+                Tok::Ident("y".into()),
+                Tok::Comma,
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Int(3),
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Underscore,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_directives() {
+        assert_eq!(
+            toks(".input arc .output tc"),
+            vec![
+                Tok::Directive("input".into()),
+                Tok::Ident("arc".into()),
+                Tok::Directive("output".into()),
+                Tok::Ident("tc".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_arith() {
+        assert_eq!(
+            toks("d1 + d2 - 3 * x"),
+            vec![
+                Tok::Ident("d1".into()),
+                Tok::Plus,
+                Tok::Ident("d2".into()),
+                Tok::Minus,
+                Tok::Int(3),
+                Tok::Star,
+                Tok::Ident("x".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_prefixed_names_are_idents() {
+        assert_eq!(toks("_x _"), vec![Tok::Ident("_x".into()), Tok::Underscore, Tok::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("a\n  @").unwrap_err();
+        match err {
+            Error::Parse { line, col, .. } => {
+                assert_eq!((line, col), (2, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(lex("/* no end").is_err());
+        assert!(lex(": x").is_err());
+        assert!(lex(".bogus x").is_err());
+    }
+}

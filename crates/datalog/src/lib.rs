@@ -1,0 +1,31 @@
+//! Datalog frontend: parser, rule analyzer, semi-naïve plan generator.
+//!
+//! Mirrors the front half of the RecStep architecture (paper Figure 1):
+//!
+//! * [`ast`] + [`lexer`] + [`parser`] — the *Datalog Parser*: the surface
+//!   language of the paper (§3) with stratified negation, aggregation in
+//!   heads (including recursive aggregation), arithmetic and comparisons;
+//! * [`analyze`] — the *Rule Analyzer*: identifies IDB and EDB relations,
+//!   verifies syntactic correctness and safety, and constructs the
+//!   dependency graph and stratification;
+//! * [`plan`] — the *Query Generator*: compiles each stratum into logical
+//!   plans following the semi-naïve rewriting (one subquery per δ-position
+//!   for non-linear rules), either unified per IDB (UIE) or rule-by-rule;
+//! * [`sqlgen`] — renders plans as the SQL text RecStep would send to
+//!   QuickStep (reproducing Figure 4's UIE vs. individual-IDB evaluation);
+//! * [`programs`] — the benchmark programs of Table 3, as canonical sources.
+
+pub mod analyze;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod programs;
+pub mod sqlgen;
+
+pub use analyze::{Analysis, Stratum};
+pub use ast::{AExpr, Atom, BodyTerm, HeadTerm, Literal, Program, Rule};
+pub use plan::{
+    AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, IdbAgg, JoinStep, NegSpec,
+    RelDecl, ScanSpec, SubQuery,
+};

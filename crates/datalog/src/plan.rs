@@ -1,0 +1,554 @@
+//! The query generator: compiling analyzed rules into logical plans.
+//!
+//! Each stratum compiles to one [`CompiledIdb`] per head relation, holding
+//! the *subqueries* of the semi-naïve rewriting: a rule with `k` occurrences
+//! of same-stratum (recursive) IDBs yields `k` subqueries, the `i`-th
+//! scanning occurrence `i` as `∆` (Delta), occurrences before it as the full
+//! relation (Full) and occurrences after it as the previous iteration's
+//! snapshot (Old) — the standard non-redundant rewriting for non-linear
+//! rules the paper references in §3.2. Plans are purely positional: variable
+//! names are resolved to flattened-row column indices here so the backend
+//! never sees names.
+
+use recstep_common::hash::FxHashMap;
+use recstep_common::lang::{AggFunc, CmpOp, Expr, Predicate};
+use recstep_common::{Error, Result};
+
+use crate::analyze::Analysis;
+use crate::ast::{AExpr, Atom, BodyTerm, HeadTerm, Literal, Rule};
+
+/// Which version of a relation a scan reads (Algorithm 1's views).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomVersion {
+    /// An EDB or an IDB of a lower stratum: always the full contents.
+    Base,
+    /// Full recursive relation (facts through iteration `t`).
+    Full,
+    /// The delta of the previous iteration.
+    Delta,
+    /// Facts through iteration `t-1` (the pre-merge prefix).
+    Old,
+}
+
+/// One positive body atom as a physical scan.
+#[derive(Clone, Debug)]
+pub struct ScanSpec {
+    /// Relation name.
+    pub rel: String,
+    /// Which view of it.
+    pub version: AtomVersion,
+    /// Arity of the relation.
+    pub arity: usize,
+    /// Atom-local selection predicates (constant arguments, repeated
+    /// variables within the atom).
+    pub filters: Vec<Predicate>,
+}
+
+/// One step of the left-deep join chain: joins scan `i+1` onto the
+/// accumulated flattened row.
+#[derive(Clone, Debug)]
+pub struct JoinStep {
+    /// Key columns in the accumulated (flattened) layout.
+    pub left_keys: Vec<usize>,
+    /// Key columns local to the joined scan (pairwise equal).
+    pub right_keys: Vec<usize>,
+}
+
+/// A negated atom, applied as an anti join after the positive joins.
+#[derive(Clone, Debug)]
+pub struct NegSpec {
+    /// Negated relation name (EDB or lower-stratum IDB).
+    pub rel: String,
+    /// Its arity.
+    pub arity: usize,
+    /// Atom-local filters (constants, repeated variables).
+    pub filters: Vec<Predicate>,
+    /// Anti-join key columns in the flattened layout.
+    pub left_keys: Vec<usize>,
+    /// Corresponding columns of the negated atom.
+    pub right_keys: Vec<usize>,
+}
+
+/// One subquery of the semi-naïve rewriting of one rule.
+#[derive(Clone, Debug)]
+pub struct SubQuery {
+    /// Index of the originating rule in the program (provenance).
+    pub rule_idx: usize,
+    /// Which scan is the ∆ occurrence (`None` in non-recursive strata).
+    pub delta_scan: Option<usize>,
+    /// Positive atoms in body order.
+    pub scans: Vec<ScanSpec>,
+    /// Join chain (`scans.len() - 1` entries; empty keys mean cross join).
+    pub joins: Vec<JoinStep>,
+    /// Residual comparison predicates over the flattened layout.
+    pub residual: Vec<Predicate>,
+    /// Anti joins for negated atoms.
+    pub negations: Vec<NegSpec>,
+    /// Projection to the head layout (for aggregated heads: plain terms
+    /// first, aggregate arguments after).
+    pub head_exprs: Vec<Expr>,
+    /// Total width of the flattened layout (sum of scan arities).
+    pub width: usize,
+}
+
+/// Aggregation metadata of an aggregated IDB.
+#[derive(Clone, Debug)]
+pub struct IdbAgg {
+    /// Head positions holding plain (grouping) terms, in head order.
+    pub group_positions: Vec<usize>,
+    /// Head positions holding aggregates, in head order.
+    pub agg_positions: Vec<usize>,
+    /// Aggregate function per entry of `agg_positions`.
+    pub funcs: Vec<AggFunc>,
+}
+
+/// All subqueries evaluating one IDB within one stratum (the unit the
+/// paper's UIE batches into a single query).
+#[derive(Clone, Debug)]
+pub struct CompiledIdb {
+    /// Relation name.
+    pub rel: String,
+    /// Stored arity (head arity).
+    pub arity: usize,
+    /// Aggregation shape, if the head aggregates.
+    pub agg: Option<IdbAgg>,
+    /// The subqueries whose UNION ALL produces the iteration's candidates.
+    pub subqueries: Vec<SubQuery>,
+}
+
+/// One stratum of the compiled program.
+#[derive(Clone, Debug)]
+pub struct CompiledStratum {
+    /// True when the stratum iterates to fixpoint.
+    pub recursive: bool,
+    /// The IDBs evaluated in this stratum.
+    pub idbs: Vec<CompiledIdb>,
+}
+
+/// Declaration of a relation the engine must materialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelDecl {
+    /// Relation name.
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+    /// True for derived (IDB) relations.
+    pub is_idb: bool,
+}
+
+/// A fully compiled program, ready for the interpreter.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Strata in evaluation order.
+    pub strata: Vec<CompiledStratum>,
+    /// Every relation mentioned by the program.
+    pub relations: Vec<RelDecl>,
+    /// Relations requested via `.output` (empty = all IDBs).
+    pub outputs: Vec<String>,
+}
+
+/// Compile an analyzed program into logical plans.
+pub fn compile(analysis: &Analysis) -> Result<CompiledProgram> {
+    let arity_of: FxHashMap<&str, usize> =
+        analysis.preds.iter().map(|p| (p.name.as_str(), p.arity)).collect();
+    let mut strata = Vec::with_capacity(analysis.strata.len());
+    for stratum in &analysis.strata {
+        let stratum_idbs: Vec<&str> = stratum.idbs.iter().map(String::as_str).collect();
+        // Group rules by head predicate, preserving stratum order.
+        let mut idbs: Vec<CompiledIdb> = Vec::new();
+        for &ri in &stratum.rules {
+            let rule = &analysis.program.rules[ri];
+            let idb_pos = idbs.iter().position(|c| c.rel == rule.head.pred);
+            let idb = match idb_pos {
+                Some(p) => &mut idbs[p],
+                None => {
+                    idbs.push(CompiledIdb {
+                        rel: rule.head.pred.clone(),
+                        arity: rule.head.arity(),
+                        agg: agg_shape(rule),
+                        subqueries: Vec::new(),
+                    });
+                    idbs.last_mut().unwrap()
+                }
+            };
+            let recursive_positions: Vec<usize> = rule
+                .positive_atoms()
+                .enumerate()
+                .filter(|(_, a)| stratum.recursive && stratum_idbs.contains(&a.pred.as_str()))
+                .map(|(i, _)| i)
+                .collect();
+            if recursive_positions.is_empty() {
+                idb.subqueries.push(compile_subquery(rule, ri, None, &[], &arity_of)?);
+            } else {
+                for &dp in &recursive_positions {
+                    idb.subqueries.push(compile_subquery(
+                        rule,
+                        ri,
+                        Some(dp),
+                        &recursive_positions,
+                        &arity_of,
+                    )?);
+                }
+            }
+        }
+        strata.push(CompiledStratum { recursive: stratum.recursive, idbs });
+    }
+    let relations = analysis
+        .preds
+        .iter()
+        .map(|p| RelDecl { name: p.name.clone(), arity: p.arity, is_idb: p.is_idb })
+        .collect();
+    Ok(CompiledProgram { strata, relations, outputs: analysis.program.outputs.clone() })
+}
+
+fn agg_shape(rule: &Rule) -> Option<IdbAgg> {
+    if !rule.has_aggregation() {
+        return None;
+    }
+    let mut group_positions = Vec::new();
+    let mut agg_positions = Vec::new();
+    let mut funcs = Vec::new();
+    for (i, t) in rule.head.terms.iter().enumerate() {
+        match t {
+            HeadTerm::Plain(_) => group_positions.push(i),
+            HeadTerm::Agg { func, .. } => {
+                agg_positions.push(i);
+                funcs.push(*func);
+            }
+        }
+    }
+    Some(IdbAgg { group_positions, agg_positions, funcs })
+}
+
+/// Translate an arithmetic expression with the variable→column binding.
+fn translate(e: &AExpr, bind: &FxHashMap<&str, usize>, rule: &Rule) -> Result<Expr> {
+    Ok(match e {
+        AExpr::Var(v) => Expr::Col(*bind.get(v.as_str()).ok_or_else(|| {
+            Error::analysis(format!("unbound variable '{v}' in rule '{}'", rule.display()))
+        })?),
+        AExpr::Const(c) => Expr::Const(*c),
+        AExpr::Add(a, b) => {
+            Expr::add(translate(a, bind, rule)?, translate(b, bind, rule)?)
+        }
+        AExpr::Sub(a, b) => {
+            Expr::sub(translate(a, bind, rule)?, translate(b, bind, rule)?)
+        }
+        AExpr::Mul(a, b) => {
+            Expr::mul(translate(a, bind, rule)?, translate(b, bind, rule)?)
+        }
+    })
+}
+
+/// Atom-local filters: constant arguments and repeated variables.
+fn local_filters(atom: &Atom<BodyTerm>) -> Vec<Predicate> {
+    let mut filters = Vec::new();
+    let mut first: FxHashMap<&str, usize> = FxHashMap::default();
+    for (i, t) in atom.terms.iter().enumerate() {
+        match t {
+            BodyTerm::Const(c) => filters.push(Predicate {
+                lhs: Expr::Col(i),
+                op: CmpOp::Eq,
+                rhs: Expr::Const(*c),
+            }),
+            BodyTerm::Var(v) => match first.get(v.as_str()) {
+                Some(&j) => filters.push(Predicate {
+                    lhs: Expr::Col(i),
+                    op: CmpOp::Eq,
+                    rhs: Expr::Col(j),
+                }),
+                None => {
+                    first.insert(v.as_str(), i);
+                }
+            },
+        }
+    }
+    filters
+}
+
+fn compile_subquery(
+    rule: &Rule,
+    rule_idx: usize,
+    delta_pos: Option<usize>,
+    recursive_positions: &[usize],
+    arity_of: &FxHashMap<&str, usize>,
+) -> Result<SubQuery> {
+    let atoms: Vec<&Atom<BodyTerm>> = rule.positive_atoms().collect();
+    debug_assert!(!atoms.is_empty(), "safety guarantees a positive atom");
+
+    let mut scans = Vec::with_capacity(atoms.len());
+    let mut joins = Vec::with_capacity(atoms.len().saturating_sub(1));
+    let mut bind: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut offset = 0usize;
+
+    for (ai, atom) in atoms.iter().enumerate() {
+        let version = match delta_pos {
+            None => AtomVersion::Base,
+            Some(dp) => {
+                if !recursive_positions.contains(&ai) {
+                    AtomVersion::Base
+                } else if ai == dp {
+                    AtomVersion::Delta
+                } else if ai < dp {
+                    AtomVersion::Full
+                } else {
+                    AtomVersion::Old
+                }
+            }
+        };
+        let arity = *arity_of.get(atom.pred.as_str()).expect("analyzer registered arity");
+        scans.push(ScanSpec {
+            rel: atom.pred.clone(),
+            version,
+            arity,
+            filters: local_filters(atom),
+        });
+        if ai > 0 {
+            // Join keys: variables of this atom already bound earlier.
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            let mut seen_local: FxHashMap<&str, ()> = FxHashMap::default();
+            for (i, t) in atom.terms.iter().enumerate() {
+                if let BodyTerm::Var(v) = t {
+                    if seen_local.contains_key(v.as_str()) {
+                        continue; // local repeat handled by scan filter
+                    }
+                    seen_local.insert(v.as_str(), ());
+                    if let Some(&flat) = bind.get(v.as_str()) {
+                        left_keys.push(flat);
+                        right_keys.push(i);
+                    }
+                }
+            }
+            joins.push(JoinStep { left_keys, right_keys });
+        }
+        // Bind this atom's fresh variables at their flattened positions.
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let BodyTerm::Var(v) = t {
+                bind.entry(v.as_str()).or_insert(offset + i);
+            }
+        }
+        offset += arity;
+    }
+    let width = offset;
+
+    // Residual comparisons.
+    let mut residual = Vec::new();
+    for lit in &rule.body {
+        if let Literal::Cmp { lhs, op, rhs } = lit {
+            residual.push(Predicate {
+                lhs: translate(lhs, &bind, rule)?,
+                op: *op,
+                rhs: translate(rhs, &bind, rule)?,
+            });
+        }
+    }
+
+    // Negated atoms become anti joins.
+    let mut negations = Vec::new();
+    for atom in rule.negated_atoms() {
+        let arity = *arity_of.get(atom.pred.as_str()).expect("analyzer registered arity");
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut seen_local: FxHashMap<&str, ()> = FxHashMap::default();
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let BodyTerm::Var(v) = t {
+                if seen_local.contains_key(v.as_str()) {
+                    continue;
+                }
+                seen_local.insert(v.as_str(), ());
+                // Safety guarantees the variable is bound.
+                left_keys.push(bind[v.as_str()]);
+                right_keys.push(i);
+            }
+        }
+        negations.push(NegSpec {
+            rel: atom.pred.clone(),
+            arity,
+            filters: local_filters(atom),
+            left_keys,
+            right_keys,
+        });
+    }
+
+    // Head projection: plain terms first (group), aggregate arguments after.
+    let mut head_exprs = Vec::with_capacity(rule.head.terms.len());
+    for t in &rule.head.terms {
+        if let HeadTerm::Plain(e) = t {
+            head_exprs.push(translate(e, &bind, rule)?);
+        }
+    }
+    for t in &rule.head.terms {
+        if let HeadTerm::Agg { expr, .. } = t {
+            head_exprs.push(translate(expr, &bind, rule)?);
+        }
+    }
+
+    Ok(SubQuery {
+        rule_idx,
+        delta_scan: delta_pos,
+        scans,
+        joins,
+        residual,
+        negations,
+        head_exprs,
+        width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::parser::parse;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        compile(&analyze(parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tc_plan_shape() {
+        let p = compiled(crate::programs::TC);
+        assert_eq!(p.strata.len(), 2);
+        // Base stratum: single Base scan, projection only.
+        let base = &p.strata[0].idbs[0];
+        assert_eq!(base.rel, "tc");
+        assert_eq!(base.subqueries.len(), 1);
+        let sq = &base.subqueries[0];
+        assert_eq!(sq.scans.len(), 1);
+        assert_eq!(sq.scans[0].version, AtomVersion::Base);
+        assert_eq!(sq.head_exprs, vec![Expr::Col(0), Expr::Col(1)]);
+        // Recursive stratum: linear rule → one subquery, delta on tc.
+        let rec = &p.strata[1].idbs[0];
+        assert_eq!(rec.subqueries.len(), 1);
+        let sq = &rec.subqueries[0];
+        assert_eq!(sq.delta_scan, Some(0));
+        assert_eq!(sq.scans[0].version, AtomVersion::Delta);
+        assert_eq!(sq.scans[1].version, AtomVersion::Base);
+        assert_eq!(sq.joins.len(), 1);
+        assert_eq!(sq.joins[0].left_keys, vec![1]); // tc.z (flattened col 1)
+        assert_eq!(sq.joins[0].right_keys, vec![0]); // arc.z
+        assert_eq!(sq.head_exprs, vec![Expr::Col(0), Expr::Col(3)]);
+        assert_eq!(sq.width, 4);
+    }
+
+    #[test]
+    fn nonlinear_rule_generates_one_subquery_per_delta_position() {
+        // CSPA rule: valueFlow(x,y) :- valueFlow(x,z), valueFlow(z,y).
+        let p = compiled(crate::programs::CSPA);
+        let rec = p.strata.iter().find(|s| s.recursive).unwrap();
+        let vf = rec.idbs.iter().find(|i| i.rel == "valueFlow").unwrap();
+        // Rules for valueFlow in the SCC: vf(x,y) :- assign(x,z), memoryAlias(z,y)
+        // (1 recursive atom) and vf(x,y) :- vf(x,z), vf(z,y) (2 recursive atoms)
+        // → 1 + 2 subqueries.
+        assert_eq!(vf.subqueries.len(), 3);
+        let nonlinear: Vec<&SubQuery> =
+            vf.subqueries.iter().filter(|s| s.scans.len() == 2 && s.scans[0].rel == "valueFlow" && s.scans[1].rel == "valueFlow").collect();
+        assert_eq!(nonlinear.len(), 2);
+        let versions: Vec<(AtomVersion, AtomVersion)> = nonlinear
+            .iter()
+            .map(|s| (s.scans[0].version, s.scans[1].version))
+            .collect();
+        assert!(versions.contains(&(AtomVersion::Delta, AtomVersion::Old)));
+        assert!(versions.contains(&(AtomVersion::Full, AtomVersion::Delta)));
+    }
+
+    #[test]
+    fn constants_and_repeats_become_scan_filters() {
+        let p = compiled("r(x) :- s(x, 5, x).");
+        let sq = &p.strata[0].idbs[0].subqueries[0];
+        assert_eq!(sq.scans[0].filters.len(), 2);
+        assert_eq!(
+            sq.scans[0].filters[0],
+            Predicate { lhs: Expr::Col(1), op: CmpOp::Eq, rhs: Expr::Const(5) }
+        );
+        assert_eq!(
+            sq.scans[0].filters[1],
+            Predicate { lhs: Expr::Col(2), op: CmpOp::Eq, rhs: Expr::Col(0) }
+        );
+    }
+
+    #[test]
+    fn comparisons_become_residual() {
+        let p = compiled(crate::programs::SG);
+        let seed = &p.strata[0].idbs[0].subqueries[0];
+        assert_eq!(seed.residual.len(), 1);
+        assert_eq!(
+            seed.residual[0],
+            Predicate { lhs: Expr::Col(1), op: CmpOp::Ne, rhs: Expr::Col(3) }
+        );
+    }
+
+    #[test]
+    fn negation_becomes_anti_join() {
+        let p = compiled(crate::programs::NTC);
+        let ntc = p
+            .strata
+            .iter()
+            .flat_map(|s| &s.idbs)
+            .find(|i| i.rel == "ntc")
+            .unwrap();
+        let sq = &ntc.subqueries[0];
+        assert_eq!(sq.negations.len(), 1);
+        let neg = &sq.negations[0];
+        assert_eq!(neg.rel, "tc");
+        assert_eq!(neg.left_keys, vec![0, 1]); // node(x) col, node(y) col
+        assert_eq!(neg.right_keys, vec![0, 1]);
+        // node(x), node(y) share no variables → cross join.
+        assert!(sq.joins[0].left_keys.is_empty());
+    }
+
+    #[test]
+    fn aggregated_idb_shape() {
+        let p = compiled(crate::programs::CC);
+        let rec = p
+            .strata
+            .iter()
+            .find(|s| s.recursive)
+            .unwrap();
+        let cc3 = &rec.idbs[0];
+        assert_eq!(cc3.rel, "cc3");
+        let agg = cc3.agg.as_ref().unwrap();
+        assert_eq!(agg.group_positions, vec![0]);
+        assert_eq!(agg.agg_positions, vec![1]);
+        assert_eq!(agg.funcs, vec![AggFunc::Min]);
+        // Pre-agg layout: group (y) then agg arg (z).
+        let sq = &cc3.subqueries[0];
+        assert_eq!(sq.head_exprs.len(), 2);
+    }
+
+    #[test]
+    fn sssp_arithmetic_in_agg_argument() {
+        let p = compiled(crate::programs::SSSP);
+        let rec = p.strata.iter().find(|s| s.recursive).unwrap();
+        let sq = &rec.idbs[0].subqueries[0];
+        // head sssp2(y, MIN(d1+d2)): group y, agg arg d1+d2.
+        assert_eq!(sq.head_exprs[0], Expr::Col(3)); // y in arc(x,y,d2)
+        assert_eq!(sq.head_exprs[1], Expr::add(Expr::Col(1), Expr::Col(4)));
+    }
+
+    #[test]
+    fn andersen_ternary_rule_joins() {
+        let p = compiled(crate::programs::ANDERSEN);
+        let rec = p.strata.iter().find(|s| s.recursive).unwrap();
+        let pt = &rec.idbs[0];
+        // Rules: assign (1 rec atom) + load (2) + store (2) → 5 subqueries.
+        assert_eq!(pt.subqueries.len(), 5);
+        for sq in &pt.subqueries {
+            assert!(sq.delta_scan.is_some());
+            // Each join has at least one key (no cross joins in Andersen).
+            for j in &sq.joins {
+                assert!(!j.left_keys.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn relations_declared_with_idb_flag() {
+        let p = compiled(crate::programs::TC);
+        assert!(p
+            .relations
+            .iter()
+            .any(|r| r.name == "arc" && !r.is_idb && r.arity == 2));
+        assert!(p.relations.iter().any(|r| r.name == "tc" && r.is_idb));
+    }
+}

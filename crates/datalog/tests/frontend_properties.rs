@@ -1,0 +1,92 @@
+//! Property tests of the frontend: total parsing (no panics on arbitrary
+//! input), display/parse roundtrips, and stratification invariants.
+
+use proptest::prelude::*;
+use recstep_datalog::analyze::analyze;
+use recstep_datalog::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parser is total: any byte soup yields Ok or Err, never a panic.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,120}") {
+        let _ = parse(&src);
+    }
+
+    /// Same for strings biased towards Datalog-ish token soup.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("tc".to_string()),
+                Just("arc".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(":-".to_string()),
+                Just(".".to_string()),
+                Just("!".to_string()),
+                Just("x".to_string()),
+                Just("1".to_string()),
+                Just("MIN".to_string()),
+                Just("+".to_string()),
+                Just("<=".to_string()),
+                Just("_".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        if let Ok(prog) = parse(&src) {
+            // Whatever parses must also be displayable and re-parseable.
+            for rule in &prog.rules {
+                let rendered = rule.display();
+                prop_assert!(parse(&rendered).is_ok(), "re-parse failed: {rendered}");
+            }
+        }
+    }
+
+    /// Stratification invariants on random chain programs: every rule lands
+    /// in exactly one stratum, and each body predicate's defining rules are
+    /// in the same or an earlier stratum.
+    #[test]
+    fn stratification_invariants(n_rules in 1usize..8, recursive in any::<bool>()) {
+        let mut src = String::new();
+        for i in 0..n_rules {
+            let body = if i == 0 { "e(x, y)".to_string() } else { format!("r{}(x, y)", i - 1) };
+            src.push_str(&format!("r{i}(x, y) :- {body}.\n"));
+        }
+        if recursive {
+            src.push_str(&format!("r0(x, y) :- r{}(x, z), e(z, y).\n", n_rules - 1));
+        }
+        let analysis = analyze(parse(&src).unwrap()).unwrap();
+        let total: usize = analysis.strata.iter().map(|s| s.rules.len()).sum();
+        prop_assert_eq!(total, analysis.program.rules.len());
+        // Position of each rule's stratum.
+        let mut stratum_of = vec![usize::MAX; analysis.program.rules.len()];
+        for (si, s) in analysis.strata.iter().enumerate() {
+            for &r in &s.rules {
+                prop_assert_eq!(stratum_of[r], usize::MAX, "rule in two strata");
+                stratum_of[r] = si;
+            }
+        }
+        for (ri, rule) in analysis.program.rules.iter().enumerate() {
+            for atom in rule.positive_atoms() {
+                for (di, def) in analysis.program.rules.iter().enumerate() {
+                    if def.head.pred == atom.pred {
+                        prop_assert!(
+                            stratum_of[di] <= stratum_of[ri],
+                            "definition of {} later than use", atom.pred
+                        );
+                    }
+                }
+            }
+        }
+        if recursive {
+            prop_assert!(analysis.strata.iter().any(|s| s.recursive));
+        } else {
+            prop_assert!(analysis.strata.iter().all(|s| !s.recursive));
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Hash group-by aggregation and monotonic recursive aggregates.
+//!
+//! Non-recursive aggregation (the `gtc(x, COUNT(y))` example of §3.3) maps
+//! to a parallel hash group-by: per-worker partial states merged once at the
+//! end. Recursive aggregation (CC's and SSSP's `MIN`) follows the monotonic
+//! semantics the paper inherits from the recursive-aggregate literature
+//! [Lefebvre 92]: the IDB keeps one tuple per group holding the current best
+//! value, and the ∆ of an iteration is the set of *strictly improved*
+//! groups — which is exactly what [`MonotonicAgg::absorb`] reports.
+
+use recstep_common::hash::FxHashMap;
+use recstep_common::Value;
+use recstep_storage::RelView;
+
+use crate::expr::{AggFunc, Expr};
+use crate::ExecCtx;
+
+#[derive(Clone, Copy)]
+struct AggState {
+    acc: i128,
+    cnt: u64,
+}
+
+impl AggState {
+    fn new(func: AggFunc, v: Value) -> Self {
+        match func {
+            AggFunc::Min | AggFunc::Max => AggState { acc: v as i128, cnt: 1 },
+            AggFunc::Sum | AggFunc::Avg => AggState { acc: v as i128, cnt: 1 },
+            AggFunc::Count => AggState { acc: 1, cnt: 1 },
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: Value) {
+        match func {
+            AggFunc::Min => self.acc = self.acc.min(v as i128),
+            AggFunc::Max => self.acc = self.acc.max(v as i128),
+            AggFunc::Sum | AggFunc::Avg => {
+                self.acc += v as i128;
+                self.cnt += 1;
+            }
+            AggFunc::Count => {
+                self.acc += 1;
+                self.cnt += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, func: AggFunc, other: &AggState) {
+        match func {
+            AggFunc::Min => self.acc = self.acc.min(other.acc),
+            AggFunc::Max => self.acc = self.acc.max(other.acc),
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Count => {
+                self.acc += other.acc;
+                self.cnt += other.cnt;
+            }
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Avg => (self.acc / self.cnt.max(1) as i128) as Value,
+            _ => self.acc as Value,
+        }
+    }
+}
+
+/// One `AGG(expr)` column in an aggregation.
+#[derive(Clone, Debug)]
+pub struct AggCol {
+    /// The aggregation operator.
+    pub func: AggFunc,
+    /// Its argument expression over the flattened input row.
+    pub expr: Expr,
+}
+
+/// Parallel hash group-by.
+///
+/// `group_exprs` produce the key columns; the output is
+/// `[group columns ‖ aggregate columns]` with one row per distinct group.
+pub fn group_aggregate(
+    ctx: &ExecCtx,
+    input: RelView<'_>,
+    group_exprs: &[Expr],
+    aggs: &[AggCol],
+) -> Vec<Vec<Value>> {
+    let out_arity = group_exprs.len() + aggs.len();
+    if input.is_empty() {
+        return vec![Vec::new(); out_arity];
+    }
+    // Phase 1: per-worker partial maps.
+    let partials = parking_lot::Mutex::new(Vec::<FxHashMap<Box<[Value]>, Vec<AggState>>>::new());
+    let n = input.len();
+    let grain = ctx.grain.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    ctx.pool.run(|_| {
+        let mut map: FxHashMap<Box<[Value]>, Vec<AggState>> = FxHashMap::default();
+        let mut row = Vec::new();
+        let mut key = Vec::new();
+        loop {
+            let start = next.fetch_add(grain, std::sync::atomic::Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for r in start..(start + grain).min(n) {
+                input.copy_row(r, &mut row);
+                key.clear();
+                key.extend(group_exprs.iter().map(|e| e.eval(&row)));
+                match map.get_mut(key.as_slice()) {
+                    Some(states) => {
+                        for (st, a) in states.iter_mut().zip(aggs) {
+                            st.update(a.func, a.expr.eval(&row));
+                        }
+                    }
+                    None => {
+                        let states: Vec<AggState> = aggs
+                            .iter()
+                            .map(|a| AggState::new(a.func, a.expr.eval(&row)))
+                            .collect();
+                        map.insert(key.clone().into_boxed_slice(), states);
+                    }
+                }
+            }
+        }
+        if !map.is_empty() {
+            partials.lock().push(map);
+        }
+    });
+    // Phase 2: merge partials.
+    let mut parts = partials.into_inner().into_iter();
+    let mut global = parts.next().unwrap_or_default();
+    for part in parts {
+        for (key, states) in part {
+            match global.get_mut(&key) {
+                Some(g) => {
+                    for ((gs, ps), a) in g.iter_mut().zip(&states).zip(aggs) {
+                        gs.merge(a.func, ps);
+                    }
+                }
+                None => {
+                    global.insert(key, states);
+                }
+            }
+        }
+    }
+    // Phase 3: materialize.
+    let mut cols = vec![Vec::with_capacity(global.len()); out_arity];
+    for (key, states) in &global {
+        for (c, &v) in key.iter().enumerate() {
+            cols[c].push(v);
+        }
+        for (i, (st, a)) in states.iter().zip(aggs).enumerate() {
+            cols[group_exprs.len() + i].push(st.finish(a.func));
+        }
+    }
+    cols
+}
+
+/// A monotonic aggregate relation for recursive aggregation: one current
+/// best value per group, with strict-improvement deltas.
+#[derive(Clone, Debug)]
+pub struct MonotonicAgg {
+    func: AggFunc,
+    map: FxHashMap<Box<[Value]>, Value>,
+}
+
+impl MonotonicAgg {
+    /// New monotonic relation. Only `MIN` and `MAX` converge under
+    /// recursion (the paper assumes programs are given convergent — §3.3);
+    /// other functions are rejected.
+    pub fn new(func: AggFunc) -> recstep_common::Result<Self> {
+        match func {
+            AggFunc::Min | AggFunc::Max => Ok(MonotonicAgg { func, map: FxHashMap::default() }),
+            other => Err(recstep_common::Error::analysis(format!(
+                "recursive aggregation requires MIN or MAX, got {}",
+                other.sql()
+            ))),
+        }
+    }
+
+    /// Aggregate function in effect.
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    /// Absorb a candidate `(group, value)`; returns `true` iff the group is
+    /// new or strictly improved (i.e. the tuple belongs in ∆).
+    pub fn absorb(&mut self, group: &[Value], v: Value) -> bool {
+        match self.map.get_mut(group) {
+            Some(cur) => {
+                let better = match self.func {
+                    AggFunc::Min => v < *cur,
+                    AggFunc::Max => v > *cur,
+                    _ => unreachable!(),
+                };
+                if better {
+                    *cur = v;
+                }
+                better
+            }
+            None => {
+                self.map.insert(group.to_vec().into_boxed_slice(), v);
+                true
+            }
+        }
+    }
+
+    /// Current best value of a group.
+    pub fn get(&self, group: &[Value]) -> Option<Value> {
+        self.map.get(group).copied()
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no group has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Materialize as `[group columns ‖ value]` (group arity inferred from
+    /// the first entry; empty map → `arity` columns of nothing).
+    pub fn to_columns(&self, group_arity: usize) -> Vec<Vec<Value>> {
+        let mut cols = vec![Vec::with_capacity(self.map.len()); group_arity + 1];
+        for (key, &v) in &self.map {
+            debug_assert_eq!(key.len(), group_arity);
+            for (c, &k) in key.iter().enumerate() {
+                cols[c].push(k);
+            }
+            cols[group_arity].push(v);
+        }
+        cols
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        // Entry overhead ≈ key box + value + hashmap slot.
+        self.map.len() * (std::mem::size_of::<Value>() * 2 + 32)
+            + self.map.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recstep_storage::{Relation, Schema};
+    use std::collections::HashMap;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::with_threads(4)
+    }
+
+    fn input() -> Relation {
+        // (group, value)
+        Relation::from_rows(
+            Schema::with_arity("t", 2),
+            &[
+                vec![1, 10],
+                vec![1, 4],
+                vec![2, 7],
+                vec![2, 7],
+                vec![3, -5],
+                vec![1, 6],
+            ],
+        )
+    }
+
+    fn result_map(cols: &[Vec<Value>]) -> HashMap<Value, Value> {
+        (0..cols[0].len()).map(|r| (cols[0][r], cols[1][r])).collect()
+    }
+
+    #[test]
+    fn min_max_sum_count_avg() {
+        let rel = input();
+        let ctx = ctx();
+        let group = [Expr::Col(0)];
+        let run = |f: AggFunc| {
+            result_map(&group_aggregate(
+                &ctx,
+                rel.view(),
+                &group,
+                &[AggCol { func: f, expr: Expr::Col(1) }],
+            ))
+        };
+        assert_eq!(run(AggFunc::Min), HashMap::from([(1, 4), (2, 7), (3, -5)]));
+        assert_eq!(run(AggFunc::Max), HashMap::from([(1, 10), (2, 7), (3, -5)]));
+        assert_eq!(run(AggFunc::Sum), HashMap::from([(1, 20), (2, 14), (3, -5)]));
+        assert_eq!(run(AggFunc::Count), HashMap::from([(1, 3), (2, 2), (3, 1)]));
+        assert_eq!(run(AggFunc::Avg), HashMap::from([(1, 6), (2, 7), (3, -5)]));
+    }
+
+    #[test]
+    fn aggregate_over_expression_argument() {
+        let rel = input();
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[Expr::Col(0)],
+            &[AggCol { func: AggFunc::Min, expr: Expr::add(Expr::Col(1), Expr::Const(100)) }],
+        );
+        assert_eq!(result_map(&out), HashMap::from([(1, 104), (2, 107), (3, 95)]));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let rel = input();
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[],
+            &[AggCol { func: AggFunc::Count, expr: Expr::Col(0) }],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], vec![6]);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_pass() {
+        let rel = input();
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[Expr::Col(0)],
+            &[
+                AggCol { func: AggFunc::Min, expr: Expr::Col(1) },
+                AggCol { func: AggFunc::Count, expr: Expr::Col(1) },
+            ],
+        );
+        let m: HashMap<Value, (Value, Value)> =
+            (0..out[0].len()).map(|r| (out[0][r], (out[1][r], out[2][r]))).collect();
+        assert_eq!(m, HashMap::from([(1, (4, 3)), (2, (7, 2)), (3, (-5, 1))]));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let rel = Relation::new(Schema::with_arity("e", 2));
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[Expr::Col(0)],
+            &[AggCol { func: AggFunc::Sum, expr: Expr::Col(1) }],
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn parallel_grouping_matches_sequential_oracle() {
+        let mut rel = Relation::new(Schema::with_arity("big", 2));
+        for i in 0..30_000i64 {
+            rel.push_row(&[i % 257, i]);
+        }
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[Expr::Col(0)],
+            &[AggCol { func: AggFunc::Sum, expr: Expr::Col(1) }],
+        );
+        let mut oracle: HashMap<Value, Value> = HashMap::new();
+        for i in 0..30_000i64 {
+            *oracle.entry(i % 257).or_insert(0) += i;
+        }
+        assert_eq!(result_map(&out), oracle);
+    }
+
+    #[test]
+    fn monotonic_min_absorbs_improvements_only() {
+        let mut m = MonotonicAgg::new(AggFunc::Min).unwrap();
+        assert!(m.absorb(&[1], 10)); // new
+        assert!(!m.absorb(&[1], 10)); // equal → not improved
+        assert!(!m.absorb(&[1], 12)); // worse
+        assert!(m.absorb(&[1], 3)); // better
+        assert_eq!(m.get(&[1]), Some(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn monotonic_max() {
+        let mut m = MonotonicAgg::new(AggFunc::Max).unwrap();
+        assert!(m.absorb(&[7], 1));
+        assert!(m.absorb(&[7], 5));
+        assert!(!m.absorb(&[7], 2));
+        assert_eq!(m.get(&[7]), Some(5));
+    }
+
+    #[test]
+    fn monotonic_rejects_non_extremal_functions() {
+        assert!(MonotonicAgg::new(AggFunc::Sum).is_err());
+        assert!(MonotonicAgg::new(AggFunc::Count).is_err());
+        assert!(MonotonicAgg::new(AggFunc::Avg).is_err());
+    }
+
+    #[test]
+    fn monotonic_to_columns() {
+        let mut m = MonotonicAgg::new(AggFunc::Min).unwrap();
+        m.absorb(&[1, 2], 9);
+        m.absorb(&[3, 4], 8);
+        let cols = m.to_columns(2);
+        assert_eq!(cols.len(), 3);
+        let mut rows: Vec<Vec<Value>> =
+            (0..2).map(|r| cols.iter().map(|c| c[r]).collect()).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![vec![1, 2, 9], vec![3, 4, 8]]);
+        assert!(m.heap_bytes() > 0);
+    }
+}

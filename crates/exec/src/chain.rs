@@ -1,0 +1,233 @@
+//! The pre-allocated, latch-free global separate-chaining hash table
+//! (the paper's GSCHT, Figure 5).
+//!
+//! Layout follows the paper: a bucket array is pre-allocated "as large as
+//! possible … for the purpose of minimizing conflicts in the same bucket,
+//! and preventing memory contention", and tuples are inserted in parallel
+//! with no latches. We exploit one extra invariant of the Datalog use case:
+//! the number of candidate tuples is known up front (it is the row count of
+//! the table being deduplicated or built on), so *node storage is one slot
+//! per input row* — node `i` is input row `i` — and the hot path performs no
+//! allocation at all.
+//!
+//! Concurrency protocol (Treiber-style publish):
+//! 1. the inserting worker writes `keys[i]` and `next[i]` (Relaxed stores to
+//!    a slot only it owns pre-publication),
+//! 2. publishes with a `compare_exchange(head, i+1, AcqRel, Acquire)`,
+//! 3. readers `Acquire`-load the head and walk `next` links; every node
+//!    reached was published by a release operation, so its fields are
+//!    visible.
+//!
+//! For unique inserts ([`ChainTable::insert_unique`]) a failed CAS re-walks
+//! the chain from the new head before retrying, so two racing equal tuples
+//! resolve to exactly one winner.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::key::bucket_of;
+
+/// Sentinel: empty bucket / end of chain (`node index + 1` addressing).
+const NIL: u32 = 0;
+
+/// Pre-allocated latch-free separate-chaining table.
+///
+/// `u32` node indices cap inputs at ~4.29 G rows, far beyond in-memory scale
+/// here; [`ChainTable::with_capacity`] asserts it.
+pub struct ChainTable {
+    heads: Vec<AtomicU32>,
+    next: Vec<AtomicU32>,
+    keys: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl ChainTable {
+    /// Table with `nodes` node slots and at least `buckets_hint` buckets
+    /// (rounded to a power of two).
+    pub fn with_capacity(nodes: usize, buckets_hint: usize) -> Self {
+        assert!(nodes < u32::MAX as usize, "ChainTable supports < 2^32-1 nodes");
+        let n_buckets = crate::util::next_pow2_at_least(buckets_hint, 16);
+        let mut heads = Vec::with_capacity(n_buckets);
+        heads.resize_with(n_buckets, || AtomicU32::new(NIL));
+        let mut next = Vec::with_capacity(nodes);
+        next.resize_with(nodes, || AtomicU32::new(NIL));
+        let mut keys = Vec::with_capacity(nodes);
+        keys.resize_with(nodes, || AtomicU64::new(0));
+        ChainTable { heads, next, keys, mask: n_buckets - 1 }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of node slots.
+    pub fn capacity(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.heads.capacity() * 4 + self.next.capacity() * 4 + self.keys.capacity() * 8
+    }
+
+    /// Unconditionally insert node `idx` under `key` (multimap semantics —
+    /// join builds).
+    pub fn insert_multi(&self, idx: u32, key: u64) {
+        self.keys[idx as usize].store(key, Ordering::Relaxed);
+        let bucket = &self.heads[bucket_of(key, self.mask)];
+        let mut head = bucket.load(Ordering::Acquire);
+        loop {
+            self.next[idx as usize].store(head, Ordering::Relaxed);
+            match bucket.compare_exchange_weak(head, idx + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Insert node `idx` under `key` only if no equal entry exists.
+    ///
+    /// Returns `true` when `idx` won (its tuple was new). `eq(existing, new)`
+    /// decides tuple equality for nodes whose keys collide; with exact packed
+    /// keys pass `|_, _| true`.
+    pub fn insert_unique<F>(&self, idx: u32, key: u64, eq: F) -> bool
+    where
+        F: Fn(u32, u32) -> bool,
+    {
+        self.keys[idx as usize].store(key, Ordering::Relaxed);
+        let bucket = &self.heads[bucket_of(key, self.mask)];
+        let mut head = bucket.load(Ordering::Acquire);
+        loop {
+            // Duplicate scan over the whole current chain.
+            let mut cur = head;
+            while cur != NIL {
+                let node = cur - 1;
+                if self.keys[node as usize].load(Ordering::Relaxed) == key && eq(node, idx) {
+                    return false;
+                }
+                cur = self.next[node as usize].load(Ordering::Relaxed);
+            }
+            self.next[idx as usize].store(head, Ordering::Relaxed);
+            match bucket.compare_exchange_weak(head, idx + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                // Lost a race: another worker grew this chain. Re-walk from
+                // the new head (covers the newly published prefix) and retry.
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Iterate node indices whose stored key equals `key`.
+    pub fn iter_key(&self, key: u64) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.heads[bucket_of(key, self.mask)].load(Ordering::Acquire);
+        std::iter::from_fn(move || {
+            while cur != NIL {
+                let node = cur - 1;
+                cur = self.next[node as usize].load(Ordering::Relaxed);
+                if self.keys[node as usize].load(Ordering::Relaxed) == key {
+                    return Some(node);
+                }
+            }
+            None
+        })
+    }
+
+    /// True if some node with `key` satisfies `eq(node)`.
+    pub fn contains<F>(&self, key: u64, eq: F) -> bool
+    where
+        F: Fn(u32) -> bool,
+    {
+        self.iter_key(key).any(eq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recstep_common::sched::ThreadPool;
+
+    #[test]
+    fn multi_insert_and_lookup() {
+        let t = ChainTable::with_capacity(10, 4);
+        t.insert_multi(0, 42);
+        t.insert_multi(1, 42);
+        t.insert_multi(2, 7);
+        let mut hits: Vec<u32> = t.iter_key(42).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+        assert_eq!(t.iter_key(7).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(t.iter_key(999).count(), 0);
+    }
+
+    #[test]
+    fn unique_insert_rejects_duplicates() {
+        let t = ChainTable::with_capacity(10, 4);
+        assert!(t.insert_unique(0, 5, |_, _| true));
+        assert!(!t.insert_unique(1, 5, |_, _| true));
+        assert!(t.insert_unique(2, 6, |_, _| true));
+    }
+
+    #[test]
+    fn unique_insert_uses_eq_for_collisions() {
+        // Same key, but eq says the tuples differ → both inserted.
+        let t = ChainTable::with_capacity(10, 4);
+        assert!(t.insert_unique(0, 5, |_, _| false));
+        assert!(t.insert_unique(1, 5, |_, _| false));
+        let mut hits: Vec<u32> = t.iter_key(5).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn contains_checks_predicate() {
+        let t = ChainTable::with_capacity(4, 4);
+        t.insert_multi(3, 11);
+        assert!(t.contains(11, |n| n == 3));
+        assert!(!t.contains(11, |n| n == 2));
+    }
+
+    #[test]
+    fn parallel_unique_inserts_have_exactly_one_winner_per_key() {
+        // 64 distinct keys, 16 racing inserts per key.
+        let n = 1024u32;
+        let t = ChainTable::with_capacity(n as usize, n as usize * 2);
+        let pool = ThreadPool::new(8);
+        let winners: Vec<std::sync::atomic::AtomicU32> =
+            (0..64).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        pool.parallel_for(n as usize, 8, |range, _| {
+            for i in range {
+                let key = (i % 64) as u64;
+                if t.insert_unique(i as u32, key, |_, _| true) {
+                    winners[key as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        for w in &winners {
+            assert_eq!(w.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_multi_insert_keeps_every_node() {
+        let n = 4096u32;
+        let t = ChainTable::with_capacity(n as usize, 64); // long chains on purpose
+        let pool = ThreadPool::new(8);
+        pool.parallel_for(n as usize, 16, |range, _| {
+            for i in range {
+                t.insert_multi(i as u32, (i % 32) as u64);
+            }
+        });
+        let total: usize = (0..32u64).map(|k| t.iter_key(k).count()).sum();
+        assert_eq!(total, n as usize);
+    }
+
+    #[test]
+    fn bucket_count_rounds_up() {
+        let t = ChainTable::with_capacity(5, 33);
+        assert_eq!(t.buckets(), 64);
+        assert_eq!(t.capacity(), 5);
+        assert!(t.heap_bytes() >= 64 * 4 + 5 * 12);
+    }
+}

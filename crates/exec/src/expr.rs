@@ -1,0 +1,5 @@
+//! Scalar expressions and predicates (re-exported from
+//! `recstep_common::lang` so the Datalog frontend can build them without
+//! depending on this backend crate).
+
+pub use recstep_common::lang::{eval_all, AggFunc, CmpOp, Expr, Predicate};

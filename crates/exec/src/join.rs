@@ -1,0 +1,447 @@
+//! Parallel hash joins, anti joins (stratified negation), cross joins and
+//! standalone projection/selection.
+//!
+//! All variants share the flattened-row convention of [`crate::expr`]: the
+//! output expressions and residual predicates see `[left row ‖ right row]`
+//! regardless of which physical side the hash table was built on — the
+//! build-side choice (the knob OOF re-optimizes every iteration) is purely
+//! physical.
+
+use recstep_common::Value;
+use recstep_storage::RelView;
+
+use crate::chain::ChainTable;
+use crate::expr::{eval_all, Expr, Predicate};
+use crate::key::KeyMode;
+use crate::util::{parallel_fill, parallel_produce};
+use crate::ExecCtx;
+
+/// Specification of a binary equi-join.
+pub struct JoinSpec<'a> {
+    /// Join key columns on the left input.
+    pub left_keys: &'a [usize],
+    /// Join key columns on the right input (pairwise equal to `left_keys`).
+    pub right_keys: &'a [usize],
+    /// Build the hash table on the left input (otherwise on the right).
+    pub build_left: bool,
+    /// Output expressions over the flattened `[left ‖ right]` row.
+    pub output: &'a [Expr],
+    /// Residual predicates over the flattened row (non-equi conditions).
+    pub residual: &'a [Predicate],
+}
+
+/// Hash equi-join of two views.
+///
+/// Returns the projected output column-major. Duplicates are *not* removed —
+/// Algorithm 1 separates `uieval` from `dedup` (UNION ALL semantics).
+pub fn hash_join(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    spec: &JoinSpec<'_>,
+) -> Vec<Vec<Value>> {
+    assert_eq!(spec.left_keys.len(), spec.right_keys.len());
+    let out_arity = spec.output.len();
+    if left.is_empty() || right.is_empty() {
+        return vec![Vec::new(); out_arity];
+    }
+    let mode = KeyMode::for_views(left, spec.left_keys, right, spec.right_keys);
+    let (build, probe, build_cols, probe_cols) = if spec.build_left {
+        (left, right, spec.left_keys, spec.right_keys)
+    } else {
+        (right, left, spec.right_keys, spec.left_keys)
+    };
+    let table = build_table(ctx, build, build_cols, &mode);
+    let exact = mode.exact();
+    let la = left.arity();
+    let width = la + right.arity();
+    let emitted = std::sync::atomic::AtomicUsize::new(0);
+    let cap = ctx.row_cap;
+
+    parallel_produce(&ctx.pool, probe.len(), ctx.grain, out_arity, |range, buf| {
+        let mut scratch = Vec::new();
+        let mut row = vec![0 as Value; width];
+        for pr in range {
+            // Stop materializing past the cap; the caller detects the
+            // overflow (output rows > cap) and reports out-of-memory.
+            if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
+                return;
+            }
+            let key = mode.key_of(probe, pr, probe_cols, &mut scratch);
+            for node in table.iter_key(key) {
+                let br = node as usize;
+                if !exact
+                    && !keys_match(build, br, build_cols, probe, pr, probe_cols)
+                {
+                    continue;
+                }
+                // Flatten into logical [left ‖ right] order.
+                let (lr, rr) = if spec.build_left { (br, pr) } else { (pr, br) };
+                #[allow(clippy::needless_range_loop)]
+                for c in 0..la {
+                    row[c] = left.get(lr, c);
+                }
+                for c in 0..right.arity() {
+                    row[la + c] = right.get(rr, c);
+                }
+                if eval_all(spec.residual, &row) {
+                    emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    for (c, e) in spec.output.iter().enumerate() {
+                        buf.push_at(c, e.eval(&row));
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Anti join: rows of `left` with **no** key match in `right`, projected
+/// through `output` (expressions over the left row only). This implements
+/// negated body atoms under stratified negation.
+pub fn anti_join(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    output: &[Expr],
+) -> Vec<Vec<Value>> {
+    let out_arity = output.len();
+    if left.is_empty() {
+        return vec![Vec::new(); out_arity];
+    }
+    if right.is_empty() {
+        // Nothing to reject: pure projection.
+        return project_filter(ctx, left, output, &[]);
+    }
+    let mode = KeyMode::for_views(left, left_keys, right, right_keys);
+    let table = build_table(ctx, right, right_keys, &mode);
+    let exact = mode.exact();
+    parallel_produce(&ctx.pool, left.len(), ctx.grain, out_arity, |range, buf| {
+        let mut scratch = Vec::new();
+        let mut row = Vec::new();
+        for lr in range {
+            let key = mode.key_of(left, lr, left_keys, &mut scratch);
+            let hit = table.iter_key(key).any(|node| {
+                exact || keys_match(right, node as usize, right_keys, left, lr, left_keys)
+            });
+            if !hit {
+                left.copy_row(lr, &mut row);
+                for (c, e) in output.iter().enumerate() {
+                    buf.push_at(c, e.eval(&row));
+                }
+            }
+        }
+    })
+}
+
+/// Cartesian product with residual predicates (for key-less body pairs such
+/// as `node(x), node(y)` in the complement-of-TC program).
+pub fn cross_join(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    output: &[Expr],
+    residual: &[Predicate],
+) -> Vec<Vec<Value>> {
+    let out_arity = output.len();
+    if left.is_empty() || right.is_empty() {
+        return vec![Vec::new(); out_arity];
+    }
+    let la = left.arity();
+    let width = la + right.arity();
+    let emitted = std::sync::atomic::AtomicUsize::new(0);
+    let cap = ctx.row_cap;
+    parallel_produce(&ctx.pool, left.len(), 1.max(ctx.grain / right.len().max(1)), out_arity, |range, buf| {
+        let mut row = vec![0 as Value; width];
+        for lr in range {
+            if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
+                return;
+            }
+            #[allow(clippy::needless_range_loop)]
+            for c in 0..la {
+                row[c] = left.get(lr, c);
+            }
+            for rr in 0..right.len() {
+                for c in 0..right.arity() {
+                    row[la + c] = right.get(rr, c);
+                }
+                if eval_all(residual, &row) {
+                    emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    for (c, e) in output.iter().enumerate() {
+                        buf.push_at(c, e.eval(&row));
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Projection + selection over a single view (single-atom rule bodies).
+pub fn project_filter(
+    ctx: &ExecCtx,
+    view: RelView<'_>,
+    output: &[Expr],
+    residual: &[Predicate],
+) -> Vec<Vec<Value>> {
+    let out_arity = output.len();
+    parallel_produce(&ctx.pool, view.len(), ctx.grain, out_arity, |range, buf| {
+        let mut row = Vec::new();
+        for r in range {
+            view.copy_row(r, &mut row);
+            if eval_all(residual, &row) {
+                for (c, e) in output.iter().enumerate() {
+                    buf.push_at(c, e.eval(&row));
+                }
+            }
+        }
+    })
+}
+
+fn build_table(
+    ctx: &ExecCtx,
+    build: RelView<'_>,
+    build_cols: &[usize],
+    mode: &KeyMode,
+) -> ChainTable {
+    let n = build.len();
+    let keys = parallel_fill(&ctx.pool, n, ctx.grain, 0u64, |r| {
+        let mut scratch = Vec::new();
+        mode.key_of(build, r, build_cols, &mut scratch)
+    });
+    let table = ChainTable::with_capacity(n, n * 2);
+    ctx.pool.parallel_for(n, ctx.grain, |range, _| {
+        for r in range {
+            table.insert_multi(r as u32, keys[r]);
+        }
+    });
+    table
+}
+
+#[inline]
+fn keys_match(
+    a: RelView<'_>,
+    ar: usize,
+    a_cols: &[usize],
+    b: RelView<'_>,
+    br: usize,
+    b_cols: &[usize],
+) -> bool {
+    a_cols.iter().zip(b_cols).all(|(&ca, &cb)| a.get(ar, ca) == b.get(br, cb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use recstep_storage::{Relation, Schema};
+    use std::collections::HashSet;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::with_threads(4)
+    }
+
+    fn rows_of(cols: &[Vec<Value>]) -> HashSet<Vec<Value>> {
+        (0..cols.first().map_or(0, Vec::len))
+            .map(|r| cols.iter().map(|c| c[r]).collect())
+            .collect()
+    }
+
+    fn arc() -> Relation {
+        Relation::from_rows(
+            Schema::new("arc", &["x", "y"]),
+            &[vec![1, 2], vec![2, 3], vec![3, 4], vec![2, 4]],
+        )
+    }
+
+    #[test]
+    fn tc_step_join() {
+        // tc(x,y) :- tc(x,z), arc(z,y): join tc.y = arc.x, project (tc.x, arc.y).
+        let tc = arc();
+        let a = arc();
+        let spec = JoinSpec {
+            left_keys: &[1],
+            right_keys: &[0],
+            build_left: false,
+            output: &[Expr::Col(0), Expr::Col(3)],
+            residual: &[],
+        };
+        let out = hash_join(&ctx(), tc.view(), a.view(), &spec);
+        let expect: HashSet<Vec<Value>> =
+            [vec![1, 3], vec![1, 4], vec![2, 4], vec![2, 4]].into_iter().collect();
+        // 2-hop paths from the 4 edges (1-2-3, 1-2-4, 2-3-4).
+        assert_eq!(rows_of(&out), expect);
+        // Duplicates are preserved (UNION ALL semantics): 1→2→3, 1→2→4, 2→3→4.
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn build_side_choice_does_not_change_results() {
+        let l = arc();
+        let r = arc();
+        let mk = |build_left| JoinSpec {
+            left_keys: &[1],
+            right_keys: &[0],
+            build_left,
+            output: &[Expr::Col(0), Expr::Col(3)],
+            residual: &[],
+        };
+        let a = hash_join(&ctx(), l.view(), r.view(), &mk(true));
+        let b = hash_join(&ctx(), l.view(), r.view(), &mk(false));
+        assert_eq!(rows_of(&a), rows_of(&b));
+        assert_eq!(a[0].len(), b[0].len());
+    }
+
+    #[test]
+    fn residual_predicates_filter_matches() {
+        // Same-generation seed: sg(x,y) :- arc(p,x), arc(p,y), x != y.
+        let a = arc();
+        let spec = JoinSpec {
+            left_keys: &[0],
+            right_keys: &[0],
+            build_left: true,
+            output: &[Expr::Col(1), Expr::Col(3)],
+            residual: &[Predicate { lhs: Expr::Col(1), op: CmpOp::Ne, rhs: Expr::Col(3) }],
+        };
+        let out = hash_join(&ctx(), a.view(), a.view(), &spec);
+        let expect: HashSet<Vec<Value>> = [vec![3, 4], vec![4, 3]].into_iter().collect();
+        assert_eq!(rows_of(&out), expect);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let l = Relation::from_rows(
+            Schema::with_arity("l", 3),
+            &[vec![1, 2, 10], vec![1, 3, 20], vec![2, 2, 30]],
+        );
+        let r = Relation::from_rows(
+            Schema::with_arity("r", 3),
+            &[vec![1, 2, 100], vec![2, 2, 200], vec![9, 9, 300]],
+        );
+        let spec = JoinSpec {
+            left_keys: &[0, 1],
+            right_keys: &[0, 1],
+            build_left: false,
+            output: &[Expr::Col(2), Expr::Col(5)],
+            residual: &[],
+        };
+        let out = hash_join(&ctx(), l.view(), r.view(), &spec);
+        let expect: HashSet<Vec<Value>> = [vec![10, 100], vec![30, 200]].into_iter().collect();
+        assert_eq!(rows_of(&out), expect);
+    }
+
+    #[test]
+    fn wide_keys_fall_back_to_hash_verify() {
+        let l = Relation::from_rows(
+            Schema::with_arity("l", 2),
+            &[vec![Value::MIN, 1], vec![Value::MAX, 2]],
+        );
+        let r = Relation::from_rows(
+            Schema::with_arity("r", 2),
+            &[vec![Value::MIN, 10], vec![Value::MAX, 20], vec![0, 30]],
+        );
+        let spec = JoinSpec {
+            left_keys: &[0],
+            right_keys: &[0],
+            build_left: false,
+            output: &[Expr::Col(1), Expr::Col(3)],
+            residual: &[],
+        };
+        let out = hash_join(&ctx(), l.view(), r.view(), &spec);
+        let expect: HashSet<Vec<Value>> = [vec![1, 10], vec![2, 20]].into_iter().collect();
+        assert_eq!(rows_of(&out), expect);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let e = Relation::new(Schema::with_arity("e", 2));
+        let a = arc();
+        let spec = JoinSpec {
+            left_keys: &[1],
+            right_keys: &[0],
+            build_left: true,
+            output: &[Expr::Col(0)],
+            residual: &[],
+        };
+        let out = hash_join(&ctx(), e.view(), a.view(), &spec);
+        assert!(out[0].is_empty());
+        let out = hash_join(&ctx(), a.view(), e.view(), &spec);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn anti_join_keeps_unmatched_rows() {
+        let l = Relation::from_rows(
+            Schema::with_arity("l", 2),
+            &[vec![1, 10], vec![2, 20], vec![3, 30]],
+        );
+        let r = Relation::from_rows(Schema::with_arity("r", 1), &[vec![2]]);
+        let out = anti_join(&ctx(), l.view(), r.view(), &[0], &[0], &[Expr::Col(0), Expr::Col(1)]);
+        let expect: HashSet<Vec<Value>> = [vec![1, 10], vec![3, 30]].into_iter().collect();
+        assert_eq!(rows_of(&out), expect);
+    }
+
+    #[test]
+    fn anti_join_against_empty_right_is_projection() {
+        let l = arc();
+        let e = Relation::new(Schema::with_arity("e", 2));
+        let out = anti_join(&ctx(), l.view(), e.view(), &[0, 1], &[0, 1], &[Expr::Col(0)]);
+        assert_eq!(out[0].len(), 4);
+    }
+
+    #[test]
+    fn cross_join_with_residual() {
+        let n = Relation::from_rows(Schema::with_arity("n", 1), &[vec![1], vec![2], vec![3]]);
+        let out = cross_join(
+            &ctx(),
+            n.view(),
+            n.view(),
+            &[Expr::Col(0), Expr::Col(1)],
+            &[Predicate { lhs: Expr::Col(0), op: CmpOp::Lt, rhs: Expr::Col(1) }],
+        );
+        let expect: HashSet<Vec<Value>> =
+            [vec![1, 2], vec![1, 3], vec![2, 3]].into_iter().collect();
+        assert_eq!(rows_of(&out), expect);
+    }
+
+    #[test]
+    fn project_filter_applies_exprs() {
+        let a = arc();
+        let out = project_filter(
+            &ctx(),
+            a.view(),
+            &[Expr::add(Expr::Col(0), Expr::Col(1))],
+            &[Predicate { lhs: Expr::Col(0), op: CmpOp::Gt, rhs: Expr::Const(1) }],
+        );
+        let mut sums = out[0].clone();
+        sums.sort_unstable();
+        assert_eq!(sums, vec![5, 6, 7]); // rows (2,3),(3,4),(2,4)
+    }
+
+    #[test]
+    fn large_join_matches_nested_loop_oracle() {
+        let mut l = Relation::new(Schema::with_arity("l", 2));
+        let mut r = Relation::new(Schema::with_arity("r", 2));
+        for i in 0..2000i64 {
+            l.push_row(&[i % 97, i]);
+            r.push_row(&[i % 89, i]);
+        }
+        let spec = JoinSpec {
+            left_keys: &[0],
+            right_keys: &[0],
+            build_left: true,
+            output: &[Expr::Col(1), Expr::Col(3)],
+            residual: &[],
+        };
+        let out = hash_join(&ctx(), l.view(), r.view(), &spec);
+        let mut oracle = 0usize;
+        for i in 0..2000i64 {
+            for j in 0..2000i64 {
+                if i % 97 == j % 89 {
+                    oracle += 1;
+                }
+            }
+        }
+        assert_eq!(out[0].len(), oracle);
+    }
+}

@@ -1,0 +1,311 @@
+//! Compact concatenated keys (CCK).
+//!
+//! The paper's fast-dedup table (Figure 5) represents a whole tuple as one
+//! fixed-size *compact concatenated key*: "The compact CK itself contains
+//! all information of the original tuple, eliminating the need for explicit
+//! ⟨key, value⟩ pair representation. Additionally, the key itself is used as
+//! the hash value." We generalize the two-int example to any column set whose
+//! min/max spans (from table statistics) fit 64 bits together; wider tuples
+//! fall back to hashing with exact row comparison on collisions.
+
+use recstep_common::hash::{hash_row, mix64};
+use recstep_common::Value;
+use recstep_storage::RelView;
+
+/// Per-column slot of a packed key layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeySlot {
+    /// Values are stored as offsets from this minimum.
+    pub min: Value,
+    /// Bits reserved for the offset.
+    pub bits: u32,
+    /// Left shift of this column's slot within the packed word.
+    pub shift: u32,
+}
+
+/// A packed layout mapping a tuple of columns onto one `u64`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyLayout {
+    slots: Vec<KeySlot>,
+    total_bits: u32,
+}
+
+impl KeyLayout {
+    /// Derive a layout from per-column `(min, max)` bounds. Returns `None`
+    /// when the combined width exceeds 64 bits.
+    pub fn from_bounds(bounds: &[(Value, Value)]) -> Option<KeyLayout> {
+        let mut slots = Vec::with_capacity(bounds.len());
+        let mut shift = 0u32;
+        for &(min, max) in bounds {
+            debug_assert!(min <= max);
+            let span = (max as i128 - min as i128) as u128;
+            let bits = if span == 0 { 1 } else { 128 - span.leading_zeros() };
+            if shift + bits > 64 {
+                return None;
+            }
+            slots.push(KeySlot { min, bits, shift });
+            shift += bits;
+        }
+        Some(KeyLayout { slots, total_bits: shift })
+    }
+
+    /// Derive a layout by scanning the given columns of a view (one pass per
+    /// column). Returns `None` for empty views or over-wide keys.
+    pub fn from_view(view: RelView<'_>, cols: &[usize]) -> Option<KeyLayout> {
+        if view.is_empty() {
+            return None;
+        }
+        let bounds: Vec<(Value, Value)> = cols
+            .iter()
+            .map(|&c| {
+                let data = view.col(c);
+                let mut min = data[0];
+                let mut max = data[0];
+                for &v in data {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                (min, max)
+            })
+            .collect();
+        KeyLayout::from_bounds(&bounds)
+    }
+
+    /// Derive a single layout covering the same key columns of *two* views
+    /// (required whenever keys from both sides must compare equal, e.g. set
+    /// difference and joins). `None` if either view is empty on its own is
+    /// avoided by taking whichever bounds exist.
+    pub fn from_two_views(
+        a: RelView<'_>,
+        a_cols: &[usize],
+        b: RelView<'_>,
+        b_cols: &[usize],
+    ) -> Option<KeyLayout> {
+        assert_eq!(a_cols.len(), b_cols.len());
+        if a.is_empty() && b.is_empty() {
+            return None;
+        }
+        let bounds: Vec<(Value, Value)> = a_cols
+            .iter()
+            .zip(b_cols)
+            .map(|(&ca, &cb)| {
+                let mut min = Value::MAX;
+                let mut max = Value::MIN;
+                for &v in a.col(ca) {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                for &v in b.col(cb) {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                (min, max)
+            })
+            .collect();
+        KeyLayout::from_bounds(&bounds)
+    }
+
+    /// Number of key columns.
+    pub fn width(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total bits used by the packed representation.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Pack the given values. Values must lie within the layout's bounds.
+    #[inline]
+    pub fn pack(&self, vals: &[Value]) -> u64 {
+        debug_assert_eq!(vals.len(), self.slots.len());
+        let mut key = 0u64;
+        for (slot, &v) in self.slots.iter().zip(vals) {
+            let off = (v as i128 - slot.min as i128) as u128 as u64;
+            debug_assert!(slot.bits == 64 || off < (1u64 << slot.bits));
+            key |= off << slot.shift;
+        }
+        key
+    }
+
+    /// Pack key columns of row `r` in `view`.
+    #[inline]
+    pub fn pack_row(&self, view: RelView<'_>, r: usize, cols: &[usize]) -> u64 {
+        debug_assert_eq!(cols.len(), self.slots.len());
+        let mut key = 0u64;
+        for (slot, &c) in self.slots.iter().zip(cols) {
+            let v = view.get(r, c);
+            let off = (v as i128 - slot.min as i128) as u128 as u64;
+            key |= off << slot.shift;
+        }
+        key
+    }
+
+    /// Unpack a key back into values (inverse of [`KeyLayout::pack`]).
+    pub fn unpack(&self, key: u64, out: &mut Vec<Value>) {
+        out.clear();
+        for slot in &self.slots {
+            let mask = if slot.bits >= 64 { u64::MAX } else { (1u64 << slot.bits) - 1 };
+            let off = (key >> slot.shift) & mask;
+            out.push(((slot.min as i128) + off as i128) as Value);
+        }
+    }
+}
+
+/// How tuples of a given view are turned into 64-bit table keys.
+#[derive(Clone, Debug)]
+pub enum KeyMode {
+    /// Exact packed key — equality of keys ⇔ equality of tuples, and the
+    /// key (after [`mix64`]) is its own hash.
+    Packed(KeyLayout),
+    /// Hashed key — collisions possible; equality must be verified against
+    /// the underlying rows.
+    Hashed,
+}
+
+impl KeyMode {
+    /// Choose the best mode covering the key columns of two views.
+    pub fn for_views(
+        a: RelView<'_>,
+        a_cols: &[usize],
+        b: RelView<'_>,
+        b_cols: &[usize],
+    ) -> KeyMode {
+        match KeyLayout::from_two_views(a, a_cols, b, b_cols) {
+            Some(l) => KeyMode::Packed(l),
+            None => KeyMode::Hashed,
+        }
+    }
+
+    /// Choose the best mode for one view.
+    pub fn for_view(view: RelView<'_>, cols: &[usize]) -> KeyMode {
+        match KeyLayout::from_view(view, cols) {
+            Some(l) => KeyMode::Packed(l),
+            None => KeyMode::Hashed,
+        }
+    }
+
+    /// True when key equality implies tuple equality.
+    pub fn exact(&self) -> bool {
+        matches!(self, KeyMode::Packed(_))
+    }
+
+    /// Key of row `r`'s key columns in `view`.
+    #[inline]
+    pub fn key_of(&self, view: RelView<'_>, r: usize, cols: &[usize], scratch: &mut Vec<Value>) -> u64 {
+        match self {
+            KeyMode::Packed(layout) => layout.pack_row(view, r, cols),
+            KeyMode::Hashed => {
+                scratch.clear();
+                for &c in cols {
+                    scratch.push(view.get(r, c));
+                }
+                hash_row(scratch)
+            }
+        }
+    }
+}
+
+/// Bucket index of a key in a power-of-two table.
+#[inline]
+pub fn bucket_of(key: u64, mask: usize) -> usize {
+    (mix64(key) as usize) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recstep_storage::{Relation, Schema};
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let layout = KeyLayout::from_bounds(&[(0, 255), (-10, 10), (1000, 1000)]).unwrap();
+        assert_eq!(layout.width(), 3);
+        let mut out = Vec::new();
+        for vals in [[0i64, -10, 1000], [255, 10, 1000], [17, 0, 1000]] {
+            let k = layout.pack(&vals);
+            layout.unpack(k, &mut out);
+            assert_eq!(out, vals);
+        }
+    }
+
+    #[test]
+    fn distinct_tuples_pack_to_distinct_keys() {
+        let layout = KeyLayout::from_bounds(&[(0, 99), (0, 99)]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..100 {
+            for b in 0..100 {
+                assert!(seen.insert(layout.pack(&[a, b])));
+            }
+        }
+    }
+
+    #[test]
+    fn overwide_layout_is_rejected() {
+        assert!(KeyLayout::from_bounds(&[(Value::MIN, Value::MAX), (0, 1)]).is_none());
+        // Exactly 64 bits fits.
+        assert!(KeyLayout::from_bounds(&[(Value::MIN, Value::MAX)]).is_some());
+        // 33 + 32 > 64.
+        assert!(KeyLayout::from_bounds(&[(0, 1 << 32), (0, (1 << 32) - 1)]).is_none());
+    }
+
+    #[test]
+    fn layout_from_view_scans_bounds() {
+        let rel = Relation::from_rows(
+            Schema::with_arity("t", 2),
+            &[vec![5, -3], vec![100, 7], vec![50, 0]],
+        );
+        let layout = KeyLayout::from_view(rel.view(), &[0, 1]).unwrap();
+        let mut out = Vec::new();
+        let k = layout.pack(&[100, -3]);
+        layout.unpack(k, &mut out);
+        assert_eq!(out, vec![100, -3]);
+    }
+
+    #[test]
+    fn two_view_layout_covers_union_of_bounds() {
+        let a = Relation::from_rows(Schema::with_arity("a", 1), &[vec![0], vec![10]]);
+        let b = Relation::from_rows(Schema::with_arity("b", 1), &[vec![-5], vec![3]]);
+        let layout =
+            KeyLayout::from_two_views(a.view(), &[0], b.view(), &[0]).unwrap();
+        let mut out = Vec::new();
+        for v in [-5i64, 0, 10] {
+            layout.unpack(layout.pack(&[v]), &mut out);
+            assert_eq!(out, vec![v]);
+        }
+    }
+
+    #[test]
+    fn keymode_packed_vs_hashed() {
+        let narrow = Relation::from_rows(Schema::with_arity("n", 2), &[vec![1, 2]]);
+        assert!(KeyMode::for_view(narrow.view(), &[0, 1]).exact());
+        let wide = Relation::from_rows(
+            Schema::with_arity("w", 2),
+            &[vec![Value::MIN, Value::MAX], vec![Value::MAX, Value::MIN]],
+        );
+        assert!(!KeyMode::for_view(wide.view(), &[0, 1]).exact());
+    }
+
+    #[test]
+    fn key_of_agrees_between_rows_with_equal_tuples() {
+        let rel = Relation::from_rows(
+            Schema::with_arity("t", 2),
+            &[vec![7, 8], vec![7, 8], vec![8, 7]],
+        );
+        for mode in [KeyMode::for_view(rel.view(), &[0, 1]), KeyMode::Hashed] {
+            let mut s = Vec::new();
+            let k0 = mode.key_of(rel.view(), 0, &[0, 1], &mut s);
+            let k1 = mode.key_of(rel.view(), 1, &[0, 1], &mut s);
+            let k2 = mode.key_of(rel.view(), 2, &[0, 1], &mut s);
+            assert_eq!(k0, k1);
+            assert_ne!(k0, k2);
+        }
+    }
+
+    #[test]
+    fn empty_views_yield_no_layout() {
+        let e = Relation::new(Schema::with_arity("e", 1));
+        assert!(KeyLayout::from_view(e.view(), &[0]).is_none());
+        assert!(KeyLayout::from_two_views(e.view(), &[0], e.view(), &[0]).is_none());
+    }
+}

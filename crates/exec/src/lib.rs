@@ -1,0 +1,60 @@
+//! Mini-QuickStep execution substrate: parallel relational operators.
+//!
+//! This crate implements the operators RecStep's interpreter issues against
+//! the backend, including the two the paper singles out as the bottlenecks
+//! of recursive query processing (§5: "set difference, deduplication"):
+//!
+//! * [`expr`] — scalar expressions and comparison predicates (the residual
+//!   `x != y`, `d1 + d2`, … of rule bodies);
+//! * [`key`] — compact concatenated key (CCK) layouts: packing a whole tuple
+//!   into one 64-bit word so "the key itself is used as the hash value"
+//!   (paper Figure 5);
+//! * [`chain`] — the pre-allocated, latch-free separate-chaining hash table
+//!   shared by deduplication and join builds (the paper's GSCHT);
+//! * [`dedup`] — FAST-DEDUP: parallel insert-if-absent over the chain table,
+//!   plus the incremental-index alternative studied as an ablation;
+//! * [`join`] — parallel hash equi-join with residual predicates and
+//!   projection, cross join, and anti join (for stratified negation);
+//! * [`setdiff`] — one-phase (OPSD) and two-phase (TPSD) set difference and
+//!   the dynamic choice (DSD) driven by the Appendix A cost model;
+//! * [`agg`] — hash group-by aggregation (MIN/MAX/SUM/COUNT/AVG) and the
+//!   monotonic aggregate map behind recursive aggregation (CC, SSSP);
+//! * [`util`] — morsel-driven production helpers shared by the operators.
+
+pub mod agg;
+pub mod chain;
+pub mod dedup;
+pub mod expr;
+pub mod join;
+pub mod key;
+pub mod setdiff;
+pub mod util;
+
+use std::sync::Arc;
+
+use recstep_common::sched::ThreadPool;
+
+/// Execution context shared by all operators.
+#[derive(Clone)]
+pub struct ExecCtx {
+    /// Worker pool executing morsels.
+    pub pool: Arc<ThreadPool>,
+    /// Morsel size in rows.
+    pub grain: usize,
+    /// Row cap for operator outputs: producers stop emitting once reached
+    /// (so a join cannot materialize past the memory budget), and callers
+    /// treat outputs exceeding it as out-of-memory.
+    pub row_cap: usize,
+}
+
+impl ExecCtx {
+    /// Context over an existing pool with the default morsel size.
+    pub fn new(pool: Arc<ThreadPool>) -> Self {
+        ExecCtx { pool, grain: 4096, row_cap: usize::MAX }
+    }
+
+    /// Context with a private pool of `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(Arc::new(ThreadPool::new(threads)))
+    }
+}

@@ -1,0 +1,213 @@
+//! Morsel-driven production helpers shared by the operators.
+//!
+//! Operators follow one pattern: workers pull morsel ranges from an atomic
+//! counter, accumulate output rows in worker-local column buffers, and the
+//! buffers are concatenated once at the end (relations are sets, so output
+//! order is irrelevant). This avoids all synchronization on the hot path.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use recstep_common::sched::ThreadPool;
+use recstep_common::Value;
+
+/// Worker-local column buffer operators emit rows into.
+pub struct ColBuf {
+    cols: Vec<Vec<Value>>,
+}
+
+impl ColBuf {
+    fn new(arity: usize) -> Self {
+        ColBuf { cols: vec![Vec::new(); arity] }
+    }
+
+    /// Append one row.
+    #[inline]
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Append a single value to column `c` (columnar emission; caller must
+    /// keep columns aligned).
+    #[inline]
+    pub fn push_at(&mut self, c: usize, v: Value) {
+        self.cols[c].push(v);
+    }
+
+    /// Rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Run `produce` over all morsels of `0..n` in parallel and return the
+/// concatenated output columns.
+///
+/// `produce(range, buf)` is called once per morsel with a worker-local
+/// buffer; each closure instance owns its buffer for its whole run, so no
+/// locking happens until the final merge.
+pub fn parallel_produce<F>(
+    pool: &ThreadPool,
+    n: usize,
+    grain: usize,
+    arity: usize,
+    produce: F,
+) -> Vec<Vec<Value>>
+where
+    F: Fn(Range<usize>, &mut ColBuf) + Sync,
+{
+    let grain = grain.max(1);
+    if n == 0 {
+        return vec![Vec::new(); arity];
+    }
+    // Small inputs: skip the pool round-trip.
+    if n <= grain {
+        let mut buf = ColBuf::new(arity);
+        produce(0..n, &mut buf);
+        return buf.cols;
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Mutex<Vec<ColBuf>> = Mutex::new(Vec::new());
+    pool.run(|_ctx| {
+        let mut buf = ColBuf::new(arity);
+        loop {
+            let start = next.fetch_add(grain, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            produce(start..(start + grain).min(n), &mut buf);
+        }
+        if !buf.is_empty() {
+            parts.lock().push(buf);
+        }
+    });
+    merge_parts(parts.into_inner(), arity)
+}
+
+fn merge_parts(parts: Vec<ColBuf>, arity: usize) -> Vec<Vec<Value>> {
+    let mut iter = parts.into_iter();
+    let Some(first) = iter.next() else {
+        return vec![Vec::new(); arity];
+    };
+    let mut out = first.cols;
+    for part in iter {
+        for (dst, mut src) in out.iter_mut().zip(part.cols) {
+            dst.append(&mut src);
+        }
+    }
+    out
+}
+
+/// Fill `out[i] = f(i)` for `i in 0..n` in parallel.
+///
+/// Used for bulk key computation before table builds.
+pub fn parallel_fill<T, F>(pool: &ThreadPool, n: usize, grain: usize, init: T, f: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![init; n];
+    if n == 0 {
+        return out;
+    }
+    let ptr = SendPtr(out.as_mut_ptr());
+    pool.parallel_for(n, grain.max(1), |range, _| {
+        let ptr = &ptr;
+        for i in range {
+            // SAFETY: morsel ranges partition 0..n disjointly, so every index
+            // is written by exactly one worker; `out` outlives the call
+            // because `parallel_for` joins before returning.
+            unsafe { *ptr.0.add(i) = f(i) };
+        }
+    });
+    out
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced at disjoint indices (see above).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Sync> Sync for SendPtr<T> {}
+
+/// Round up to the next power of two, with a floor of `min`.
+pub fn next_pow2_at_least(n: usize, min: usize) -> usize {
+    n.max(min).max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recstep_common::sched::ThreadPool;
+
+    #[test]
+    fn parallel_produce_collects_all_rows() {
+        let pool = ThreadPool::new(4);
+        let cols = parallel_produce(&pool, 1000, 16, 2, |range, buf| {
+            for i in range {
+                buf.push_row(&[i as Value, (i * 2) as Value]);
+            }
+        });
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].len(), 1000);
+        let mut pairs: Vec<(Value, Value)> =
+            cols[0].iter().copied().zip(cols[1].iter().copied()).collect();
+        pairs.sort_unstable();
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(*a, i as Value);
+            assert_eq!(*b, (i * 2) as Value);
+        }
+    }
+
+    #[test]
+    fn parallel_produce_empty_input() {
+        let pool = ThreadPool::new(2);
+        let cols = parallel_produce(&pool, 0, 16, 3, |_, _| panic!("must not be called"));
+        assert_eq!(cols.len(), 3);
+        assert!(cols.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn parallel_produce_filters() {
+        let pool = ThreadPool::new(3);
+        let cols = parallel_produce(&pool, 100, 7, 1, |range, buf| {
+            for i in range {
+                if i % 2 == 0 {
+                    buf.push_row(&[i as Value]);
+                }
+            }
+        });
+        assert_eq!(cols[0].len(), 50);
+    }
+
+    #[test]
+    fn parallel_fill_computes_every_index() {
+        let pool = ThreadPool::new(4);
+        let out = parallel_fill(&pool, 10_000, 64, 0u64, |i| (i * i) as u64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_fill_empty() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u8> = parallel_fill(&pool, 0, 8, 0, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn next_pow2() {
+        assert_eq!(next_pow2_at_least(0, 16), 16);
+        assert_eq!(next_pow2_at_least(17, 16), 32);
+        assert_eq!(next_pow2_at_least(16, 16), 16);
+        assert_eq!(next_pow2_at_least(5, 1), 8);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests of the parallel operators against sequential
+//! oracles: the operators are the trusted computing base of the engine, so
+//! they get the heaviest randomized scrutiny.
+
+use proptest::prelude::*;
+use recstep_common::lang::{CmpOp, Expr, Predicate};
+use recstep_exec::agg::{group_aggregate, AggCol};
+use recstep_exec::chain::ChainTable;
+use recstep_exec::expr::AggFunc;
+use recstep_exec::join::{anti_join, cross_join, hash_join, JoinSpec};
+use recstep_exec::ExecCtx;
+use recstep_storage::{Relation, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Pair = (i64, i64);
+
+fn rel_of(pairs: &[Pair]) -> Relation {
+    let mut r = Relation::new(Schema::with_arity("t", 2));
+    for &(a, b) in pairs {
+        r.push_row(&[a, b]);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left in proptest::collection::vec((0i64..20, -5i64..5), 0..150),
+        right in proptest::collection::vec((0i64..20, -5i64..5), 0..150),
+        build_left in any::<bool>(),
+    ) {
+        let ctx = ExecCtx::with_threads(3);
+        let l = rel_of(&left);
+        let r = rel_of(&right);
+        let spec = JoinSpec {
+            left_keys: &[0],
+            right_keys: &[0],
+            build_left,
+            output: &[Expr::Col(1), Expr::Col(3)],
+            residual: &[],
+        };
+        let out = hash_join(&ctx, l.view(), r.view(), &spec);
+        let mut got: Vec<Pair> =
+            (0..out[0].len()).map(|i| (out[0][i], out[1][i])).collect();
+        got.sort_unstable();
+        let mut oracle: Vec<Pair> = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rv) in &right {
+                if lk == rk {
+                    oracle.push((lv, rv));
+                }
+            }
+        }
+        oracle.sort_unstable();
+        prop_assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn residual_prunes_exactly(
+        rows in proptest::collection::vec((0i64..10, 0i64..10), 0..100),
+    ) {
+        let ctx = ExecCtx::with_threads(2);
+        let l = rel_of(&rows);
+        let spec = JoinSpec {
+            left_keys: &[0],
+            right_keys: &[0],
+            build_left: true,
+            output: &[Expr::Col(1), Expr::Col(3)],
+            residual: &[Predicate { lhs: Expr::Col(1), op: CmpOp::Lt, rhs: Expr::Col(3) }],
+        };
+        let out = hash_join(&ctx, l.view(), l.view(), &spec);
+        for i in 0..out[0].len() {
+            prop_assert!(out[0][i] < out[1][i]);
+        }
+        // Count matches the oracle.
+        let mut expect = 0usize;
+        for &(ak, av) in &rows {
+            for &(bk, bv) in &rows {
+                if ak == bk && av < bv {
+                    expect += 1;
+                }
+            }
+        }
+        prop_assert_eq!(out[0].len(), expect);
+    }
+
+    #[test]
+    fn anti_join_is_set_minus_on_keys(
+        left in proptest::collection::vec((0i64..25, 0i64..25), 0..120),
+        right_keys in proptest::collection::vec(0i64..25, 0..40),
+    ) {
+        let ctx = ExecCtx::with_threads(3);
+        let l = rel_of(&left);
+        let mut r = Relation::new(Schema::with_arity("r", 1));
+        for &k in &right_keys {
+            r.push_row(&[k]);
+        }
+        let out = anti_join(&ctx, l.view(), r.view(), &[0], &[0], &[Expr::Col(0), Expr::Col(1)]);
+        let keys: BTreeSet<i64> = right_keys.iter().copied().collect();
+        let mut got: Vec<Pair> = (0..out[0].len()).map(|i| (out[0][i], out[1][i])).collect();
+        got.sort_unstable();
+        let mut oracle: Vec<Pair> =
+            left.iter().copied().filter(|(k, _)| !keys.contains(k)).collect();
+        oracle.sort_unstable();
+        prop_assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn cross_join_counts(
+        ln in 0usize..30,
+        rn in 0usize..30,
+    ) {
+        let ctx = ExecCtx::with_threads(2);
+        let l = rel_of(&(0..ln as i64).map(|i| (i, i)).collect::<Vec<_>>());
+        let r = rel_of(&(0..rn as i64).map(|i| (i, i)).collect::<Vec<_>>());
+        let out = cross_join(&ctx, l.view(), r.view(), &[Expr::Col(0), Expr::Col(2)], &[]);
+        prop_assert_eq!(out[0].len(), ln * rn);
+    }
+
+    #[test]
+    fn group_aggregate_matches_btreemap(
+        rows in proptest::collection::vec((0i64..15, -100i64..100), 1..200),
+    ) {
+        let ctx = ExecCtx::with_threads(3);
+        let rel = rel_of(&rows);
+        for func in [AggFunc::Min, AggFunc::Max, AggFunc::Sum, AggFunc::Count] {
+            let out = group_aggregate(
+                &ctx,
+                rel.view(),
+                &[Expr::Col(0)],
+                &[AggCol { func, expr: Expr::Col(1) }],
+            );
+            let got: BTreeMap<i64, i64> =
+                (0..out[0].len()).map(|i| (out[0][i], out[1][i])).collect();
+            let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+            for &(k, v) in &rows {
+                oracle
+                    .entry(k)
+                    .and_modify(|acc| {
+                        *acc = match func {
+                            AggFunc::Min => (*acc).min(v),
+                            AggFunc::Max => (*acc).max(v),
+                            AggFunc::Sum => *acc + v,
+                            AggFunc::Count => *acc + 1,
+                            AggFunc::Avg => unreachable!(),
+                        }
+                    })
+                    .or_insert(if func == AggFunc::Count { 1 } else { v });
+            }
+            prop_assert_eq!(got, oracle, "{:?}", func);
+        }
+    }
+
+    #[test]
+    fn chain_table_multimap_matches_hashmap(
+        entries in proptest::collection::vec((0u64..64, 0u32..1000), 0..300),
+    ) {
+        let table = ChainTable::with_capacity(entries.len(), entries.len() * 2);
+        let mut oracle: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+        for (i, &(key, _)) in entries.iter().enumerate() {
+            table.insert_multi(i as u32, key);
+            oracle.entry(key).or_default().insert(i as u32);
+        }
+        for key in 0u64..64 {
+            let got: BTreeSet<u32> = table.iter_key(key).collect();
+            let expect = oracle.get(&key).cloned().unwrap_or_default();
+            prop_assert_eq!(got, expect, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn chain_table_unique_keeps_first_winner_count(
+        keys in proptest::collection::vec(0u64..32, 1..200),
+    ) {
+        let table = ChainTable::with_capacity(keys.len(), keys.len() * 2);
+        let mut winners = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            if table.insert_unique(i as u32, k, |_, _| true) {
+                winners += 1;
+            }
+        }
+        let distinct: BTreeSet<u64> = keys.iter().copied().collect();
+        prop_assert_eq!(winners, distinct.len());
+    }
+}

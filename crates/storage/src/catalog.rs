@@ -1,0 +1,202 @@
+//! The catalog: relation registry plus versioned statistics.
+//!
+//! `analyze()` in Algorithm 1 is an explicit call telling the backend to
+//! collect statistics on a table; the interpreter controls precisely when it
+//! happens and at which level (the OOF optimization). The catalog caches the
+//! result together with the table's *modification version*, so a plan can
+//! tell whether its cached estimates are stale.
+
+use recstep_common::{Error, Result};
+
+use crate::relation::{Relation, Schema};
+use crate::stats::{analyze_view, StatsLevel, TableStats};
+
+/// Index of a relation within a [`Catalog`].
+pub type RelId = usize;
+
+struct Entry {
+    rel: Relation,
+    version: u64,
+    stats: Option<TableStats>,
+}
+
+/// Relation registry.
+#[derive(Default)]
+pub struct Catalog {
+    entries: Vec<Entry>,
+    by_name: recstep_common::hash::FxHashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a new, empty relation. Errors if the name is taken.
+    pub fn create(&mut self, schema: Schema) -> Result<RelId> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(Error::exec(format!("relation '{}' already exists", schema.name)));
+        }
+        let id = self.entries.len();
+        self.by_name.insert(schema.name.clone(), id);
+        self.entries.push(Entry { rel: Relation::new(schema), version: 0, stats: None });
+        Ok(id)
+    }
+
+    /// Register an already-populated relation. Errors if the name is taken.
+    pub fn register(&mut self, rel: Relation) -> Result<RelId> {
+        if self.by_name.contains_key(&rel.schema().name) {
+            return Err(Error::exec(format!("relation '{}' already exists", rel.schema().name)));
+        }
+        let id = self.entries.len();
+        self.by_name.insert(rel.schema().name.clone(), id);
+        self.entries.push(Entry { rel, version: 1, stats: None });
+        Ok(id)
+    }
+
+    /// Resolve a relation by name.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Immutable access.
+    #[inline]
+    pub fn rel(&self, id: RelId) -> &Relation {
+        &self.entries[id].rel
+    }
+
+    /// Mutable access; bumps the modification version (invalidating cached
+    /// statistics staleness checks).
+    #[inline]
+    pub fn rel_mut(&mut self, id: RelId) -> &mut Relation {
+        self.entries[id].version += 1;
+        &mut self.entries[id].rel
+    }
+
+    /// Current modification version of a relation.
+    pub fn version(&self, id: RelId) -> u64 {
+        self.entries[id].version
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(id, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.entries.iter().enumerate().map(|(i, e)| (i, &e.rel))
+    }
+
+    /// The paper's `analyze(R)`: collect statistics at `level` and cache
+    /// them. Re-collection is skipped when cached stats are current *and*
+    /// at least as detailed as requested.
+    pub fn analyze(&mut self, id: RelId, level: StatsLevel) -> &TableStats {
+        let entry = &mut self.entries[id];
+        let fresh_enough = entry.stats.as_ref().is_some_and(|s| {
+            s.version == entry.version
+                && (s.level == Some(StatsLevel::Full) || level == StatsLevel::Counts)
+        });
+        if !fresh_enough {
+            let mut stats = analyze_view(entry.rel.view(), level);
+            stats.version = entry.version;
+            entry.stats = Some(stats);
+        }
+        entry.stats.as_ref().unwrap()
+    }
+
+    /// Cached statistics, if any (possibly stale — check
+    /// [`TableStats::version`] against [`Catalog::version`]).
+    pub fn cached_stats(&self, id: RelId) -> Option<&TableStats> {
+        self.entries[id].stats.as_ref()
+    }
+
+    /// Row count without collecting stats (O(1)).
+    pub fn row_count(&self, id: RelId) -> usize {
+        self.entries[id].rel.len()
+    }
+
+    /// Total heap bytes across all relations (engine-level memory estimate).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.rel.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_roundtrip() {
+        let mut cat = Catalog::new();
+        let id = cat.create(Schema::new("arc", &["x", "y"])).unwrap();
+        assert_eq!(cat.lookup("arc"), Some(id));
+        assert_eq!(cat.lookup("nope"), None);
+        assert_eq!(cat.rel(id).arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cat = Catalog::new();
+        cat.create(Schema::with_arity("t", 1)).unwrap();
+        assert!(cat.create(Schema::with_arity("t", 2)).is_err());
+        assert!(cat.register(Relation::new(Schema::with_arity("t", 1))).is_err());
+    }
+
+    #[test]
+    fn mutation_bumps_version() {
+        let mut cat = Catalog::new();
+        let id = cat.create(Schema::with_arity("t", 1)).unwrap();
+        let v0 = cat.version(id);
+        cat.rel_mut(id).push_row(&[1]);
+        assert!(cat.version(id) > v0);
+    }
+
+    #[test]
+    fn analyze_caches_until_modified() {
+        let mut cat = Catalog::new();
+        let id = cat.create(Schema::with_arity("t", 1)).unwrap();
+        cat.rel_mut(id).push_row(&[5]);
+        let v = cat.version(id);
+        let s = cat.analyze(id, StatsLevel::Counts).clone();
+        assert_eq!(s.rows, 1);
+        assert_eq!(s.version, v);
+        // Unmodified: same stats object version.
+        let s2 = cat.analyze(id, StatsLevel::Counts).clone();
+        assert_eq!(s2.version, v);
+        // Modified: re-collected.
+        cat.rel_mut(id).push_row(&[6]);
+        let s3 = cat.analyze(id, StatsLevel::Counts).clone();
+        assert_eq!(s3.rows, 2);
+        assert_eq!(s3.version, cat.version(id));
+    }
+
+    #[test]
+    fn analyze_upgrades_level_but_never_downgrades() {
+        let mut cat = Catalog::new();
+        let id = cat.create(Schema::with_arity("t", 1)).unwrap();
+        cat.rel_mut(id).push_row(&[3]);
+        let s = cat.analyze(id, StatsLevel::Counts);
+        assert!(!s.has_full());
+        let s = cat.analyze(id, StatsLevel::Full);
+        assert!(s.has_full());
+        // Asking for Counts again keeps the Full stats (they subsume it).
+        let s = cat.analyze(id, StatsLevel::Counts);
+        assert!(s.has_full());
+    }
+
+    #[test]
+    fn register_prepopulated() {
+        let mut cat = Catalog::new();
+        let rel = Relation::from_rows(Schema::with_arity("r", 2), &[vec![1, 2]]);
+        let id = cat.register(rel).unwrap();
+        assert_eq!(cat.row_count(id), 1);
+        assert!(cat.heap_bytes() >= 16);
+    }
+}

@@ -1,0 +1,27 @@
+//! Mini-QuickStep storage substrate.
+//!
+//! RecStep is built "on top of QuickStep, a single-node in-memory parallel
+//! RDBMS" (paper §4). This crate supplies the storage half of that substrate:
+//!
+//! * [`relation`] — append-only columnar relations over [`recstep_common::Value`]
+//!   with zero-copy *prefix views*. Semi-naïve evaluation needs three views of
+//!   every recursive relation (`Full`, `Delta`, `Old = Full − Delta`); because
+//!   merging `R ← R ⊎ ∆R` appends, `Old` is simply the pre-merge prefix.
+//! * [`catalog`] — name → relation resolution plus per-table statistics with
+//!   validity versions (the substrate behind the paper's `analyze()` calls
+//!   and the OOF optimization).
+//! * [`stats`] — the statistics themselves and the three collection levels
+//!   (size-only, selective join-input sizes, full min/max/sum/avg).
+//! * [`disk`] — a simulated persistent store: per-query commit flushes dirty
+//!   bytes after every state-changing query (default RDBMS transaction
+//!   semantics) while EOST pends all I/O until fixpoint (paper §5.2).
+
+pub mod catalog;
+pub mod disk;
+pub mod relation;
+pub mod stats;
+
+pub use catalog::{Catalog, RelId};
+pub use disk::{CommitMode, DiskManager};
+pub use relation::{Relation, RelView, Schema};
+pub use stats::{ColStats, StatsLevel, TableStats};

@@ -1,0 +1,368 @@
+//! Append-only columnar relations and their views.
+
+use recstep_common::Value;
+
+/// Relation schema: a name plus named integer columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name as it appears in Datalog programs.
+    pub name: String,
+    /// Column names (arity = `cols.len()`).
+    pub cols: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from a name and column names.
+    pub fn new(name: impl Into<String>, cols: &[&str]) -> Self {
+        Schema { name: name.into(), cols: cols.iter().map(|c| (*c).to_string()).collect() }
+    }
+
+    /// Build a schema with auto-named columns `c0..c{arity-1}`.
+    pub fn with_arity(name: impl Into<String>, arity: usize) -> Self {
+        Schema {
+            name: name.into(),
+            cols: (0..arity).map(|i| format!("c{i}")).collect(),
+        }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// An in-memory columnar relation.
+///
+/// Storage is column-major (`cols[c][r]`), append-only during evaluation.
+/// Monotonic-aggregate relations additionally use [`Relation::set_cell`] to
+/// improve values in place (the only sanctioned mutation besides appends).
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    cols: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        Relation { schema, cols: vec![Vec::new(); arity] }
+    }
+
+    /// Relation pre-populated from row-major data.
+    pub fn from_rows(schema: Schema, rows: &[Vec<Value>]) -> Self {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.push_row(row);
+        }
+        rel
+    }
+
+    /// Schema accessor.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// True when the relation holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one row. Panics if the row arity mismatches the schema.
+    #[inline]
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.arity(), "row arity mismatch for {}", self.schema.name);
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Bulk-append column-major data produced by an operator.
+    ///
+    /// Panics if `data` has the wrong arity or ragged column lengths.
+    pub fn append_columns(&mut self, data: Vec<Vec<Value>>) {
+        assert_eq!(data.len(), self.arity(), "column-count mismatch for {}", self.schema.name);
+        if let Some(first) = data.first() {
+            let n = first.len();
+            assert!(data.iter().all(|c| c.len() == n), "ragged columns for {}", self.schema.name);
+        }
+        for (col, mut new) in self.cols.iter_mut().zip(data) {
+            if col.is_empty() {
+                *col = new; // move, no copy
+            } else {
+                col.append(&mut new);
+            }
+        }
+    }
+
+    /// Append all rows of another relation (must have equal arity).
+    pub fn append_relation(&mut self, other: &Relation) {
+        assert_eq!(other.arity(), self.arity());
+        for (col, new) in self.cols.iter_mut().zip(&other.cols) {
+            col.extend_from_slice(new);
+        }
+    }
+
+    /// Full column slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// Overwrite a single cell (used by monotonic aggregate relations).
+    #[inline]
+    pub fn set_cell(&mut self, row: usize, col: usize, v: Value) {
+        self.cols[col][row] = v;
+    }
+
+    /// Drop all rows, keeping capacity.
+    pub fn clear(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+    }
+
+    /// Truncate to the first `len` rows.
+    pub fn truncate(&mut self, len: usize) {
+        for c in &mut self.cols {
+            c.truncate(len);
+        }
+    }
+
+    /// View over all rows.
+    #[inline]
+    pub fn view(&self) -> RelView<'_> {
+        RelView { cols: &self.cols, start: 0, end: self.len() }
+    }
+
+    /// Zero-copy view over the first `len` rows (the *Old* view of
+    /// semi-naïve evaluation: facts through iteration `t-1`).
+    #[inline]
+    pub fn prefix_view(&self, len: usize) -> RelView<'_> {
+        assert!(len <= self.len());
+        RelView { cols: &self.cols, start: 0, end: len }
+    }
+
+    /// Zero-copy view over rows `start..end`.
+    #[inline]
+    pub fn range_view(&self, start: usize, end: usize) -> RelView<'_> {
+        assert!(start <= end && end <= self.len());
+        RelView { cols: &self.cols, start, end }
+    }
+
+    /// Copy row `r` into `out` (cleared first).
+    pub fn copy_row(&self, r: usize, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c[r]));
+    }
+
+    /// Materialize all rows (row-major); intended for tests and result export.
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len()).map(|r| self.cols.iter().map(|c| c[r]).collect()).collect()
+    }
+
+    /// Materialize rows in sorted order; handy for order-insensitive
+    /// comparisons in tests.
+    pub fn to_sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.to_rows();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Approximate heap footprint in bytes (column data only).
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.capacity() * std::mem::size_of::<Value>()).sum()
+    }
+}
+
+/// A borrowed, contiguous row range of a relation.
+///
+/// All operators consume `RelView`s, which makes the *Full*/*Old*/*Delta*
+/// distinction of semi-naïve evaluation free of copies.
+#[derive(Clone, Copy, Debug)]
+pub struct RelView<'a> {
+    cols: &'a [Vec<Value>],
+    start: usize,
+    end: usize,
+}
+
+impl<'a> RelView<'a> {
+    /// View over explicit column storage (for operator intermediates).
+    pub fn over(cols: &'a [Vec<Value>]) -> Self {
+        let len = cols.first().map_or(0, Vec::len);
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        RelView { cols, start: 0, end: len }
+    }
+
+    /// Number of rows in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column `c` restricted to the viewed rows.
+    #[inline]
+    pub fn col(&self, c: usize) -> &'a [Value] {
+        &self.cols[c][self.start..self.end]
+    }
+
+    /// Value at (row, col), row relative to the view.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.cols[col][self.start + row]
+    }
+
+    /// Copy row `r` (view-relative) into `out` (cleared first).
+    pub fn copy_row(&self, r: usize, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c[self.start + r]));
+    }
+
+    /// Materialize the viewed rows (row-major).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len()).map(|r| self.cols.iter().map(|c| c[self.start + r]).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_ab() -> Relation {
+        let mut r = Relation::new(Schema::new("t", &["a", "b"]));
+        r.push_row(&[1, 10]);
+        r.push_row(&[2, 20]);
+        r.push_row(&[3, 30]);
+        r
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let r = rel_ab();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.col(0), &[1, 2, 3]);
+        assert_eq!(r.col(1), &[10, 20, 30]);
+        assert_eq!(r.to_rows(), vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+    }
+
+    #[test]
+    fn prefix_view_is_old_snapshot() {
+        let mut r = rel_ab();
+        let before = r.len();
+        r.push_row(&[4, 40]); // the "delta merge"
+        let old = r.prefix_view(before);
+        assert_eq!(old.len(), 3);
+        assert_eq!(old.col(0), &[1, 2, 3]);
+        let full = r.view();
+        assert_eq!(full.len(), 4);
+        let delta = r.range_view(before, r.len());
+        assert_eq!(delta.to_rows(), vec![vec![4, 40]]);
+    }
+
+    #[test]
+    fn append_columns_moves_into_empty() {
+        let mut r = Relation::new(Schema::with_arity("t", 2));
+        r.append_columns(vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.len(), 2);
+        r.append_columns(vec![vec![5], vec![6]]);
+        assert_eq!(r.to_rows(), vec![vec![1, 3], vec![2, 4], vec![5, 6]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = rel_ab();
+        r.push_row(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_append_panics() {
+        let mut r = Relation::new(Schema::with_arity("t", 2));
+        r.append_columns(vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn set_cell_updates_in_place() {
+        let mut r = rel_ab();
+        r.set_cell(1, 1, 99);
+        assert_eq!(r.col(1), &[10, 99, 30]);
+    }
+
+    #[test]
+    fn copy_row_and_views() {
+        let r = rel_ab();
+        let mut buf = Vec::new();
+        r.copy_row(2, &mut buf);
+        assert_eq!(buf, vec![3, 30]);
+        let v = r.range_view(1, 3);
+        assert_eq!(v.get(0, 0), 2);
+        v.copy_row(1, &mut buf);
+        assert_eq!(buf, vec![3, 30]);
+    }
+
+    #[test]
+    fn sorted_rows_for_set_compare() {
+        let mut r = Relation::new(Schema::with_arity("t", 1));
+        r.push_row(&[3]);
+        r.push_row(&[1]);
+        r.push_row(&[2]);
+        assert_eq!(r.to_sorted_rows(), vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_data() {
+        let mut r = Relation::new(Schema::with_arity("t", 2));
+        let b0 = r.heap_bytes();
+        for i in 0..1000 {
+            r.push_row(&[i, i]);
+        }
+        assert!(r.heap_bytes() > b0);
+        assert!(r.heap_bytes() >= 2 * 1000 * 8);
+    }
+
+    #[test]
+    fn view_over_raw_columns() {
+        let cols = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let v = RelView::over(&cols);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.col(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn truncate_and_clear() {
+        let mut r = rel_ab();
+        r.truncate(1);
+        assert_eq!(r.to_rows(), vec![vec![1, 10]]);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

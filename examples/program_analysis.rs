@@ -1,0 +1,59 @@
+//! Static program analysis with Datalog: Andersen's points-to analysis and
+//! the context-sensitive analyses (CSPA, CSDA) of the paper's §6, over
+//! generated program graphs.
+//!
+//! ```sh
+//! cargo run --release --example program_analysis
+//! ```
+
+use recstep::{Config, PbmeMode, RecStep};
+use recstep_graphgen::program_analysis as pa;
+
+fn main() -> recstep::Result<()> {
+    // Andersen's analysis: non-linear recursion (two pointsTo atoms per
+    // rule body).
+    let input = pa::andersen(3_000, 1);
+    let mut engine = RecStep::new(Config::default())?;
+    engine.load_edges("addressOf", &input.address_of)?;
+    engine.load_edges("assign", &input.assign)?;
+    engine.load_edges("load", &input.load)?;
+    engine.load_edges("store", &input.store)?;
+    let stats = engine.run_source(recstep::programs::ANDERSEN)?;
+    println!(
+        "Andersen: {} input facts -> {} pointsTo facts in {:?} ({} iterations)",
+        input.len(),
+        engine.row_count("pointsTo"),
+        stats.total,
+        stats.iterations
+    );
+
+    // CSPA: mutual recursion across valueFlow / valueAlias / memoryAlias.
+    let cspa = pa::cspa(400, 12, 2);
+    let mut engine = RecStep::new(Config::default())?;
+    engine.load_edges("assign", &cspa.assign)?;
+    engine.load_edges("dereference", &cspa.dereference)?;
+    let stats = engine.run_source(recstep::programs::CSPA)?;
+    println!(
+        "CSPA: vf={} va={} ma={} in {:?} ({} iterations — few, heavy rounds)",
+        engine.row_count("valueFlow"),
+        engine.row_count("valueAlias"),
+        engine.row_count("memoryAlias"),
+        stats.total,
+        stats.iterations
+    );
+
+    // CSDA: ~chain-length iterations with tiny deltas — the opposite
+    // regime (PBME off to exercise the tuple path the paper measures).
+    let csda = pa::csda(50, 600, 3);
+    let mut engine = RecStep::new(Config::default().pbme(PbmeMode::Off))?;
+    engine.load_edges("arc", &csda.arc)?;
+    engine.load_edges("nullEdge", &csda.null_edge)?;
+    let stats = engine.run_source(recstep::programs::CSDA)?;
+    println!(
+        "CSDA: {} null facts in {:?} ({} iterations — many, cheap rounds)",
+        engine.row_count("null"),
+        stats.total,
+        stats.iterations
+    );
+    Ok(())
+}

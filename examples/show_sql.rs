@@ -1,0 +1,30 @@
+//! Render the SQL RecStep would issue to its RDBMS backend — the unified
+//! IDB evaluation (UIE) query versus per-rule individual evaluation, for
+//! the Andersen program (reproducing the paper's Figure 4).
+//!
+//! ```sh
+//! cargo run --example show_sql
+//! ```
+
+use recstep::{compile_source, sqlgen};
+
+fn main() -> recstep::Result<()> {
+    let program = recstep::programs::ANDERSEN;
+    println!("Datalog program:\n{program}");
+    let compiled = compile_source(program)?;
+    for (si, stratum) in compiled.strata.iter().enumerate() {
+        println!(
+            "--- stratum {si} ({}) ---",
+            if stratum.recursive { "recursive" } else { "non-recursive" }
+        );
+        for idb in &stratum.idbs {
+            println!("\n# Unified IDB Evaluation (UIE) for {}:", idb.rel);
+            println!("{}", sqlgen::render_uie(idb));
+            if stratum.recursive {
+                println!("\n# Individual IDB Evaluation for {}:", idb.rel);
+                println!("{}", sqlgen::render_iie(idb));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Workspace root crate: hosts the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`). The library surface
+//! simply re-exports the public crates so examples can use one import root.
+
+pub use recstep;
+pub use recstep_baselines as baselines;
+pub use recstep_bitmatrix as bitmatrix;
+pub use recstep_common as common;
+pub use recstep_datalog as datalog;
+pub use recstep_exec as exec;
+pub use recstep_graphgen as graphgen;
+pub use recstep_storage as storage;
