@@ -68,10 +68,23 @@ impl BddManager {
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0 && bits <= 31, "bits out of range");
         let nodes = vec![
-            Node { var: u32::MAX, lo: ZERO, hi: ZERO }, // false
-            Node { var: u32::MAX, lo: ONE, hi: ONE },   // true
+            Node {
+                var: u32::MAX,
+                lo: ZERO,
+                hi: ZERO,
+            }, // false
+            Node {
+                var: u32::MAX,
+                lo: ONE,
+                hi: ONE,
+            }, // true
         ];
-        BddManager { nodes, unique: FxHashMap::default(), cache: FxHashMap::default(), bits }
+        BddManager {
+            nodes,
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            bits,
+        }
     }
 
     /// Bits per bank.
@@ -228,7 +241,10 @@ impl BddManager {
     /// `mk` for rename results: adjacent-bank renames of bank-disjoint
     /// functions preserve ordering, which we assert in debug builds.
     fn mk_ordered(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
-        debug_assert!(self.var(lo) > var && self.var(hi) > var, "rename broke ordering");
+        debug_assert!(
+            self.var(lo) > var && self.var(hi) > var,
+            "rename broke ordering"
+        );
         self.mk(var, lo, hi)
     }
 
@@ -240,7 +256,11 @@ impl BddManager {
             for &(bank, v) in &[(by, y), (bx, x)] {
                 let var = self.var_of(bank, bit);
                 let set = (v >> (self.bits - 1 - bit)) & 1 == 1;
-                f = if set { self.mk(var, ZERO, f) } else { self.mk(var, f, ZERO) };
+                f = if set {
+                    self.mk(var, ZERO, f)
+                } else {
+                    self.mk(var, f, ZERO)
+                };
             }
         }
         f
@@ -344,7 +364,12 @@ impl BddManager {
 /// bddbddb-stand-in evaluation of TC over an edge list; returns the pairs
 /// and the peak node count (its memory proxy).
 pub fn bdd_tc(edges: &[(Value, Value)]) -> (Vec<(Value, Value)>, usize) {
-    let max = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap_or(0).max(1);
+    let max = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let bits = (64 - (max as u64).leading_zeros()).max(1);
     let mut m = BddManager::new(bits);
     let e = m.from_edges(edges, Bank::X, Bank::Y);
@@ -388,10 +413,14 @@ mod tests {
     fn rand_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
         let mut state = seed;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
-        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+        (0..m)
+            .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+            .collect()
     }
 
     #[test]
@@ -437,8 +466,12 @@ mod tests {
         let mut oracle = NaiveEngine::new();
         oracle.load_edges("arc", &edges);
         oracle.run_source(programs::TC).unwrap();
-        let expect: BTreeSet<(Value, Value)> =
-            oracle.rows("tc").unwrap().iter().map(|r| (r[0], r[1])).collect();
+        let expect: BTreeSet<(Value, Value)> = oracle
+            .rows("tc")
+            .unwrap()
+            .iter()
+            .map(|r| (r[0], r[1]))
+            .collect();
         let (got, nodes) = bdd_tc(&edges);
         assert_eq!(got.into_iter().collect::<BTreeSet<_>>(), expect);
         assert!(nodes > 2);
@@ -451,8 +484,7 @@ mod tests {
         oracle.load_edges("arc", &edges);
         oracle.load("id", [vec![3]]);
         oracle.run_source(programs::REACH).unwrap();
-        let expect: BTreeSet<Value> =
-            oracle.rows("reach").unwrap().iter().map(|r| r[0]).collect();
+        let expect: BTreeSet<Value> = oracle.rows("reach").unwrap().iter().map(|r| r[0]).collect();
         let got: BTreeSet<Value> = bdd_reach(&edges, &[3]).into_iter().collect();
         assert_eq!(got, expect);
     }
@@ -473,7 +505,10 @@ mod tests {
         // 1024 tuples, but the function is "x < 32 ∧ y ≥ 32": a handful of
         // decision nodes.
         let live = count_reachable(&m, f);
-        assert!(live < 40, "dense relation should compress, got {live} nodes");
+        assert!(
+            live < 40,
+            "dense relation should compress, got {live} nodes"
+        );
     }
 
     fn count_reachable(m: &BddManager, f: Ref) -> usize {

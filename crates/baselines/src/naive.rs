@@ -71,7 +71,10 @@ impl NaiveEngine {
             }
         }
         for (name, vals) in &analysis.program.facts {
-            self.rels.entry(name.clone()).or_default().insert(vals.clone());
+            self.rels
+                .entry(name.clone())
+                .or_default()
+                .insert(vals.clone());
         }
         let mut iterations = 0usize;
         for stratum in &analysis.strata {
@@ -239,7 +242,10 @@ fn absorb_aggregated(target: &mut Tuples, rule: &Rule, pre_agg: Vec<Vec<Value>>)
             None => {
                 grouped.insert(
                     group.to_vec(),
-                    args.iter().zip(&funcs).map(|(&a, &f)| AggState::new(f, a)).collect(),
+                    args.iter()
+                        .zip(&funcs)
+                        .map(|(&a, &f)| AggState::new(f, a))
+                        .collect(),
                 );
             }
         }
@@ -257,7 +263,12 @@ fn absorb_aggregated(target: &mut Tuples, rule: &Rule, pre_agg: Vec<Vec<Value>>)
         // Find an existing row with the same group.
         let existing: Option<Vec<Value>> = target
             .iter()
-            .find(|row| group_positions.iter().enumerate().all(|(gi, &p)| row[p] == group[gi]))
+            .find(|row| {
+                group_positions
+                    .iter()
+                    .enumerate()
+                    .all(|(gi, &p)| row[p] == group[gi])
+            })
             .cloned();
         match existing {
             None => {
@@ -302,7 +313,10 @@ impl AggState {
     fn new(func: AggFunc, v: Value) -> Self {
         match func {
             AggFunc::Count => AggState { acc: 1, cnt: 1 },
-            _ => AggState { acc: v as i128, cnt: 1 },
+            _ => AggState {
+                acc: v as i128,
+                cnt: 1,
+            },
         }
     }
 
@@ -335,15 +349,9 @@ fn eval_aexpr(e: &AExpr, binding: &FxHashMap<&str, Value>) -> Result<Value> {
             .get(v.as_str())
             .ok_or_else(|| Error::analysis(format!("unbound variable {v}")))?,
         AExpr::Const(c) => *c,
-        AExpr::Add(a, b) => {
-            eval_aexpr(a, binding)?.wrapping_add(eval_aexpr(b, binding)?)
-        }
-        AExpr::Sub(a, b) => {
-            eval_aexpr(a, binding)?.wrapping_sub(eval_aexpr(b, binding)?)
-        }
-        AExpr::Mul(a, b) => {
-            eval_aexpr(a, binding)?.wrapping_mul(eval_aexpr(b, binding)?)
-        }
+        AExpr::Add(a, b) => eval_aexpr(a, binding)?.wrapping_add(eval_aexpr(b, binding)?),
+        AExpr::Sub(a, b) => eval_aexpr(a, binding)?.wrapping_sub(eval_aexpr(b, binding)?),
+        AExpr::Mul(a, b) => eval_aexpr(a, binding)?.wrapping_mul(eval_aexpr(b, binding)?),
     })
 }
 
@@ -367,7 +375,10 @@ mod tests {
         let chain: Vec<(Value, Value)> = (0..20).map(|i| (i, i + 1)).collect();
         e.load_edges("arc", &chain);
         let iters = e.run_source(programs::TC).unwrap();
-        assert!(iters >= 6, "fixpoint depth of TC on a 20-chain is log-ish, got {iters}");
+        assert!(
+            iters >= 6,
+            "fixpoint depth of TC on a 20-chain is log-ish, got {iters}"
+        );
     }
 
     #[test]

@@ -28,7 +28,6 @@ use recstep_datalog::plan::{
     compile, AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, SubQuery,
 };
 
-
 /// Evaluation statistics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SetStats {
@@ -49,8 +48,14 @@ impl MonotonicAgg {
     fn new(func: recstep_common::lang::AggFunc) -> Result<Self> {
         use recstep_common::lang::AggFunc::*;
         match func {
-            Min => Ok(MonotonicAgg { is_min: true, map: FxHashMap::default() }),
-            Max => Ok(MonotonicAgg { is_min: false, map: FxHashMap::default() }),
+            Min => Ok(MonotonicAgg {
+                is_min: true,
+                map: FxHashMap::default(),
+            }),
+            Max => Ok(MonotonicAgg {
+                is_min: false,
+                map: FxHashMap::default(),
+            }),
             other => Err(Error::analysis(format!(
                 "recursive aggregation requires MIN or MAX, got {}",
                 other.sql()
@@ -97,7 +102,12 @@ struct RelData {
 
 impl RelData {
     fn new() -> Self {
-        RelData { rows: Vec::new(), set: FxHashSet::default(), d0: 0, d1: 0 }
+        RelData {
+            rows: Vec::new(),
+            set: FxHashSet::default(),
+            d0: 0,
+            d1: 0,
+        }
     }
 
     fn insert(&mut self, row: Vec<Value>) -> bool {
@@ -121,12 +131,19 @@ pub struct SetEngine {
 impl SetEngine {
     /// `parallel = true` uses rayon for the probe loops.
     pub fn new(parallel: bool) -> Self {
-        SetEngine { parallel, rels: FxHashMap::default(), tuple_budget: None }
+        SetEngine {
+            parallel,
+            rels: FxHashMap::default(),
+            tuple_budget: None,
+        }
     }
 
     /// Load rows into an input relation.
     pub fn load(&mut self, name: &str, rows: impl IntoIterator<Item = Vec<Value>>) {
-        let rel = self.rels.entry(name.to_string()).or_insert_with(RelData::new);
+        let rel = self
+            .rels
+            .entry(name.to_string())
+            .or_insert_with(RelData::new);
         for row in rows {
             rel.insert(row);
         }
@@ -163,7 +180,9 @@ impl SetEngine {
             if decl.is_idb {
                 self.rels.insert(decl.name.clone(), RelData::new());
             } else {
-                self.rels.entry(decl.name.clone()).or_insert_with(RelData::new);
+                self.rels
+                    .entry(decl.name.clone())
+                    .or_insert_with(RelData::new);
             }
         }
         let mut stats = SetStats::default();
@@ -290,9 +309,7 @@ impl SetEngine {
                     let (group, args) = cand.split_at(g);
                     match states.get_mut(group) {
                         Some(acc) => {
-                            for ((a, &v), &f) in
-                                acc.iter_mut().zip(args).zip(&shape.funcs)
-                            {
+                            for ((a, &v), &f) in acc.iter_mut().zip(args).zip(&shape.funcs) {
                                 use recstep_common::lang::AggFunc::*;
                                 match f {
                                     Min => *a = (*a).min(v),
@@ -363,11 +380,7 @@ impl SetEngine {
         Ok(())
     }
 
-    fn eval_idb(
-        &self,
-        _stratum: &CompiledStratum,
-        idb: &CompiledIdb,
-    ) -> Result<Vec<Vec<Value>>> {
+    fn eval_idb(&self, _stratum: &CompiledStratum, idb: &CompiledIdb) -> Result<Vec<Vec<Value>>> {
         let mut out = Vec::new();
         for sq in &idb.subqueries {
             out.extend(self.eval_subquery(sq)?);
@@ -480,10 +493,14 @@ mod tests {
     fn rand_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
         let mut state = seed;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
-        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+        (0..m)
+            .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+            .collect()
     }
 
     fn set_of(rows: &[Vec<Value>]) -> BTreeSet<Vec<Value>> {
@@ -529,9 +546,12 @@ mod tests {
         let store = rand_edges(15, 6, 10);
         let mut oracle = NaiveEngine::new();
         let mut e = SetEngine::new(true);
-        for (name, data) in
-            [("addressOf", &addr), ("assign", &assign), ("load", &load), ("store", &store)]
-        {
+        for (name, data) in [
+            ("addressOf", &addr),
+            ("assign", &assign),
+            ("load", &load),
+            ("store", &store),
+        ] {
             oracle.load_edges(name, data);
             e.load_edges(name, data);
         }

@@ -30,7 +30,11 @@ pub enum Production {
     /// `dst ::= rev(src)`
     Reverse { dst: LabelId, src: LabelId },
     /// `dst ::= a b` (compose through the shared middle vertex)
-    Compose { dst: LabelId, a: LabelId, b: LabelId },
+    Compose {
+        dst: LabelId,
+        a: LabelId,
+        b: LabelId,
+    },
     /// `dst(x, x) ::= src(x, _)`
     SelfSrc { dst: LabelId, src: LabelId },
     /// `dst(y, y) ::= src(_, y)`
@@ -89,7 +93,11 @@ struct LabelEdges {
 
 impl LabelEdges {
     fn new() -> Self {
-        LabelEdges { set: FxHashSet::default(), out: FxHashMap::default(), inn: FxHashMap::default() }
+        LabelEdges {
+            set: FxHashSet::default(),
+            out: FxHashMap::default(),
+            inn: FxHashMap::default(),
+        }
     }
 
     fn insert(&mut self, u: u32, v: u32) -> bool {
@@ -127,7 +135,11 @@ impl WorklistEngine {
         for _ in 0..n {
             edges.push(LabelEdges::new());
         }
-        WorklistEngine { grammar, edges, edge_budget: None }
+        WorklistEngine {
+            grammar,
+            edges,
+            edge_budget: None,
+        }
     }
 
     /// Load input edges under a label.
@@ -148,15 +160,20 @@ impl WorklistEngine {
     /// Edge set of a label.
     pub fn edges_of(&self, label: &str) -> Option<Vec<(Value, Value)>> {
         let id = self.grammar.lookup(label)?;
-        let mut out: Vec<(Value, Value)> =
-            self.edges[id].set.iter().map(|&(u, v)| (u as Value, v as Value)).collect();
+        let mut out: Vec<(Value, Value)> = self.edges[id]
+            .set
+            .iter()
+            .map(|&(u, v)| (u as Value, v as Value))
+            .collect();
         out.sort_unstable();
         Some(out)
     }
 
     /// Edge count of a label.
     pub fn edge_count(&self, label: &str) -> usize {
-        self.grammar.lookup(label).map_or(0, |id| self.edges[id].set.len())
+        self.grammar
+            .lookup(label)
+            .map_or(0, |id| self.edges[id].set.len())
     }
 
     /// Run the worklist to fixpoint.
@@ -239,7 +256,11 @@ pub mod grammars {
         let arc = g.label("arc");
         let tc = g.label("tc");
         g.add(Copy { dst: tc, src: arc });
-        g.add(Compose { dst: tc, a: tc, b: arc });
+        g.add(Compose {
+            dst: tc,
+            a: tc,
+            b: arc,
+        });
         g
     }
 
@@ -249,8 +270,15 @@ pub mod grammars {
         let null_edge = g.label("nullEdge");
         let arc = g.label("arc");
         let null = g.label("null");
-        g.add(Copy { dst: null, src: null_edge });
-        g.add(Compose { dst: null, a: null, b: arc });
+        g.add(Copy {
+            dst: null,
+            src: null_edge,
+        });
+        g.add(Compose {
+            dst: null,
+            a: null,
+            b: arc,
+        });
         g
     }
 
@@ -266,13 +294,36 @@ pub mod grammars {
         let rpt = g.label("_rev_pointsTo");
         let t_load = g.label("_load_pt");
         let t_store = g.label("_rpt_store");
-        g.add(Copy { dst: pt, src: address_of });
-        g.add(Compose { dst: pt, a: assign, b: pt });
-        g.add(Compose { dst: t_load, a: load, b: pt });
-        g.add(Compose { dst: pt, a: t_load, b: pt });
+        g.add(Copy {
+            dst: pt,
+            src: address_of,
+        });
+        g.add(Compose {
+            dst: pt,
+            a: assign,
+            b: pt,
+        });
+        g.add(Compose {
+            dst: t_load,
+            a: load,
+            b: pt,
+        });
+        g.add(Compose {
+            dst: pt,
+            a: t_load,
+            b: pt,
+        });
         g.add(Reverse { dst: rpt, src: pt });
-        g.add(Compose { dst: t_store, a: rpt, b: store });
-        g.add(Compose { dst: pt, a: t_store, b: pt });
+        g.add(Compose {
+            dst: t_store,
+            a: rpt,
+            b: store,
+        });
+        g.add(Compose {
+            dst: pt,
+            a: t_store,
+            b: pt,
+        });
         g
     }
 
@@ -295,20 +346,66 @@ pub mod grammars {
         let rderef = g.label("_rev_deref");
         let t1 = g.label("_rderef_va");
         let t2 = g.label("_rvf_ma");
-        g.add(Copy { dst: vf, src: assign });
-        g.add(Compose { dst: vf, a: assign, b: ma });
-        g.add(Compose { dst: vf, a: vf, b: vf });
-        g.add(SelfSrc { dst: vf, src: assign });
-        g.add(SelfDst { dst: vf, src: assign });
-        g.add(SelfSrc { dst: ma, src: assign });
-        g.add(SelfDst { dst: ma, src: assign });
-        g.add(Reverse { dst: rderef, src: deref });
-        g.add(Compose { dst: t1, a: rderef, b: va });
-        g.add(Compose { dst: ma, a: t1, b: deref });
+        g.add(Copy {
+            dst: vf,
+            src: assign,
+        });
+        g.add(Compose {
+            dst: vf,
+            a: assign,
+            b: ma,
+        });
+        g.add(Compose {
+            dst: vf,
+            a: vf,
+            b: vf,
+        });
+        g.add(SelfSrc {
+            dst: vf,
+            src: assign,
+        });
+        g.add(SelfDst {
+            dst: vf,
+            src: assign,
+        });
+        g.add(SelfSrc {
+            dst: ma,
+            src: assign,
+        });
+        g.add(SelfDst {
+            dst: ma,
+            src: assign,
+        });
+        g.add(Reverse {
+            dst: rderef,
+            src: deref,
+        });
+        g.add(Compose {
+            dst: t1,
+            a: rderef,
+            b: va,
+        });
+        g.add(Compose {
+            dst: ma,
+            a: t1,
+            b: deref,
+        });
         g.add(Reverse { dst: rvf, src: vf });
-        g.add(Compose { dst: va, a: rvf, b: vf });
-        g.add(Compose { dst: t2, a: rvf, b: ma });
-        g.add(Compose { dst: va, a: t2, b: vf });
+        g.add(Compose {
+            dst: va,
+            a: rvf,
+            b: vf,
+        });
+        g.add(Compose {
+            dst: t2,
+            a: rvf,
+            b: ma,
+        });
+        g.add(Compose {
+            dst: va,
+            a: t2,
+            b: vf,
+        });
         g
     }
 }
@@ -323,10 +420,14 @@ mod tests {
     fn rand_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
         let mut state = seed;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
-        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+        (0..m)
+            .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+            .collect()
     }
 
     fn pairs(rows: &std::collections::BTreeSet<Vec<Value>>) -> BTreeSet<(Value, Value)> {
@@ -370,9 +471,12 @@ mod tests {
         let load = rand_edges(15, 6, 9);
         let store = rand_edges(15, 6, 10);
         let mut oracle = NaiveEngine::new();
-        for (name, data) in
-            [("addressOf", &addr), ("assign", &assign), ("load", &load), ("store", &store)]
-        {
+        for (name, data) in [
+            ("addressOf", &addr),
+            ("assign", &assign),
+            ("load", &load),
+            ("store", &store),
+        ] {
             oracle.load_edges(name, data);
         }
         oracle.run_source(programs::ANDERSEN).unwrap();
@@ -382,8 +486,7 @@ mod tests {
         w.load("load", &load).unwrap();
         w.load("store", &store).unwrap();
         w.run().unwrap();
-        let got: BTreeSet<(Value, Value)> =
-            w.edges_of("pointsTo").unwrap().into_iter().collect();
+        let got: BTreeSet<(Value, Value)> = w.edges_of("pointsTo").unwrap().into_iter().collect();
         assert_eq!(got, pairs(oracle.rows("pointsTo").unwrap()));
     }
 

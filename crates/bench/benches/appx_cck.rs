@@ -9,7 +9,10 @@ use recstep_storage::{Relation, Schema};
 use std::time::Instant;
 
 fn main() {
-    header("Ablation", "dedup implementations: CCK vs generic-hash vs sort");
+    header(
+        "Ablation",
+        "dedup implementations: CCK vs generic-hash vs sort",
+    );
     let ctx = ExecCtx::with_threads(max_threads());
     row(&cells(&["rows", "CCK", "generic", "sort", "distinct"]));
     for exp in [14u32, 16, 18, 20] {

@@ -2,7 +2,9 @@
 //! across β = |R|/|Rδ|, plus the calibrated α.
 
 use recstep_bench::*;
-use recstep_exec::setdiff::{calibrate_alpha, choose_algo, set_difference, DsdState, SetDiffAlgo, SetDiffStrategy};
+use recstep_exec::setdiff::{
+    calibrate_alpha, choose_algo, set_difference, DsdState, SetDiffAlgo, SetDiffStrategy,
+};
 use recstep_exec::ExecCtx;
 use recstep_storage::{Relation, Schema};
 use std::time::Instant;
@@ -16,12 +18,20 @@ fn synth(n: usize, offset: i64) -> Relation {
 }
 
 fn main() {
-    header("Appendix A", "DSD cost model: OPSD vs TPSD vs Dynamic across beta");
+    header(
+        "Appendix A",
+        "DSD cost model: OPSD vs TPSD vs Dynamic across beta",
+    );
     let ctx = ExecCtx::with_threads(max_threads());
     let alpha = calibrate_alpha(&ctx, 2, 3);
-    println!("  calibrated alpha = {alpha:.2} (threshold 2a/(a-1) = {:.2})", 2.0 * alpha / (alpha - 1.0));
+    println!(
+        "  calibrated alpha = {alpha:.2} (threshold 2a/(a-1) = {:.2})",
+        2.0 * alpha / (alpha - 1.0)
+    );
     let delta_n = (200_000u32 / scale().max(1)).max(2_000) as usize;
-    row(&cells(&["beta", "|R|", "OPSD", "TPSD", "Dynamic", "chosen"]));
+    row(&cells(&[
+        "beta", "|R|", "OPSD", "TPSD", "Dynamic", "chosen",
+    ]));
     for beta in [0.5f64, 1.0, 2.0, 4.0, 8.0, 32.0] {
         let full_n = (delta_n as f64 * beta) as usize;
         let delta = synth(delta_n, full_n as i64 / 2); // partial overlap

@@ -11,7 +11,10 @@ use recstep_storage::{Relation, Schema};
 use std::time::Instant;
 
 fn main() {
-    header("Ablation", "per-iteration set difference vs incremental dedup index");
+    header(
+        "Ablation",
+        "per-iteration set difference vs incremental dedup index",
+    );
     let ctx = ExecCtx::with_threads(max_threads());
     let iters = 40usize;
     let batch = (50_000u32 / scale().max(1)).max(1_000) as usize;
@@ -32,8 +35,13 @@ fn main() {
     let mut total_delta = 0usize;
     for i in 0..iters {
         let b = mk_batch(i);
-        let (delta, _) =
-            set_difference(&ctx, b.view(), full.view(), SetDiffStrategy::Dynamic, &mut st);
+        let (delta, _) = set_difference(
+            &ctx,
+            b.view(),
+            full.view(),
+            SetDiffStrategy::Dynamic,
+            &mut st,
+        );
         total_delta += delta.first().map_or(0, Vec::len);
         full.append_columns(delta);
     }
@@ -50,8 +58,19 @@ fn main() {
     }
     let incremental = t0.elapsed();
 
-    assert_eq!(total_delta, inc_total, "both designs must find the same new tuples");
+    assert_eq!(
+        total_delta, inc_total,
+        "both designs must find the same new tuples"
+    );
     row(&cells(&["design", "time", "new tuples"]));
-    row(&["per-iteration DSD".into(), format!("{:.3}s", per_iter.as_secs_f64()), total_delta.to_string()]);
-    row(&["incremental index".into(), format!("{:.3}s", incremental.as_secs_f64()), inc_total.to_string()]);
+    row(&[
+        "per-iteration DSD".into(),
+        format!("{:.3}s", per_iter.as_secs_f64()),
+        total_delta.to_string(),
+    ]);
+    row(&[
+        "incremental index".into(),
+        format!("{:.3}s", incremental.as_secs_f64()),
+        inc_total.to_string(),
+    ]);
 }

@@ -7,10 +7,12 @@ use recstep_bench::*;
 use recstep_graphgen::program_analysis::{cspa, paper_system_programs};
 
 fn run_cspa(cfg: Config, assign: &[(i64, i64)], deref: &[(i64, i64)]) -> Outcome {
-    let mut e = recstep_engine(cfg.threads(max_threads()));
-    e.load_edges("assign", assign).unwrap();
-    e.load_edges("dereference", deref).unwrap();
-    measure(|| e.run_source(recstep::programs::CSPA).map(|_| e.row_count("valueFlow")))
+    run_recstep(
+        cfg.threads(max_threads()),
+        recstep::programs::CSPA,
+        &[("assign", assign), ("dereference", deref)],
+        "valueFlow",
+    )
 }
 
 fn main() {
@@ -56,7 +58,10 @@ fn main() {
     }
     // All variants must agree on the result.
     let witness: Vec<usize> = results.iter().filter_map(|(_, o)| o.rows()).collect();
-    assert!(witness.windows(2).all(|w| w[0] == w[1]), "variants disagree: {witness:?}");
+    assert!(
+        witness.windows(2).all(|w| w[0] == w[1]),
+        "variants disagree: {witness:?}"
+    );
 
     println!("\n## Figure 4: UIE vs. individual-IDB SQL (Andersen analysis)");
     let prog = compile_source(recstep::programs::ANDERSEN).unwrap();
@@ -69,6 +74,12 @@ fn main() {
         .iter()
         .find(|i| i.rel == "pointsTo")
         .unwrap();
-    println!("--- Unified IDB Evaluation ---\n{}", recstep::sqlgen::render_uie(pt));
-    println!("--- Individual IDB Evaluation ---\n{}", recstep::sqlgen::render_iie(pt));
+    println!(
+        "--- Unified IDB Evaluation ---\n{}",
+        recstep::sqlgen::render_uie(pt)
+    );
+    println!(
+        "--- Individual IDB Evaluation ---\n{}",
+        recstep::sqlgen::render_iie(pt)
+    );
 }

@@ -14,7 +14,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 fn main() {
     let spec = &paper_system_programs(scale())[2]; // httpd-sim
     let input = cspa(spec.cspa_clusters, spec.cspa_cluster_size, 42);
-    header("Figure 3", &format!("Memory effects of optimizations: CSPA on {}", spec.name));
+    header(
+        "Figure 3",
+        &format!("Memory effects of optimizations: CSPA on {}", spec.name),
+    );
     let base = || Config::default().pbme(PbmeMode::Off);
     let variants: Vec<(&str, Config)> = vec![
         ("RecStep", base()),
@@ -28,12 +31,14 @@ fn main() {
     ];
     row(&cells(&["variant", "peak alloc", "peak engine", "time"]));
     for (name, cfg) in variants {
-        let mut e = recstep_engine(cfg.threads(max_threads()));
-        e.load_edges("assign", &input.assign).unwrap();
-        e.load_edges("dereference", &input.dereference).unwrap();
+        let prog = prepared(cfg.threads(max_threads()), recstep::programs::CSPA);
+        let mut db = db_with_edges(&[
+            ("assign", &input.assign),
+            ("dereference", &input.dereference),
+        ]);
         mem::reset_peak();
         let sampler = MemSampler::start(Duration::from_millis(5));
-        let out = measure(|| e.run_source(recstep::programs::CSPA).map(|s| s.peak_bytes));
+        let out = measure(|| prog.run(&mut db).map(|s| s.peak_bytes));
         let series = sampler.finish();
         let peak_alloc = mem::peak_bytes();
         row(&[
@@ -46,7 +51,13 @@ fn main() {
             let pts = downsample(&series, 8);
             let line: Vec<String> = pts
                 .iter()
-                .map(|s| format!("{:.2}s:{}", s.elapsed.as_secs_f64(), mem::fmt_bytes(s.live_bytes)))
+                .map(|s| {
+                    format!(
+                        "{:.2}s:{}",
+                        s.elapsed.as_secs_f64(),
+                        mem::fmt_bytes(s.live_bytes)
+                    )
+                })
                 .collect();
             println!("    series[{name}]: {}", line.join(" "));
         }

@@ -11,17 +11,27 @@ use recstep_graphgen::{as_values, gnp::gnp};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn run(program: &str, rel: &str, edges: &[(i64, i64)], pbme: PbmeMode) -> (Outcome, usize) {
-    let mut e = recstep_engine(Config::default().pbme(pbme).threads(max_threads()));
-    e.load_edges("arc", edges).unwrap();
+    let prog = prepared(Config::default().pbme(pbme).threads(max_threads()), program);
+    let mut db = db_with_edges(&[("arc", edges)]);
     mem::reset_peak();
-    let out = measure(|| e.run_source(program).map(|_| e.row_count(rel)));
+    let out = measure(|| prog.run(&mut db).map(|_| db.row_count(rel)));
     (out, mem::peak_bytes())
 }
 
 fn main() {
     let s = scale();
-    header("Figure 6", "Memory saving of PBME on TC and SG (Gn-p graphs)");
-    row(&cells(&["workload", "graph", "mode", "time", "peak alloc", "rows"]));
+    header(
+        "Figure 6",
+        "Memory saving of PBME on TC and SG (Gn-p graphs)",
+    );
+    row(&cells(&[
+        "workload",
+        "graph",
+        "mode",
+        "time",
+        "peak alloc",
+        "rows",
+    ]));
     let tc_sizes = [(10_000u32, "G10K"), (20_000, "G20K"), (40_000, "G40K")];
     for &(n_full, name) in &tc_sizes {
         let n = (n_full / s).max(32);

@@ -25,20 +25,35 @@ fn skewed(n: u32, seed: u64) -> Vec<(i64, i64)> {
 fn main() {
     let n = (20_000u32 / scale()).max(64);
     let edges = skewed(n, 3);
-    header("Figure 7", &format!("SG-PBME coordination vs. none (skewed G20K-sim, n={n})"));
-    row(&cells(&["variant", "time", "mean util", "peak alloc", "orders", "sg rows"]));
-    for (label, coord) in
-        [("PBME-NO-COORD", None), ("PBME-COORD(t=256)", Some(256usize))]
-    {
-        let mut e = recstep_engine(
-            Config::default().pbme(PbmeMode::Force).pbme_coordination(coord).threads(max_threads()),
+    header(
+        "Figure 7",
+        &format!("SG-PBME coordination vs. none (skewed G20K-sim, n={n})"),
+    );
+    row(&cells(&[
+        "variant",
+        "time",
+        "mean util",
+        "peak alloc",
+        "orders",
+        "sg rows",
+    ]));
+    for (label, coord) in [
+        ("PBME-NO-COORD", None),
+        ("PBME-COORD(t=256)", Some(256usize)),
+    ] {
+        let engine = recstep_engine(
+            Config::default()
+                .pbme(PbmeMode::Force)
+                .pbme_coordination(coord)
+                .threads(max_threads()),
         );
-        e.load_edges("arc", &edges).unwrap();
-        let pool = e.pool_handle();
+        let prog = engine.prepare(recstep::programs::SG).unwrap();
+        let mut db = db_with_edges(&[("arc", &edges)]);
+        let pool = engine.pool_handle();
         mem::reset_peak();
         let busy0 = pool.busy_ns_total();
         let t0 = std::time::Instant::now();
-        let stats = e.run_source(recstep::programs::SG).unwrap();
+        let stats = prog.run(&mut db).unwrap();
         let wall = t0.elapsed();
         let busy = pool.busy_ns_total() - busy0;
         let util = busy as f64 / (wall.as_nanos() as f64 * pool.threads() as f64);
@@ -48,18 +63,22 @@ fn main() {
             format!("{:.0}%", util.min(1.0) * 100.0),
             mem::fmt_bytes(mem::peak_bytes()),
             stats.coord_orders_posted.to_string(),
-            e.row_count("sg").to_string(),
+            db.row_count("sg").to_string(),
         ]);
     }
     println!("\n  threshold sweep (coordination trade-off):");
     row(&cells(&["threshold", "time", "orders posted"]));
     for t in [16usize, 256, 4096, 65536] {
-        let mut e = recstep_engine(
-            Config::default().pbme(PbmeMode::Force).pbme_coordination(Some(t)).threads(max_threads()),
+        let prog = prepared(
+            Config::default()
+                .pbme(PbmeMode::Force)
+                .pbme_coordination(Some(t))
+                .threads(max_threads()),
+            recstep::programs::SG,
         );
-        e.load_edges("arc", &edges).unwrap();
+        let mut db = db_with_edges(&[("arc", &edges)]);
         let t0 = std::time::Instant::now();
-        let stats = e.run_source(recstep::programs::SG).unwrap();
+        let stats = prog.run(&mut db).unwrap();
         row(&[
             t.to_string(),
             format!("{:.3}s", t0.elapsed().as_secs_f64()),
@@ -67,14 +86,21 @@ fn main() {
         ]);
     }
     // Utilization time series of the no-coordination variant.
-    let mut e = recstep_engine(Config::default().pbme(PbmeMode::Force).threads(max_threads()));
-    e.load_edges("arc", &edges).unwrap();
-    let pool = e.pool_handle();
+    let engine = recstep_engine(
+        Config::default()
+            .pbme(PbmeMode::Force)
+            .threads(max_threads()),
+    );
+    let prog = engine.prepare(recstep::programs::SG).unwrap();
+    let mut db = db_with_edges(&[("arc", &edges)]);
+    let pool = engine.pool_handle();
     let (series, _) = sample_utilization(pool, Duration::from_millis(5), move || {
-        e.run_source(recstep::programs::SG).unwrap();
+        prog.run(&mut db).unwrap();
     });
     let pts = downsample(&series, 10);
-    let line: Vec<String> =
-        pts.iter().map(|(t, u)| format!("{:.2}s:{:.0}%", t.as_secs_f64(), u * 100.0)).collect();
+    let line: Vec<String> = pts
+        .iter()
+        .map(|(t, u)| format!("{:.2}s:{:.0}%", t.as_secs_f64(), u * 100.0))
+        .collect();
     println!("  no-coord utilization series: {}", line.join(" "));
 }

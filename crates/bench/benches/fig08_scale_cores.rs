@@ -18,10 +18,15 @@ fn main() {
     row(&cells(&["threads", "time", "speedup"]));
     let mut base = None;
     for &t in &threads {
-        let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(t));
-        e.load_edges("assign", &input.assign).unwrap();
-        e.load_edges("dereference", &input.dereference).unwrap();
-        let out = measure(|| e.run_source(recstep::programs::CSPA).map(|_| e.row_count("valueFlow")));
+        let out = run_recstep(
+            Config::default().pbme(PbmeMode::Off).threads(t),
+            recstep::programs::CSPA,
+            &[
+                ("assign", &input.assign),
+                ("dereference", &input.dereference),
+            ],
+            "valueFlow",
+        );
         let secs = out.secs().unwrap();
         let b = *base.get_or_insert(secs);
         row(&[t.to_string(), out.cell(), format!("{:.2}x", b / secs)]);
@@ -34,9 +39,12 @@ fn main() {
     row(&cells(&["threads", "time", "speedup"]));
     let mut base = None;
     for &t in &threads {
-        let mut e = recstep_engine(Config::default().threads(t));
-        e.load_edges("arc", &edges).unwrap();
-        let out = measure(|| e.run_source(recstep::programs::CC).map(|_| e.row_count("cc3")));
+        let out = run_recstep(
+            Config::default().threads(t),
+            recstep::programs::CC,
+            &[("arc", &edges)],
+            "cc3",
+        );
         let secs = out.secs().unwrap();
         let b = *base.get_or_insert(secs);
         row(&[t.to_string(), out.cell(), format!("{:.2}x", b / secs)]);

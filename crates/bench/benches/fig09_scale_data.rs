@@ -14,9 +14,12 @@ fn main() {
     // First five of the paper's 8 sizes (the tail grows past laptop scale).
     for spec in rmat::paper_rmat_specs(s * 8).into_iter().take(5) {
         let edges = as_values(&rmat::rmat(spec.n, spec.m, 5));
-        let mut e = recstep_engine(Config::default().threads(max_threads()));
-        e.load_edges("arc", &edges).unwrap();
-        let out = measure(|| e.run_source(recstep::programs::CC).map(|_| e.row_count("cc3")));
+        let out = run_recstep(
+            Config::default().threads(max_threads()),
+            recstep::programs::CC,
+            &[("arc", &edges)],
+            "cc3",
+        );
         row(&[
             spec.name.to_string(),
             spec.n.to_string(),
@@ -28,15 +31,22 @@ fn main() {
 
     println!("  (b) Andersen's analysis on synthetic datasets 1-7");
     row(&cells(&["dataset", "vars", "input", "time", "pointsTo"]));
-    for (i, (name, vars)) in program_analysis::paper_andersen_specs(s).into_iter().enumerate() {
+    for (i, (name, vars)) in program_analysis::paper_andersen_specs(s)
+        .into_iter()
+        .enumerate()
+    {
         let input = program_analysis::andersen(vars, 100 + i as u64);
-        let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
-        e.load_edges("addressOf", &input.address_of).unwrap();
-        e.load_edges("assign", &input.assign).unwrap();
-        e.load_edges("load", &input.load).unwrap();
-        e.load_edges("store", &input.store).unwrap();
-        let out =
-            measure(|| e.run_source(recstep::programs::ANDERSEN).map(|_| e.row_count("pointsTo")));
+        let out = run_recstep(
+            Config::default().pbme(PbmeMode::Off).threads(max_threads()),
+            recstep::programs::ANDERSEN,
+            &[
+                ("addressOf", &input.address_of),
+                ("assign", &input.assign),
+                ("load", &input.load),
+                ("store", &input.store),
+            ],
+            "pointsTo",
+        );
         row(&[
             name,
             vars.to_string(),

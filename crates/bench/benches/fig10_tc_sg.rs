@@ -11,9 +11,7 @@ use recstep_bench::*;
 use recstep_graphgen::{as_values, gnp};
 
 fn recstep_run(program: &str, rel: &str, edges: &[(i64, i64)], cfg: Config) -> Outcome {
-    let mut e = recstep_engine(cfg.threads(max_threads()));
-    e.load_edges("arc", edges).unwrap();
-    measure(|| e.run_source(program).map(|_| e.row_count(rel)))
+    run_recstep(cfg.threads(max_threads()), program, &[("arc", edges)], rel)
 }
 
 fn setbased_run(program: &str, rel: &str, edges: &[(i64, i64)]) -> Outcome {
@@ -26,27 +24,53 @@ fn setbased_run(program: &str, rel: &str, edges: &[(i64, i64)]) -> Outcome {
 fn main() {
     let s = scale();
     header("Figure 10", "TC and SG across systems on Gn-p graphs");
-    for (program, rel, label) in
-        [(recstep::programs::TC, "tc", "TC"), (recstep::programs::SG, "sg", "SG")]
-    {
+    for (program, rel, label) in [
+        (recstep::programs::TC, "tc", "TC"),
+        (recstep::programs::SG, "sg", "SG"),
+    ] {
         println!("  ({label})");
-        row(&cells(&["graph", "RecStep", "BigDatalog~", "Souffle~", "Bddbddb~", "rows"]));
+        row(&cells(&[
+            "graph",
+            "RecStep",
+            "BigDatalog~",
+            "Souffle~",
+            "Bddbddb~",
+            "rows",
+        ]));
         for spec in gnp::paper_gnp_specs(s) {
-            let edges = as_values(&gnp::gnp(spec.n, (spec.p * (s as f64).min(20.0)).min(0.5), 3));
-            let rs = recstep_run(program, rel, &edges, Config::default().pbme(PbmeMode::Force));
+            let edges = as_values(&gnp::gnp(
+                spec.n,
+                (spec.p * (s as f64).min(20.0)).min(0.5),
+                3,
+            ));
+            let rs = recstep_run(
+                program,
+                rel,
+                &edges,
+                Config::default().pbme(PbmeMode::Force),
+            );
             let bigd = recstep_run(program, rel, &edges, Config::no_op());
             let souffle = setbased_run(program, rel, &edges);
             let bddb = if label == "TC" && edges.len() < 60_000 {
                 let t0 = std::time::Instant::now();
                 let (pairs, _) = bdd::bdd_tc(&edges);
-                Outcome::Ok { time: t0.elapsed(), rows: pairs.len() }
+                Outcome::Ok {
+                    time: t0.elapsed(),
+                    rows: pairs.len(),
+                }
             } else {
                 Outcome::Unsupported
             };
             // Cross-check row counts of whoever completed.
-            let counts: Vec<usize> =
-                [&rs, &bigd, &souffle, &bddb].iter().filter_map(|o| o.rows()).collect();
-            assert!(counts.windows(2).all(|w| w[0] == w[1]), "{label} {}: {counts:?}", spec.name);
+            let counts: Vec<usize> = [&rs, &bigd, &souffle, &bddb]
+                .iter()
+                .filter_map(|o| o.rows())
+                .collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "{label} {}: {counts:?}",
+                spec.name
+            );
             row(&[
                 format!("{}-sim(n={})", spec.name, spec.n),
                 rs.cell(),

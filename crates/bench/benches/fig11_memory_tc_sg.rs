@@ -13,32 +13,56 @@ fn main() {
     let s = scale();
     let n = (10_000u32 / s).max(64);
     let p = 0.001 * (s as f64).min(20.0);
-    header("Figure 11", &format!("Memory usage of TC and SG on G10K-sim (n={n})"));
+    header(
+        "Figure 11",
+        &format!("Memory usage of TC and SG on G10K-sim (n={n})"),
+    );
     row(&cells(&["workload", "system", "time", "peak alloc"]));
-    for (program, rel, label) in
-        [(recstep::programs::TC, "tc", "TC"), (recstep::programs::SG, "sg", "SG")]
-    {
+    for (program, rel, label) in [
+        (recstep::programs::TC, "tc", "TC"),
+        (recstep::programs::SG, "sg", "SG"),
+    ] {
         let edges = as_values(&gnp(n, p, 3));
         // RecStep (PBME).
-        let mut e = recstep_engine(Config::default().pbme(PbmeMode::Force).threads(max_threads()));
-        e.load_edges("arc", &edges).unwrap();
+        let prog = prepared(
+            Config::default()
+                .pbme(PbmeMode::Force)
+                .threads(max_threads()),
+            program,
+        );
+        let mut db = db_with_edges(&[("arc", &edges)]);
         mem::reset_peak();
-        let out = measure(|| e.run_source(program).map(|_| e.row_count(rel)));
-        row(&[label.into(), "RecStep".into(), out.cell(), mem::fmt_bytes(mem::peak_bytes())]);
-        drop(e);
+        let out = measure(|| prog.run(&mut db).map(|_| db.row_count(rel)));
+        row(&[
+            label.into(),
+            "RecStep".into(),
+            out.cell(),
+            mem::fmt_bytes(mem::peak_bytes()),
+        ]);
+        drop((prog, db));
         // BigDatalog-like (generic tuple engine).
-        let mut e = recstep_engine(Config::no_op().threads(max_threads()));
-        e.load_edges("arc", &edges).unwrap();
+        let prog = prepared(Config::no_op().threads(max_threads()), program);
+        let mut db = db_with_edges(&[("arc", &edges)]);
         mem::reset_peak();
-        let out = measure(|| e.run_source(program).map(|_| e.row_count(rel)));
-        row(&[label.into(), "BigDatalog~".into(), out.cell(), mem::fmt_bytes(mem::peak_bytes())]);
-        drop(e);
+        let out = measure(|| prog.run(&mut db).map(|_| db.row_count(rel)));
+        row(&[
+            label.into(),
+            "BigDatalog~".into(),
+            out.cell(),
+            mem::fmt_bytes(mem::peak_bytes()),
+        ]);
+        drop((prog, db));
         // Souffle-like.
         let mut e = SetEngine::new(true);
         e.tuple_budget = Some(budget_tuples());
         e.load_edges("arc", &edges);
         mem::reset_peak();
         let out = measure(|| e.run_source(program).map(|_| e.row_count(rel)));
-        row(&[label.into(), "Souffle~".into(), out.cell(), mem::fmt_bytes(mem::peak_bytes())]);
+        row(&[
+            label.into(),
+            "Souffle~".into(),
+            out.cell(),
+            mem::fmt_bytes(mem::peak_bytes()),
+        ]);
     }
 }

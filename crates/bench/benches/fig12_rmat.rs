@@ -9,7 +9,10 @@ use recstep_graphgen::{as_values, rmat, with_weights};
 
 fn main() {
     let s = scale();
-    header("Figure 12", "REACH / CC / SSSP on RMAT graphs across systems");
+    header(
+        "Figure 12",
+        "REACH / CC / SSSP on RMAT graphs across systems",
+    );
     let specs: Vec<_> = rmat::paper_rmat_specs(s * 8).into_iter().take(5).collect();
     for workload in ["REACH", "CC", "SSSP"] {
         println!("  ({workload})");
@@ -17,19 +20,20 @@ fn main() {
         for spec in &specs {
             let raw = rmat::rmat(spec.n, spec.m, 5);
             let sources = source_vertices(spec.n, 2);
-            let run_recstep = |cfg: Config| -> Outcome {
+            let run_one = |cfg: Config| -> Outcome {
                 match workload {
                     "REACH" => {
-                        // Average over the source vertices (paper: 10 random).
+                        // Average over the source vertices (paper: 10 random);
+                        // one compilation serves every source.
+                        let prog =
+                            prepared(cfg.clone().threads(max_threads()), recstep::programs::REACH);
+                        let edges = as_values(&raw);
                         let mut total = std::time::Duration::ZERO;
                         let mut rows = 0;
                         for &src in &sources {
-                            let mut e = recstep_engine(cfg.clone().threads(max_threads()));
-                            e.load_edges("arc", &as_values(&raw)).unwrap();
-                            e.load_relation("id", 1, &[vec![src]]).unwrap();
-                            match measure(|| {
-                                e.run_source(recstep::programs::REACH).map(|_| e.row_count("reach"))
-                            }) {
+                            let mut db = db_with_edges(&[("arc", &edges)]);
+                            db.load_relation("id", 1, &[vec![src]]).unwrap();
+                            match measure(|| prog.run(&mut db).map(|_| db.row_count("reach"))) {
                                 Outcome::Ok { time, rows: r } => {
                                     total += time;
                                     rows = r;
@@ -37,34 +41,48 @@ fn main() {
                                 other => return other,
                             }
                         }
-                        Outcome::Ok { time: total / sources.len() as u32, rows }
+                        Outcome::Ok {
+                            time: total / sources.len() as u32,
+                            rows,
+                        }
                     }
-                    "CC" => {
-                        let mut e = recstep_engine(cfg.clone().threads(max_threads()));
-                        e.load_edges("arc", &as_values(&raw)).unwrap();
-                        measure(|| e.run_source(recstep::programs::CC).map(|_| e.row_count("cc3")))
-                    }
+                    "CC" => run_recstep(
+                        cfg.clone().threads(max_threads()),
+                        recstep::programs::CC,
+                        &[("arc", &as_values(&raw))],
+                        "cc3",
+                    ),
                     _ => {
-                        let weighted = with_weights(&raw, 100, 9);
-                        let mut e = recstep_engine(cfg.clone().threads(max_threads()));
-                        e.load_weighted_edges("arc", &weighted).unwrap();
-                        e.load_relation("id", 1, &[vec![sources[0]]]).unwrap();
-                        measure(|| e.run_source(recstep::programs::SSSP).map(|_| e.row_count("sssp")))
+                        let prog =
+                            prepared(cfg.clone().threads(max_threads()), recstep::programs::SSSP);
+                        let mut db = recstep::Database::new().unwrap();
+                        db.load_weighted_edges("arc", &with_weights(&raw, 100, 9))
+                            .unwrap();
+                        db.load_relation("id", 1, &[vec![sources[0]]]).unwrap();
+                        measure(|| prog.run(&mut db).map(|_| db.row_count("sssp")))
                     }
                 }
             };
-            let rs = run_recstep(Config::default().pbme(PbmeMode::Off));
-            let bigd = run_recstep(Config::no_op());
+            let rs = run_one(Config::default().pbme(PbmeMode::Off));
+            let bigd = run_one(Config::no_op());
             let souffle = if workload == "REACH" {
                 let mut e = SetEngine::new(true);
                 e.tuple_budget = Some(budget_tuples());
                 e.load_edges("arc", &as_values(&raw));
                 e.load("id", [vec![sources[0]]]);
-                measure(|| e.run_source(recstep::programs::REACH).map(|_| e.row_count("reach")))
+                measure(|| {
+                    e.run_source(recstep::programs::REACH)
+                        .map(|_| e.row_count("reach"))
+                })
             } else {
                 Outcome::Unsupported // no recursive aggregation (Table 1)
             };
-            row(&[spec.name.to_string(), rs.cell(), bigd.cell(), souffle.cell()]);
+            row(&[
+                spec.name.to_string(),
+                rs.cell(),
+                bigd.cell(),
+                souffle.cell(),
+            ]);
         }
     }
 }

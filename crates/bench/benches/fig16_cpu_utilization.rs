@@ -13,14 +13,19 @@ fn main() {
     // (a) Andersen's analysis, dataset 5.
     let (_, vars) = pa::paper_andersen_specs(s).swap_remove(4);
     let input = pa::andersen(vars, 104);
-    let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
-    e.load_edges("addressOf", &input.address_of).unwrap();
-    e.load_edges("assign", &input.assign).unwrap();
-    e.load_edges("load", &input.load).unwrap();
-    e.load_edges("store", &input.store).unwrap();
-    let pool = e.pool_handle();
+    let engine = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
+    let prog = engine.prepare(recstep::programs::ANDERSEN).unwrap();
+    let mut db = db_with_edges(&[
+        ("addressOf", &input.address_of),
+        ("assign", &input.assign),
+        ("load", &input.load),
+        ("store", &input.store),
+    ]);
+    let pool = engine.pool_handle();
     let (series, wall) = sample_utilization(pool, Duration::from_millis(5), move || {
-        if let Err(err) = e.run_source(recstep::programs::ANDERSEN) { eprintln!("  AA run: {err}"); }
+        if let Err(err) = prog.run(&mut db) {
+            eprintln!("  AA run: {err}");
+        }
     });
     print_series("AA on dataset 5", &series, wall);
 
@@ -28,12 +33,17 @@ fn main() {
     for idx in [0usize, 2] {
         let spec = &pa::paper_system_programs(s)[idx];
         let input = pa::cspa(spec.cspa_clusters, spec.cspa_cluster_size, 42);
-        let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
-        e.load_edges("assign", &input.assign).unwrap();
-        e.load_edges("dereference", &input.dereference).unwrap();
-        let pool = e.pool_handle();
+        let engine = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(max_threads()));
+        let prog = engine.prepare(recstep::programs::CSPA).unwrap();
+        let mut db = db_with_edges(&[
+            ("assign", &input.assign),
+            ("dereference", &input.dereference),
+        ]);
+        let pool = engine.pool_handle();
         let (series, wall) = sample_utilization(pool, Duration::from_millis(5), move || {
-            if let Err(err) = e.run_source(recstep::programs::CSPA) { eprintln!("  CSPA run: {err}"); }
+            if let Err(err) = prog.run(&mut db) {
+                eprintln!("  CSPA run: {err}");
+            }
         });
         print_series(&format!("CSPA on {}", spec.name), &series, wall);
     }
@@ -45,9 +55,15 @@ fn print_series(name: &str, series: &[(Duration, f64)], wall: Duration) {
     } else {
         series.iter().map(|(_, u)| u).sum::<f64>() / series.len() as f64
     };
-    println!("  {name}: wall {:.3}s, mean utilization {:.0}%", wall.as_secs_f64(), mean * 100.0);
+    println!(
+        "  {name}: wall {:.3}s, mean utilization {:.0}%",
+        wall.as_secs_f64(),
+        mean * 100.0
+    );
     let pts = downsample(series, 10);
-    let line: Vec<String> =
-        pts.iter().map(|(t, u)| format!("{:.2}s:{:.0}%", t.as_secs_f64(), u * 100.0)).collect();
+    let line: Vec<String> = pts
+        .iter()
+        .map(|(t, u)| format!("{:.2}s:{:.0}%", t.as_secs_f64(), u * 100.0))
+        .collect();
     println!("    series: {}", line.join(" "));
 }

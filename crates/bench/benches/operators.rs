@@ -1,13 +1,15 @@
-//! Criterion micro-benchmarks of the bottleneck operators (§5: set
-//! difference and deduplication) plus the hash join.
+//! Micro-benchmarks of the bottleneck operators (§5: set difference and
+//! deduplication) plus the hash join, as plain timed runs (median of a
+//! few repetitions) in the same report format as the figure targets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recstep_bench::{cells, header, row};
 use recstep_common::lang::Expr;
 use recstep_exec::dedup::{deduplicate, DedupImpl};
 use recstep_exec::join::{hash_join, JoinSpec};
 use recstep_exec::setdiff::{set_difference, DsdState, SetDiffStrategy};
 use recstep_exec::ExecCtx;
 use recstep_storage::{Relation, Schema};
+use std::time::Instant;
 
 fn mk(n: usize, stride: i64) -> Relation {
     let mut r = Relation::new(Schema::with_arity("t", 2));
@@ -17,63 +19,71 @@ fn mk(n: usize, stride: i64) -> Relation {
     r
 }
 
-fn bench_dedup(c: &mut Criterion) {
-    let ctx = ExecCtx::with_threads(4);
-    let rel = mk(100_000, 3);
-    let mut g = c.benchmark_group("dedup");
-    g.sample_size(10);
-    for imp in [DedupImpl::Fast, DedupImpl::Generic, DedupImpl::Sort] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{imp:?}")), &imp, |b, &imp| {
-            b.iter(|| deduplicate(&ctx, rel.view(), imp, rel.len()));
-        });
-    }
-    g.finish();
+/// Median wall seconds of `reps` runs of `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-fn bench_setdiff(c: &mut Criterion) {
+fn main() {
     let ctx = ExecCtx::with_threads(4);
+    header(
+        "Operators",
+        "dedup / set difference / hash join micro-benchmarks",
+    );
+
+    row(&cells(&["operator", "variant", "median"]));
+    let rel = mk(100_000, 3);
+    for imp in [DedupImpl::Fast, DedupImpl::Generic, DedupImpl::Sort] {
+        let secs = time_median(5, || {
+            deduplicate(&ctx, rel.view(), imp, rel.len());
+        });
+        row(&["dedup".into(), format!("{imp:?}"), format!("{secs:.4}s")]);
+    }
+
     let delta = mk(20_000, 7);
     let full = mk(200_000, 1);
-    let mut g = c.benchmark_group("setdiff");
-    g.sample_size(10);
-    for strat in
-        [SetDiffStrategy::AlwaysOpsd, SetDiffStrategy::AlwaysTpsd, SetDiffStrategy::Dynamic]
-    {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{strat:?}")), &strat, |b, &s| {
-            b.iter(|| {
-                let mut st = DsdState::default();
-                set_difference(&ctx, delta.view(), full.view(), s, &mut st)
-            });
+    for strat in [
+        SetDiffStrategy::AlwaysOpsd,
+        SetDiffStrategy::AlwaysTpsd,
+        SetDiffStrategy::Dynamic,
+    ] {
+        let secs = time_median(5, || {
+            let mut st = DsdState::default();
+            set_difference(&ctx, delta.view(), full.view(), strat, &mut st);
         });
+        row(&[
+            "setdiff".into(),
+            format!("{strat:?}"),
+            format!("{secs:.4}s"),
+        ]);
     }
-    g.finish();
-}
 
-fn bench_join(c: &mut Criterion) {
-    let ctx = ExecCtx::with_threads(4);
     let left = mk(50_000, 3);
     let right = mk(50_000, 5);
     let output = [Expr::Col(1), Expr::Col(3)];
-    let mut g = c.benchmark_group("hash_join");
-    g.sample_size(10);
     for build_left in [true, false] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("build_left={build_left}")),
-            &build_left,
-            |b, &bl| {
-                let spec = JoinSpec {
-                    left_keys: &[0],
-                    right_keys: &[0],
-                    build_left: bl,
-                    output: &output,
-                    residual: &[],
-                };
-                b.iter(|| hash_join(&ctx, left.view(), right.view(), &spec));
-            },
-        );
+        let spec = JoinSpec {
+            left_keys: &[0],
+            right_keys: &[0],
+            build_left,
+            output: &output,
+            residual: &[],
+        };
+        let secs = time_median(5, || {
+            hash_join(&ctx, left.view(), right.view(), &spec);
+        });
+        row(&[
+            "hash_join".into(),
+            format!("build_left={build_left}"),
+            format!("{secs:.4}s"),
+        ]);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_dedup, bench_setdiff, bench_join);
-criterion_main!(benches);

@@ -25,7 +25,11 @@ fn main() {
             c.memory_consumption.to_string(),
             c.cpu_utilization.to_string(),
             c.cpu_efficiency.to_string(),
-            c.tuning_required.split(' ').next().unwrap_or("").to_string(),
+            c.tuning_required
+                .split(' ')
+                .next()
+                .unwrap_or("")
+                .to_string(),
             yesno(c.mutual_recursion),
             yesno(c.non_recursive_aggregation),
             yesno(c.recursive_aggregation),
@@ -34,5 +38,9 @@ fn main() {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }

@@ -17,28 +17,42 @@ fn ce(out: &Outcome, threads: usize) -> String {
 fn main() {
     let s = scale();
     let threads = max_threads();
-    header("Table 4", "CPU efficiency (1/(t*n)) on representative workloads");
-    row(&cells(&["workload", "RecStep", "BigDatalog~", "Souffle~", "Graspan~"]));
+    header(
+        "Table 4",
+        "CPU efficiency (1/(t*n)) on representative workloads",
+    );
+    row(&cells(&[
+        "workload",
+        "RecStep",
+        "BigDatalog~",
+        "Souffle~",
+        "Graspan~",
+    ]));
 
     // TC on G20K-sim.
     {
         let n = (20_000u32 / s).max(64);
         let edges = as_values(&gnp(n, 0.001 * (s as f64).min(20.0), 3));
-        let rs = {
-            let mut e = recstep_engine(Config::default().pbme(PbmeMode::Force).threads(threads));
-            e.load_edges("arc", &edges).unwrap();
-            measure(|| e.run_source(recstep::programs::TC).map(|_| e.row_count("tc")))
-        };
-        let bigd = {
-            let mut e = recstep_engine(Config::no_op().threads(threads));
-            e.load_edges("arc", &edges).unwrap();
-            measure(|| e.run_source(recstep::programs::TC).map(|_| e.row_count("tc")))
-        };
+        let rs = run_recstep(
+            Config::default().pbme(PbmeMode::Force).threads(threads),
+            recstep::programs::TC,
+            &[("arc", &edges)],
+            "tc",
+        );
+        let bigd = run_recstep(
+            Config::no_op().threads(threads),
+            recstep::programs::TC,
+            &[("arc", &edges)],
+            "tc",
+        );
         let souffle = {
             let mut e = SetEngine::new(true);
             e.tuple_budget = Some(budget_tuples());
             e.load_edges("arc", &edges);
-            measure(|| e.run_source(recstep::programs::TC).map(|_| e.row_count("tc")))
+            measure(|| {
+                e.run_source(recstep::programs::TC)
+                    .map(|_| e.row_count("tc"))
+            })
         };
         row(&[
             "TC(G20K-sim)".to_string(),
@@ -52,14 +66,17 @@ fn main() {
     {
         let (_, vars) = pa::paper_andersen_specs(s).swap_remove(6);
         let input = pa::andersen(vars, 106);
-        let rs = {
-            let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(threads));
-            e.load_edges("addressOf", &input.address_of).unwrap();
-            e.load_edges("assign", &input.assign).unwrap();
-            e.load_edges("load", &input.load).unwrap();
-            e.load_edges("store", &input.store).unwrap();
-            measure(|| e.run_source(recstep::programs::ANDERSEN).map(|_| e.row_count("pointsTo")))
-        };
+        let rs = run_recstep(
+            Config::default().pbme(PbmeMode::Off).threads(threads),
+            recstep::programs::ANDERSEN,
+            &[
+                ("addressOf", &input.address_of),
+                ("assign", &input.assign),
+                ("load", &input.load),
+                ("store", &input.store),
+            ],
+            "pointsTo",
+        );
         let souffle = {
             let mut e = SetEngine::new(true);
             e.tuple_budget = Some(budget_tuples());
@@ -67,20 +84,29 @@ fn main() {
             e.load_edges("assign", &input.assign);
             e.load_edges("load", &input.load);
             e.load_edges("store", &input.store);
-            measure(|| e.run_source(recstep::programs::ANDERSEN).map(|_| e.row_count("pointsTo")))
+            measure(|| {
+                e.run_source(recstep::programs::ANDERSEN)
+                    .map(|_| e.row_count("pointsTo"))
+            })
         };
-        row(&["AA(dataset 7)".into(), ce(&rs, threads), "-".into(), ce(&souffle, threads), "-".into()]);
+        row(&[
+            "AA(dataset 7)".into(),
+            ce(&rs, threads),
+            "-".into(),
+            ce(&souffle, threads),
+            "-".into(),
+        ]);
     }
     // CSDA + CSPA on linux-sim.
     {
         let spec = &pa::paper_system_programs(s)[0];
         let csda_in = pa::csda(spec.csda_chains, spec.csda_chain_len, 17);
-        let rs = {
-            let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(threads));
-            e.load_edges("arc", &csda_in.arc).unwrap();
-            e.load_edges("nullEdge", &csda_in.null_edge).unwrap();
-            measure(|| e.run_source(recstep::programs::CSDA).map(|_| e.row_count("null")))
-        };
+        let rs = run_recstep(
+            Config::default().pbme(PbmeMode::Off).threads(threads),
+            recstep::programs::CSDA,
+            &[("arc", &csda_in.arc), ("nullEdge", &csda_in.null_edge)],
+            "null",
+        );
         let graspan = {
             let mut w = WorklistEngine::new(grammars::csda());
             w.load("arc", &csda_in.arc).unwrap();
@@ -88,21 +114,36 @@ fn main() {
             measure(|| w.run().map(|_| w.edge_count("null")))
         };
         // Graspan is single-threaded in this reproduction.
-        row(&["CSDA(linux-sim)".into(), ce(&rs, threads), "-".into(), "-".into(), ce(&graspan, 1)]);
+        row(&[
+            "CSDA(linux-sim)".into(),
+            ce(&rs, threads),
+            "-".into(),
+            "-".into(),
+            ce(&graspan, 1),
+        ]);
 
         let cspa_in = pa::cspa(spec.cspa_clusters, spec.cspa_cluster_size, 42);
-        let rs = {
-            let mut e = recstep_engine(Config::default().pbme(PbmeMode::Off).threads(threads));
-            e.load_edges("assign", &cspa_in.assign).unwrap();
-            e.load_edges("dereference", &cspa_in.dereference).unwrap();
-            measure(|| e.run_source(recstep::programs::CSPA).map(|_| e.row_count("valueFlow")))
-        };
+        let rs = run_recstep(
+            Config::default().pbme(PbmeMode::Off).threads(threads),
+            recstep::programs::CSPA,
+            &[
+                ("assign", &cspa_in.assign),
+                ("dereference", &cspa_in.dereference),
+            ],
+            "valueFlow",
+        );
         let graspan = {
             let mut w = WorklistEngine::new(grammars::cspa());
             w.load("assign", &cspa_in.assign).unwrap();
             w.load("dereference", &cspa_in.dereference).unwrap();
             measure(|| w.run().map(|_| w.edge_count("valueFlow")))
         };
-        row(&["CSPA(linux-sim)".into(), ce(&rs, threads), "-".into(), "-".into(), ce(&graspan, 1)]);
+        row(&[
+            "CSPA(linux-sim)".into(),
+            ce(&rs, threads),
+            "-".into(),
+            "-".into(),
+            ce(&graspan, 1),
+        ]);
     }
 }

@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use recstep::{Config, RecStep, Value};
+use recstep::{Config, Database, Engine, PreparedProgram, Value};
 use recstep_common::sched::ThreadPool;
 
 /// Divisor applied to the paper's dataset sizes (default laptop scale).
@@ -29,7 +29,10 @@ pub const DEFAULT_SCALE: u32 = 50;
 
 /// Threads used by "full parallelism" runs.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
 }
 
 /// Outcome of one measured run.
@@ -80,15 +83,48 @@ impl Outcome {
 pub fn measure<F: FnOnce() -> recstep::Result<usize>>(f: F) -> Outcome {
     let t0 = Instant::now();
     match f() {
-        Ok(rows) => Outcome::Ok { time: t0.elapsed(), rows },
+        Ok(rows) => Outcome::Ok {
+            time: t0.elapsed(),
+            rows,
+        },
         Err(e) if e.to_string().contains("out of memory") => Outcome::Oom,
         Err(e) => panic!("benchmark run failed: {e}"),
     }
 }
 
-/// Build a RecStep engine with the benchmark default memory budget.
-pub fn recstep_engine(cfg: Config) -> RecStep {
-    RecStep::new(cfg.mem_budget(budget_bytes())).expect("engine construction")
+/// Build an engine with the benchmark default memory budget.
+pub fn recstep_engine(cfg: Config) -> Engine {
+    Engine::from_config(cfg.mem_budget(budget_bytes())).expect("engine construction")
+}
+
+/// Compile `src` once on a budgeted engine (the prepared program keeps its
+/// engine alive, so the caller only holds one value).
+pub fn prepared(cfg: Config, src: &str) -> PreparedProgram {
+    recstep_engine(cfg).prepare(src).expect("program compiles")
+}
+
+/// Fresh database preloaded with binary edge relations (one transaction).
+pub fn db_with_edges(loads: &[(&str, &[(Value, Value)])]) -> Database {
+    let mut db = Database::new().expect("database");
+    let mut tx = db.transaction();
+    for (name, data) in loads {
+        tx.load_edges(name, data).expect("stage edges");
+    }
+    tx.commit().expect("commit edges");
+    db
+}
+
+/// The common bench shape: compile once, load edges, time exactly one run,
+/// and witness the result size of `rel`.
+pub fn run_recstep(
+    cfg: Config,
+    src: &str,
+    loads: &[(&str, &[(Value, Value)])],
+    rel: &str,
+) -> Outcome {
+    let prog = prepared(cfg, src);
+    let mut db = db_with_edges(loads);
+    measure(|| prog.run(&mut db).map(|_| db.row_count(rel)))
 }
 
 /// Per-run memory budget (scaled stand-in for the paper's 160 GB server).
@@ -110,7 +146,11 @@ pub fn budget_tuples() -> usize {
 pub fn header(id: &str, caption: &str) {
     println!();
     println!("## {id}: {caption}");
-    println!("   (scale divisor {}, budget {} MiB)", scale(), budget_bytes() >> 20);
+    println!(
+        "   (scale divisor {}, budget {} MiB)",
+        scale(),
+        budget_bytes() >> 20
+    );
 }
 
 /// Print one aligned data row.
@@ -160,13 +200,17 @@ pub fn downsample<T: Clone>(series: &[T], n: usize) -> Vec<T> {
         return series.to_vec();
     }
     let step = series.len() as f64 / n as f64;
-    (0..n).map(|i| series[(i as f64 * step) as usize].clone()).collect()
+    (0..n)
+        .map(|i| series[(i as f64 * step) as usize].clone())
+        .collect()
 }
 
 /// Deterministic source-vertex choice for REACH/SSSP (the paper averages
 /// over ten random sources; we fix them for reproducibility).
 pub fn source_vertices(n: u32, k: usize) -> Vec<Value> {
-    (0..k as u32).map(|i| ((i.wrapping_mul(2654435761)) % n.max(1)) as Value).collect()
+    (0..k as u32)
+        .map(|i| ((i.wrapping_mul(2654435761)) % n.max(1)) as Value)
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,7 +221,10 @@ mod tests {
     fn outcome_cells() {
         assert_eq!(Outcome::Oom.cell(), "OOM");
         assert_eq!(Outcome::Unsupported.cell(), "-");
-        let ok = Outcome::Ok { time: Duration::from_millis(1500), rows: 3 };
+        let ok = Outcome::Ok {
+            time: Duration::from_millis(1500),
+            rows: 3,
+        };
         assert_eq!(ok.cell(), "1.500s");
         assert!(ok.secs().unwrap() > 1.4);
         assert_eq!(ok.rows(), Some(3));
@@ -202,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    fn sources_are_in_range(){
+    fn sources_are_in_range() {
         let s = source_vertices(1000, 10);
         assert_eq!(s.len(), 10);
         assert!(s.iter().all(|&v| (0..1000).contains(&v)));

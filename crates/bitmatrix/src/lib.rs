@@ -18,7 +18,10 @@ pub mod sg;
 pub mod tc;
 
 pub use matrix::BitMatrix;
-pub use sg::{sg_closure, sg_closure_coordinated, sg_closure_coordinated_seeded, sg_closure_seeded, CoordStats};
+pub use sg::{
+    sg_closure, sg_closure_coordinated, sg_closure_coordinated_seeded, sg_closure_seeded,
+    CoordStats,
+};
 pub use tc::{tc_closure, tc_closure_seeded};
 
 /// Adjacency-list index `Varc[x] = { y | arc(x, y) }` (paper Algorithm 3

@@ -22,7 +22,11 @@ impl BitMatrix {
         let total = words_per_row.checked_mul(n).expect("bit matrix too large");
         let mut bits = Vec::with_capacity(total);
         bits.resize_with(total, || AtomicU64::new(0));
-        BitMatrix { n, words_per_row, bits }
+        BitMatrix {
+            n,
+            words_per_row,
+            bits,
+        }
     }
 
     /// Matrix dimension.
@@ -80,7 +84,10 @@ impl BitMatrix {
 
     /// Total number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.bits.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 
     /// Materialize all set bits as `(row, col)` pairs.

@@ -247,7 +247,9 @@ mod tests {
     fn rand_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32)> {
         let mut state = seed;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         (0..m).map(|_| (rnd() % n, rnd() % n)).collect()

@@ -116,7 +116,9 @@ mod tests {
         let mut edges = Vec::new();
         let mut state = 123456789u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..250 {

@@ -40,7 +40,10 @@ impl Dictionary {
 
     /// Reverse lookup of an id.
     pub fn resolve(&self, id: Value) -> Option<&str> {
-        usize::try_from(id).ok().and_then(|i| self.rev.get(i)).map(String::as_str)
+        usize::try_from(id)
+            .ok()
+            .and_then(|i| self.rev.get(i))
+            .map(String::as_str)
     }
 
     /// Number of interned symbols (= size of the active domain).

@@ -73,7 +73,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = Error::Parse { line: 3, col: 7, msg: "unexpected ')'".into() };
+        let e = Error::Parse {
+            line: 3,
+            col: 7,
+            msg: "unexpected ')'".into(),
+        };
         assert_eq!(e.to_string(), "parse error at 3:7: unexpected ')'");
         assert_eq!(Error::analysis("bad").to_string(), "analysis error: bad");
         assert_eq!(Error::exec("boom").to_string(), "execution error: boom");

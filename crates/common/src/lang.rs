@@ -137,7 +137,6 @@ pub fn eval_all(preds: &[Predicate], row: &[Value]) -> bool {
     preds.iter().all(|p| p.eval(row))
 }
 
-
 /// Aggregation operators supported in rule heads (paper §3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggFunc {
@@ -222,10 +221,22 @@ mod tests {
     #[test]
     fn predicates_conjunction() {
         let row = [5, 9];
-        let p1 = Predicate { lhs: Expr::Col(0), op: CmpOp::Ne, rhs: Expr::Col(1) };
-        let p2 = Predicate { lhs: Expr::Col(1), op: CmpOp::Ge, rhs: Expr::Const(9) };
+        let p1 = Predicate {
+            lhs: Expr::Col(0),
+            op: CmpOp::Ne,
+            rhs: Expr::Col(1),
+        };
+        let p2 = Predicate {
+            lhs: Expr::Col(1),
+            op: CmpOp::Ge,
+            rhs: Expr::Const(9),
+        };
         assert!(eval_all(&[p1.clone(), p2.clone()], &row));
-        let p3 = Predicate { lhs: Expr::Col(0), op: CmpOp::Gt, rhs: Expr::Const(100) };
+        let p3 = Predicate {
+            lhs: Expr::Col(0),
+            op: CmpOp::Gt,
+            rhs: Expr::Const(100),
+        };
         assert!(!eval_all(&[p1, p2, p3], &row));
     }
 }

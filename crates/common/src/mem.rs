@@ -115,20 +115,32 @@ impl MemSampler {
                 let t0 = Instant::now();
                 let mut out = Vec::new();
                 while !stop2.load(Ordering::Relaxed) {
-                    out.push(MemSample { elapsed: t0.elapsed(), live_bytes: live_bytes() });
+                    out.push(MemSample {
+                        elapsed: t0.elapsed(),
+                        live_bytes: live_bytes(),
+                    });
                     std::thread::sleep(interval);
                 }
-                out.push(MemSample { elapsed: t0.elapsed(), live_bytes: live_bytes() });
+                out.push(MemSample {
+                    elapsed: t0.elapsed(),
+                    live_bytes: live_bytes(),
+                });
                 out
             })
             .expect("failed to spawn sampler");
-        MemSampler { stop, handle: Some(handle) }
+        MemSampler {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Stop sampling and return the collected series.
     pub fn finish(mut self) -> Vec<MemSample> {
         self.stop.store(true, Ordering::Relaxed);
-        self.handle.take().map(|h| h.join().unwrap_or_default()).unwrap_or_default()
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or_default())
+            .unwrap_or_default()
     }
 }
 

@@ -76,7 +76,11 @@ impl ThreadPool {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { shared, handles, threads }
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
     }
 
     /// Number of workers.
@@ -99,8 +103,7 @@ impl ThreadPool {
         // returns (each job drops its WaitGroup clone after running, and a
         // panicking job drops it during unwind inside `catch_unwind`), so the
         // reference never outlives the borrow of `f`.
-        let f_static: &'static (dyn Fn(WorkerCtx) + Sync) =
-            unsafe { std::mem::transmute(f_ref) };
+        let f_static: &'static (dyn Fn(WorkerCtx) + Sync) = unsafe { std::mem::transmute(f_ref) };
         let wg = WaitGroup::new();
         let slots = Arc::new(AtomicUsize::new(0));
         let panicked = Arc::new(AtomicBool::new(false));
@@ -114,7 +117,10 @@ impl ThreadPool {
                 q.push_back(Box::new(move |_os_worker| {
                     let slot = slots.fetch_add(1, Ordering::Relaxed);
                     let r = catch_unwind(AssertUnwindSafe(|| {
-                        f_static(WorkerCtx { worker: slot, threads });
+                        f_static(WorkerCtx {
+                            worker: slot,
+                            threads,
+                        });
                     }));
                     if r.is_err() {
                         // Set before `wg` drops so the waiter observes it.
@@ -163,7 +169,11 @@ impl ThreadPool {
     /// creation. The harness differentiates successive samples to compute
     /// utilization: `Δbusy / (Δwall × threads)`.
     pub fn busy_ns_total(&self) -> u64 {
-        self.shared.busy_ns.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Busy nanoseconds of a single worker.
@@ -208,8 +218,7 @@ fn worker_loop(worker: usize, shared: &PoolShared) {
         // Jobs from `run` catch panics internally; this is the backstop that
         // keeps a worker alive if a raw job ever unwinds anyway.
         let _ = catch_unwind(AssertUnwindSafe(|| job(worker)));
-        shared.busy_ns[worker]
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.busy_ns[worker].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 

@@ -16,13 +16,15 @@
 //!                     Figure 2 ablation switches)
 //!   --stats           print the evaluation statistics report
 //! ```
+//!
+//! The program is compiled exactly once (`Engine::prepare`); evaluation
+//! and the `--explain` rendering both reuse that compilation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use recstep::engine::RecStep;
 use recstep::io::run_datalog_file;
-use recstep::{Config, DedupImpl, OofMode, PbmeMode, SetDiffStrategy};
+use recstep::{Config, Database, DedupImpl, Engine, OofMode, PbmeMode, SetDiffStrategy};
 
 struct Args {
     program: PathBuf,
@@ -60,12 +62,12 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--facts" => facts = PathBuf::from(value("--facts")),
             "--out" => out = PathBuf::from(value("--out")),
-            "--threads" => {
-                cfg.threads = value("--threads").parse().unwrap_or_else(|_| usage())
-            }
+            "--threads" => cfg.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
             "--budget-mb" => {
-                cfg.mem_budget_bytes =
-                    value("--budget-mb").parse::<usize>().unwrap_or_else(|_| usage()) << 20
+                cfg.mem_budget_bytes = value("--budget-mb")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage())
+                    << 20
             }
             "--explain" => explain = true,
             "--stats" => stats = true,
@@ -93,38 +95,59 @@ fn parse_args() -> Args {
     let Some(program) = program else {
         usage();
     };
-    Args { program, facts, out, cfg, explain, stats }
+    Args {
+        program,
+        facts,
+        out,
+        cfg,
+        explain,
+        stats,
+    }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
-    if args.explain {
-        let src = match std::fs::read_to_string(&args.program) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("recstep: cannot read {}: {e}", args.program.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        return match RecStep::explain(&src) {
-            Ok(sql) => {
-                println!("{sql}");
-                ExitCode::SUCCESS
-            }
+    let src = match std::fs::read_to_string(&args.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("recstep: cannot read {}: {e}", args.program.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // --explain only renders SQL: compile without spawning any workers.
+    let engine = {
+        let mut cfg = args.cfg;
+        if args.explain {
+            cfg.threads = 1;
+        }
+        match Engine::from_config(cfg) {
+            Ok(e) => e,
             Err(e) => {
                 eprintln!("recstep: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
-        };
-    }
-    let mut engine = match RecStep::new(args.cfg) {
-        Ok(e) => e,
+        }
+    };
+    // Compile once; --explain and evaluation both reuse this.
+    let prepared = match engine.prepare(&src) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("recstep: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match run_datalog_file(&mut engine, &args.program, &args.facts, &args.out) {
+    if args.explain {
+        println!("{}", prepared.explain_sql());
+        return ExitCode::SUCCESS;
+    }
+    let mut db = match Database::new() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("recstep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_datalog_file(&prepared, &mut db, &args.facts, &args.out) {
         Ok((stats_out, written)) => {
             for (name, rows) in &written {
                 println!("{name}: {rows} rows -> {}/{name}.csv", args.out.display());
@@ -139,7 +162,10 @@ fn main() -> ExitCode {
                     stats_out.opsd_runs, stats_out.tpsd_runs
                 );
                 println!("peak bytes (engine estimate): {}", stats_out.peak_bytes);
-                println!("io: {} bytes in {} flushes", stats_out.io_bytes, stats_out.io_flushes);
+                println!(
+                    "io: {} bytes in {} flushes",
+                    stats_out.io_bytes, stats_out.io_flushes
+                );
                 println!("pbme: {}", stats_out.strata.iter().any(|s| s.pbme));
                 println!("total: {:?}", stats_out.total);
             }

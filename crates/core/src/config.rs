@@ -164,7 +164,9 @@ impl Config {
     /// Resolved thread count.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.threads
         }
@@ -199,7 +201,11 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let c = Config::default().threads(3).uie(false).eost(false).mem_budget(1024);
+        let c = Config::default()
+            .threads(3)
+            .uie(false)
+            .eost(false)
+            .mem_budget(1024);
         assert_eq!(c.effective_threads(), 3);
         assert!(!c.uie);
         assert_eq!(c.mem_budget_bytes, 1024);

@@ -1,0 +1,289 @@
+//! The database: EDB facts plus derived relations, separated from the
+//! engine that computes over them.
+//!
+//! A [`Database`] owns a [`Catalog`] of columnar relations and the
+//! simulated persistent store backing them. It knows nothing about
+//! evaluation: programs are compiled by an [`crate::Engine`] into
+//! [`crate::PreparedProgram`]s, which run over any database — one program
+//! over many databases, many programs over one database, or both.
+//!
+//! Results come back through the zero-copy [`RelHandle`] layer:
+//! [`Database::relation`] borrows the stored columns directly, and
+//! materializing an owned `Vec<Vec<Value>>` is an explicit `to_vec()`
+//! escape hatch rather than the default.
+
+use recstep_common::{Error, Result, Value};
+use recstep_storage::{Catalog, CommitMode, DiskManager, RelHandle, Schema};
+
+/// A collection of relations: EDB inputs plus the IDB results of any
+/// programs that have run over it.
+pub struct Database {
+    catalog: Catalog,
+    disk: DiskManager,
+}
+
+impl Database {
+    /// Create an empty database with a fresh simulated persistent store.
+    pub fn new() -> Result<Self> {
+        Ok(Database {
+            catalog: Catalog::new(),
+            disk: DiskManager::new(CommitMode::Eost)?,
+        })
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Zero-copy handle over a relation, if it exists.
+    pub fn relation(&self, name: &str) -> Option<RelHandle<'_>> {
+        self.catalog
+            .lookup(name)
+            .map(|id| RelHandle::new(self.catalog.rel(id)))
+    }
+
+    /// Row count of a relation (0 if unknown).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.catalog
+            .lookup(name)
+            .map_or(0, |id| self.catalog.rel(id).len())
+    }
+
+    /// Total heap bytes across all stored relations.
+    pub fn heap_bytes(&self) -> usize {
+        self.catalog.heap_bytes()
+    }
+
+    /// Load (or extend) a relation from row-major data in one batch.
+    pub fn load_relation(&mut self, name: &str, arity: usize, rows: &[Vec<Value>]) -> Result<()> {
+        let mut tx = self.transaction();
+        tx.load_rows(name, arity, rows.iter().map(Vec::as_slice))?;
+        tx.commit()
+    }
+
+    /// Load a binary edge relation.
+    pub fn load_edges(&mut self, name: &str, edges: &[(Value, Value)]) -> Result<()> {
+        let mut tx = self.transaction();
+        tx.load_edges(name, edges)?;
+        tx.commit()
+    }
+
+    /// Load a weighted edge relation `(src, dst, weight)`.
+    pub fn load_weighted_edges(
+        &mut self,
+        name: &str,
+        edges: &[(Value, Value, Value)],
+    ) -> Result<()> {
+        let mut tx = self.transaction();
+        tx.load_weighted_edges(name, edges)?;
+        tx.commit()
+    }
+
+    /// Load a binary relation given symbolically; strings are dictionary
+    /// encoded (paper §5.2 fn. 2) into `dict`, which also resolves results
+    /// back via [`recstep_common::dict::Dictionary::resolve`].
+    pub fn load_symbolic_edges(
+        &mut self,
+        name: &str,
+        dict: &mut recstep_common::dict::Dictionary,
+        edges: &[(&str, &str)],
+    ) -> Result<()> {
+        let encoded: Vec<(Value, Value)> = edges
+            .iter()
+            .map(|&(a, b)| (dict.intern(a), dict.intern(b)))
+            .collect();
+        self.load_edges(name, &encoded)
+    }
+
+    /// Start a bulk-load transaction: stage any number of `load_*` calls,
+    /// then [`Transaction::commit`] applies them all at once (or drop the
+    /// transaction to discard everything staged).
+    pub fn transaction(&mut self) -> Transaction<'_> {
+        Transaction {
+            db: self,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Split borrow for evaluation: mutable catalog + mutable store.
+    pub(crate) fn eval_parts(&mut self) -> (&mut Catalog, &mut DiskManager) {
+        (&mut self.catalog, &mut self.disk)
+    }
+}
+
+/// One staged relation of a [`Transaction`]: name, arity, column-major data.
+struct Staged {
+    name: String,
+    arity: usize,
+    cols: Vec<Vec<Value>>,
+}
+
+/// A bulk loader staging rows for several relations and applying them
+/// atomically on [`commit`](Transaction::commit).
+///
+/// Validation (arity conflicts with already-stored relations or between
+/// staged batches) happens at staging time, so a `commit` after successful
+/// `load_*` calls cannot half-apply: either every staged row lands or —
+/// when the transaction is dropped instead — none do.
+pub struct Transaction<'a> {
+    db: &'a mut Database,
+    staged: Vec<Staged>,
+}
+
+impl Transaction<'_> {
+    /// Stage row-major data for a relation.
+    pub fn load_rows<'r>(
+        &mut self,
+        name: &str,
+        arity: usize,
+        rows: impl IntoIterator<Item = &'r [Value]>,
+    ) -> Result<()> {
+        // Buffer locally first so a ragged row part-way through leaves
+        // nothing staged from this call.
+        let mut cols = vec![Vec::new(); arity];
+        for row in rows {
+            if row.len() != arity {
+                return Err(Error::exec(format!(
+                    "row arity {} does not match declared arity {arity} for '{name}'",
+                    row.len()
+                )));
+            }
+            for (col, &v) in cols.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        let staged = self.staged_entry(name, arity)?;
+        for (dst, mut src) in staged.cols.iter_mut().zip(cols) {
+            dst.append(&mut src);
+        }
+        Ok(())
+    }
+
+    /// Stage a binary edge relation.
+    pub fn load_edges(&mut self, name: &str, edges: &[(Value, Value)]) -> Result<()> {
+        let staged = self.staged_entry(name, 2)?;
+        staged.cols[0].extend(edges.iter().map(|&(s, _)| s));
+        staged.cols[1].extend(edges.iter().map(|&(_, t)| t));
+        Ok(())
+    }
+
+    /// Stage a weighted edge relation `(src, dst, weight)`.
+    pub fn load_weighted_edges(
+        &mut self,
+        name: &str,
+        edges: &[(Value, Value, Value)],
+    ) -> Result<()> {
+        let staged = self.staged_entry(name, 3)?;
+        staged.cols[0].extend(edges.iter().map(|&(s, _, _)| s));
+        staged.cols[1].extend(edges.iter().map(|&(_, t, _)| t));
+        staged.cols[2].extend(edges.iter().map(|&(_, _, w)| w));
+        Ok(())
+    }
+
+    /// Apply every staged batch to the database.
+    pub fn commit(self) -> Result<()> {
+        for staged in self.staged {
+            let id = match self.db.catalog.lookup(&staged.name) {
+                Some(id) => id,
+                None => self
+                    .db
+                    .catalog
+                    .create(Schema::with_arity(&staged.name, staged.arity))?,
+            };
+            self.db.catalog.rel_mut(id).append_columns(staged.cols);
+        }
+        Ok(())
+    }
+
+    fn staged_entry(&mut self, name: &str, arity: usize) -> Result<&mut Staged> {
+        // Arity conflicts surface at staging time, before anything applies.
+        if let Some(id) = self.db.catalog.lookup(name) {
+            let existing = self.db.catalog.rel(id).arity();
+            if existing != arity {
+                return Err(Error::exec(format!(
+                    "relation '{name}' exists with arity {existing}, got {arity}"
+                )));
+            }
+        }
+        let pos = match self.staged.iter().position(|s| s.name == name) {
+            Some(pos) => {
+                if self.staged[pos].arity != arity {
+                    return Err(Error::exec(format!(
+                        "relation '{name}' staged with arity {}, got {arity}",
+                        self.staged[pos].arity
+                    )));
+                }
+                pos
+            }
+            None => {
+                self.staged.push(Staged {
+                    name: name.to_string(),
+                    arity,
+                    cols: vec![Vec::new(); arity],
+                });
+                self.staged.len() - 1
+            }
+        };
+        Ok(&mut self.staged[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_read_back_through_handle() {
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &[(1, 2), (2, 3)]).unwrap();
+        db.load_edges("arc", &[(3, 4)]).unwrap();
+        assert_eq!(db.row_count("arc"), 3);
+        let arc = db.relation("arc").unwrap();
+        assert_eq!(arc.as_pairs().unwrap(), vec![(1, 2), (2, 3), (3, 4)]);
+        assert!(db.relation("nope").is_none());
+        assert!(db.heap_bytes() >= 3 * 2 * 8);
+    }
+
+    #[test]
+    fn transaction_is_all_or_nothing() {
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &[(1, 2)]).unwrap();
+        // Arity conflict detected at staging; nothing staged before the
+        // failure lands because the transaction is dropped uncommitted.
+        let mut tx = db.transaction();
+        tx.load_edges("other", &[(5, 6)]).unwrap();
+        let err = tx.load_rows("arc", 3, [vec![1, 2, 3]].iter().map(Vec::as_slice));
+        assert!(err.is_err());
+        drop(tx);
+        assert_eq!(db.row_count("other"), 0);
+        assert_eq!(db.row_count("arc"), 1);
+        // A committed transaction applies every staged batch.
+        let mut tx = db.transaction();
+        tx.load_edges("arc", &[(2, 3)]).unwrap();
+        tx.load_weighted_edges("warc", &[(1, 2, 9)]).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(db.row_count("arc"), 2);
+        assert_eq!(db.row_count("warc"), 1);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_at_staging() {
+        let mut db = Database::new().unwrap();
+        let mut tx = db.transaction();
+        let rows = [vec![1, 2], vec![3]];
+        assert!(tx
+            .load_rows("t", 2, rows.iter().map(Vec::as_slice))
+            .is_err());
+    }
+
+    #[test]
+    fn symbolic_edges_roundtrip() {
+        let mut dict = recstep_common::dict::Dictionary::new();
+        let mut db = Database::new().unwrap();
+        db.load_symbolic_edges("arc", &mut dict, &[("a", "b"), ("b", "c")])
+            .unwrap();
+        assert_eq!(db.row_count("arc"), 2);
+        assert_eq!(dict.len(), 3);
+    }
+}

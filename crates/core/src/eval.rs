@@ -1,0 +1,902 @@
+//! The evaluation loop: Algorithm 1 over the relational substrate.
+//!
+//! The interpreter mirrors the paper's execution strategy exactly:
+//!
+//! ```text
+//! for each stratum s (topological order):
+//!   repeat
+//!     for each IDB R in s:
+//!       Rt ← uieval(rules(R, s))      // UNION ALL of subqueries
+//!       analyze(Rt)                   // per the OOF policy
+//!       Rδ ← dedup(Rt)                // CCK-GSCHT
+//!       analyze(Rδ, R)
+//!       ∆R ← Rδ − R                   // OPSD / TPSD / DSD
+//!       R  ← R ⊎ ∆R
+//!   until ∀R: ∆R = ∅  (once for non-recursive strata)
+//! ```
+//!
+//! with two engine-level specializations: recursive aggregates replace
+//! dedup + set difference by a monotonic absorb (∆ = strictly improved
+//! groups), and TC/SG-shaped strata can be handed to PBME (§5.3).
+//!
+//! The loop is deliberately free of engine-object state: one [`EvalRun`]
+//! borrows the engine's immutable configuration and execution context
+//! plus one database's mutable catalog and store, which is what lets a
+//! single [`crate::PreparedProgram`] run concurrently over distinct
+//! [`crate::Database`]s.
+
+use std::time::Instant;
+
+use recstep_common::lang::Expr;
+use recstep_common::{Error, Result, Value};
+use recstep_datalog::plan::{AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, SubQuery};
+use recstep_exec::agg::{AggCol, MonotonicAgg};
+use recstep_exec::dedup::deduplicate;
+use recstep_exec::join::{anti_join, cross_join, hash_join, project_filter, JoinSpec};
+use recstep_exec::setdiff::{set_difference, DsdState};
+use recstep_exec::ExecCtx;
+use recstep_storage::{Catalog, DiskManager, RelId, RelView, Relation, Schema};
+
+use crate::config::{Config, OofMode, PbmeMode};
+use crate::pbme::{detect, fits_budget, PbmePlan};
+use crate::stats::{EvalStats, StratumStats};
+
+/// Per-IDB mutable state across the iterations of one stratum.
+struct IdbState {
+    rel_id: RelId,
+    /// ∆R of the previous iteration (head-order layout).
+    delta: Relation,
+    /// Row count of R through iteration `t-1` (the Old prefix).
+    old_len: usize,
+    /// DSD cost-model state.
+    dsd: DsdState,
+    /// Aggregation handling for aggregated heads.
+    agg: Option<AggKind>,
+    /// Frozen build-side choices per (subquery, join) for OOF-NA.
+    frozen: Vec<Vec<Option<bool>>>,
+}
+
+/// How an aggregated IDB is evaluated.
+enum AggKind {
+    /// Recursive aggregation: monotonic MIN/MAX map with improvement deltas.
+    Mono(MonoState),
+    /// Non-recursive aggregation: one parallel group-by pass.
+    Plain {
+        group_positions: Vec<usize>,
+        agg_positions: Vec<usize>,
+        funcs: Vec<recstep_common::lang::AggFunc>,
+    },
+}
+
+struct MonoState {
+    mono: MonotonicAgg,
+    group_positions: Vec<usize>,
+    agg_position: usize,
+}
+
+/// One evaluation of a compiled program over one database.
+///
+/// Borrows the engine side (`cfg`, `ctx`, `alpha`) immutably and the
+/// database side (`catalog`, `disk`) mutably for the duration of the run.
+pub(crate) struct EvalRun<'e, 'd> {
+    pub(crate) cfg: &'e Config,
+    pub(crate) ctx: &'e ExecCtx,
+    pub(crate) alpha: f64,
+    pub(crate) catalog: &'d mut Catalog,
+    pub(crate) disk: &'d mut DiskManager,
+}
+
+impl EvalRun<'_, '_> {
+    /// Evaluate a compiled program to fixpoint (Algorithm 1).
+    pub(crate) fn run(&mut self, prog: &CompiledProgram) -> Result<EvalStats> {
+        let t0 = Instant::now();
+        let busy0 = self.ctx.pool.busy_ns_total();
+        let mut stats = EvalStats::default();
+
+        // Create relations; reset IDBs (Algorithm 1 line 2).
+        for decl in &prog.relations {
+            match self.catalog.lookup(&decl.name) {
+                Some(id) => {
+                    if self.catalog.rel(id).arity() != decl.arity {
+                        return Err(Error::exec(format!(
+                            "relation '{}' has arity {}, program expects {}",
+                            decl.name,
+                            self.catalog.rel(id).arity(),
+                            decl.arity
+                        )));
+                    }
+                    if decl.is_idb {
+                        self.catalog.rel_mut(id).clear();
+                    }
+                }
+                None => {
+                    self.catalog
+                        .create(Schema::with_arity(&decl.name, decl.arity))?;
+                }
+            }
+        }
+        // Inline facts load set-wise: a fact already present in its
+        // relation is not pushed again, so running the same prepared
+        // program repeatedly over one database is idempotent (EDB
+        // relations are not reset between runs and would otherwise
+        // accumulate one copy of every fact per run). Presence is checked
+        // by scanning the stored columns directly — programs hold at most
+        // a handful of inline facts, and a scan allocates nothing, unlike
+        // materializing a row set of a possibly bulk-loaded relation.
+        for (name, vals) in &prog.facts {
+            let id = self
+                .catalog
+                .lookup(name)
+                .ok_or_else(|| Error::exec(format!("fact for unknown relation '{name}'")))?;
+            let rel = self.catalog.rel(id);
+            let present =
+                (0..rel.len()).any(|r| (0..rel.arity()).all(|c| rel.col(c)[r] == vals[c]));
+            if !present {
+                self.catalog.rel_mut(id).push_row(vals);
+            }
+        }
+
+        for stratum in &prog.strata {
+            let pbme_plan = match self.cfg.pbme {
+                PbmeMode::Off => None,
+                PbmeMode::Auto | PbmeMode::Force => detect(stratum),
+            };
+            let mut handled = false;
+            if let Some(plan) = pbme_plan {
+                handled = self.try_run_pbme(stratum, &plan, &mut stats)?;
+            }
+            if !handled {
+                self.run_stratum(stratum, &mut stats)?;
+            }
+        }
+
+        // EOST: commit everything once at fixpoint.
+        let t_io = Instant::now();
+        let catalog = &*self.catalog;
+        self.disk
+            .commit_all(|name| catalog.lookup(name).map(|id| catalog.rel(id)))?;
+        stats.phase.io += t_io.elapsed();
+
+        stats.io_bytes = self.disk.bytes_written();
+        stats.io_flushes = self.disk.flushes();
+        stats.total = t0.elapsed();
+        stats.busy =
+            std::time::Duration::from_nanos(self.ctx.pool.busy_ns_total().saturating_sub(busy0));
+        stats.peak_bytes = stats.peak_bytes.max(self.catalog.heap_bytes());
+        Ok(stats)
+    }
+
+    /// Attempt PBME on a TC/SG-shaped stratum. Returns false (fall back to
+    /// tuples) when the Auto-mode budget check or id-domain check fails.
+    fn try_run_pbme(
+        &mut self,
+        _stratum: &CompiledStratum,
+        plan: &PbmePlan,
+        stats: &mut EvalStats,
+    ) -> Result<bool> {
+        let t = Instant::now();
+        let edge_id = match self.catalog.lookup(plan.edges()) {
+            Some(id) => id,
+            None => return Ok(false),
+        };
+        let idb_id = self
+            .catalog
+            .lookup(plan.idb())
+            .expect("idb relation exists");
+        let edge_rel = self.catalog.rel(edge_id);
+        let idb_rel = self.catalog.rel(idb_id);
+        // Dense-integer domain required: every id in [0, u32::MAX).
+        let max_id = {
+            let mut m: Value = -1;
+            for rel in [edge_rel, idb_rel] {
+                for c in 0..2 {
+                    for &v in rel.col(c) {
+                        if v < 0 || v >= u32::MAX as Value {
+                            return Ok(false);
+                        }
+                        m = m.max(v);
+                    }
+                }
+            }
+            m
+        };
+        let n = (max_id + 1).max(1) as usize;
+        if self.cfg.pbme == PbmeMode::Auto
+            && !fits_budget(n, edge_rel.len(), self.cfg.mem_budget_bytes)
+        {
+            return Ok(false);
+        }
+        let pairs = |rel: &Relation, swap: bool| -> Vec<(u32, u32)> {
+            let (a, b) = (rel.col(0), rel.col(1));
+            (0..rel.len())
+                .map(|r| {
+                    if swap {
+                        (b[r] as u32, a[r] as u32)
+                    } else {
+                        (a[r] as u32, b[r] as u32)
+                    }
+                })
+                .collect()
+        };
+        let mut coord_posted = 0u64;
+        let (matrix, transpose_out) = match plan {
+            PbmePlan::Tc { mirrored, .. } => {
+                let edges = pairs(edge_rel, *mirrored);
+                let seeds = pairs(idb_rel, *mirrored);
+                (
+                    recstep_bitmatrix::tc_closure_seeded(&self.ctx.pool, n, &seeds, &edges),
+                    *mirrored,
+                )
+            }
+            PbmePlan::Sg { .. } => {
+                let edges = pairs(edge_rel, false);
+                let seeds = pairs(idb_rel, false);
+                let m = match self.cfg.pbme_coordination {
+                    Some(threshold) => {
+                        let (m, cs) = recstep_bitmatrix::sg_closure_coordinated_seeded(
+                            &self.ctx.pool,
+                            n,
+                            &edges,
+                            threshold,
+                            Some(&seeds),
+                        );
+                        coord_posted = cs.orders_posted;
+                        m
+                    }
+                    None => recstep_bitmatrix::sg_closure_seeded(
+                        &self.ctx.pool,
+                        n,
+                        &edges,
+                        Some(&seeds),
+                    ),
+                };
+                (m, false)
+            }
+        };
+        stats.pbme_matrix_bytes = stats.pbme_matrix_bytes.max(matrix.heap_bytes());
+        stats.coord_orders_posted += coord_posted;
+        // Materialize the closure back into the stored relation.
+        let rel = self.catalog.rel_mut(idb_id);
+        rel.clear();
+        let ones = matrix.count_ones();
+        let mut cols = vec![Vec::with_capacity(ones), Vec::with_capacity(ones)];
+        for i in 0..matrix.n() {
+            for j in matrix.row_ones(i) {
+                let (a, b) = if transpose_out { (j, i) } else { (i, j) };
+                cols[0].push(a as Value);
+                cols[1].push(b as Value);
+            }
+        }
+        rel.append_columns(cols);
+        let t_io = Instant::now();
+        let rel = self.catalog.rel(idb_id);
+        self.disk.note_dirty(rel)?;
+        stats.phase.io += t_io.elapsed();
+        stats.phase.pbme += t.elapsed();
+        stats.iterations += 1;
+        stats.strata.push(StratumStats {
+            idbs: vec![plan.idb().to_string()],
+            iterations: 1,
+            pbme: true,
+        });
+        stats.peak_bytes = stats
+            .peak_bytes
+            .max(self.catalog.heap_bytes() + stats.pbme_matrix_bytes);
+        Ok(true)
+    }
+
+    /// Tuple-based evaluation of one stratum (the Algorithm 1 inner loop).
+    fn run_stratum(&mut self, stratum: &CompiledStratum, stats: &mut EvalStats) -> Result<()> {
+        // Initialize per-IDB state.
+        let mut states: Vec<IdbState> = Vec::with_capacity(stratum.idbs.len());
+        for idb in &stratum.idbs {
+            let rel_id = self.catalog.lookup(&idb.rel).expect("idb relation exists");
+            let rel = self.catalog.rel(rel_id);
+            let mut delta =
+                Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
+            delta.append_relation(rel);
+            let agg = match &idb.agg {
+                None => None,
+                Some(shape) if stratum.recursive => {
+                    if shape.funcs.len() != 1 {
+                        return Err(Error::analysis(format!(
+                            "IDB '{}' aggregates {} columns; recursive aggregation supports \
+                             exactly one aggregate term per head",
+                            idb.rel,
+                            shape.funcs.len()
+                        )));
+                    }
+                    let mut mono = MonotonicAgg::new(shape.funcs[0])?;
+                    // Seed from facts already in R (earlier strata).
+                    let mut group = Vec::with_capacity(shape.group_positions.len());
+                    for r in 0..rel.len() {
+                        group.clear();
+                        group.extend(shape.group_positions.iter().map(|&p| rel.col(p)[r]));
+                        mono.absorb(&group, rel.col(shape.agg_positions[0])[r]);
+                    }
+                    Some(AggKind::Mono(MonoState {
+                        mono,
+                        group_positions: shape.group_positions.clone(),
+                        agg_position: shape.agg_positions[0],
+                    }))
+                }
+                Some(shape) => {
+                    if !rel.is_empty() {
+                        return Err(Error::analysis(format!(
+                            "aggregated IDB '{}' is defined across strata with non-extremal \
+                             aggregation; this engine evaluates such heads in a single stratum",
+                            idb.rel
+                        )));
+                    }
+                    Some(AggKind::Plain {
+                        group_positions: shape.group_positions.clone(),
+                        agg_positions: shape.agg_positions.clone(),
+                        funcs: shape.funcs.clone(),
+                    })
+                }
+            };
+            states.push(IdbState {
+                rel_id,
+                delta,
+                old_len: 0,
+                dsd: DsdState::new(self.alpha),
+                agg,
+                frozen: idb
+                    .subqueries
+                    .iter()
+                    .map(|sq| vec![None; sq.joins.len()])
+                    .collect(),
+            });
+        }
+
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let mut all_empty = true;
+            // The paper keeps ∆R of the previous iteration alive while the
+            // current iteration's ∆R is being produced ("two temporary
+            // tables are created for each idb R", §4): every IDB of the
+            // stratum must read the *previous* deltas, so the new ones are
+            // staged and swapped in only after the full pass.
+            let mut staged: Vec<Option<Relation>> = (0..stratum.idbs.len()).map(|_| None).collect();
+            for (i, idb) in stratum.idbs.iter().enumerate() {
+                let delta = self.step_idb(stratum, idb, i, &mut states, stats)?;
+                if !delta.is_empty() {
+                    all_empty = false;
+                }
+                staged[i] = Some(delta);
+            }
+            for (state, new_delta) in states.iter_mut().zip(staged) {
+                state.delta = new_delta.expect("every idb staged a delta");
+            }
+            // Memory budget check (how OOM is reported honestly).
+            let live = self.catalog.heap_bytes()
+                + states
+                    .iter()
+                    .map(|s| {
+                        s.delta.heap_bytes()
+                            + match &s.agg {
+                                Some(AggKind::Mono(m)) => m.mono.heap_bytes(),
+                                _ => 0,
+                            }
+                    })
+                    .sum::<usize>();
+            stats.peak_bytes = stats.peak_bytes.max(live);
+            if live > self.cfg.mem_budget_bytes {
+                return Err(Error::exec(format!(
+                    "out of memory: {} live > {} budget",
+                    live, self.cfg.mem_budget_bytes
+                )));
+            }
+            if !stratum.recursive || all_empty {
+                break;
+            }
+        }
+        stats.iterations += iterations;
+
+        // Monotonic aggregated IDBs: rebuild stored relation from the map.
+        for (i, idb) in stratum.idbs.iter().enumerate() {
+            let state = &states[i];
+            if let Some(AggKind::Mono(mono_state)) = &state.agg {
+                let g = mono_state.group_positions.len();
+                let flat = mono_state.mono.to_columns(g);
+                let mut cols = vec![Vec::new(); idb.arity];
+                for (gi, &pos) in mono_state.group_positions.iter().enumerate() {
+                    cols[pos] = flat[gi].clone();
+                }
+                cols[mono_state.agg_position] = flat[g].clone();
+                let rel = self.catalog.rel_mut(state.rel_id);
+                rel.clear();
+                rel.append_columns(cols);
+                let t_io = Instant::now();
+                let rel = self.catalog.rel(state.rel_id);
+                self.disk.note_dirty(rel)?;
+                stats.phase.io += t_io.elapsed();
+            }
+        }
+
+        stats.strata.push(StratumStats {
+            idbs: stratum.idbs.iter().map(|i| i.rel.clone()).collect(),
+            iterations,
+            pbme: false,
+        });
+        Ok(())
+    }
+
+    /// One Algorithm 1 step (lines 8–13) for one IDB. Returns the freshly
+    /// computed ∆R (staged by the caller so peers keep reading the previous
+    /// iteration's delta until the pass completes).
+    fn step_idb(
+        &mut self,
+        stratum: &CompiledStratum,
+        idb: &CompiledIdb,
+        idx: usize,
+        states: &mut [IdbState],
+        stats: &mut EvalStats,
+    ) -> Result<Relation> {
+        // --- Rt ← uieval(rules(R, s)) ---
+        let t_eval = Instant::now();
+        let (candidates, queries) =
+            eval_idb(self.ctx, self.cfg, self.catalog, stratum, idb, states, idx)?;
+        stats.phase.eval += t_eval.elapsed();
+        stats.queries_issued += queries;
+        let produced = candidates.first().map_or(0, Vec::len);
+        stats.tuples_considered += produced;
+
+        // Record frozen choices on first iteration for OOF-NA.
+        if self.cfg.oof == OofMode::None {
+            freeze_choices(self.catalog, stratum, idb, states, idx);
+        }
+
+        // Non-UIE: the per-subquery temporaries were already flushed inside
+        // eval; the unified Rt temp is flushed here in per-query mode.
+        let t_io = Instant::now();
+        self.disk
+            .flush_temp(&format!("{}_rt", idb.rel), RelView::over(&candidates))?;
+        stats.phase.io += t_io.elapsed();
+
+        // OOF-FA: full statistics on every updated table, every iteration.
+        if self.cfg.oof == OofMode::Full {
+            let t_an = Instant::now();
+            let _ = recstep_storage::stats::analyze_view(
+                RelView::over(&candidates),
+                recstep_storage::StatsLevel::Full,
+            );
+            let id = states[idx].rel_id;
+            self.catalog.analyze(id, recstep_storage::StatsLevel::Full);
+            stats.phase.analyze += t_an.elapsed();
+        }
+
+        let state = &mut states[idx];
+        match &mut state.agg {
+            Some(AggKind::Mono(mono_state)) => {
+                // --- Recursive aggregation path: group, then absorb. ---
+                let t_agg = Instant::now();
+                let g = mono_state.group_positions.len();
+                let group_exprs: Vec<Expr> = (0..g).map(Expr::Col).collect();
+                let aggs = vec![AggCol {
+                    func: mono_state.mono.func(),
+                    expr: Expr::Col(g),
+                }];
+                let grouped = recstep_exec::agg::group_aggregate(
+                    self.ctx,
+                    RelView::over(&candidates),
+                    &group_exprs,
+                    &aggs,
+                );
+                let mut delta =
+                    Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
+                let rows = grouped.first().map_or(0, Vec::len);
+                let mut group = Vec::with_capacity(g);
+                let mut out_row = vec![0 as Value; idb.arity];
+                #[allow(clippy::needless_range_loop)]
+                for r in 0..rows {
+                    group.clear();
+                    group.extend((0..g).map(|c| grouped[c][r]));
+                    let v = grouped[g][r];
+                    if mono_state.mono.absorb(&group, v) {
+                        for (gi, &pos) in mono_state.group_positions.iter().enumerate() {
+                            out_row[pos] = group[gi];
+                        }
+                        out_row[mono_state.agg_position] = v;
+                        delta.push_row(&out_row);
+                    }
+                }
+                stats.phase.aggregate += t_agg.elapsed();
+                let t_io = Instant::now();
+                self.disk
+                    .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
+                stats.phase.io += t_io.elapsed();
+                stats.queries_issued += 1;
+                return Ok(delta);
+            }
+            Some(AggKind::Plain {
+                group_positions,
+                agg_positions,
+                funcs,
+            }) => {
+                // --- Non-recursive aggregation: one group-by pass. ---
+                let t_agg = Instant::now();
+                let g = group_positions.len();
+                let group_exprs: Vec<Expr> = (0..g).map(Expr::Col).collect();
+                let aggs: Vec<AggCol> = funcs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &func)| AggCol {
+                        func,
+                        expr: Expr::Col(g + j),
+                    })
+                    .collect();
+                let grouped = recstep_exec::agg::group_aggregate(
+                    self.ctx,
+                    RelView::over(&candidates),
+                    &group_exprs,
+                    &aggs,
+                );
+                let rows = grouped.first().map_or(0, Vec::len);
+                let mut cols = vec![Vec::with_capacity(rows); idb.arity];
+                for (gi, &pos) in group_positions.iter().enumerate() {
+                    cols[pos] = grouped[gi].clone();
+                }
+                for (j, &pos) in agg_positions.iter().enumerate() {
+                    cols[pos] = grouped[g + j].clone();
+                }
+                let mut delta =
+                    Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
+                delta.append_columns(cols);
+                stats.phase.aggregate += t_agg.elapsed();
+                let rel = self.catalog.rel_mut(state.rel_id);
+                state.old_len = rel.len();
+                rel.append_relation(&delta);
+                let t_io = Instant::now();
+                self.disk
+                    .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
+                let rel = self.catalog.rel(state.rel_id);
+                self.disk.note_dirty(rel)?;
+                stats.phase.io += t_io.elapsed();
+                stats.queries_issued += 1;
+                return Ok(delta);
+            }
+            None => {}
+        }
+
+        // --- Rδ ← dedup(Rt) ---
+        let t_dedup = Instant::now();
+        let budget_rows = self.cfg.mem_budget_bytes / (idb.arity.max(1) * 16);
+        // Conservative distinct approximation for table sizing, every OOF
+        // mode: min(memory, |Rt|) (paper §5.1).
+        let distinct_hint = produced.min(budget_rows);
+        let dedup_out = deduplicate(
+            self.ctx,
+            RelView::over(&candidates),
+            self.cfg.dedup,
+            distinct_hint,
+        );
+        drop(candidates);
+        stats.phase.dedup += t_dedup.elapsed();
+        stats.queries_issued += 1;
+        stats.peak_bytes = stats
+            .peak_bytes
+            .max(self.catalog.heap_bytes() + dedup_out.table_bytes);
+        let rdelta = dedup_out.cols;
+        let t_io = Instant::now();
+        self.disk
+            .flush_temp(&format!("{}_rdelta", idb.rel), RelView::over(&rdelta))?;
+        stats.phase.io += t_io.elapsed();
+
+        // --- ∆R ← Rδ − R ---
+        let t_diff = Instant::now();
+        let full = self.catalog.rel(state.rel_id).view();
+        let (diff, algo) = set_difference(
+            self.ctx,
+            RelView::over(&rdelta),
+            full,
+            self.cfg.setdiff,
+            &mut state.dsd,
+        );
+        stats.phase.setdiff += t_diff.elapsed();
+        stats.note_setdiff(algo);
+        stats.queries_issued += 1;
+
+        // --- R ← R ⊎ ∆R ---
+        let t_merge = Instant::now();
+        let mut delta = Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
+        delta.append_columns(diff);
+        let rel = self.catalog.rel_mut(state.rel_id);
+        state.old_len = rel.len();
+        rel.append_relation(&delta);
+        stats.phase.merge += t_merge.elapsed();
+        let t_io = Instant::now();
+        self.disk
+            .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
+        let rel = self.catalog.rel(state.rel_id);
+        self.disk.note_dirty(rel)?;
+        stats.phase.io += t_io.elapsed();
+        Ok(delta)
+    }
+}
+
+/// Record first-iteration build-side choices (OOF-NA freezing).
+fn freeze_choices(
+    catalog: &Catalog,
+    stratum: &CompiledStratum,
+    idb: &CompiledIdb,
+    states: &mut [IdbState],
+    idx: usize,
+) {
+    // Sizes as of this iteration decide once and are kept.
+    for (si, sq) in idb.subqueries.iter().enumerate() {
+        for (ji, _) in sq.joins.iter().enumerate() {
+            if states[idx].frozen[si][ji].is_none() {
+                let left_rows = estimate_left_rows(catalog, stratum, states, sq, ji);
+                let right_rows = scan_rows(catalog, stratum, states, sq, ji + 1);
+                states[idx].frozen[si][ji] = Some(left_rows <= right_rows);
+            }
+        }
+    }
+}
+
+fn scan_rows(
+    catalog: &Catalog,
+    stratum: &CompiledStratum,
+    states: &[IdbState],
+    sq: &SubQuery,
+    scan_idx: usize,
+) -> usize {
+    let scan = &sq.scans[scan_idx];
+    let state = stratum
+        .idbs
+        .iter()
+        .position(|i| i.rel == scan.rel)
+        .map(|p| &states[p]);
+    match scan.version {
+        AtomVersion::Base | AtomVersion::Full => catalog
+            .lookup(&scan.rel)
+            .map_or(0, |id| catalog.rel(id).len()),
+        AtomVersion::Delta => state.map_or(0, |s| s.delta.len()),
+        AtomVersion::Old => state.map_or(0, |s| s.old_len),
+    }
+}
+
+fn estimate_left_rows(
+    catalog: &Catalog,
+    stratum: &CompiledStratum,
+    states: &[IdbState],
+    sq: &SubQuery,
+    join_idx: usize,
+) -> usize {
+    // Rough estimate: the max scan size among already-joined atoms.
+    (0..=join_idx)
+        .map(|i| scan_rows(catalog, stratum, states, sq, i))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Evaluate all subqueries of one IDB, returning the UNION ALL of their
+/// outputs (pre-aggregation layout) plus the number of backend queries the
+/// evaluation cost (UIE batches them into one).
+fn eval_idb(
+    ctx: &ExecCtx,
+    cfg: &Config,
+    catalog: &Catalog,
+    stratum: &CompiledStratum,
+    idb: &CompiledIdb,
+    states: &[IdbState],
+    idx: usize,
+) -> Result<(Vec<Vec<Value>>, usize)> {
+    let out_arity = idb.arity;
+    let mut unioned: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
+    let mut queries = 0usize;
+    for (si, sq) in idb.subqueries.iter().enumerate() {
+        let cols = eval_subquery(
+            ctx,
+            cfg,
+            catalog,
+            stratum,
+            sq,
+            states,
+            &states[idx].frozen[si],
+        )?;
+        if cfg.uie {
+            // One unified query: results land in a single output buffer.
+            for (dst, mut src) in unioned.iter_mut().zip(cols) {
+                dst.append(&mut src);
+            }
+        } else {
+            // Individual evaluation: materialize a per-subquery temp table,
+            // then merge — the extra query + copy of Figure 4 (left).
+            let mut tmp = Relation::new(Schema::with_arity(
+                format!("{}_tmp_mDelta{}", idb.rel, si),
+                out_arity,
+            ));
+            tmp.append_columns(cols);
+            for (c, dst) in unioned.iter_mut().enumerate() {
+                dst.extend_from_slice(tmp.col(c));
+            }
+            queries += 2; // the INSERT plus its merge leg
+        }
+    }
+    if cfg.uie {
+        queries += 1;
+    }
+    Ok((unioned, queries))
+}
+
+/// Evaluate one subquery to its head layout.
+fn eval_subquery(
+    ctx: &ExecCtx,
+    cfg: &Config,
+    catalog: &Catalog,
+    stratum: &CompiledStratum,
+    sq: &SubQuery,
+    states: &[IdbState],
+    frozen: &[Option<bool>],
+) -> Result<Vec<Vec<Value>>> {
+    // Materialize filtered scans; untouched scans stay zero-copy views.
+    let mut filtered: Vec<Option<Vec<Vec<Value>>>> = Vec::with_capacity(sq.scans.len());
+    for scan in &sq.scans {
+        let view = resolve_view(catalog, stratum, states, &scan.rel, scan.version)?;
+        if scan.filters.is_empty() {
+            filtered.push(None);
+        } else {
+            let identity: Vec<Expr> = (0..scan.arity).map(Expr::Col).collect();
+            filtered.push(Some(project_filter(ctx, view, &identity, &scan.filters)));
+        }
+    }
+    let view_of = |i: usize| -> Result<RelView<'_>> {
+        match &filtered[i] {
+            Some(cols) => Ok(RelView::over(cols)),
+            None => resolve_view(
+                catalog,
+                stratum,
+                states,
+                &sq.scans[i].rel,
+                sq.scans[i].version,
+            ),
+        }
+    };
+
+    let has_neg = !sq.negations.is_empty();
+    let identity_of = |w: usize| -> Vec<Expr> { (0..w).map(Expr::Col).collect() };
+
+    // Positive join chain.
+    let mut acc: Vec<Vec<Value>>;
+    if sq.scans.len() == 1 {
+        let (output, residual): (Vec<Expr>, &[_]) = if has_neg {
+            (identity_of(sq.width), sq.residual.as_slice())
+        } else {
+            (sq.head_exprs.clone(), sq.residual.as_slice())
+        };
+        acc = project_filter(ctx, view_of(0)?, &output, residual);
+    } else {
+        acc = Vec::new();
+        let mut width = sq.scans[0].arity;
+        for (ji, join) in sq.joins.iter().enumerate() {
+            let right = view_of(ji + 1)?;
+            let left_is_first = ji == 0;
+            let last = ji == sq.joins.len() - 1;
+            let out_width = width + sq.scans[ji + 1].arity;
+            let (output, residual): (Vec<Expr>, &[_]) = if last && !has_neg {
+                (sq.head_exprs.clone(), sq.residual.as_slice())
+            } else if last {
+                (identity_of(out_width), sq.residual.as_slice())
+            } else {
+                (identity_of(out_width), &[])
+            };
+            let left_view = if left_is_first {
+                view_of(0)?
+            } else {
+                RelView::over(&acc)
+            };
+            // Width-accurate materialization cap for this join's output:
+            // producers stop emitting past it and the post-check below
+            // converts the truncation into an out-of-memory error.
+            let mut capped = ctx.clone();
+            capped.row_cap = (cfg.mem_budget_bytes / (output.len().max(1) * 8)).max(1);
+            let ctx = &capped;
+            if join.left_keys.is_empty() {
+                acc = cross_join(ctx, left_view, right, &output, residual);
+            } else {
+                // OOF: choose the build side from current sizes (Selective /
+                // Full) or the frozen first-iteration choice (None).
+                let build_left = match cfg.oof {
+                    OofMode::None => frozen[ji].unwrap_or(left_view.len() <= right.len()),
+                    _ => left_view.len() <= right.len(),
+                };
+                let spec = JoinSpec {
+                    left_keys: &join.left_keys,
+                    right_keys: &join.right_keys,
+                    build_left,
+                    output: &output,
+                    residual,
+                };
+                acc = hash_join(ctx, left_view, right, &spec);
+            }
+            // Intermediate materialization must respect the memory budget
+            // (the paper's OOM failures on dense graphs come from exactly
+            // these join intermediates). The operators stop emitting at
+            // ctx.row_cap, so an over-cap output means truncation: report
+            // out-of-memory rather than continuing with partial results.
+            let rows = acc.first().map_or(0, Vec::len);
+            let bytes = acc.iter().map(|c| c.len() * 8).sum::<usize>();
+            if rows > ctx.row_cap || bytes > cfg.mem_budget_bytes {
+                return Err(Error::exec(format!(
+                    "out of memory: intermediate {rows} rows / {bytes} bytes exceed budget {}",
+                    cfg.mem_budget_bytes
+                )));
+            }
+            width = out_width;
+        }
+    }
+
+    // Negations as anti joins; the last one projects to the head.
+    for (ni, neg) in sq.negations.iter().enumerate() {
+        let base = resolve_view(catalog, stratum, states, &neg.rel, AtomVersion::Base)?;
+        let neg_filtered;
+        let neg_view = if neg.filters.is_empty() {
+            base
+        } else {
+            let identity: Vec<Expr> = (0..neg.arity).map(Expr::Col).collect();
+            neg_filtered = project_filter(ctx, base, &identity, &neg.filters);
+            RelView::over(&neg_filtered)
+        };
+        let last = ni == sq.negations.len() - 1;
+        let output: Vec<Expr> = if last {
+            sq.head_exprs.clone()
+        } else {
+            identity_of(sq.width)
+        };
+        let acc_view = RelView::over(&acc);
+        acc = anti_join(
+            ctx,
+            acc_view,
+            neg_view,
+            &neg.left_keys,
+            &neg.right_keys,
+            &output,
+        );
+    }
+    Ok(acc)
+}
+
+fn find_state<'a>(
+    stratum: &CompiledStratum,
+    states: &'a [IdbState],
+    rel: &str,
+) -> Option<&'a IdbState> {
+    stratum
+        .idbs
+        .iter()
+        .position(|i| i.rel == rel)
+        .map(|p| &states[p])
+}
+
+fn resolve_view<'a>(
+    catalog: &'a Catalog,
+    stratum: &CompiledStratum,
+    states: &'a [IdbState],
+    rel: &str,
+    version: AtomVersion,
+) -> Result<RelView<'a>> {
+    match version {
+        AtomVersion::Base | AtomVersion::Full => {
+            let id = catalog
+                .lookup(rel)
+                .ok_or_else(|| Error::exec(format!("unknown relation '{rel}'")))?;
+            Ok(catalog.rel(id).view())
+        }
+        AtomVersion::Delta => {
+            let state = find_state(stratum, states, rel)
+                .ok_or_else(|| Error::exec(format!("no delta state for '{rel}'")))?;
+            Ok(state.delta.view())
+        }
+        AtomVersion::Old => {
+            let state = find_state(stratum, states, rel)
+                .ok_or_else(|| Error::exec(format!("no old state for '{rel}'")))?;
+            let id = catalog
+                .lookup(rel)
+                .ok_or_else(|| Error::exec(format!("unknown relation '{rel}'")))?;
+            Ok(catalog.rel(id).prefix_view(state.old_len))
+        }
+    }
+}

@@ -2,11 +2,13 @@
 //!
 //! The paper's architecture (§4) reads "a .datalog file, which, along with
 //! the rules of the Datalog program, provides paths for the input and
-//! output tables". This module implements that workflow: relations named in
-//! `.input` directives load from `<facts-dir>/<name>.facts` (whitespace- or
-//! comma-separated integers, one fact per line, `#`/`//` comments), and
-//! relations named in `.output` directives are written to
-//! `<out-dir>/<name>.csv` after evaluation.
+//! output tables". This module implements that workflow over the
+//! prepare-once API: relations named in `.input` directives load from
+//! `<facts-dir>/<name>.facts` (whitespace- or comma-separated integers,
+//! one fact per line, `#`/`//` comments) into a [`Database`], the
+//! [`PreparedProgram`] runs, and relations named in `.output` directives
+//! are written to `<out-dir>/<name>.csv`. The program is compiled exactly
+//! once — input arities come from the compiled plan, not a second parse.
 
 use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -15,18 +17,14 @@ use std::path::Path;
 use recstep_common::{Error, Result};
 use recstep_datalog::parser::parse_fact_line;
 
-use crate::engine::RecStep;
+use crate::db::Database;
+use crate::prepared::PreparedProgram;
 use crate::stats::EvalStats;
 
 /// Load whitespace/comma-separated integer facts from `path` into relation
 /// `name` (created with `arity` if absent). Returns the number of facts
 /// loaded.
-pub fn load_facts_file(
-    engine: &mut RecStep,
-    name: &str,
-    arity: usize,
-    path: &Path,
-) -> Result<usize> {
+pub fn load_facts_file(db: &mut Database, name: &str, arity: usize, path: &Path) -> Result<usize> {
     let file = fs::File::open(path)
         .map_err(|e| Error::exec(format!("cannot open {}: {e}", path.display())))?;
     let reader = BufReader::new(file);
@@ -48,25 +46,25 @@ pub fn load_facts_file(
         rows.push(vals);
     }
     let n = rows.len();
-    engine.load_relation(name, arity, &rows)?;
+    db.load_relation(name, arity, &rows)?;
     Ok(n)
 }
 
 /// Write a relation as CSV to `path`. Returns the number of rows written.
-pub fn write_relation_csv(engine: &RecStep, name: &str, path: &Path) -> Result<usize> {
-    let rel = engine
+pub fn write_relation_csv(db: &Database, name: &str, path: &Path) -> Result<usize> {
+    let rel = db
         .relation(name)
         .ok_or_else(|| Error::exec(format!("unknown relation '{name}'")))?;
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
     let mut w = BufWriter::new(fs::File::create(path)?);
-    for r in 0..rel.len() {
-        for c in 0..rel.arity() {
+    for row in rel.iter_rows() {
+        for c in 0..row.len() {
             if c > 0 {
                 w.write_all(b",")?;
             }
-            write!(w, "{}", rel.col(c)[r])?;
+            write!(w, "{}", row.get(c))?;
         }
         w.write_all(b"\n")?;
     }
@@ -74,38 +72,38 @@ pub fn write_relation_csv(engine: &RecStep, name: &str, path: &Path) -> Result<u
     Ok(rel.len())
 }
 
-/// Run the full `.datalog` file workflow: parse `program_path`, load every
-/// `.input` relation from `facts_dir/<name>.facts`, evaluate, and write
-/// every `.output` relation to `out_dir/<name>.csv`. Returns the evaluation
-/// statistics plus `(relation, rows)` pairs written.
+/// Run the full `.datalog` file workflow over an already-prepared program:
+/// load every `.input` relation from `facts_dir/<name>.facts` into `db`,
+/// evaluate, and write every `.output` relation to `out_dir/<name>.csv`.
+/// Returns the evaluation statistics plus `(relation, rows)` pairs written.
 pub fn run_datalog_file(
-    engine: &mut RecStep,
-    program_path: &Path,
+    prepared: &PreparedProgram,
+    db: &mut Database,
     facts_dir: &Path,
     out_dir: &Path,
 ) -> Result<(EvalStats, Vec<(String, usize)>)> {
-    let src = fs::read_to_string(program_path)
-        .map_err(|e| Error::exec(format!("cannot read {}: {e}", program_path.display())))?;
-    let program = recstep_datalog::parser::parse(&src)?;
-    let analysis = recstep_datalog::analyze::analyze(program)?;
-    // Load .input relations before evaluation.
-    for name in &analysis.program.inputs {
-        let arity = analysis
-            .pred(name)
-            .map(|p| p.arity)
+    // Load .input relations before evaluation (arities from the plan).
+    for name in prepared.inputs() {
+        let arity = prepared
+            .compiled()
+            .arity_of(name)
             .ok_or_else(|| Error::exec(format!("unknown input relation '{name}'")))?;
-        load_facts_file(engine, name, arity, &facts_dir.join(format!("{name}.facts")))?;
+        load_facts_file(db, name, arity, &facts_dir.join(format!("{name}.facts")))?;
     }
-    let stats = engine.run_source(&src)?;
+    let stats = prepared.run(db)?;
     // Write .output relations (default: every IDB when none declared).
-    let outputs: Vec<String> = if analysis.program.outputs.is_empty() {
-        analysis.idbs().map(|p| p.name.clone()).collect()
+    let outputs: Vec<String> = if prepared.outputs().is_empty() {
+        prepared
+            .compiled()
+            .idb_names()
+            .map(str::to_string)
+            .collect()
     } else {
-        analysis.program.outputs.clone()
+        prepared.outputs().to_vec()
     };
     let mut written = Vec::with_capacity(outputs.len());
     for name in outputs {
-        let rows = write_relation_csv(engine, &name, &out_dir.join(format!("{name}.csv")))?;
+        let rows = write_relation_csv(db, &name, &out_dir.join(format!("{name}.csv")))?;
         written.push((name, rows));
     }
     Ok((stats, written))
@@ -114,7 +112,7 @@ pub fn run_datalog_file(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Config;
+    use crate::engine::Engine;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("recstep-io-{tag}-{}", std::process::id()));
@@ -127,11 +125,11 @@ mod tests {
     fn facts_file_roundtrip() {
         let dir = tmpdir("roundtrip");
         fs::write(dir.join("arc.facts"), "# graph\n0 1\n1,2\n\n2\t3\n").unwrap();
-        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
-        let n = load_facts_file(&mut e, "arc", 2, &dir.join("arc.facts")).unwrap();
+        let mut db = Database::new().unwrap();
+        let n = load_facts_file(&mut db, "arc", 2, &dir.join("arc.facts")).unwrap();
         assert_eq!(n, 3);
-        assert_eq!(e.row_count("arc"), 3);
-        let written = write_relation_csv(&e, "arc", &dir.join("out/arc.csv")).unwrap();
+        assert_eq!(db.row_count("arc"), 3);
+        let written = write_relation_csv(&db, "arc", &dir.join("out/arc.csv")).unwrap();
         assert_eq!(written, 3);
         let text = fs::read_to_string(dir.join("out/arc.csv")).unwrap();
         assert_eq!(text, "0,1\n1,2\n2,3\n");
@@ -142,8 +140,8 @@ mod tests {
     fn arity_mismatch_in_facts_file_is_reported_with_position() {
         let dir = tmpdir("arity");
         fs::write(dir.join("arc.facts"), "0 1\n2 3 4\n").unwrap();
-        let mut e = RecStep::new(Config::default().threads(1)).unwrap();
-        let err = load_facts_file(&mut e, "arc", 2, &dir.join("arc.facts")).unwrap_err();
+        let mut db = Database::new().unwrap();
+        let err = load_facts_file(&mut db, "arc", 2, &dir.join("arc.facts")).unwrap_err();
         assert!(err.to_string().contains(":2:"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
@@ -159,9 +157,12 @@ mod tests {
         )
         .unwrap();
         fs::write(dir.join("arc.facts"), "0 1\n1 2\n").unwrap();
-        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
+        let engine = Engine::builder().threads(2).build().unwrap();
+        let src = fs::read_to_string(dir.join("tc.datalog")).unwrap();
+        let prepared = engine.prepare(&src).unwrap();
+        let mut db = Database::new().unwrap();
         let (stats, written) =
-            run_datalog_file(&mut e, &dir.join("tc.datalog"), &dir, &dir.join("out")).unwrap();
+            run_datalog_file(&prepared, &mut db, &dir, &dir.join("out")).unwrap();
         assert!(stats.iterations >= 2);
         assert_eq!(written, vec![("tc".to_string(), 3)]);
         let text = fs::read_to_string(dir.join("out/tc.csv")).unwrap();
@@ -174,10 +175,12 @@ mod tests {
     #[test]
     fn missing_input_file_errors() {
         let dir = tmpdir("missing");
-        fs::write(dir.join("p.datalog"), ".input arc\ntc(x, y) :- arc(x, y).\n").unwrap();
-        let mut e = RecStep::new(Config::default().threads(1)).unwrap();
-        let err =
-            run_datalog_file(&mut e, &dir.join("p.datalog"), &dir, &dir.join("out")).unwrap_err();
+        let engine = Engine::builder().threads(1).build().unwrap();
+        let prepared = engine
+            .prepare(".input arc\ntc(x, y) :- arc(x, y).\n")
+            .unwrap();
+        let mut db = Database::new().unwrap();
+        let err = run_datalog_file(&prepared, &mut db, &dir, &dir.join("out")).unwrap_err();
         assert!(err.to_string().contains("cannot open"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }

@@ -6,30 +6,71 @@
 //! (recursive) aggregation by semi-naïve evaluation over a parallel
 //! columnar backend, with the paper's five engine optimizations — UIE, OOF,
 //! DSD, EOST, FAST-DEDUP — plus parallel bit-matrix evaluation (PBME) for
-//! dense-graph TC/SG strata. Every optimization is a [`Config`] toggle so
-//! the paper's ablations are one flag away.
+//! dense-graph TC/SG strata. Every optimization is a builder toggle so the
+//! paper's ablations are one flag away.
+//!
+//! ## The three-part API
+//!
+//! * [`Engine`] — immutable evaluation machinery (config + worker pool +
+//!   planner), built once via the fluent [`EngineBuilder`]; `Send + Sync`
+//!   and cheap to clone.
+//! * [`Database`] — the data: EDB facts loaded through batched `load_*`
+//!   calls or a [`Transaction`] bulk loader, IDB results read back through
+//!   zero-copy [`RelHandle`]s.
+//! * [`PreparedProgram`] — a program parsed, analyzed and compiled
+//!   **once** ([`Engine::prepare`]), then run any number of times —
+//!   including concurrently over distinct databases from multiple threads.
 //!
 //! ```
-//! use recstep::{Config, RecStep};
+//! use recstep::{Database, Engine};
 //!
-//! let mut engine = RecStep::new(Config::default().threads(2)).unwrap();
-//! engine.load_edges("arc", &[(0, 1), (1, 2), (2, 3)]).unwrap();
-//! let stats = engine
-//!     .run_source("tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).")
+//! let engine = Engine::builder().threads(2).build().unwrap();
+//! let tc = engine
+//!     .prepare("tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).")
 //!     .unwrap();
-//! assert_eq!(engine.row_count("tc"), 6);
+//!
+//! let mut db = Database::new().unwrap();
+//! db.load_edges("arc", &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let stats = tc.run(&mut db).unwrap();
+//!
+//! let result = db.relation("tc").unwrap();
+//! assert_eq!(result.len(), 6);
+//! assert!(result.as_pairs().unwrap().contains(&(0, 3)));
 //! assert!(stats.iterations >= 1);
 //! ```
+//!
+//! ## Migrating from the old `RecStep` surface
+//!
+//! The former `RecStep` god-object (still available as a deprecated shim)
+//! fused all three roles and re-compiled the program on every
+//! `run_source` call. The mapping:
+//!
+//! | old (`RecStep`)                  | new                                            |
+//! |----------------------------------|------------------------------------------------|
+//! | `RecStep::new(config)`           | `Engine::builder()...build()` / [`Engine::from_config`] |
+//! | `engine.load_edges(...)`         | [`Database::load_edges`] (or a [`Transaction`]) |
+//! | `engine.run_source(src)` (N×)    | [`Engine::prepare`] once + [`PreparedProgram::run`] N× |
+//! | `engine.rows("tc")` (clones)     | `db.relation("tc")` → [`RelHandle`] (`iter_rows`, `as_pairs`, `try_decode`; `to_vec` to clone) |
+//! | `engine.row_count("tc")`         | [`Database::row_count`]                        |
+//! | `RecStep::explain(src)`          | [`PreparedProgram::explain_sql`]               |
 
 pub mod capabilities;
 pub mod config;
+pub mod db;
 pub mod engine;
+mod eval;
 pub mod io;
 pub mod pbme;
+pub mod prepared;
+mod shim;
 pub mod stats;
 
 pub use config::{Config, OofMode, PbmeMode};
-pub use engine::RecStep;
+pub use db::{Database, Transaction};
+pub use engine::{Engine, EngineBuilder};
+pub use prepared::PreparedProgram;
+#[allow(deprecated)]
+pub use shim::RecStep;
 pub use stats::{EvalStats, PhaseTimes, StratumStats};
 
 // Re-exports so downstream users need only this crate.
@@ -37,6 +78,7 @@ pub use recstep_common::{Error, Result, Value};
 pub use recstep_datalog::{analyze, parser, plan, programs, sqlgen};
 pub use recstep_exec::dedup::DedupImpl;
 pub use recstep_exec::setdiff::SetDiffStrategy;
+pub use recstep_storage::{RelHandle, RowDecode, RowIter, RowRef};
 
 /// Parse + analyze + compile a program source in one call (for tools that
 /// want the plan without an engine, e.g. SQL rendering).

@@ -61,7 +61,10 @@ pub fn detect(stratum: &CompiledStratum) -> Option<PbmePlan> {
     let sq = &idb.subqueries[0];
     let clean = sq.residual.is_empty()
         && sq.negations.is_empty()
-        && sq.scans.iter().all(|s| s.filters.is_empty() && s.arity == 2);
+        && sq
+            .scans
+            .iter()
+            .all(|s| s.filters.is_empty() && s.arity == 2);
     if !clean {
         return None;
     }
@@ -115,7 +118,10 @@ pub fn detect(stratum: &CompiledStratum) -> Option<PbmePlan> {
                 && sq.joins[1].right_keys == vec![0]
                 && sq.head_exprs == vec![Expr::Col(1), Expr::Col(5)];
             if ok {
-                Some(PbmePlan::Sg { idb: idb.rel.clone(), edges: s0.rel.clone() })
+                Some(PbmePlan::Sg {
+                    idb: idb.rel.clone(),
+                    edges: s0.rel.clone(),
+                })
             } else {
                 None
             }
@@ -138,7 +144,9 @@ mod tests {
     use recstep_datalog::{analyze::analyze, parser::parse, plan::compile};
 
     fn strata_of(src: &str) -> Vec<CompiledStratum> {
-        compile(&analyze(parse(src).unwrap()).unwrap()).unwrap().strata
+        compile(&analyze(parse(src).unwrap()).unwrap())
+            .unwrap()
+            .strata
     }
 
     #[test]
@@ -147,7 +155,11 @@ mod tests {
         assert_eq!(detect(&strata[0]), None);
         assert_eq!(
             detect(&strata[1]),
-            Some(PbmePlan::Tc { idb: "tc".into(), edges: "arc".into(), mirrored: false })
+            Some(PbmePlan::Tc {
+                idb: "tc".into(),
+                edges: "arc".into(),
+                mirrored: false
+            })
         );
     }
 
@@ -156,7 +168,11 @@ mod tests {
         let strata = strata_of("tc(x, y) :- arc(x, y).\ntc(x, y) :- arc(x, z), tc(z, y).");
         assert_eq!(
             detect(&strata[1]),
-            Some(PbmePlan::Tc { idb: "tc".into(), edges: "arc".into(), mirrored: true })
+            Some(PbmePlan::Tc {
+                idb: "tc".into(),
+                edges: "arc".into(),
+                mirrored: true
+            })
         );
     }
 
@@ -164,7 +180,13 @@ mod tests {
     fn detects_sg() {
         let strata = strata_of(recstep_datalog::programs::SG);
         let rec = strata.iter().find(|s| s.recursive).unwrap();
-        assert_eq!(detect(rec), Some(PbmePlan::Sg { idb: "sg".into(), edges: "arc".into() }));
+        assert_eq!(
+            detect(rec),
+            Some(PbmePlan::Sg {
+                idb: "sg".into(),
+                edges: "arc".into()
+            })
+        );
     }
 
     #[test]
@@ -175,8 +197,7 @@ mod tests {
             assert_eq!(detect(s), None);
         }
         // Residual predicates disqualify.
-        let strata =
-            strata_of("t(x, y) :- e(x, y).\nt(x, y) :- t(x, z), e(z, y), x != y.");
+        let strata = strata_of("t(x, y) :- e(x, y).\nt(x, y) :- t(x, z), e(z, y), x != y.");
         let rec = strata.iter().find(|s| s.recursive).unwrap();
         assert_eq!(detect(rec), None);
         // Mutual recursion disqualifies.

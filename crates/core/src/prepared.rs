@@ -1,0 +1,194 @@
+//! Prepared programs: compile once, run many times.
+//!
+//! [`PreparedProgram`] is the product of [`crate::Engine::prepare`]: the
+//! program source parsed, analyzed, stratified and compiled exactly once.
+//! Running it takes `&self`, so a single prepared program — behind an
+//! `Arc` or by reference — can evaluate over any number of
+//! [`Database`]s, including concurrently from multiple threads. The hot
+//! path never re-parses or re-compiles anything.
+
+use recstep_common::Result;
+use recstep_datalog::plan::CompiledProgram;
+use recstep_datalog::sqlgen;
+
+use crate::db::Database;
+use crate::engine::Engine;
+use crate::eval::EvalRun;
+use crate::stats::EvalStats;
+use recstep_storage::CommitMode;
+
+/// A compiled Datalog program bound to the engine that will evaluate it.
+pub struct PreparedProgram {
+    engine: Engine,
+    compiled: CompiledProgram,
+}
+
+// A prepared program is shared across threads by design (`Arc<PreparedProgram>`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedProgram>();
+};
+
+impl PreparedProgram {
+    pub(crate) fn new(engine: Engine, compiled: CompiledProgram) -> Self {
+        PreparedProgram { engine, compiled }
+    }
+
+    /// Evaluate over `db` to fixpoint.
+    ///
+    /// IDB relations named by the program are reset at the start of the
+    /// run (EDB facts are left untouched), inline facts are loaded
+    /// set-wise (a fact already present is not duplicated, so repeated
+    /// runs over one database stay idempotent), and
+    /// results land in `db` — read them back through
+    /// [`Database::relation`]. Any number of runs may happen, over this
+    /// database or others; runs over *distinct* databases may proceed
+    /// concurrently from multiple threads and share the engine's worker
+    /// pool. (When runs do overlap, [`EvalStats::busy`] reports pool-wide
+    /// busy time, so per-run CPU attribution blurs — wall times and
+    /// result counts stay exact.)
+    pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
+        run_compiled(&self.engine, db, &self.compiled)
+    }
+
+    /// Render the backend SQL this program executes (UIE form), stratum by
+    /// stratum — the paper's Figure 4 view of any program.
+    pub fn explain_sql(&self) -> String {
+        render_program_sql(&self.compiled)
+    }
+
+    /// The underlying compiled plan.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The engine this program is bound to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Relations named by `.input` directives (load these before running).
+    pub fn inputs(&self) -> &[String] {
+        &self.compiled.inputs
+    }
+
+    /// Relations named by `.output` directives (empty = every IDB).
+    pub fn outputs(&self) -> &[String] {
+        &self.compiled.outputs
+    }
+}
+
+/// One evaluation of a compiled program over a database — the single
+/// place wiring engine policy (EOST commit mode, config, pool) to the
+/// database's catalog and store. Both [`PreparedProgram::run`] and the
+/// deprecated `RecStep` shim go through here.
+pub(crate) fn run_compiled(
+    engine: &Engine,
+    db: &mut Database,
+    compiled: &CompiledProgram,
+) -> Result<EvalStats> {
+    let (cfg, ctx, alpha) = engine.parts();
+    let (catalog, disk) = db.eval_parts();
+    // EOST is an engine policy; the store belongs to the database.
+    disk.set_mode(if cfg.eost {
+        CommitMode::Eost
+    } else {
+        CommitMode::PerQuery
+    });
+    EvalRun {
+        cfg,
+        ctx,
+        alpha,
+        catalog,
+        disk,
+    }
+    .run(compiled)
+}
+
+/// Shared SQL rendering for `explain_sql` and the deprecated
+/// `RecStep::explain`.
+pub(crate) fn render_program_sql(compiled: &CompiledProgram) -> String {
+    let mut out = String::new();
+    for (si, stratum) in compiled.strata.iter().enumerate() {
+        out.push_str(&format!(
+            "-- stratum {si} ({})\n",
+            if stratum.recursive {
+                "recursive"
+            } else {
+                "non-recursive"
+            }
+        ));
+        for idb in &stratum.idbs {
+            out.push_str(&sqlgen::render_uie(idb));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).";
+
+    #[test]
+    fn prepare_once_run_many() {
+        let engine = Engine::builder().threads(2).build().unwrap();
+        let tc = engine.prepare(TC).unwrap();
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &[(0, 1), (1, 2)]).unwrap();
+        tc.run(&mut db).unwrap();
+        assert_eq!(db.row_count("tc"), 3);
+        // Re-running over the same database is idempotent (IDBs reset).
+        tc.run(&mut db).unwrap();
+        assert_eq!(db.row_count("tc"), 3);
+        // And the same prepared program serves a different database.
+        let mut other = Database::new().unwrap();
+        other.load_edges("arc", &[(5, 6)]).unwrap();
+        tc.run(&mut other).unwrap();
+        assert_eq!(other.row_count("tc"), 1);
+        assert_eq!(db.row_count("tc"), 3);
+    }
+
+    #[test]
+    fn explain_sql_renders_strata() {
+        let engine = Engine::builder().threads(1).build().unwrap();
+        let sql = engine.prepare(TC).unwrap().explain_sql();
+        assert!(sql.contains("-- stratum 0 (non-recursive)"), "{sql}");
+        assert!(sql.contains("-- stratum 1 (recursive)"), "{sql}");
+    }
+
+    #[test]
+    fn inline_facts_are_idempotent_across_runs() {
+        let engine = Engine::builder().threads(1).build().unwrap();
+        let prog = engine
+            .prepare(
+                "arc(1, 2). arc(2, 3).\ntc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).",
+            )
+            .unwrap();
+        assert_eq!(prog.compiled().facts.len(), 2);
+        let mut db = Database::new().unwrap();
+        prog.run(&mut db).unwrap();
+        assert_eq!(db.row_count("tc"), 3);
+        // Facts must not accumulate in the EDB relation run over run.
+        prog.run(&mut db).unwrap();
+        assert_eq!(db.row_count("arc"), 2);
+        assert_eq!(db.row_count("tc"), 3);
+    }
+
+    #[test]
+    fn aggregation_over_inline_facts_is_stable_across_runs() {
+        // Regression: facts used to be re-appended on every run, which
+        // doubled SUM results on the second run over the same database.
+        let engine = Engine::builder().threads(1).build().unwrap();
+        let prog = engine
+            .prepare("e(1, 10). e(1, 20).\ns(x, SUM(y)) :- e(x, y).")
+            .unwrap();
+        let mut db = Database::new().unwrap();
+        prog.run(&mut db).unwrap();
+        assert_eq!(db.relation("s").unwrap().as_pairs().unwrap(), vec![(1, 30)]);
+        prog.run(&mut db).unwrap();
+        assert_eq!(db.relation("s").unwrap().as_pairs().unwrap(), vec![(1, 30)]);
+    }
+}

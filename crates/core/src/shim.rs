@@ -1,0 +1,169 @@
+//! Deprecated compatibility shim: the old `RecStep` god-object.
+//!
+//! `RecStep` fused engine, database and program into one mutable value;
+//! the API is now split into [`Engine`] (immutable machinery),
+//! [`Database`] (facts + results) and [`crate::PreparedProgram`]
+//! (compile once, run many). This shim keeps the old surface working by
+//! delegating to the new types — including `run_source`'s re-parse on
+//! every call, which is exactly the cost the new API removes. New code
+//! should not use it; see the crate-level migration notes.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use recstep_common::sched::ThreadPool;
+use recstep_common::{Result, Value};
+use recstep_datalog::plan::CompiledProgram;
+use recstep_datalog::{analyze::analyze, parser::parse, plan::compile};
+use recstep_storage::{Catalog, Relation};
+
+use crate::config::Config;
+use crate::db::Database;
+use crate::engine::Engine;
+use crate::prepared::render_program_sql;
+use crate::stats::EvalStats;
+
+/// The old fused engine + database object.
+#[deprecated(
+    since = "0.1.0",
+    note = "split into Engine (machinery), Database (facts + results) and \
+            PreparedProgram (compile once, run many); see the crate docs' \
+            migration notes"
+)]
+pub struct RecStep {
+    engine: Engine,
+    db: Database,
+}
+
+impl RecStep {
+    /// Build an engine from a configuration.
+    pub fn new(cfg: Config) -> Result<Self> {
+        Ok(RecStep {
+            engine: Engine::from_config(cfg)?,
+            db: Database::new()?,
+        })
+    }
+
+    /// Engine with the default configuration.
+    pub fn with_defaults() -> Result<Self> {
+        Self::new(Config::default())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &Config {
+        self.engine.config()
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &ThreadPool {
+        self.engine.pool()
+    }
+
+    /// Shared handle to the worker pool.
+    pub fn pool_handle(&self) -> Arc<ThreadPool> {
+        self.engine.pool_handle()
+    }
+
+    /// The catalog (read access to all relations).
+    pub fn catalog(&self) -> &Catalog {
+        self.db.catalog()
+    }
+
+    /// A relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.db
+            .catalog()
+            .lookup(name)
+            .map(|id| self.db.catalog().rel(id))
+    }
+
+    /// Materialized rows of a relation (row-major; `None` if unknown).
+    pub fn rows(&self, name: &str) -> Option<Vec<Vec<Value>>> {
+        self.db.relation(name).map(|h| h.to_vec())
+    }
+
+    /// Row count of a relation (0 if unknown).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.db.row_count(name)
+    }
+
+    /// Load (or extend) an input relation from row-major data.
+    pub fn load_relation(&mut self, name: &str, arity: usize, rows: &[Vec<Value>]) -> Result<()> {
+        self.db.load_relation(name, arity, rows)
+    }
+
+    /// Load a binary edge relation.
+    pub fn load_edges(&mut self, name: &str, edges: &[(Value, Value)]) -> Result<()> {
+        self.db.load_edges(name, edges)
+    }
+
+    /// Load a weighted edge relation `(src, dst, weight)`.
+    pub fn load_weighted_edges(
+        &mut self,
+        name: &str,
+        edges: &[(Value, Value, Value)],
+    ) -> Result<()> {
+        self.db.load_weighted_edges(name, edges)
+    }
+
+    /// Load a binary relation given symbolically via dictionary encoding.
+    pub fn load_symbolic_edges(
+        &mut self,
+        name: &str,
+        dict: &mut recstep_common::dict::Dictionary,
+        edges: &[(&str, &str)],
+    ) -> Result<()> {
+        self.db.load_symbolic_edges(name, dict, edges)
+    }
+
+    /// Render the backend SQL a program would execute (UIE form).
+    pub fn explain(src: &str) -> Result<String> {
+        Ok(render_program_sql(&compile(&analyze(parse(src)?)?)?))
+    }
+
+    /// Parse, analyze, compile and evaluate a program source — on *every*
+    /// call (the legacy slow path; prefer [`Engine::prepare`]).
+    pub fn run_source(&mut self, src: &str) -> Result<EvalStats> {
+        let prepared = self.engine.prepare(src)?;
+        prepared.run(&mut self.db)
+    }
+
+    /// Evaluate a compiled program.
+    pub fn run(&mut self, prog: &CompiledProgram) -> Result<EvalStats> {
+        crate::prepared::run_compiled(&self.engine, &mut self.db, prog)
+    }
+
+    /// Evaluate a compiled program after loading extra facts.
+    pub fn run_with_facts(
+        &mut self,
+        prog: &CompiledProgram,
+        facts: &[(String, Vec<Value>)],
+    ) -> Result<EvalStats> {
+        let mut augmented = prog.clone();
+        augmented.facts.extend_from_slice(facts);
+        self.run(&augmented)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shim_delegates_to_the_new_api() {
+        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
+        e.load_edges("arc", &[(0, 1), (1, 2)]).unwrap();
+        let stats = e
+            .run_source("tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).")
+            .unwrap();
+        assert!(stats.iterations >= 1);
+        assert_eq!(e.row_count("tc"), 3);
+        let mut rows = e.rows("tc").unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert!(RecStep::explain("tc(x, y) :- arc(x, y).")
+            .unwrap()
+            .contains("stratum 0"));
+    }
+}

@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn efficiency_definition() {
-        let s = EvalStats { total: Duration::from_secs(10), ..Default::default() };
+        let s = EvalStats {
+            total: Duration::from_secs(10),
+            ..Default::default()
+        };
         assert!((s.cpu_efficiency(5) - 0.02).abs() < 1e-9);
     }
 }

@@ -1,26 +1,41 @@
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 //! End-to-end engine tests: every benchmark program on small inputs,
 //! cross-checked against independent oracles, across configuration space.
+//! All tests drive the Engine / Database / PreparedProgram API.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use recstep::{Config, DedupImpl, OofMode, PbmeMode, RecStep, SetDiffStrategy, Value};
+use recstep::{
+    Config, Database, DedupImpl, Engine, EvalStats, OofMode, PbmeMode, SetDiffStrategy, Value,
+};
 
-fn engine(cfg: Config) -> RecStep {
-    RecStep::new(cfg.threads(4)).unwrap()
+fn engine(cfg: Config) -> Engine {
+    Engine::from_config(cfg.threads(4)).unwrap()
+}
+
+/// One-shot evaluation: fresh database, load `arc`, run `src` once.
+fn run_on_edges(cfg: Config, edges: &[(Value, Value)], src: &str) -> (Database, EvalStats) {
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", edges).unwrap();
+    let stats = engine(cfg).prepare(src).unwrap().run(&mut db).unwrap();
+    (db, stats)
 }
 
 fn lcg(seed: u64) -> impl FnMut() -> u64 {
     let mut state = seed;
     move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     }
 }
 
 fn random_edges(n: u64, m: usize, seed: u64) -> Vec<(Value, Value)> {
     let mut rnd = lcg(seed);
-    (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+    (0..m)
+        .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+        .collect()
 }
 
 fn tc_oracle(n: usize, edges: &[(Value, Value)]) -> BTreeSet<(Value, Value)> {
@@ -50,30 +65,41 @@ fn tc_oracle(n: usize, edges: &[(Value, Value)]) -> BTreeSet<(Value, Value)> {
     out
 }
 
-fn rel_pairs(e: &RecStep, name: &str) -> BTreeSet<(Value, Value)> {
-    e.rows(name).unwrap().into_iter().map(|r| (r[0], r[1])).collect()
+fn rel_pairs(db: &Database, name: &str) -> BTreeSet<(Value, Value)> {
+    db.relation(name)
+        .unwrap()
+        .as_pairs()
+        .unwrap()
+        .into_iter()
+        .collect()
 }
 
 #[test]
 fn tc_matches_floyd_warshall() {
     let n = 30;
     let edges = random_edges(n as u64, 80, 42);
-    let mut e = engine(Config::default().pbme(PbmeMode::Off));
-    e.load_edges("arc", &edges).unwrap();
-    e.run_source(recstep::programs::TC).unwrap();
-    assert_eq!(rel_pairs(&e, "tc"), tc_oracle(n, &edges));
+    let (db, _) = run_on_edges(
+        Config::default().pbme(PbmeMode::Off),
+        &edges,
+        recstep::programs::TC,
+    );
+    assert_eq!(rel_pairs(&db, "tc"), tc_oracle(n, &edges));
 }
 
 #[test]
 fn tc_pbme_agrees_with_tuple_engine() {
     let n = 40;
     let edges = random_edges(n as u64, 120, 7);
-    let mut tup = engine(Config::default().pbme(PbmeMode::Off));
-    tup.load_edges("arc", &edges).unwrap();
-    tup.run_source(recstep::programs::TC).unwrap();
-    let mut bit = engine(Config::default().pbme(PbmeMode::Force));
-    bit.load_edges("arc", &edges).unwrap();
-    let stats = bit.run_source(recstep::programs::TC).unwrap();
+    let (tup, _) = run_on_edges(
+        Config::default().pbme(PbmeMode::Off),
+        &edges,
+        recstep::programs::TC,
+    );
+    let (bit, stats) = run_on_edges(
+        Config::default().pbme(PbmeMode::Force),
+        &edges,
+        recstep::programs::TC,
+    );
     assert!(stats.strata.iter().any(|s| s.pbme), "PBME must have run");
     assert_eq!(rel_pairs(&bit, "tc"), rel_pairs(&tup, "tc"));
     assert_eq!(rel_pairs(&bit, "tc"), tc_oracle(n, &edges));
@@ -84,10 +110,8 @@ fn mirrored_tc_rule_is_equivalent() {
     let edges = random_edges(25, 60, 11);
     let mirrored = "tc(x, y) :- arc(x, y).\ntc(x, y) :- arc(x, z), tc(z, y).";
     for pbme in [PbmeMode::Off, PbmeMode::Force] {
-        let mut e = engine(Config::default().pbme(pbme));
-        e.load_edges("arc", &edges).unwrap();
-        e.run_source(mirrored).unwrap();
-        assert_eq!(rel_pairs(&e, "tc"), tc_oracle(25, &edges), "pbme={pbme:?}");
+        let (db, _) = run_on_edges(Config::default().pbme(pbme), &edges, mirrored);
+        assert_eq!(rel_pairs(&db, "tc"), tc_oracle(25, &edges), "pbme={pbme:?}");
     }
 }
 
@@ -129,10 +153,8 @@ fn sg_all_engines_agree() {
     }
     let oracle: BTreeSet<(Value, Value)> = oracle.into_iter().collect();
     for pbme in [PbmeMode::Off, PbmeMode::Force] {
-        let mut e = engine(Config::default().pbme(pbme));
-        e.load_edges("arc", &edges).unwrap();
-        e.run_source(recstep::programs::SG).unwrap();
-        assert_eq!(rel_pairs(&e, "sg"), oracle, "pbme={pbme:?}");
+        let (db, _) = run_on_edges(Config::default().pbme(pbme), &edges, recstep::programs::SG);
+        assert_eq!(rel_pairs(&db, "sg"), oracle, "pbme={pbme:?}");
     }
 }
 
@@ -141,10 +163,14 @@ fn reach_matches_bfs() {
     let n = 50u64;
     let edges = random_edges(n, 120, 13);
     let seed = 5 as Value;
-    let mut e = engine(Config::default());
-    e.load_edges("arc", &edges).unwrap();
-    e.load_relation("id", 1, &[vec![seed]]).unwrap();
-    e.run_source(recstep::programs::REACH).unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", &edges).unwrap();
+    db.load_relation("id", 1, &[vec![seed]]).unwrap();
+    engine(Config::default())
+        .prepare(recstep::programs::REACH)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
     // BFS oracle (reach includes the seed itself via the base rule).
     let mut adj: HashMap<Value, Vec<Value>> = HashMap::new();
     for &(s, t) in &edges {
@@ -160,7 +186,13 @@ fn reach_matches_bfs() {
             }
         }
     }
-    let got: BTreeSet<Value> = e.rows("reach").unwrap().into_iter().map(|r| r[0]).collect();
+    let got: BTreeSet<Value> = db
+        .relation("reach")
+        .unwrap()
+        .try_decode::<Value>()
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, seen);
 }
 
@@ -172,29 +204,44 @@ fn reach_matches_bfs() {
 fn cc_labels_match_directed_reachability_min() {
     let n = 25;
     let edges = random_edges(n as u64, 70, 19);
-    let mut e = engine(Config::default());
-    e.load_edges("arc", &edges).unwrap();
-    e.run_source(recstep::programs::CC).unwrap();
+    let (db, _) = run_on_edges(Config::default(), &edges, recstep::programs::CC);
     let reach = tc_oracle(n, &edges);
     // cc3(v) = min over {v's own label if v has outgoing edge} ∪ {u | u → v}.
     let mut expect: HashMap<Value, Value> = HashMap::new();
     let sources: BTreeSet<Value> = edges.iter().map(|&(s, _)| s).collect();
     for &s in &sources {
-        expect.entry(s).and_modify(|m| *m = (*m).min(s)).or_insert(s);
+        expect
+            .entry(s)
+            .and_modify(|m| *m = (*m).min(s))
+            .or_insert(s);
     }
     for &(u, v) in &reach {
         if sources.contains(&u) || sources.contains(&v) {
             // label u propagates along u →* v when u itself got a label
             if sources.contains(&u) {
-                expect.entry(v).and_modify(|m| *m = (*m).min(u)).or_insert(u);
+                expect
+                    .entry(v)
+                    .and_modify(|m| *m = (*m).min(u))
+                    .or_insert(u);
             }
         }
     }
-    let got: HashMap<Value, Value> =
-        e.rows("cc3").unwrap().into_iter().map(|r| (r[0], r[1])).collect();
+    let got: HashMap<Value, Value> = db
+        .relation("cc3")
+        .unwrap()
+        .as_pairs()
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, expect);
     // cc2 mirrors cc3 after the final grouping; cc is the distinct labels.
-    let cc: BTreeSet<Value> = e.rows("cc").unwrap().into_iter().map(|r| r[0]).collect();
+    let cc: BTreeSet<Value> = db
+        .relation("cc")
+        .unwrap()
+        .try_decode::<Value>()
+        .unwrap()
+        .into_iter()
+        .collect();
     let labels: BTreeSet<Value> = expect.values().copied().collect();
     assert_eq!(cc, labels);
 }
@@ -204,13 +251,23 @@ fn sssp_matches_dijkstra() {
     let n = 40u64;
     let mut rnd = lcg(77);
     let edges: Vec<(Value, Value, Value)> = (0..150)
-        .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value, (rnd() % 9 + 1) as Value))
+        .map(|_| {
+            (
+                (rnd() % n) as Value,
+                (rnd() % n) as Value,
+                (rnd() % 9 + 1) as Value,
+            )
+        })
         .collect();
     let src = 0 as Value;
-    let mut e = engine(Config::default());
-    e.load_weighted_edges("arc", &edges).unwrap();
-    e.load_relation("id", 1, &[vec![src]]).unwrap();
-    e.run_source(recstep::programs::SSSP).unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_weighted_edges("arc", &edges).unwrap();
+    db.load_relation("id", 1, &[vec![src]]).unwrap();
+    engine(Config::default())
+        .prepare(recstep::programs::SSSP)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
     // Dijkstra oracle.
     let mut adj: HashMap<Value, Vec<(Value, Value)>> = HashMap::new();
     for &(s, t, w) in &edges {
@@ -231,20 +288,22 @@ fn sssp_matches_dijkstra() {
             }
         }
     }
-    let got: HashMap<Value, Value> =
-        e.rows("sssp").unwrap().into_iter().map(|r| (r[0], r[1])).collect();
+    let got: HashMap<Value, Value> = db
+        .relation("sssp")
+        .unwrap()
+        .as_pairs()
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, dist);
 }
 
 #[test]
 fn ntc_is_complement_of_tc_over_nodes() {
     let edges = random_edges(12, 25, 23);
-    let mut e = engine(Config::default());
-    e.load_edges("arc", &edges).unwrap();
-    e.run_source(recstep::programs::NTC).unwrap();
-    let tc = rel_pairs(&e, "tc");
-    let nodes: BTreeSet<Value> =
-        edges.iter().flat_map(|&(s, t)| [s, t]).collect();
+    let (db, _) = run_on_edges(Config::default(), &edges, recstep::programs::NTC);
+    let tc = rel_pairs(&db, "tc");
+    let nodes: BTreeSet<Value> = edges.iter().flat_map(|&(s, t)| [s, t]).collect();
     let mut expect = BTreeSet::new();
     for &x in &nodes {
         for &y in &nodes {
@@ -253,17 +312,20 @@ fn ntc_is_complement_of_tc_over_nodes() {
             }
         }
     }
-    assert_eq!(rel_pairs(&e, "ntc"), expect);
+    assert_eq!(rel_pairs(&db, "ntc"), expect);
 }
 
 #[test]
 fn gtc_counts_reachable_vertices() {
     let edges = vec![(0, 1), (1, 2), (2, 3)];
-    let mut e = engine(Config::default());
-    e.load_edges("arc", &edges).unwrap();
-    e.run_source(recstep::programs::GTC).unwrap();
-    let got: HashMap<Value, Value> =
-        e.rows("gtc").unwrap().into_iter().map(|r| (r[0], r[1])).collect();
+    let (db, _) = run_on_edges(Config::default(), &edges, recstep::programs::GTC);
+    let got: HashMap<Value, Value> = db
+        .relation("gtc")
+        .unwrap()
+        .as_pairs()
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, HashMap::from([(0, 3), (1, 2), (2, 1)]));
 }
 
@@ -320,27 +382,40 @@ fn andersen_matches_naive_fixpoint() {
     let mut rnd = lcg(31);
     let n = 20u64;
     let mut pick = |m: usize| -> Vec<(Value, Value)> {
-        (0..m).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect()
+        (0..m)
+            .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+            .collect()
     };
     let address_of = pick(15);
     let assign = pick(12);
     let load = pick(8);
     let store = pick(8);
     let oracle = andersen_oracle(&address_of, &assign, &load, &store);
-    let mut e = engine(Config::default());
-    e.load_edges("addressOf", &address_of).unwrap();
-    e.load_edges("assign", &assign).unwrap();
-    e.load_edges("load", &load).unwrap();
-    e.load_edges("store", &store).unwrap();
-    e.run_source(recstep::programs::ANDERSEN).unwrap();
-    assert_eq!(rel_pairs(&e, "pointsTo"), oracle);
+    let mut db = Database::new().unwrap();
+    // Bulk-load all four input relations in one transaction.
+    let mut tx = db.transaction();
+    tx.load_edges("addressOf", &address_of).unwrap();
+    tx.load_edges("assign", &assign).unwrap();
+    tx.load_edges("load", &load).unwrap();
+    tx.load_edges("store", &store).unwrap();
+    tx.commit().unwrap();
+    engine(Config::default())
+        .prepare(recstep::programs::ANDERSEN)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    assert_eq!(rel_pairs(&db, "pointsTo"), oracle);
 }
 
 /// CSPA oracle: naive fixpoint of the full mutually recursive program.
 fn cspa_oracle(
     assign: &[(Value, Value)],
     deref: &[(Value, Value)],
-) -> (BTreeSet<(Value, Value)>, BTreeSet<(Value, Value)>, BTreeSet<(Value, Value)>) {
+) -> (
+    BTreeSet<(Value, Value)>,
+    BTreeSet<(Value, Value)>,
+    BTreeSet<(Value, Value)>,
+) {
     let mut vf: HashSet<(Value, Value)> = HashSet::new();
     let mut va: HashSet<(Value, Value)> = HashSet::new();
     let mut ma: HashSet<(Value, Value)> = HashSet::new();
@@ -414,18 +489,24 @@ fn cspa_oracle(
 fn cspa_mutual_recursion_matches_naive_fixpoint() {
     let mut rnd = lcg(57);
     let n = 12u64;
-    let assign: Vec<(Value, Value)> =
-        (0..10).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect();
-    let deref: Vec<(Value, Value)> =
-        (0..10).map(|_| ((rnd() % n) as Value, (rnd() % n) as Value)).collect();
+    let assign: Vec<(Value, Value)> = (0..10)
+        .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+        .collect();
+    let deref: Vec<(Value, Value)> = (0..10)
+        .map(|_| ((rnd() % n) as Value, (rnd() % n) as Value))
+        .collect();
     let (vf, va, ma) = cspa_oracle(&assign, &deref);
-    let mut e = engine(Config::default());
-    e.load_edges("assign", &assign).unwrap();
-    e.load_edges("dereference", &deref).unwrap();
-    e.run_source(recstep::programs::CSPA).unwrap();
-    assert_eq!(rel_pairs(&e, "valueFlow"), vf);
-    assert_eq!(rel_pairs(&e, "valueAlias"), va);
-    assert_eq!(rel_pairs(&e, "memoryAlias"), ma);
+    let mut db = Database::new().unwrap();
+    db.load_edges("assign", &assign).unwrap();
+    db.load_edges("dereference", &deref).unwrap();
+    engine(Config::default())
+        .prepare(recstep::programs::CSPA)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    assert_eq!(rel_pairs(&db, "valueFlow"), vf);
+    assert_eq!(rel_pairs(&db, "valueAlias"), va);
+    assert_eq!(rel_pairs(&db, "memoryAlias"), ma);
 }
 
 #[test]
@@ -435,68 +516,112 @@ fn csda_long_chain_iterates_deeply() {
     let arc: Vec<(Value, Value)> = (0..len).map(|i| (i as Value, (i + 1) as Value)).collect();
     // PBME off: the point of CSDA is exercising the per-iteration tuple
     // path (the pattern is TC-shaped, so Auto mode would take over).
-    let mut e = engine(Config::default().pbme(PbmeMode::Off));
-    e.load_edges("arc", &arc).unwrap();
-    e.load_edges("nullEdge", &[(0, 0)]).unwrap();
-    let stats = e.run_source(recstep::programs::CSDA).unwrap();
-    assert_eq!(e.row_count("null"), len + 1);
-    assert!(stats.iterations > len, "chain must drive ~one iteration per hop");
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", &arc).unwrap();
+    db.load_edges("nullEdge", &[(0, 0)]).unwrap();
+    let stats = engine(Config::default().pbme(PbmeMode::Off))
+        .prepare(recstep::programs::CSDA)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    assert_eq!(db.row_count("null"), len + 1);
+    assert!(
+        stats.iterations > len,
+        "chain must drive ~one iteration per hop"
+    );
 }
 
 #[test]
 fn every_ablation_config_produces_identical_results() {
     let edges = random_edges(24, 70, 91);
     let reference = {
-        let mut e = engine(Config::default().pbme(PbmeMode::Off));
-        e.load_edges("arc", &edges).unwrap();
-        e.run_source(recstep::programs::TC).unwrap();
-        rel_pairs(&e, "tc")
+        let (db, _) = run_on_edges(
+            Config::default().pbme(PbmeMode::Off),
+            &edges,
+            recstep::programs::TC,
+        );
+        rel_pairs(&db, "tc")
     };
     let configs: Vec<(&str, Config)> = vec![
         ("no-uie", Config::default().uie(false).pbme(PbmeMode::Off)),
-        ("oof-na", Config::default().oof(OofMode::None).pbme(PbmeMode::Off)),
-        ("oof-fa", Config::default().oof(OofMode::Full).pbme(PbmeMode::Off)),
-        ("opsd", Config::default().setdiff(SetDiffStrategy::AlwaysOpsd).pbme(PbmeMode::Off)),
-        ("tpsd", Config::default().setdiff(SetDiffStrategy::AlwaysTpsd).pbme(PbmeMode::Off)),
+        (
+            "oof-na",
+            Config::default().oof(OofMode::None).pbme(PbmeMode::Off),
+        ),
+        (
+            "oof-fa",
+            Config::default().oof(OofMode::Full).pbme(PbmeMode::Off),
+        ),
+        (
+            "opsd",
+            Config::default()
+                .setdiff(SetDiffStrategy::AlwaysOpsd)
+                .pbme(PbmeMode::Off),
+        ),
+        (
+            "tpsd",
+            Config::default()
+                .setdiff(SetDiffStrategy::AlwaysTpsd)
+                .pbme(PbmeMode::Off),
+        ),
         ("no-eost", Config::default().eost(false).pbme(PbmeMode::Off)),
-        ("generic-dedup", Config::default().dedup(DedupImpl::Generic).pbme(PbmeMode::Off)),
+        (
+            "generic-dedup",
+            Config::default()
+                .dedup(DedupImpl::Generic)
+                .pbme(PbmeMode::Off),
+        ),
         ("no-op", Config::no_op()),
         ("pbme", Config::default().pbme(PbmeMode::Force)),
-        ("pbme-coord", Config::default().pbme(PbmeMode::Force).pbme_coordination(Some(16))),
-        ("calibrated", Config::default().pbme(PbmeMode::Off).calibrate_dsd(true)),
+        (
+            "pbme-coord",
+            Config::default()
+                .pbme(PbmeMode::Force)
+                .pbme_coordination(Some(16)),
+        ),
+        (
+            "calibrated",
+            Config::default().pbme(PbmeMode::Off).calibrate_dsd(true),
+        ),
     ];
     for (name, cfg) in configs {
-        let mut e = engine(cfg);
-        e.load_edges("arc", &edges).unwrap();
-        e.run_source(recstep::programs::TC).unwrap();
-        assert_eq!(rel_pairs(&e, "tc"), reference, "config {name}");
+        let (db, _) = run_on_edges(cfg, &edges, recstep::programs::TC);
+        assert_eq!(rel_pairs(&db, "tc"), reference, "config {name}");
     }
 }
 
 #[test]
 fn sg_coordination_agrees_with_plain_pbme() {
     let edges = random_edges(35, 120, 15);
-    let mut plain = engine(Config::default().pbme(PbmeMode::Force));
-    plain.load_edges("arc", &edges).unwrap();
-    plain.run_source(recstep::programs::SG).unwrap();
-    let mut coord = engine(Config::default().pbme(PbmeMode::Force).pbme_coordination(Some(8)));
-    coord.load_edges("arc", &edges).unwrap();
-    coord.run_source(recstep::programs::SG).unwrap();
+    let (plain, _) = run_on_edges(
+        Config::default().pbme(PbmeMode::Force),
+        &edges,
+        recstep::programs::SG,
+    );
+    let (coord, _) = run_on_edges(
+        Config::default()
+            .pbme(PbmeMode::Force)
+            .pbme_coordination(Some(8)),
+        &edges,
+        recstep::programs::SG,
+    );
     assert_eq!(rel_pairs(&coord, "sg"), rel_pairs(&plain, "sg"));
 }
 
 #[test]
 fn inline_facts_work() {
-    let mut e = engine(Config::default());
-    let stats = e
-        .run_source(
+    let mut db = Database::new().unwrap();
+    let stats = engine(Config::default())
+        .prepare(
             "arc(1, 2). arc(2, 3).\n\
              tc(x, y) :- arc(x, y).\n\
              tc(x, y) :- tc(x, z), arc(z, y).",
         )
+        .unwrap()
+        .run(&mut db)
         .unwrap();
     assert_eq!(
-        rel_pairs(&e, "tc"),
+        rel_pairs(&db, "tc"),
         BTreeSet::from([(1, 2), (2, 3), (1, 3)])
     );
     assert!(stats.queries_issued > 0);
@@ -505,23 +630,33 @@ fn inline_facts_work() {
 #[test]
 fn rerun_is_idempotent() {
     let edges = random_edges(15, 40, 1);
-    let mut e = engine(Config::default());
-    e.load_edges("arc", &edges).unwrap();
-    e.run_source(recstep::programs::TC).unwrap();
-    let first = rel_pairs(&e, "tc");
-    e.run_source(recstep::programs::TC).unwrap();
-    assert_eq!(rel_pairs(&e, "tc"), first);
+    let tc = engine(Config::default())
+        .prepare(recstep::programs::TC)
+        .unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", &edges).unwrap();
+    tc.run(&mut db).unwrap();
+    let first = rel_pairs(&db, "tc");
+    tc.run(&mut db).unwrap();
+    assert_eq!(rel_pairs(&db, "tc"), first);
 }
 
 #[test]
 fn memory_budget_reports_oom() {
     let edges = random_edges(200, 2000, 5);
-    let mut e = RecStep::new(
-        Config::default().threads(2).pbme(PbmeMode::Off).mem_budget(64 * 1024),
-    )
-    .unwrap();
-    e.load_edges("arc", &edges).unwrap();
-    let err = e.run_source(recstep::programs::TC).unwrap_err();
+    let e = Engine::builder()
+        .threads(2)
+        .pbme(PbmeMode::Off)
+        .mem_budget(64 * 1024)
+        .build()
+        .unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", &edges).unwrap();
+    let err = e
+        .prepare(recstep::programs::TC)
+        .unwrap()
+        .run(&mut db)
+        .unwrap_err();
     assert!(err.to_string().contains("out of memory"), "{err}");
 }
 
@@ -529,10 +664,12 @@ fn memory_budget_reports_oom() {
 fn eost_defers_io_relative_to_per_query() {
     let edges = random_edges(30, 100, 8);
     let run = |eost: bool| {
-        let mut e = engine(Config::default().eost(eost).pbme(PbmeMode::Off));
-        e.load_edges("arc", &edges).unwrap();
-        let stats = e.run_source(recstep::programs::TC).unwrap();
-        (stats.io_flushes, stats.io_bytes, rel_pairs(&e, "tc"))
+        let (db, stats) = run_on_edges(
+            Config::default().eost(eost).pbme(PbmeMode::Off),
+            &edges,
+            recstep::programs::TC,
+        );
+        (stats.io_flushes, stats.io_bytes, rel_pairs(&db, "tc"))
     };
     let (eost_flushes, _, eost_result) = run(true);
     let (pq_flushes, pq_bytes, pq_result) = run(false);
@@ -549,11 +686,13 @@ fn dsd_switches_algorithms_during_tc() {
     // A long chain makes |R| grow while |Rδ| stays small → β grows and DSD
     // must eventually pick TPSD; OPSD runs at least once at the start.
     let chain: Vec<(Value, Value)> = (0..120).map(|i| (i, i + 1)).collect();
-    let mut e = engine(
-        Config::default().setdiff(SetDiffStrategy::Dynamic).pbme(PbmeMode::Off),
+    let (_, stats) = run_on_edges(
+        Config::default()
+            .setdiff(SetDiffStrategy::Dynamic)
+            .pbme(PbmeMode::Off),
+        &chain,
+        recstep::programs::TC,
     );
-    e.load_edges("arc", &chain).unwrap();
-    let stats = e.run_source(recstep::programs::TC).unwrap();
     assert!(stats.tpsd_runs > 0, "β growth must trigger TPSD");
     assert!(stats.opsd_runs > 0, "early iterations must use OPSD");
 }
@@ -561,9 +700,11 @@ fn dsd_switches_algorithms_during_tc() {
 #[test]
 fn stats_account_iterations_and_phases() {
     let edges = random_edges(20, 60, 4);
-    let mut e = engine(Config::default().pbme(PbmeMode::Off));
-    e.load_edges("arc", &edges).unwrap();
-    let stats = e.run_source(recstep::programs::TC).unwrap();
+    let (_, stats) = run_on_edges(
+        Config::default().pbme(PbmeMode::Off),
+        &edges,
+        recstep::programs::TC,
+    );
     assert!(stats.iterations >= 2);
     assert_eq!(stats.strata.len(), 2);
     assert!(stats.total.as_nanos() > 0);
@@ -575,43 +716,55 @@ fn stats_account_iterations_and_phases() {
 #[test]
 fn unknown_relation_in_program_is_created_empty() {
     // `arc` never loaded: program runs over an empty EDB.
-    let mut e = engine(Config::default());
-    e.run_source(recstep::programs::TC).unwrap();
-    assert_eq!(e.row_count("tc"), 0);
+    let mut db = Database::new().unwrap();
+    engine(Config::default())
+        .prepare(recstep::programs::TC)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    assert_eq!(db.row_count("tc"), 0);
 }
 
 #[test]
 fn arity_conflict_is_an_error() {
-    let mut e = engine(Config::default());
-    e.load_relation("arc", 3, &[vec![1, 2, 3]]).unwrap();
-    assert!(e.run_source(recstep::programs::TC).is_err());
+    let mut db = Database::new().unwrap();
+    db.load_relation("arc", 3, &[vec![1, 2, 3]]).unwrap();
+    let prepared = engine(Config::default())
+        .prepare(recstep::programs::TC)
+        .unwrap();
+    assert!(prepared.run(&mut db).is_err());
 }
 
 #[test]
 fn explain_renders_sql_per_stratum() {
-    let sql = RecStep::explain(recstep::programs::TC).unwrap();
+    let e = engine(Config::default());
+    let sql = e.prepare(recstep::programs::TC).unwrap().explain_sql();
     assert!(sql.contains("-- stratum 0 (non-recursive)"), "{sql}");
     assert!(sql.contains("-- stratum 1 (recursive)"), "{sql}");
     assert!(sql.contains("INSERT INTO tc_mDelta"), "{sql}");
     assert!(sql.contains("tc_mDelta AS t0"), "{sql}");
-    assert!(RecStep::explain("r(x, y) :- r(x, x).").is_err()); // unsafe head var
+    assert!(e.prepare("r(x, y) :- r(x, x).").is_err()); // unsafe head var
 }
 
 #[test]
 fn symbolic_loading_roundtrips_through_dictionary() {
     let mut dict = recstep_common::dict::Dictionary::new();
-    let mut e = engine(Config::default());
-    e.load_symbolic_edges(
+    let mut db = Database::new().unwrap();
+    db.load_symbolic_edges(
         "arc",
         &mut dict,
         &[("paris", "lyon"), ("lyon", "nice"), ("nice", "rome")],
     )
     .unwrap();
-    e.run_source(recstep::programs::TC).unwrap();
-    let tc = e.rows("tc").unwrap();
+    engine(Config::default())
+        .prepare(recstep::programs::TC)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    let tc = db.relation("tc").unwrap();
     let paris = dict.get("paris").unwrap();
     let rome = dict.get("rome").unwrap();
-    assert!(tc.contains(&vec![paris, rome]));
+    assert!(tc.as_pairs().unwrap().contains(&(paris, rome)));
     assert_eq!(dict.resolve(paris), Some("paris"));
     assert_eq!(dict.len(), 4);
 }

@@ -1,0 +1,147 @@
+#![allow(clippy::needless_range_loop)]
+//! Acceptance tests for the prepare-once / run-many API: one compiled
+//! program over many databases, sequentially and from multiple threads.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use recstep::{Database, Engine, EvalStats, PreparedProgram, Value};
+
+fn tc_oracle(edges: &[(Value, Value)]) -> BTreeSet<(Value, Value)> {
+    let nodes: BTreeSet<Value> = edges.iter().flat_map(|&(s, t)| [s, t]).collect();
+    let n = nodes.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut reach = vec![vec![false; n]; n];
+    for &(s, t) in edges {
+        reach[s as usize][t as usize] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if reach[i][j] {
+                out.insert((i as Value, j as Value));
+            }
+        }
+    }
+    out
+}
+
+fn db_of(edges: &[(Value, Value)]) -> Database {
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", edges).unwrap();
+    db
+}
+
+/// Shape of a run's statistics that must be invariant across databases
+/// evaluated by the same compiled program (the plan is fixed; only the
+/// data varies): stratum count, their head relations, and PBME usage.
+fn stats_shape(stats: &EvalStats) -> Vec<(Vec<String>, bool)> {
+    stats
+        .strata
+        .iter()
+        .map(|s| (s.idbs.clone(), s.pbme))
+        .collect()
+}
+
+#[test]
+fn prepared_tc_runs_over_three_edge_sets() {
+    let engine = Engine::builder().threads(4).build().unwrap();
+    let tc = engine.prepare(recstep::programs::TC).unwrap();
+
+    let edge_sets: [&[(Value, Value)]; 3] = [
+        &[(0, 1), (1, 2), (2, 3)],                 // chain
+        &[(0, 1), (1, 0), (2, 3)],                 // cycle + island
+        &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4)], // fan-in/fan-out
+    ];
+
+    let mut shapes = Vec::new();
+    for edges in edge_sets {
+        let mut db = db_of(edges);
+        let stats = tc.run(&mut db).unwrap();
+        let got: BTreeSet<(Value, Value)> = db
+            .relation("tc")
+            .unwrap()
+            .as_pairs()
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert_eq!(got, tc_oracle(edges), "fixpoint wrong for {edges:?}");
+        assert!(stats.iterations >= 1);
+        shapes.push(stats_shape(&stats));
+    }
+    // One compiled plan → identical stats shape on every database.
+    assert!(
+        shapes.windows(2).all(|w| w[0] == w[1]),
+        "stats shape must not vary across databases: {shapes:?}"
+    );
+}
+
+#[test]
+fn one_prepared_program_runs_concurrently_over_two_databases() {
+    let engine = Engine::builder().threads(4).build().unwrap();
+    let tc: Arc<PreparedProgram> = Arc::new(engine.prepare(recstep::programs::TC).unwrap());
+
+    let chain: Vec<(Value, Value)> = (0..40).map(|i| (i, i + 1)).collect();
+    let dense: Vec<(Value, Value)> = (0..20)
+        .flat_map(|i| [(i, (i + 3) % 20), (i, (i + 7) % 20)])
+        .collect();
+
+    let (got_a, got_b) = std::thread::scope(|scope| {
+        let prog_a = Arc::clone(&tc);
+        let chain_ref = &chain;
+        let a = scope.spawn(move || {
+            let mut db = db_of(chain_ref);
+            prog_a.run(&mut db).unwrap();
+            db.relation("tc")
+                .unwrap()
+                .as_pairs()
+                .unwrap()
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+        });
+        let prog_b = Arc::clone(&tc);
+        let dense_ref = &dense;
+        let b = scope.spawn(move || {
+            let mut db = db_of(dense_ref);
+            prog_b.run(&mut db).unwrap();
+            db.relation("tc")
+                .unwrap()
+                .as_pairs()
+                .unwrap()
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+        });
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    assert_eq!(got_a, tc_oracle(&chain));
+    assert_eq!(got_b, tc_oracle(&dense));
+}
+
+#[test]
+fn many_prepared_programs_share_one_engine_and_database() {
+    // The inverse composition: several compiled programs, one database.
+    let engine = Engine::builder().threads(2).build().unwrap();
+    let tc = engine.prepare(recstep::programs::TC).unwrap();
+    let sg = engine.prepare(recstep::programs::SG).unwrap();
+    let mut db = db_of(&[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    tc.run(&mut db).unwrap();
+    sg.run(&mut db).unwrap();
+    // Both result relations coexist in the database.
+    assert!(db.row_count("tc") > 0);
+    assert!(db.row_count("sg") > 0);
+    // And re-running TC does not disturb SG's results.
+    let sg_before = db.relation("sg").unwrap().to_sorted_vec();
+    tc.run(&mut db).unwrap();
+    assert_eq!(db.relation("sg").unwrap().to_sorted_vec(), sg_before);
+}

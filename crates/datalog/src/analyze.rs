@@ -77,7 +77,11 @@ pub fn analyze(program: Program) -> Result<Analysis> {
     let strata = stratify(&program)?;
     check_negation_stratified(&program, &strata)?;
     check_aggregation(&program, &preds, &strata)?;
-    Ok(Analysis { program, preds, strata })
+    Ok(Analysis {
+        program,
+        preds,
+        strata,
+    })
 }
 
 fn head_agg_sig(rule: &Rule) -> Vec<Option<AggFunc>> {
@@ -150,8 +154,17 @@ fn collect_preds(program: &Program) -> Result<Vec<PredInfo>> {
         .map(|name| {
             let a = arity[&name];
             let idb = is_idb.contains(&name);
-            let sig = if idb { agg_sig[&name].clone() } else { Vec::new() };
-            PredInfo { arity: a, is_idb: idb, agg_sig: sig, name }
+            let sig = if idb {
+                agg_sig[&name].clone()
+            } else {
+                Vec::new()
+            };
+            PredInfo {
+                arity: a,
+                is_idb: idb,
+                agg_sig: sig,
+                name,
+            }
         })
         .collect())
 }
@@ -331,7 +344,11 @@ fn stratify(program: &Program) -> Result<Vec<Stratum>> {
                     idbs.push(h.clone());
                 }
             }
-            Stratum { rules, idbs, recursive }
+            Stratum {
+                rules,
+                idbs,
+                recursive,
+            }
         })
         .collect())
 }
@@ -361,13 +378,12 @@ fn check_negation_stratified(program: &Program, strata: &[Stratum]) -> Result<()
     Ok(())
 }
 
-fn check_aggregation(
-    program: &Program,
-    preds: &[PredInfo],
-    strata: &[Stratum],
-) -> Result<()> {
+fn check_aggregation(program: &Program, preds: &[PredInfo], strata: &[Stratum]) -> Result<()> {
     let agg_of = |name: &str| -> Option<&Vec<Option<AggFunc>>> {
-        preds.iter().find(|p| p.name == name && p.agg_sig.iter().any(Option::is_some)).map(|p| &p.agg_sig)
+        preds
+            .iter()
+            .find(|p| p.name == name && p.agg_sig.iter().any(Option::is_some))
+            .map(|p| &p.agg_sig)
     };
     for st in strata.iter().filter(|s| s.recursive) {
         let stratum_idbs: FxHashSet<&str> = st.idbs.iter().map(String::as_str).collect();
@@ -463,7 +479,10 @@ mod tests {
              ntc(x, y) :- node(x), node(y), !tc(x, y).",
         );
         let pos = |pred: &str| {
-            a.strata.iter().rposition(|s| s.idbs.iter().any(|i| i == pred)).unwrap()
+            a.strata
+                .iter()
+                .rposition(|s| s.idbs.iter().any(|i| i == pred))
+                .unwrap()
         };
         assert!(pos("tc") < pos("ntc"));
         assert!(pos("node") < pos("ntc"));
@@ -473,7 +492,11 @@ mod tests {
     fn cspa_mutual_recursion_is_one_stratum() {
         let a = analyzed(crate::programs::CSPA);
         let rec: Vec<_> = a.strata.iter().filter(|s| s.recursive).collect();
-        assert_eq!(rec.len(), 1, "valueFlow/valueAlias/memoryAlias must share one SCC");
+        assert_eq!(
+            rec.len(),
+            1,
+            "valueFlow/valueAlias/memoryAlias must share one SCC"
+        );
         let mut idbs = rec[0].idbs.clone();
         idbs.sort();
         assert_eq!(idbs, vec!["memoryAlias", "valueAlias", "valueFlow"]);
@@ -558,10 +581,8 @@ mod tests {
 
     #[test]
     fn disagreeing_agg_signatures_rejected() {
-        let err = analyze(
-            parse("t(x, MIN(d)) :- base(x, d).\nt(x, d) :- other(x, d).").unwrap(),
-        )
-        .unwrap_err();
+        let err = analyze(parse("t(x, MIN(d)) :- base(x, d).\nt(x, d) :- other(x, d).").unwrap())
+            .unwrap_err();
         assert!(err.to_string().contains("disagree"));
     }
 

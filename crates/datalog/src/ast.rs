@@ -156,7 +156,10 @@ impl Rule {
 
     /// True if any head term aggregates.
     pub fn has_aggregation(&self) -> bool {
-        self.head.terms.iter().any(|t| matches!(t, HeadTerm::Agg { .. }))
+        self.head
+            .terms
+            .iter()
+            .any(|t| matches!(t, HeadTerm::Agg { .. }))
     }
 
     /// Render in surface syntax.
@@ -164,7 +167,12 @@ impl Rule {
         let head = format!(
             "{}({})",
             self.head.pred,
-            self.head.terms.iter().map(HeadTerm::display).collect::<Vec<_>>().join(", ")
+            self.head
+                .terms
+                .iter()
+                .map(HeadTerm::display)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         if self.body.is_empty() {
             return format!("{head}.");
@@ -176,12 +184,20 @@ impl Rule {
                 Literal::Pos(a) => format!(
                     "{}({})",
                     a.pred,
-                    a.terms.iter().map(BodyTerm::display).collect::<Vec<_>>().join(", ")
+                    a.terms
+                        .iter()
+                        .map(BodyTerm::display)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
                 Literal::Neg(a) => format!(
                     "!{}({})",
                     a.pred,
-                    a.terms.iter().map(BodyTerm::display).collect::<Vec<_>>().join(", ")
+                    a.terms
+                        .iter()
+                        .map(BodyTerm::display)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
                 Literal::Cmp { lhs, op, rhs } => {
                     format!("{} {} {}", lhs.display(), op_src(*op), rhs.display())
@@ -225,7 +241,10 @@ mod tests {
     fn collect_vars_dedups_in_order() {
         let e = AExpr::Add(
             Box::new(AExpr::Var("x".into())),
-            Box::new(AExpr::Mul(Box::new(AExpr::Var("y".into())), Box::new(AExpr::Var("x".into())))),
+            Box::new(AExpr::Mul(
+                Box::new(AExpr::Var("y".into())),
+                Box::new(AExpr::Var("x".into())),
+            )),
         );
         let mut vars = Vec::new();
         e.collect_vars(&mut vars);
@@ -265,7 +284,10 @@ mod tests {
                 pred: "cc3".into(),
                 terms: vec![
                     HeadTerm::Plain(AExpr::Var("y".into())),
-                    HeadTerm::Agg { func: AggFunc::Min, expr: AExpr::Var("z".into()) },
+                    HeadTerm::Agg {
+                        func: AggFunc::Min,
+                        expr: AExpr::Var("z".into()),
+                    },
                 ],
             },
             body: vec![],

@@ -112,65 +112,121 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
             }
             b'(' => {
-                out.push(Spanned { tok: Tok::LParen, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b')' => {
-                out.push(Spanned { tok: Tok::RParen, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b',' => {
-                out.push(Spanned { tok: Tok::Comma, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b'+' => {
-                out.push(Spanned { tok: Tok::Plus, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b'-' => {
-                out.push(Spanned { tok: Tok::Minus, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b'*' => {
-                out.push(Spanned { tok: Tok::Star, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b'=' => {
-                out.push(Spanned { tok: Tok::Eq, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b'!' => {
                 bump!();
                 if i < bytes.len() && bytes[i] == b'=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Ne, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Ne,
+                        line: l0,
+                        col: c0,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Bang, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Bang,
+                        line: l0,
+                        col: c0,
+                    });
                 }
             }
             b'<' => {
                 bump!();
                 if i < bytes.len() && bytes[i] == b'=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Le, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        line: l0,
+                        col: c0,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Lt, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Lt,
+                        line: l0,
+                        col: c0,
+                    });
                 }
             }
             b'>' => {
                 bump!();
                 if i < bytes.len() && bytes[i] == b'=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Ge, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Ge,
+                        line: l0,
+                        col: c0,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Gt, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Gt,
+                        line: l0,
+                        col: c0,
+                    });
                 }
             }
             b':' => {
                 bump!();
                 if i < bytes.len() && bytes[i] == b'-' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Turnstile, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Turnstile,
+                        line: l0,
+                        col: c0,
+                    });
                 } else {
                     return Err(Error::Parse {
                         line: l0,
@@ -184,16 +240,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 // `.input` / `.output` directive keyword?
                 if i < bytes.len() && (bytes[i].is_ascii_alphabetic()) {
                     let start = i;
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         bump!();
                     }
                     let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
                     match word.as_str() {
-                        "input" | "output" => {
-                            out.push(Spanned { tok: Tok::Directive(word), line: l0, col: c0 })
-                        }
+                        "input" | "output" => out.push(Spanned {
+                            tok: Tok::Directive(word),
+                            line: l0,
+                            col: c0,
+                        }),
                         _ => {
                             return Err(Error::Parse {
                                 line: l0,
@@ -203,13 +260,21 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                         }
                     }
                 } else {
-                    out.push(Spanned { tok: Tok::Dot, line: l0, col: c0 });
+                    out.push(Spanned {
+                        tok: Tok::Dot,
+                        line: l0,
+                        col: c0,
+                    });
                 }
             }
             b'_' if i + 1 >= bytes.len()
                 || !(bytes[i + 1].is_ascii_alphanumeric() || bytes[i + 1] == b'_') =>
             {
-                out.push(Spanned { tok: Tok::Underscore, line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Underscore,
+                    line: l0,
+                    col: c0,
+                });
                 bump!();
             }
             b'0'..=b'9' => {
@@ -223,7 +288,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     col: c0,
                     msg: format!("integer literal out of range: {text}"),
                 })?;
-                out.push(Spanned { tok: Tok::Int(v), line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line: l0,
+                    col: c0,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
@@ -231,7 +300,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     bump!();
                 }
                 let word = std::str::from_utf8(&bytes[start..i]).unwrap().to_string();
-                out.push(Spanned { tok: Tok::Ident(word), line: l0, col: c0 });
+                out.push(Spanned {
+                    tok: Tok::Ident(word),
+                    line: l0,
+                    col: c0,
+                });
             }
             other => {
                 return Err(Error::Parse {
@@ -242,7 +315,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line, col });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -331,7 +408,10 @@ mod tests {
 
     #[test]
     fn underscore_prefixed_names_are_idents() {
-        assert_eq!(toks("_x _"), vec![Tok::Ident("_x".into()), Tok::Underscore, Tok::Eof]);
+        assert_eq!(
+            toks("_x _"),
+            vec![Tok::Ident("_x".into()), Tok::Underscore, Tok::Eof]
+        );
     }
 
     #[test]

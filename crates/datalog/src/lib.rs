@@ -26,6 +26,6 @@ pub mod sqlgen;
 pub use analyze::{Analysis, Stratum};
 pub use ast::{AExpr, Atom, BodyTerm, HeadTerm, Literal, Program, Rule};
 pub use plan::{
-    AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, IdbAgg, JoinStep, NegSpec,
-    RelDecl, ScanSpec, SubQuery,
+    AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, IdbAgg, JoinStep, NegSpec, RelDecl,
+    ScanSpec, SubQuery,
 };

@@ -40,7 +40,11 @@ struct Parser {
 
 impl Parser {
     fn new(toks: Vec<Spanned>) -> Self {
-        Parser { toks, pos: 0, anon: 0 }
+        Parser {
+            toks,
+            pos: 0,
+            anon: 0,
+        }
     }
 
     fn peek(&self) -> &Tok {
@@ -61,7 +65,11 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> Error {
         let s = &self.toks[self.pos];
-        Error::Parse { line: s.line, col: s.col, msg: msg.into() }
+        Error::Parse {
+            line: s.line,
+            col: s.col,
+            msg: msg.into(),
+        }
     }
 
     fn expect(&mut self, tok: Tok, what: &str) -> Result<()> {
@@ -226,9 +234,7 @@ impl Parser {
                         _ => return Err(self.err("expected integer after '-'")),
                     }
                 }
-                other => {
-                    return Err(self.err(format!("expected term in atom, found {other:?}")))
-                }
+                other => return Err(self.err(format!("expected term in atom, found {other:?}"))),
             };
             terms.push(term);
             match self.bump() {
@@ -331,7 +337,10 @@ mod tests {
         assert_eq!(p.outputs, vec!["tc"]);
         assert_eq!(
             p.facts,
-            vec![("arc".to_string(), vec![1, 2]), ("arc".to_string(), vec![2, -3])]
+            vec![
+                ("arc".to_string(), vec![1, 2]),
+                ("arc".to_string(), vec![2, -3])
+            ]
         );
     }
 

@@ -137,20 +137,52 @@ pub struct RelDecl {
 }
 
 /// A fully compiled program, ready for the interpreter.
+///
+/// This is the reusable compiled-plan handle of the prepare-once /
+/// run-many API: everything an evaluation needs — strata, relation
+/// declarations, inline facts, I/O directives — is captured here, so a
+/// compiled program can be executed any number of times without touching
+/// the source text again.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
     /// Strata in evaluation order.
     pub strata: Vec<CompiledStratum>,
     /// Every relation mentioned by the program.
     pub relations: Vec<RelDecl>,
+    /// Ground facts stated inline in the source (`arc(1, 2).`), loaded
+    /// into their relations at the start of every run.
+    pub facts: Vec<(String, Vec<recstep_common::Value>)>,
+    /// Relations requested via `.input` (to be loaded before evaluation).
+    pub inputs: Vec<String>,
     /// Relations requested via `.output` (empty = all IDBs).
     pub outputs: Vec<String>,
 }
 
+impl CompiledProgram {
+    /// Declared arity of a relation, if the program mentions it.
+    pub fn arity_of(&self, name: &str) -> Option<usize> {
+        self.relations
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.arity)
+    }
+
+    /// Names of the derived (IDB) relations, in declaration order.
+    pub fn idb_names(&self) -> impl Iterator<Item = &str> {
+        self.relations
+            .iter()
+            .filter(|r| r.is_idb)
+            .map(|r| r.name.as_str())
+    }
+}
+
 /// Compile an analyzed program into logical plans.
 pub fn compile(analysis: &Analysis) -> Result<CompiledProgram> {
-    let arity_of: FxHashMap<&str, usize> =
-        analysis.preds.iter().map(|p| (p.name.as_str(), p.arity)).collect();
+    let arity_of: FxHashMap<&str, usize> = analysis
+        .preds
+        .iter()
+        .map(|p| (p.name.as_str(), p.arity))
+        .collect();
     let mut strata = Vec::with_capacity(analysis.strata.len());
     for stratum in &analysis.strata {
         let stratum_idbs: Vec<&str> = stratum.idbs.iter().map(String::as_str).collect();
@@ -178,7 +210,8 @@ pub fn compile(analysis: &Analysis) -> Result<CompiledProgram> {
                 .map(|(i, _)| i)
                 .collect();
             if recursive_positions.is_empty() {
-                idb.subqueries.push(compile_subquery(rule, ri, None, &[], &arity_of)?);
+                idb.subqueries
+                    .push(compile_subquery(rule, ri, None, &[], &arity_of)?);
             } else {
                 for &dp in &recursive_positions {
                     idb.subqueries.push(compile_subquery(
@@ -191,14 +224,27 @@ pub fn compile(analysis: &Analysis) -> Result<CompiledProgram> {
                 }
             }
         }
-        strata.push(CompiledStratum { recursive: stratum.recursive, idbs });
+        strata.push(CompiledStratum {
+            recursive: stratum.recursive,
+            idbs,
+        });
     }
     let relations = analysis
         .preds
         .iter()
-        .map(|p| RelDecl { name: p.name.clone(), arity: p.arity, is_idb: p.is_idb })
+        .map(|p| RelDecl {
+            name: p.name.clone(),
+            arity: p.arity,
+            is_idb: p.is_idb,
+        })
         .collect();
-    Ok(CompiledProgram { strata, relations, outputs: analysis.program.outputs.clone() })
+    Ok(CompiledProgram {
+        strata,
+        relations,
+        facts: analysis.program.facts.clone(),
+        inputs: analysis.program.inputs.clone(),
+        outputs: analysis.program.outputs.clone(),
+    })
 }
 
 fn agg_shape(rule: &Rule) -> Option<IdbAgg> {
@@ -217,25 +263,26 @@ fn agg_shape(rule: &Rule) -> Option<IdbAgg> {
             }
         }
     }
-    Some(IdbAgg { group_positions, agg_positions, funcs })
+    Some(IdbAgg {
+        group_positions,
+        agg_positions,
+        funcs,
+    })
 }
 
 /// Translate an arithmetic expression with the variable→column binding.
 fn translate(e: &AExpr, bind: &FxHashMap<&str, usize>, rule: &Rule) -> Result<Expr> {
     Ok(match e {
         AExpr::Var(v) => Expr::Col(*bind.get(v.as_str()).ok_or_else(|| {
-            Error::analysis(format!("unbound variable '{v}' in rule '{}'", rule.display()))
+            Error::analysis(format!(
+                "unbound variable '{v}' in rule '{}'",
+                rule.display()
+            ))
         })?),
         AExpr::Const(c) => Expr::Const(*c),
-        AExpr::Add(a, b) => {
-            Expr::add(translate(a, bind, rule)?, translate(b, bind, rule)?)
-        }
-        AExpr::Sub(a, b) => {
-            Expr::sub(translate(a, bind, rule)?, translate(b, bind, rule)?)
-        }
-        AExpr::Mul(a, b) => {
-            Expr::mul(translate(a, bind, rule)?, translate(b, bind, rule)?)
-        }
+        AExpr::Add(a, b) => Expr::add(translate(a, bind, rule)?, translate(b, bind, rule)?),
+        AExpr::Sub(a, b) => Expr::sub(translate(a, bind, rule)?, translate(b, bind, rule)?),
+        AExpr::Mul(a, b) => Expr::mul(translate(a, bind, rule)?, translate(b, bind, rule)?),
     })
 }
 
@@ -295,7 +342,9 @@ fn compile_subquery(
                 }
             }
         };
-        let arity = *arity_of.get(atom.pred.as_str()).expect("analyzer registered arity");
+        let arity = *arity_of
+            .get(atom.pred.as_str())
+            .expect("analyzer registered arity");
         scans.push(ScanSpec {
             rel: atom.pred.clone(),
             version,
@@ -319,7 +368,10 @@ fn compile_subquery(
                     }
                 }
             }
-            joins.push(JoinStep { left_keys, right_keys });
+            joins.push(JoinStep {
+                left_keys,
+                right_keys,
+            });
         }
         // Bind this atom's fresh variables at their flattened positions.
         for (i, t) in atom.terms.iter().enumerate() {
@@ -346,7 +398,9 @@ fn compile_subquery(
     // Negated atoms become anti joins.
     let mut negations = Vec::new();
     for atom in rule.negated_atoms() {
-        let arity = *arity_of.get(atom.pred.as_str()).expect("analyzer registered arity");
+        let arity = *arity_of
+            .get(atom.pred.as_str())
+            .expect("analyzer registered arity");
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
         let mut seen_local: FxHashMap<&str, ()> = FxHashMap::default();
@@ -441,8 +495,13 @@ mod tests {
         // (1 recursive atom) and vf(x,y) :- vf(x,z), vf(z,y) (2 recursive atoms)
         // → 1 + 2 subqueries.
         assert_eq!(vf.subqueries.len(), 3);
-        let nonlinear: Vec<&SubQuery> =
-            vf.subqueries.iter().filter(|s| s.scans.len() == 2 && s.scans[0].rel == "valueFlow" && s.scans[1].rel == "valueFlow").collect();
+        let nonlinear: Vec<&SubQuery> = vf
+            .subqueries
+            .iter()
+            .filter(|s| {
+                s.scans.len() == 2 && s.scans[0].rel == "valueFlow" && s.scans[1].rel == "valueFlow"
+            })
+            .collect();
         assert_eq!(nonlinear.len(), 2);
         let versions: Vec<(AtomVersion, AtomVersion)> = nonlinear
             .iter()
@@ -459,11 +518,19 @@ mod tests {
         assert_eq!(sq.scans[0].filters.len(), 2);
         assert_eq!(
             sq.scans[0].filters[0],
-            Predicate { lhs: Expr::Col(1), op: CmpOp::Eq, rhs: Expr::Const(5) }
+            Predicate {
+                lhs: Expr::Col(1),
+                op: CmpOp::Eq,
+                rhs: Expr::Const(5)
+            }
         );
         assert_eq!(
             sq.scans[0].filters[1],
-            Predicate { lhs: Expr::Col(2), op: CmpOp::Eq, rhs: Expr::Col(0) }
+            Predicate {
+                lhs: Expr::Col(2),
+                op: CmpOp::Eq,
+                rhs: Expr::Col(0)
+            }
         );
     }
 
@@ -474,7 +541,11 @@ mod tests {
         assert_eq!(seed.residual.len(), 1);
         assert_eq!(
             seed.residual[0],
-            Predicate { lhs: Expr::Col(1), op: CmpOp::Ne, rhs: Expr::Col(3) }
+            Predicate {
+                lhs: Expr::Col(1),
+                op: CmpOp::Ne,
+                rhs: Expr::Col(3)
+            }
         );
     }
 
@@ -500,11 +571,7 @@ mod tests {
     #[test]
     fn aggregated_idb_shape() {
         let p = compiled(crate::programs::CC);
-        let rec = p
-            .strata
-            .iter()
-            .find(|s| s.recursive)
-            .unwrap();
+        let rec = p.strata.iter().find(|s| s.recursive).unwrap();
         let cc3 = &rec.idbs[0];
         assert_eq!(cc3.rel, "cc3");
         let agg = cc3.agg.as_ref().unwrap();

@@ -15,8 +15,11 @@ use crate::plan::{AtomVersion, CompiledIdb, SubQuery};
 pub fn render_uie(idb: &CompiledIdb) -> String {
     let mut out = String::new();
     out.push_str(&format!("INSERT INTO {}_mDelta\n", idb.rel));
-    let selects: Vec<String> =
-        idb.subqueries.iter().map(|sq| indent(&render_select(sq), 4)).collect();
+    let selects: Vec<String> = idb
+        .subqueries
+        .iter()
+        .map(|sq| indent(&render_select(sq), 4))
+        .collect();
     out.push_str(&selects.join("\n        UNION ALL\n"));
     out.push(';');
     out
@@ -107,7 +110,11 @@ pub fn render_select(sq: &SubQuery) -> String {
         ));
     }
 
-    let mut sql = format!("SELECT {}\nFROM {}", select_list.join(", "), from_list.join(", "));
+    let mut sql = format!(
+        "SELECT {}\nFROM {}",
+        select_list.join(", "),
+        from_list.join(", ")
+    );
     if !conds.is_empty() {
         sql.push_str(&format!("\nWHERE {}", conds.join(" AND ")));
     }
@@ -133,7 +140,12 @@ fn render_expr(e: &Expr, cols: &[String]) -> String {
 }
 
 fn render_pred(p: &Predicate, cols: &[String]) -> String {
-    format!("{} {} {}", render_expr(&p.lhs, cols), p.op.sql(), render_expr(&p.rhs, cols))
+    format!(
+        "{} {} {}",
+        render_expr(&p.lhs, cols),
+        p.op.sql(),
+        render_expr(&p.rhs, cols)
+    )
 }
 
 /// Render a scan-local predicate with columns addressed as `t{ti}.cN`.
@@ -155,12 +167,20 @@ fn render_pred_alias_inner(p: &Predicate, alias: &str) -> String {
             Expr::Mul(a, b) => format!("{} * {}", rec(a, alias), rec(b, alias)),
         }
     }
-    format!("{} {} {}", rec(&p.lhs, alias), p.op.sql(), rec(&p.rhs, alias))
+    format!(
+        "{} {} {}",
+        rec(&p.lhs, alias),
+        p.op.sql(),
+        rec(&p.rhs, alias)
+    )
 }
 
 fn indent(s: &str, by: usize) -> String {
     let pad = " ".repeat(by);
-    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -229,9 +249,17 @@ mod tests {
     #[test]
     fn negation_renders_not_exists() {
         let p = compile(&analyze(parse(crate::programs::NTC).unwrap()).unwrap()).unwrap();
-        let ntc = p.strata.iter().flat_map(|s| &s.idbs).find(|i| i.rel == "ntc").unwrap();
+        let ntc = p
+            .strata
+            .iter()
+            .flat_map(|s| &s.idbs)
+            .find(|i| i.rel == "ntc")
+            .unwrap();
         let sql = render_select(&ntc.subqueries[0]);
-        assert!(sql.contains("NOT EXISTS (SELECT 1 FROM tc AS n WHERE"), "{sql}");
+        assert!(
+            sql.contains("NOT EXISTS (SELECT 1 FROM tc AS n WHERE"),
+            "{sql}"
+        );
     }
 
     #[test]

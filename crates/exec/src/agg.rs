@@ -24,8 +24,14 @@ struct AggState {
 impl AggState {
     fn new(func: AggFunc, v: Value) -> Self {
         match func {
-            AggFunc::Min | AggFunc::Max => AggState { acc: v as i128, cnt: 1 },
-            AggFunc::Sum | AggFunc::Avg => AggState { acc: v as i128, cnt: 1 },
+            AggFunc::Min | AggFunc::Max => AggState {
+                acc: v as i128,
+                cnt: 1,
+            },
+            AggFunc::Sum | AggFunc::Avg => AggState {
+                acc: v as i128,
+                cnt: 1,
+            },
             AggFunc::Count => AggState { acc: 1, cnt: 1 },
         }
     }
@@ -169,7 +175,10 @@ impl MonotonicAgg {
     /// other functions are rejected.
     pub fn new(func: AggFunc) -> recstep_common::Result<Self> {
         match func {
-            AggFunc::Min | AggFunc::Max => Ok(MonotonicAgg { func, map: FxHashMap::default() }),
+            AggFunc::Min | AggFunc::Max => Ok(MonotonicAgg {
+                func,
+                map: FxHashMap::default(),
+            }),
             other => Err(recstep_common::Error::analysis(format!(
                 "recursive aggregation requires MIN or MAX, got {}",
                 other.sql()
@@ -267,7 +276,9 @@ mod tests {
     }
 
     fn result_map(cols: &[Vec<Value>]) -> HashMap<Value, Value> {
-        (0..cols[0].len()).map(|r| (cols[0][r], cols[1][r])).collect()
+        (0..cols[0].len())
+            .map(|r| (cols[0][r], cols[1][r]))
+            .collect()
     }
 
     #[test]
@@ -280,12 +291,18 @@ mod tests {
                 &ctx,
                 rel.view(),
                 &group,
-                &[AggCol { func: f, expr: Expr::Col(1) }],
+                &[AggCol {
+                    func: f,
+                    expr: Expr::Col(1),
+                }],
             ))
         };
         assert_eq!(run(AggFunc::Min), HashMap::from([(1, 4), (2, 7), (3, -5)]));
         assert_eq!(run(AggFunc::Max), HashMap::from([(1, 10), (2, 7), (3, -5)]));
-        assert_eq!(run(AggFunc::Sum), HashMap::from([(1, 20), (2, 14), (3, -5)]));
+        assert_eq!(
+            run(AggFunc::Sum),
+            HashMap::from([(1, 20), (2, 14), (3, -5)])
+        );
         assert_eq!(run(AggFunc::Count), HashMap::from([(1, 3), (2, 2), (3, 1)]));
         assert_eq!(run(AggFunc::Avg), HashMap::from([(1, 6), (2, 7), (3, -5)]));
     }
@@ -297,9 +314,15 @@ mod tests {
             &ctx(),
             rel.view(),
             &[Expr::Col(0)],
-            &[AggCol { func: AggFunc::Min, expr: Expr::add(Expr::Col(1), Expr::Const(100)) }],
+            &[AggCol {
+                func: AggFunc::Min,
+                expr: Expr::add(Expr::Col(1), Expr::Const(100)),
+            }],
         );
-        assert_eq!(result_map(&out), HashMap::from([(1, 104), (2, 107), (3, 95)]));
+        assert_eq!(
+            result_map(&out),
+            HashMap::from([(1, 104), (2, 107), (3, 95)])
+        );
     }
 
     #[test]
@@ -309,7 +332,10 @@ mod tests {
             &ctx(),
             rel.view(),
             &[],
-            &[AggCol { func: AggFunc::Count, expr: Expr::Col(0) }],
+            &[AggCol {
+                func: AggFunc::Count,
+                expr: Expr::Col(0),
+            }],
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0], vec![6]);
@@ -323,12 +349,19 @@ mod tests {
             rel.view(),
             &[Expr::Col(0)],
             &[
-                AggCol { func: AggFunc::Min, expr: Expr::Col(1) },
-                AggCol { func: AggFunc::Count, expr: Expr::Col(1) },
+                AggCol {
+                    func: AggFunc::Min,
+                    expr: Expr::Col(1),
+                },
+                AggCol {
+                    func: AggFunc::Count,
+                    expr: Expr::Col(1),
+                },
             ],
         );
-        let m: HashMap<Value, (Value, Value)> =
-            (0..out[0].len()).map(|r| (out[0][r], (out[1][r], out[2][r]))).collect();
+        let m: HashMap<Value, (Value, Value)> = (0..out[0].len())
+            .map(|r| (out[0][r], (out[1][r], out[2][r])))
+            .collect();
         assert_eq!(m, HashMap::from([(1, (4, 3)), (2, (7, 2)), (3, (-5, 1))]));
     }
 
@@ -339,7 +372,10 @@ mod tests {
             &ctx(),
             rel.view(),
             &[Expr::Col(0)],
-            &[AggCol { func: AggFunc::Sum, expr: Expr::Col(1) }],
+            &[AggCol {
+                func: AggFunc::Sum,
+                expr: Expr::Col(1),
+            }],
         );
         assert_eq!(out.len(), 2);
         assert!(out[0].is_empty());
@@ -355,7 +391,10 @@ mod tests {
             &ctx(),
             rel.view(),
             &[Expr::Col(0)],
-            &[AggCol { func: AggFunc::Sum, expr: Expr::Col(1) }],
+            &[AggCol {
+                func: AggFunc::Sum,
+                expr: Expr::Col(1),
+            }],
         );
         let mut oracle: HashMap<Value, Value> = HashMap::new();
         for i in 0..30_000i64 {
@@ -398,8 +437,9 @@ mod tests {
         m.absorb(&[3, 4], 8);
         let cols = m.to_columns(2);
         assert_eq!(cols.len(), 3);
-        let mut rows: Vec<Vec<Value>> =
-            (0..2).map(|r| cols.iter().map(|c| c[r]).collect()).collect();
+        let mut rows: Vec<Vec<Value>> = (0..2)
+            .map(|r| cols.iter().map(|c| c[r]).collect())
+            .collect();
         rows.sort_unstable();
         assert_eq!(rows, vec![vec![1, 2, 9], vec![3, 4, 8]]);
         assert!(m.heap_bytes() > 0);

@@ -44,7 +44,10 @@ impl ChainTable {
     /// Table with `nodes` node slots and at least `buckets_hint` buckets
     /// (rounded to a power of two).
     pub fn with_capacity(nodes: usize, buckets_hint: usize) -> Self {
-        assert!(nodes < u32::MAX as usize, "ChainTable supports < 2^32-1 nodes");
+        assert!(
+            nodes < u32::MAX as usize,
+            "ChainTable supports < 2^32-1 nodes"
+        );
         let n_buckets = crate::util::next_pow2_at_least(buckets_hint, 16);
         let mut heads = Vec::with_capacity(n_buckets);
         heads.resize_with(n_buckets, || AtomicU32::new(NIL));
@@ -52,7 +55,12 @@ impl ChainTable {
         next.resize_with(nodes, || AtomicU32::new(NIL));
         let mut keys = Vec::with_capacity(nodes);
         keys.resize_with(nodes, || AtomicU64::new(0));
-        ChainTable { heads, next, keys, mask: n_buckets - 1 }
+        ChainTable {
+            heads,
+            next,
+            keys,
+            mask: n_buckets - 1,
+        }
     }
 
     /// Number of buckets.
@@ -78,8 +86,7 @@ impl ChainTable {
         let mut head = bucket.load(Ordering::Acquire);
         loop {
             self.next[idx as usize].store(head, Ordering::Relaxed);
-            match bucket.compare_exchange_weak(head, idx + 1, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match bucket.compare_exchange_weak(head, idx + 1, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(actual) => head = actual,
             }
@@ -109,8 +116,7 @@ impl ChainTable {
                 cur = self.next[node as usize].load(Ordering::Relaxed);
             }
             self.next[idx as usize].store(head, Ordering::Relaxed);
-            match bucket.compare_exchange_weak(head, idx + 1, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match bucket.compare_exchange_weak(head, idx + 1, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return true,
                 // Lost a race: another worker grew this chain. Re-walk from
                 // the new head (covers the newly published prefix) and retry.
@@ -194,8 +200,9 @@ mod tests {
         let n = 1024u32;
         let t = ChainTable::with_capacity(n as usize, n as usize * 2);
         let pool = ThreadPool::new(8);
-        let winners: Vec<std::sync::atomic::AtomicU32> =
-            (0..64).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        let winners: Vec<std::sync::atomic::AtomicU32> = (0..64)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
         pool.parallel_for(n as usize, 8, |range, _| {
             for i in range {
                 let key = (i % 64) as u64;

@@ -61,7 +61,11 @@ pub fn deduplicate(
     let n = view.len();
     let arity = view.arity();
     if n == 0 {
-        return DedupOutput { cols: vec![Vec::new(); arity], input_rows: 0, table_bytes: 0 };
+        return DedupOutput {
+            cols: vec![Vec::new(); arity],
+            input_rows: 0,
+            table_bytes: 0,
+        };
     }
     match imp {
         DedupImpl::Sort => {
@@ -74,7 +78,11 @@ pub fn deduplicate(
                     c.push(v);
                 }
             }
-            DedupOutput { cols, input_rows: n, table_bytes: 0 }
+            DedupOutput {
+                cols,
+                input_rows: n,
+                table_bytes: 0,
+            }
         }
         DedupImpl::Fast | DedupImpl::Generic => {
             let all_cols: Vec<usize> = (0..arity).collect();
@@ -111,7 +119,11 @@ pub fn deduplicate(
             // Generic mode also pays for stored hash+pointer pairs; the
             // paper's CCK saves exactly that. Model it in the byte count.
             let extra = if imp == DedupImpl::Generic { n * 16 } else { 0 };
-            DedupOutput { cols, input_rows: n, table_bytes: table.heap_bytes() + extra }
+            DedupOutput {
+                cols,
+                input_rows: n,
+                table_bytes: table.heap_bytes() + extra,
+            }
         }
     }
 }
@@ -126,7 +138,9 @@ pub struct IncrementalSet {
 impl IncrementalSet {
     /// Empty set.
     pub fn new() -> Self {
-        IncrementalSet { seen: Default::default() }
+        IncrementalSet {
+            seen: Default::default(),
+        }
     }
 
     /// Number of distinct rows absorbed so far.
@@ -185,7 +199,9 @@ mod tests {
     }
 
     fn as_set(cols: &[Vec<Value>]) -> HashSet<Vec<Value>> {
-        (0..cols[0].len()).map(|r| cols.iter().map(|c| c[r]).collect()).collect()
+        (0..cols[0].len())
+            .map(|r| cols.iter().map(|c| c[r]).collect())
+            .collect()
     }
 
     #[test]
@@ -196,7 +212,11 @@ mod tests {
         for imp in [DedupImpl::Fast, DedupImpl::Generic, DedupImpl::Sort] {
             let out = deduplicate(&ctx, rel.view(), imp, rel.len());
             assert_eq!(as_set(&out.cols), oracle, "{imp:?}");
-            assert_eq!(out.cols[0].len(), oracle.len(), "{imp:?} emitted duplicates");
+            assert_eq!(
+                out.cols[0].len(),
+                oracle.len(),
+                "{imp:?} emitted duplicates"
+            );
             assert_eq!(out.input_rows, rel.len());
         }
     }

@@ -58,41 +58,45 @@ pub fn hash_join(
     let emitted = std::sync::atomic::AtomicUsize::new(0);
     let cap = ctx.row_cap;
 
-    parallel_produce(&ctx.pool, probe.len(), ctx.grain, out_arity, |range, buf| {
-        let mut scratch = Vec::new();
-        let mut row = vec![0 as Value; width];
-        for pr in range {
-            // Stop materializing past the cap; the caller detects the
-            // overflow (output rows > cap) and reports out-of-memory.
-            if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
-                return;
-            }
-            let key = mode.key_of(probe, pr, probe_cols, &mut scratch);
-            for node in table.iter_key(key) {
-                let br = node as usize;
-                if !exact
-                    && !keys_match(build, br, build_cols, probe, pr, probe_cols)
-                {
-                    continue;
+    parallel_produce(
+        &ctx.pool,
+        probe.len(),
+        ctx.grain,
+        out_arity,
+        |range, buf| {
+            let mut scratch = Vec::new();
+            let mut row = vec![0 as Value; width];
+            for pr in range {
+                // Stop materializing past the cap; the caller detects the
+                // overflow (output rows > cap) and reports out-of-memory.
+                if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
+                    return;
                 }
-                // Flatten into logical [left ‖ right] order.
-                let (lr, rr) = if spec.build_left { (br, pr) } else { (pr, br) };
-                #[allow(clippy::needless_range_loop)]
-                for c in 0..la {
-                    row[c] = left.get(lr, c);
-                }
-                for c in 0..right.arity() {
-                    row[la + c] = right.get(rr, c);
-                }
-                if eval_all(spec.residual, &row) {
-                    emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    for (c, e) in spec.output.iter().enumerate() {
-                        buf.push_at(c, e.eval(&row));
+                let key = mode.key_of(probe, pr, probe_cols, &mut scratch);
+                for node in table.iter_key(key) {
+                    let br = node as usize;
+                    if !exact && !keys_match(build, br, build_cols, probe, pr, probe_cols) {
+                        continue;
+                    }
+                    // Flatten into logical [left ‖ right] order.
+                    let (lr, rr) = if spec.build_left { (br, pr) } else { (pr, br) };
+                    #[allow(clippy::needless_range_loop)]
+                    for c in 0..la {
+                        row[c] = left.get(lr, c);
+                    }
+                    for c in 0..right.arity() {
+                        row[la + c] = right.get(rr, c);
+                    }
+                    if eval_all(spec.residual, &row) {
+                        emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        for (c, e) in spec.output.iter().enumerate() {
+                            buf.push_at(c, e.eval(&row));
+                        }
                     }
                 }
             }
-        }
-    })
+        },
+    )
 }
 
 /// Anti join: rows of `left` with **no** key match in `right`, projected
@@ -152,29 +156,35 @@ pub fn cross_join(
     let width = la + right.arity();
     let emitted = std::sync::atomic::AtomicUsize::new(0);
     let cap = ctx.row_cap;
-    parallel_produce(&ctx.pool, left.len(), 1.max(ctx.grain / right.len().max(1)), out_arity, |range, buf| {
-        let mut row = vec![0 as Value; width];
-        for lr in range {
-            if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
-                return;
-            }
-            #[allow(clippy::needless_range_loop)]
-            for c in 0..la {
-                row[c] = left.get(lr, c);
-            }
-            for rr in 0..right.len() {
-                for c in 0..right.arity() {
-                    row[la + c] = right.get(rr, c);
+    parallel_produce(
+        &ctx.pool,
+        left.len(),
+        1.max(ctx.grain / right.len().max(1)),
+        out_arity,
+        |range, buf| {
+            let mut row = vec![0 as Value; width];
+            for lr in range {
+                if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
+                    return;
                 }
-                if eval_all(residual, &row) {
-                    emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    for (c, e) in output.iter().enumerate() {
-                        buf.push_at(c, e.eval(&row));
+                #[allow(clippy::needless_range_loop)]
+                for c in 0..la {
+                    row[c] = left.get(lr, c);
+                }
+                for rr in 0..right.len() {
+                    for c in 0..right.arity() {
+                        row[la + c] = right.get(rr, c);
+                    }
+                    if eval_all(residual, &row) {
+                        emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        for (c, e) in output.iter().enumerate() {
+                            buf.push_at(c, e.eval(&row));
+                        }
                     }
                 }
             }
-        }
-    })
+        },
+    )
 }
 
 /// Projection + selection over a single view (single-atom rule bodies).
@@ -227,7 +237,10 @@ fn keys_match(
     br: usize,
     b_cols: &[usize],
 ) -> bool {
-    a_cols.iter().zip(b_cols).all(|(&ca, &cb)| a.get(ar, ca) == b.get(br, cb))
+    a_cols
+        .iter()
+        .zip(b_cols)
+        .all(|(&ca, &cb)| a.get(ar, ca) == b.get(br, cb))
 }
 
 #[cfg(test)]
@@ -267,8 +280,9 @@ mod tests {
             residual: &[],
         };
         let out = hash_join(&ctx(), tc.view(), a.view(), &spec);
-        let expect: HashSet<Vec<Value>> =
-            [vec![1, 3], vec![1, 4], vec![2, 4], vec![2, 4]].into_iter().collect();
+        let expect: HashSet<Vec<Value>> = [vec![1, 3], vec![1, 4], vec![2, 4], vec![2, 4]]
+            .into_iter()
+            .collect();
         // 2-hop paths from the 4 edges (1-2-3, 1-2-4, 2-3-4).
         assert_eq!(rows_of(&out), expect);
         // Duplicates are preserved (UNION ALL semantics): 1→2→3, 1→2→4, 2→3→4.
@@ -301,7 +315,11 @@ mod tests {
             right_keys: &[0],
             build_left: true,
             output: &[Expr::Col(1), Expr::Col(3)],
-            residual: &[Predicate { lhs: Expr::Col(1), op: CmpOp::Ne, rhs: Expr::Col(3) }],
+            residual: &[Predicate {
+                lhs: Expr::Col(1),
+                op: CmpOp::Ne,
+                rhs: Expr::Col(3),
+            }],
         };
         let out = hash_join(&ctx(), a.view(), a.view(), &spec);
         let expect: HashSet<Vec<Value>> = [vec![3, 4], vec![4, 3]].into_iter().collect();
@@ -376,7 +394,14 @@ mod tests {
             &[vec![1, 10], vec![2, 20], vec![3, 30]],
         );
         let r = Relation::from_rows(Schema::with_arity("r", 1), &[vec![2]]);
-        let out = anti_join(&ctx(), l.view(), r.view(), &[0], &[0], &[Expr::Col(0), Expr::Col(1)]);
+        let out = anti_join(
+            &ctx(),
+            l.view(),
+            r.view(),
+            &[0],
+            &[0],
+            &[Expr::Col(0), Expr::Col(1)],
+        );
         let expect: HashSet<Vec<Value>> = [vec![1, 10], vec![3, 30]].into_iter().collect();
         assert_eq!(rows_of(&out), expect);
     }
@@ -385,7 +410,14 @@ mod tests {
     fn anti_join_against_empty_right_is_projection() {
         let l = arc();
         let e = Relation::new(Schema::with_arity("e", 2));
-        let out = anti_join(&ctx(), l.view(), e.view(), &[0, 1], &[0, 1], &[Expr::Col(0)]);
+        let out = anti_join(
+            &ctx(),
+            l.view(),
+            e.view(),
+            &[0, 1],
+            &[0, 1],
+            &[Expr::Col(0)],
+        );
         assert_eq!(out[0].len(), 4);
     }
 
@@ -397,7 +429,11 @@ mod tests {
             n.view(),
             n.view(),
             &[Expr::Col(0), Expr::Col(1)],
-            &[Predicate { lhs: Expr::Col(0), op: CmpOp::Lt, rhs: Expr::Col(1) }],
+            &[Predicate {
+                lhs: Expr::Col(0),
+                op: CmpOp::Lt,
+                rhs: Expr::Col(1),
+            }],
         );
         let expect: HashSet<Vec<Value>> =
             [vec![1, 2], vec![1, 3], vec![2, 3]].into_iter().collect();
@@ -411,7 +447,11 @@ mod tests {
             &ctx(),
             a.view(),
             &[Expr::add(Expr::Col(0), Expr::Col(1))],
-            &[Predicate { lhs: Expr::Col(0), op: CmpOp::Gt, rhs: Expr::Const(1) }],
+            &[Predicate {
+                lhs: Expr::Col(0),
+                op: CmpOp::Gt,
+                rhs: Expr::Const(1),
+            }],
         );
         let mut sums = out[0].clone();
         sums.sort_unstable();

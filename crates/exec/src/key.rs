@@ -39,14 +39,21 @@ impl KeyLayout {
         for &(min, max) in bounds {
             debug_assert!(min <= max);
             let span = (max as i128 - min as i128) as u128;
-            let bits = if span == 0 { 1 } else { 128 - span.leading_zeros() };
+            let bits = if span == 0 {
+                1
+            } else {
+                128 - span.leading_zeros()
+            };
             if shift + bits > 64 {
                 return None;
             }
             slots.push(KeySlot { min, bits, shift });
             shift += bits;
         }
-        Some(KeyLayout { slots, total_bits: shift })
+        Some(KeyLayout {
+            slots,
+            total_bits: shift,
+        })
     }
 
     /// Derive a layout by scanning the given columns of a view (one pass per
@@ -145,7 +152,11 @@ impl KeyLayout {
     pub fn unpack(&self, key: u64, out: &mut Vec<Value>) {
         out.clear();
         for slot in &self.slots {
-            let mask = if slot.bits >= 64 { u64::MAX } else { (1u64 << slot.bits) - 1 };
+            let mask = if slot.bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << slot.bits) - 1
+            };
             let off = (key >> slot.shift) & mask;
             out.push(((slot.min as i128) + off as i128) as Value);
         }
@@ -192,7 +203,13 @@ impl KeyMode {
 
     /// Key of row `r`'s key columns in `view`.
     #[inline]
-    pub fn key_of(&self, view: RelView<'_>, r: usize, cols: &[usize], scratch: &mut Vec<Value>) -> u64 {
+    pub fn key_of(
+        &self,
+        view: RelView<'_>,
+        r: usize,
+        cols: &[usize],
+        scratch: &mut Vec<Value>,
+    ) -> u64 {
         match self {
             KeyMode::Packed(layout) => layout.pack_row(view, r, cols),
             KeyMode::Hashed => {
@@ -266,8 +283,7 @@ mod tests {
     fn two_view_layout_covers_union_of_bounds() {
         let a = Relation::from_rows(Schema::with_arity("a", 1), &[vec![0], vec![10]]);
         let b = Relation::from_rows(Schema::with_arity("b", 1), &[vec![-5], vec![3]]);
-        let layout =
-            KeyLayout::from_two_views(a.view(), &[0], b.view(), &[0]).unwrap();
+        let layout = KeyLayout::from_two_views(a.view(), &[0], b.view(), &[0]).unwrap();
         let mut out = Vec::new();
         for v in [-5i64, 0, 10] {
             layout.unpack(layout.pack(&[v]), &mut out);

@@ -50,7 +50,11 @@ pub struct ExecCtx {
 impl ExecCtx {
     /// Context over an existing pool with the default morsel size.
     pub fn new(pool: Arc<ThreadPool>) -> Self {
-        ExecCtx { pool, grain: 4096, row_cap: usize::MAX }
+        ExecCtx {
+            pool,
+            grain: 4096,
+            row_cap: usize::MAX,
+        }
     }
 
     /// Context with a private pool of `threads` workers.

@@ -58,7 +58,10 @@ pub struct DsdState {
 impl DsdState {
     /// State with a given `α` and no observed `µ` yet.
     pub fn new(alpha: f64) -> Self {
-        DsdState { alpha, prev_mu: None }
+        DsdState {
+            alpha,
+            prev_mu: None,
+        }
     }
 }
 
@@ -134,9 +137,9 @@ pub fn set_difference(
                 let mut scratch = Vec::new();
                 for pr in range {
                     let key = mode.key_of(probe, pr, &cols, &mut scratch);
-                    let hit = table.iter_key(key).any(|node| {
-                        exact || rows_eq(build, node as usize, probe, pr, arity)
-                    });
+                    let hit = table
+                        .iter_key(key)
+                        .any(|node| exact || rows_eq(build, node as usize, probe, pr, arity));
                     if hit {
                         for c in 0..arity {
                             buf.push_at(c, probe.get(pr, c));
@@ -146,8 +149,11 @@ pub fn set_difference(
             });
             // Record µ for the next iteration's grey-zone decision.
             let r_len = r.first().map_or(0, Vec::len);
-            state.prev_mu =
-                Some(if r_len == 0 { f64::INFINITY } else { delta.len() as f64 / r_len as f64 });
+            state.prev_mu = Some(if r_len == 0 {
+                f64::INFINITY
+            } else {
+                delta.len() as f64 / r_len as f64
+            });
             // Phase 2: ∆R ← Rδ − r.
             let r_view = RelView::over(&r);
             if r_view.is_empty() {
@@ -161,12 +167,7 @@ pub fn set_difference(
 }
 
 /// Build a multimap table over `build`'s full tuples.
-fn build_multi(
-    ctx: &ExecCtx,
-    build: RelView<'_>,
-    mode: &KeyMode,
-    cols: &[usize],
-) -> ChainTable {
+fn build_multi(ctx: &ExecCtx, build: RelView<'_>, mode: &KeyMode, cols: &[usize]) -> ChainTable {
     let n = build.len();
     let keys = parallel_fill(&ctx.pool, n, ctx.grain, 0u64, |r| {
         let mut scratch = Vec::new();
@@ -289,24 +290,34 @@ mod tests {
 
     fn oracle_diff(delta: &Relation, full: &Relation) -> HashSet<Vec<Value>> {
         let f: HashSet<Vec<Value>> = full.to_rows().into_iter().collect();
-        delta.to_rows().into_iter().filter(|r| !f.contains(r)).collect()
+        delta
+            .to_rows()
+            .into_iter()
+            .filter(|r| !f.contains(r))
+            .collect()
     }
 
     #[test]
     fn opsd_tpsd_dynamic_agree_with_oracle() {
         let delta = Relation::from_rows(
             Schema::with_arity("d", 2),
-            &(0..200).map(|i| vec![i as Value, (i * 2) as Value]).collect::<Vec<_>>(),
+            &(0..200)
+                .map(|i| vec![i as Value, (i * 2) as Value])
+                .collect::<Vec<_>>(),
         );
         let full = Relation::from_rows(
             Schema::with_arity("f", 2),
-            &(0..300).map(|i| vec![(i / 2) as Value, i as Value]).collect::<Vec<_>>(),
+            &(0..300)
+                .map(|i| vec![(i / 2) as Value, i as Value])
+                .collect::<Vec<_>>(),
         );
         let oracle = oracle_diff(&delta, &full);
         let ctx = ctx();
-        for strat in
-            [SetDiffStrategy::AlwaysOpsd, SetDiffStrategy::AlwaysTpsd, SetDiffStrategy::Dynamic]
-        {
+        for strat in [
+            SetDiffStrategy::AlwaysOpsd,
+            SetDiffStrategy::AlwaysTpsd,
+            SetDiffStrategy::Dynamic,
+        ] {
             let mut st = DsdState::default();
             let (out, _) = set_difference(&ctx, delta.view(), full.view(), strat, &mut st);
             assert_eq!(rows_of(&out), oracle, "{strat:?}");
@@ -319,11 +330,9 @@ mod tests {
         let mut st = DsdState::default();
         let e = Relation::new(Schema::with_arity("e", 2));
         let f = Relation::from_rows(Schema::with_arity("f", 2), &[vec![1, 2]]);
-        let (out, _) =
-            set_difference(&ctx, e.view(), f.view(), SetDiffStrategy::Dynamic, &mut st);
+        let (out, _) = set_difference(&ctx, e.view(), f.view(), SetDiffStrategy::Dynamic, &mut st);
         assert!(out[0].is_empty());
-        let (out, _) =
-            set_difference(&ctx, f.view(), e.view(), SetDiffStrategy::Dynamic, &mut st);
+        let (out, _) = set_difference(&ctx, f.view(), e.view(), SetDiffStrategy::Dynamic, &mut st);
         assert_eq!(rows_of(&out), [vec![1, 2]].into_iter().collect());
     }
 
@@ -383,8 +392,13 @@ mod tests {
             &(5..30).map(|i| vec![i as Value]).collect::<Vec<_>>(),
         );
         let mut st = DsdState::default();
-        let (_, algo) =
-            set_difference(&ctx, delta.view(), full.view(), SetDiffStrategy::AlwaysTpsd, &mut st);
+        let (_, algo) = set_difference(
+            &ctx,
+            delta.view(),
+            full.view(),
+            SetDiffStrategy::AlwaysTpsd,
+            &mut st,
+        );
         assert_eq!(algo, SetDiffAlgo::Tpsd);
         // Intersection = {5..9}, so µ = 10/5 = 2.
         assert_eq!(st.prev_mu, Some(2.0));
@@ -400,8 +414,13 @@ mod tests {
             &(0..10_000).map(|i| vec![i as Value]).collect::<Vec<_>>(),
         );
         let mut st = DsdState::new(2.0);
-        let (out, algo) =
-            set_difference(&ctx, delta.view(), full.view(), SetDiffStrategy::Dynamic, &mut st);
+        let (out, algo) = set_difference(
+            &ctx,
+            delta.view(),
+            full.view(),
+            SetDiffStrategy::Dynamic,
+            &mut st,
+        );
         assert_eq!(algo, SetDiffAlgo::Tpsd);
         assert_eq!(out[0], vec![100_000]);
     }

@@ -19,7 +19,9 @@ pub struct ColBuf {
 
 impl ColBuf {
     fn new(arity: usize) -> Self {
-        ColBuf { cols: vec![Vec::new(); arity] }
+        ColBuf {
+            cols: vec![Vec::new(); arity],
+        }
     }
 
     /// Append one row.
@@ -157,8 +159,11 @@ mod tests {
         });
         assert_eq!(cols.len(), 2);
         assert_eq!(cols[0].len(), 1000);
-        let mut pairs: Vec<(Value, Value)> =
-            cols[0].iter().copied().zip(cols[1].iter().copied()).collect();
+        let mut pairs: Vec<(Value, Value)> = cols[0]
+            .iter()
+            .copied()
+            .zip(cols[1].iter().copied())
+            .collect();
         pairs.sort_unstable();
         for (i, (a, b)) in pairs.iter().enumerate() {
             assert_eq!(*a, i as Value);

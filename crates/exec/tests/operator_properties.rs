@@ -1,3 +1,4 @@
+#![allow(clippy::needless_range_loop)]
 //! Property-based tests of the parallel operators against sequential
 //! oracles: the operators are the trusted computing base of the engine, so
 //! they get the heaviest randomized scrutiny.

@@ -21,7 +21,10 @@ use recstep_common::Value;
 
 /// Convert `u32` edge pairs to engine values.
 pub fn as_values(edges: &[(u32, u32)]) -> Vec<(Value, Value)> {
-    edges.iter().map(|&(a, b)| (a as Value, b as Value)).collect()
+    edges
+        .iter()
+        .map(|&(a, b)| (a as Value, b as Value))
+        .collect()
 }
 
 /// Attach deterministic pseudo-random weights in `1..=max_w` to edges

@@ -76,7 +76,9 @@ pub fn andersen(vars: u32, seed: u64) -> AndersenInput {
 /// `scale` divides the counts.
 pub fn paper_andersen_specs(scale: u32) -> Vec<(String, u32)> {
     let s = scale.max(1);
-    (1..=7u32).map(|i| (format!("dataset {i}"), (6_000 * i / s).max(64))).collect()
+    (1..=7u32)
+        .map(|i| (format!("dataset {i}"), (6_000 * i / s).max(64)))
+        .collect()
 }
 
 /// Input relations for one CSPA run.
@@ -118,11 +120,17 @@ pub fn cspa(clusters: u32, cluster_size: u32, seed: u64) -> CspaInput {
         if clusters > 1 {
             for _ in 0..2 {
                 let other = rng.gen_range(0..n);
-                assign.push(((base + rng.gen_range(0..cluster_size as u64)) as Value, other as Value));
+                assign.push((
+                    (base + rng.gen_range(0..cluster_size as u64)) as Value,
+                    other as Value,
+                ));
             }
         }
     }
-    CspaInput { assign, dereference }
+    CspaInput {
+        assign,
+        dereference,
+    }
 }
 
 /// Input relations for one CSDA run.
@@ -265,7 +273,10 @@ mod tests {
         assert!(input.arc.len() >= 3 * 99);
         // All skip edges go forward (acyclic chains → bounded iterations).
         for &(a, b) in &input.arc {
-            assert!(b > a || !((b - a) as u64).is_multiple_of(100), "unexpected edge ({a},{b})");
+            assert!(
+                b > a || !((b - a) as u64).is_multiple_of(100),
+                "unexpected edge ({a},{b})"
+            );
         }
     }
 

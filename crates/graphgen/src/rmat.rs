@@ -61,13 +61,26 @@ pub struct RmatSpec {
 /// RMAT-1M .. RMAT-128M, scaled down by `scale`.
 pub fn paper_rmat_specs(scale: u32) -> Vec<RmatSpec> {
     let s = scale.max(1);
-    let names = ["RMAT-1M", "RMAT-2M", "RMAT-4M", "RMAT-8M", "RMAT-16M", "RMAT-32M", "RMAT-64M", "RMAT-128M"];
+    let names = [
+        "RMAT-1M",
+        "RMAT-2M",
+        "RMAT-4M",
+        "RMAT-8M",
+        "RMAT-16M",
+        "RMAT-32M",
+        "RMAT-64M",
+        "RMAT-128M",
+    ];
     names
         .iter()
         .enumerate()
         .map(|(i, name)| {
             let n = ((1_000_000u64 << i) / s as u64).max(64) as u32;
-            RmatSpec { name, n, m: n as usize * 10 }
+            RmatSpec {
+                name,
+                n,
+                m: n as usize * 10,
+            }
         })
         .collect()
 }

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `crossbeam` crate (see `crates/shims/README.md`).
+//! Only `sync::WaitGroup` is provided — the single API this repository uses.
+
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner {
+        count: Mutex<usize>,
+        all_done: Condvar,
+    }
+
+    /// Synchronization point that waits until all clones are dropped.
+    ///
+    /// Semantics match crossbeam's `WaitGroup`: every clone represents one
+    /// outstanding unit of work; dropping a clone retires it; [`wait`]
+    /// consumes the caller's own handle and blocks until the count is zero.
+    ///
+    /// [`wait`]: WaitGroup::wait
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    impl WaitGroup {
+        /// Create a group with one outstanding handle (the returned one).
+        pub fn new() -> Self {
+            WaitGroup {
+                inner: Arc::new(Inner {
+                    count: Mutex::new(1),
+                    all_done: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drop this handle and block until every other clone is dropped.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self);
+            let mut count = inner.count.lock().unwrap_or_else(PoisonError::into_inner);
+            while *count > 0 {
+                count = inner
+                    .all_done
+                    .wait(count)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self
+                .inner
+                .count
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self
+                .inner
+                .count
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *count -= 1;
+            if *count == 0 {
+                self.inner.all_done.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn wait_blocks_until_all_clones_drop() {
+            let wg = WaitGroup::new();
+            let done = Arc::new(AtomicUsize::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let wg = wg.clone();
+                let done = Arc::clone(&done);
+                handles.push(std::thread::spawn(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                    drop(wg);
+                }));
+            }
+            wg.wait();
+            assert_eq!(done.load(Ordering::SeqCst), 4);
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+}

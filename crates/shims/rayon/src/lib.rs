@@ -1,0 +1,87 @@
+//! Offline stand-in for the `rayon` crate (see `crates/shims/README.md`).
+//!
+//! `par_iter()` returns a wrapper over the *sequential* iterator exposing
+//! the rayon adapter names used in this repository (`flat_map_iter`,
+//! `filter_map`, `map`, `collect`). Call sites keep rayon's shape and pick
+//! up real parallelism again if the genuine crate is substituted; with the
+//! shim they simply run single-threaded.
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// rayon's `flat_map_iter`: flat-map through a serial inner iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<impl Iterator<Item = U::Item>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Filter and map in one pass.
+    pub fn filter_map<U, F>(self, f: F) -> Par<impl Iterator<Item = U>>
+    where
+        F: FnMut(I::Item) -> Option<U>,
+    {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Map each item.
+    pub fn map<U, F>(self, f: F) -> Par<impl Iterator<Item = U>>
+    where
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.map(f))
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type yielded by reference.
+    type Item: 'data;
+    /// Borrowing "parallel" iterator (sequential in the shim).
+    fn par_iter(&'data self) -> Par<std::slice::Iter<'data, Self::Item>>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> Par<std::slice::Iter<'data, T>> {
+        Par(self.iter())
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> Par<std::slice::Iter<'data, T>> {
+        Par(self.iter())
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let evens: Vec<i32> = v
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens, vec![2, 4]);
+        let flat: Vec<i32> = v.par_iter().flat_map_iter(|&x| vec![x; 2]).collect();
+        assert_eq!(flat.len(), 8);
+    }
+}

@@ -36,22 +36,36 @@ impl Catalog {
     /// Create a new, empty relation. Errors if the name is taken.
     pub fn create(&mut self, schema: Schema) -> Result<RelId> {
         if self.by_name.contains_key(&schema.name) {
-            return Err(Error::exec(format!("relation '{}' already exists", schema.name)));
+            return Err(Error::exec(format!(
+                "relation '{}' already exists",
+                schema.name
+            )));
         }
         let id = self.entries.len();
         self.by_name.insert(schema.name.clone(), id);
-        self.entries.push(Entry { rel: Relation::new(schema), version: 0, stats: None });
+        self.entries.push(Entry {
+            rel: Relation::new(schema),
+            version: 0,
+            stats: None,
+        });
         Ok(id)
     }
 
     /// Register an already-populated relation. Errors if the name is taken.
     pub fn register(&mut self, rel: Relation) -> Result<RelId> {
         if self.by_name.contains_key(&rel.schema().name) {
-            return Err(Error::exec(format!("relation '{}' already exists", rel.schema().name)));
+            return Err(Error::exec(format!(
+                "relation '{}' already exists",
+                rel.schema().name
+            )));
         }
         let id = self.entries.len();
         self.by_name.insert(rel.schema().name.clone(), id);
-        self.entries.push(Entry { rel, version: 1, stats: None });
+        self.entries.push(Entry {
+            rel,
+            version: 1,
+            stats: None,
+        });
         Ok(id)
     }
 
@@ -146,7 +160,9 @@ mod tests {
         let mut cat = Catalog::new();
         cat.create(Schema::with_arity("t", 1)).unwrap();
         assert!(cat.create(Schema::with_arity("t", 2)).is_err());
-        assert!(cat.register(Relation::new(Schema::with_arity("t", 1))).is_err());
+        assert!(cat
+            .register(Relation::new(Schema::with_arity("t", 1)))
+            .is_err());
     }
 
     #[test]

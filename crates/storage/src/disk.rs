@@ -71,6 +71,14 @@ impl DiskManager {
         self.mode
     }
 
+    /// Switch the commit mode. The mode is an *engine* policy (EOST is a
+    /// paper §5.2 optimization toggle), while the store itself belongs to
+    /// the database holding the data — so an evaluation sets the mode it
+    /// was configured with before running.
+    pub fn set_mode(&mut self, mode: CommitMode) {
+        self.mode = mode;
+    }
+
     /// Called after a state-changing query touched `rel`.
     ///
     /// PerQuery: persist the newly appended rows immediately.
@@ -115,10 +123,7 @@ impl DiskManager {
 
     /// End-of-evaluation commit: persist every dirty table (a no-op for
     /// PerQuery mode, which already wrote through).
-    pub fn commit_all<'a>(
-        &mut self,
-        resolve: impl Fn(&str) -> Option<&'a Relation>,
-    ) -> Result<()> {
+    pub fn commit_all<'a>(&mut self, resolve: impl Fn(&str) -> Option<&'a Relation>) -> Result<()> {
         let dirty = std::mem::take(&mut self.dirty);
         for name in dirty {
             if let Some(rel) = resolve(&name) {
@@ -223,7 +228,8 @@ mod tests {
         dm.note_dirty(&r).unwrap(); // dedup of dirty set
         assert_eq!(dm.bytes_written(), 0);
         assert_eq!(dm.flushes(), 0);
-        dm.commit_all(|name| if name == "t" { Some(&r) } else { None }).unwrap();
+        dm.commit_all(|name| if name == "t" { Some(&r) } else { None })
+            .unwrap();
         assert_eq!(dm.bytes_written(), 4 * 2 * 8);
         assert_eq!(dm.flushes(), 1);
     }

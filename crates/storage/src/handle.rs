@@ -1,0 +1,271 @@
+//! Zero-copy result views over stored relations.
+//!
+//! [`RelHandle`] is the read surface a database hands out for query
+//! results: a borrow of the stored columnar relation with row iteration
+//! and typed decoding on top, so consumers only materialize what they ask
+//! for. The old engine API cloned entire relations into
+//! `Vec<Vec<Value>>`; the handle keeps that as an explicit escape hatch
+//! ([`RelHandle::to_vec`]) instead of the default.
+
+use recstep_common::{Error, Result, Value};
+
+use crate::relation::{RelView, Relation, Schema};
+
+/// Borrowed, read-only handle over a stored relation.
+///
+/// Cheap to copy (two words); all accessors are zero-copy except the
+/// explicitly materializing `to_vec` / `to_sorted_vec` / `try_decode`.
+#[derive(Clone, Copy, Debug)]
+pub struct RelHandle<'a> {
+    rel: &'a Relation,
+}
+
+impl<'a> RelHandle<'a> {
+    /// Wrap a stored relation.
+    pub fn new(rel: &'a Relation) -> Self {
+        RelHandle { rel }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &'a str {
+        &self.rel.schema().name
+    }
+
+    /// Schema of the underlying relation.
+    pub fn schema(&self) -> &'a Schema {
+        self.rel.schema()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.rel.arity()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Zero-copy view over all rows (operator-level access).
+    pub fn view(&self) -> RelView<'a> {
+        self.rel.view()
+    }
+
+    /// Column `c` as a borrowed slice.
+    pub fn col(&self, c: usize) -> &'a [Value] {
+        self.rel.col(c)
+    }
+
+    /// Borrowed row accessor (no copy).
+    pub fn row(&self, r: usize) -> RowRef<'a> {
+        RowRef {
+            view: self.rel.view(),
+            r,
+        }
+    }
+
+    /// Iterate over borrowed rows without materializing anything.
+    pub fn iter_rows(&self) -> RowIter<'a> {
+        RowIter {
+            view: self.rel.view(),
+            next: 0,
+        }
+    }
+
+    /// Decode every row as `T` (a `Value`, tuple of `Value`s, or fixed
+    /// array). Errors when the relation's arity does not match `T`.
+    pub fn try_decode<T: RowDecode>(&self) -> Result<Vec<T>> {
+        if self.arity() != T::ARITY {
+            return Err(Error::exec(format!(
+                "relation '{}' has arity {}, cannot decode rows as arity {}",
+                self.name(),
+                self.arity(),
+                T::ARITY
+            )));
+        }
+        Ok(self.iter_rows().map(|row| T::decode(&row)).collect())
+    }
+
+    /// Decode a binary relation as `(src, dst)` pairs.
+    pub fn as_pairs(&self) -> Result<Vec<(Value, Value)>> {
+        self.try_decode::<(Value, Value)>()
+    }
+
+    /// Materialize all rows (row-major) — the explicit escape hatch for
+    /// consumers that genuinely need an owned copy.
+    pub fn to_vec(&self) -> Vec<Vec<Value>> {
+        self.rel.to_rows()
+    }
+
+    /// Materialize all rows in sorted order (order-insensitive compares).
+    pub fn to_sorted_vec(&self) -> Vec<Vec<Value>> {
+        self.rel.to_sorted_rows()
+    }
+}
+
+impl<'a> IntoIterator for RelHandle<'a> {
+    type Item = RowRef<'a>;
+    type IntoIter = RowIter<'a>;
+    fn into_iter(self) -> RowIter<'a> {
+        self.iter_rows()
+    }
+}
+
+/// One borrowed row of a columnar relation.
+#[derive(Clone, Copy, Debug)]
+pub struct RowRef<'a> {
+    view: RelView<'a>,
+    r: usize,
+}
+
+impl RowRef<'_> {
+    /// Value in column `c`.
+    pub fn get(&self, c: usize) -> Value {
+        self.view.get(self.r, c)
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.view.arity()
+    }
+
+    /// True for zero-arity rows.
+    pub fn is_empty(&self) -> bool {
+        self.view.arity() == 0
+    }
+
+    /// Copy this row into an owned vector.
+    pub fn to_vec(&self) -> Vec<Value> {
+        (0..self.len()).map(|c| self.get(c)).collect()
+    }
+}
+
+/// Iterator over the rows of a [`RelHandle`].
+pub struct RowIter<'a> {
+    view: RelView<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = RowRef<'a>;
+
+    fn next(&mut self) -> Option<RowRef<'a>> {
+        if self.next >= self.view.len() {
+            return None;
+        }
+        let row = RowRef {
+            view: self.view,
+            r: self.next,
+        };
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.view.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+/// Typed decoding of one row (the `try_decode::<T>()` surface).
+pub trait RowDecode: Sized {
+    /// Arity the decoder expects.
+    const ARITY: usize;
+    /// Decode one row; the caller guarantees the arity matches.
+    fn decode(row: &RowRef<'_>) -> Self;
+}
+
+impl RowDecode for Value {
+    const ARITY: usize = 1;
+    fn decode(row: &RowRef<'_>) -> Value {
+        row.get(0)
+    }
+}
+
+macro_rules! impl_row_decode_tuple {
+    ($n:expr; $($idx:tt),+) => {
+        impl RowDecode for ($(impl_row_decode_tuple!(@v $idx),)+) {
+            const ARITY: usize = $n;
+            fn decode(row: &RowRef<'_>) -> Self {
+                ($(row.get($idx),)+)
+            }
+        }
+    };
+    (@v $idx:tt) => { Value };
+}
+
+impl_row_decode_tuple!(1; 0);
+impl_row_decode_tuple!(2; 0, 1);
+impl_row_decode_tuple!(3; 0, 1, 2);
+impl_row_decode_tuple!(4; 0, 1, 2, 3);
+impl_row_decode_tuple!(5; 0, 1, 2, 3, 4);
+
+impl<const N: usize> RowDecode for [Value; N] {
+    const ARITY: usize = N;
+    fn decode(row: &RowRef<'_>) -> Self {
+        std::array::from_fn(|c| row.get(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(Schema::new("t", &["a", "b"]));
+        r.push_row(&[1, 10]);
+        r.push_row(&[2, 20]);
+        r.push_row(&[3, 30]);
+        r
+    }
+
+    #[test]
+    fn iter_rows_is_zero_copy_and_complete() {
+        let r = rel();
+        let h = RelHandle::new(&r);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.iter_rows().len(), 3);
+        let sums: Vec<Value> = h.iter_rows().map(|row| row.get(0) + row.get(1)).collect();
+        assert_eq!(sums, vec![11, 22, 33]);
+        let rows: Vec<Vec<Value>> = h.into_iter().map(|row| row.to_vec()).collect();
+        assert_eq!(rows, vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+    }
+
+    #[test]
+    fn typed_decoding() {
+        let r = rel();
+        let h = RelHandle::new(&r);
+        assert_eq!(h.as_pairs().unwrap(), vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(
+            h.try_decode::<[Value; 2]>().unwrap(),
+            vec![[1, 10], [2, 20], [3, 30]]
+        );
+        let err = h.try_decode::<(Value, Value, Value)>().unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        let mut single = Relation::new(Schema::with_arity("s", 1));
+        single.push_row(&[7]);
+        assert_eq!(
+            RelHandle::new(&single).try_decode::<Value>().unwrap(),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn explicit_materialization() {
+        let mut r = rel();
+        r.push_row(&[0, 0]);
+        let h = RelHandle::new(&r);
+        assert_eq!(h.to_vec().len(), 4);
+        assert_eq!(h.to_sorted_vec()[0], vec![0, 0]);
+        assert_eq!(h.name(), "t");
+        assert_eq!(h.col(1), &[10, 20, 30, 0]);
+        assert_eq!(h.view().len(), 4);
+    }
+}

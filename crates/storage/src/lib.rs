@@ -18,10 +18,12 @@
 
 pub mod catalog;
 pub mod disk;
+pub mod handle;
 pub mod relation;
 pub mod stats;
 
 pub use catalog::{Catalog, RelId};
 pub use disk::{CommitMode, DiskManager};
-pub use relation::{Relation, RelView, Schema};
+pub use handle::{RelHandle, RowDecode, RowIter, RowRef};
+pub use relation::{RelView, Relation, Schema};
 pub use stats::{ColStats, StatsLevel, TableStats};

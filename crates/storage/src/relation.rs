@@ -14,7 +14,10 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from a name and column names.
     pub fn new(name: impl Into<String>, cols: &[&str]) -> Self {
-        Schema { name: name.into(), cols: cols.iter().map(|c| (*c).to_string()).collect() }
+        Schema {
+            name: name.into(),
+            cols: cols.iter().map(|c| (*c).to_string()).collect(),
+        }
     }
 
     /// Build a schema with auto-named columns `c0..c{arity-1}`.
@@ -34,9 +37,11 @@ impl Schema {
 
 /// An in-memory columnar relation.
 ///
-/// Storage is column-major (`cols[c][r]`), append-only during evaluation.
-/// Monotonic-aggregate relations additionally use [`Relation::set_cell`] to
-/// improve values in place (the only sanctioned mutation besides appends).
+/// Storage is column-major (`cols[c][r]`), and strictly append-only
+/// during evaluation: engines mutate stored relations through appends and
+/// `clear` only (the former `set_cell`/`truncate` interior-mutation
+/// helpers were unused and are gone), and result consumers read through
+/// zero-copy views and [`crate::RelHandle`]s.
 #[derive(Clone, Debug)]
 pub struct Relation {
     schema: Schema,
@@ -47,7 +52,10 @@ impl Relation {
     /// Empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
         let arity = schema.arity();
-        Relation { schema, cols: vec![Vec::new(); arity] }
+        Relation {
+            schema,
+            cols: vec![Vec::new(); arity],
+        }
     }
 
     /// Relation pre-populated from row-major data.
@@ -86,7 +94,12 @@ impl Relation {
     /// Append one row. Panics if the row arity mismatches the schema.
     #[inline]
     pub fn push_row(&mut self, row: &[Value]) {
-        assert_eq!(row.len(), self.arity(), "row arity mismatch for {}", self.schema.name);
+        assert_eq!(
+            row.len(),
+            self.arity(),
+            "row arity mismatch for {}",
+            self.schema.name
+        );
         for (col, &v) in self.cols.iter_mut().zip(row) {
             col.push(v);
         }
@@ -96,10 +109,19 @@ impl Relation {
     ///
     /// Panics if `data` has the wrong arity or ragged column lengths.
     pub fn append_columns(&mut self, data: Vec<Vec<Value>>) {
-        assert_eq!(data.len(), self.arity(), "column-count mismatch for {}", self.schema.name);
+        assert_eq!(
+            data.len(),
+            self.arity(),
+            "column-count mismatch for {}",
+            self.schema.name
+        );
         if let Some(first) = data.first() {
             let n = first.len();
-            assert!(data.iter().all(|c| c.len() == n), "ragged columns for {}", self.schema.name);
+            assert!(
+                data.iter().all(|c| c.len() == n),
+                "ragged columns for {}",
+                self.schema.name
+            );
         }
         for (col, mut new) in self.cols.iter_mut().zip(data) {
             if col.is_empty() {
@@ -124,12 +146,6 @@ impl Relation {
         &self.cols[c]
     }
 
-    /// Overwrite a single cell (used by monotonic aggregate relations).
-    #[inline]
-    pub fn set_cell(&mut self, row: usize, col: usize, v: Value) {
-        self.cols[col][row] = v;
-    }
-
     /// Drop all rows, keeping capacity.
     pub fn clear(&mut self) {
         for c in &mut self.cols {
@@ -137,17 +153,14 @@ impl Relation {
         }
     }
 
-    /// Truncate to the first `len` rows.
-    pub fn truncate(&mut self, len: usize) {
-        for c in &mut self.cols {
-            c.truncate(len);
-        }
-    }
-
     /// View over all rows.
     #[inline]
     pub fn view(&self) -> RelView<'_> {
-        RelView { cols: &self.cols, start: 0, end: self.len() }
+        RelView {
+            cols: &self.cols,
+            start: 0,
+            end: self.len(),
+        }
     }
 
     /// Zero-copy view over the first `len` rows (the *Old* view of
@@ -155,14 +168,22 @@ impl Relation {
     #[inline]
     pub fn prefix_view(&self, len: usize) -> RelView<'_> {
         assert!(len <= self.len());
-        RelView { cols: &self.cols, start: 0, end: len }
+        RelView {
+            cols: &self.cols,
+            start: 0,
+            end: len,
+        }
     }
 
     /// Zero-copy view over rows `start..end`.
     #[inline]
     pub fn range_view(&self, start: usize, end: usize) -> RelView<'_> {
         assert!(start <= end && end <= self.len());
-        RelView { cols: &self.cols, start, end }
+        RelView {
+            cols: &self.cols,
+            start,
+            end,
+        }
     }
 
     /// Copy row `r` into `out` (cleared first).
@@ -173,7 +194,9 @@ impl Relation {
 
     /// Materialize all rows (row-major); intended for tests and result export.
     pub fn to_rows(&self) -> Vec<Vec<Value>> {
-        (0..self.len()).map(|r| self.cols.iter().map(|c| c[r]).collect()).collect()
+        (0..self.len())
+            .map(|r| self.cols.iter().map(|c| c[r]).collect())
+            .collect()
     }
 
     /// Materialize rows in sorted order; handy for order-insensitive
@@ -186,7 +209,10 @@ impl Relation {
 
     /// Approximate heap footprint in bytes (column data only).
     pub fn heap_bytes(&self) -> usize {
-        self.cols.iter().map(|c| c.capacity() * std::mem::size_of::<Value>()).sum()
+        self.cols
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<Value>())
+            .sum()
     }
 }
 
@@ -206,7 +232,11 @@ impl<'a> RelView<'a> {
     pub fn over(cols: &'a [Vec<Value>]) -> Self {
         let len = cols.first().map_or(0, Vec::len);
         debug_assert!(cols.iter().all(|c| c.len() == len));
-        RelView { cols, start: 0, end: len }
+        RelView {
+            cols,
+            start: 0,
+            end: len,
+        }
     }
 
     /// Number of rows in the view.
@@ -247,7 +277,9 @@ impl<'a> RelView<'a> {
 
     /// Materialize the viewed rows (row-major).
     pub fn to_rows(&self) -> Vec<Vec<Value>> {
-        (0..self.len()).map(|r| self.cols.iter().map(|c| c[self.start + r]).collect()).collect()
+        (0..self.len())
+            .map(|r| self.cols.iter().map(|c| c[self.start + r]).collect())
+            .collect()
     }
 }
 
@@ -311,13 +343,6 @@ mod tests {
     }
 
     #[test]
-    fn set_cell_updates_in_place() {
-        let mut r = rel_ab();
-        r.set_cell(1, 1, 99);
-        assert_eq!(r.col(1), &[10, 99, 30]);
-    }
-
-    #[test]
     fn copy_row_and_views() {
         let r = rel_ab();
         let mut buf = Vec::new();
@@ -358,11 +383,11 @@ mod tests {
     }
 
     #[test]
-    fn truncate_and_clear() {
+    fn clear_drops_all_rows() {
         let mut r = rel_ab();
-        r.truncate(1);
-        assert_eq!(r.to_rows(), vec![vec![1, 10]]);
         r.clear();
         assert!(r.is_empty());
+        r.push_row(&[4, 40]);
+        assert_eq!(r.to_rows(), vec![vec![4, 40]]);
     }
 }

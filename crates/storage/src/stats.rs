@@ -65,7 +65,11 @@ impl TableStats {
         let cs = self.cols.get(c)?;
         let (min, max) = (cs.min?, cs.max?);
         let span = (max as i128 - min as i128) as u128;
-        Some(if span == 0 { 1 } else { 128 - span.leading_zeros() })
+        Some(if span == 0 {
+            1
+        } else {
+            128 - span.leading_zeros()
+        })
     }
 }
 
@@ -88,12 +92,21 @@ pub fn analyze_view(view: RelView<'_>, level: StatsLevel) -> TableStats {
                         max = max.max(v);
                         sum = sum.wrapping_add(v);
                     }
-                    ColStats { min: Some(min), max: Some(max), sum: Some(sum) }
+                    ColStats {
+                        min: Some(min),
+                        max: Some(max),
+                        sum: Some(sum),
+                    }
                 }
             })
             .collect(),
     };
-    TableStats { rows, cols, level: Some(level), version: 0 }
+    TableStats {
+        rows,
+        cols,
+        level: Some(level),
+        version: 0,
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +134,22 @@ mod tests {
     fn full_level_computes_min_max_sum() {
         let s = analyze_view(sample().view(), StatsLevel::Full);
         assert_eq!(s.rows, 3);
-        assert_eq!(s.cols[0], ColStats { min: Some(1), max: Some(5), sum: Some(9) });
-        assert_eq!(s.cols[1], ColStats { min: Some(-1), max: Some(7), sum: Some(6) });
+        assert_eq!(
+            s.cols[0],
+            ColStats {
+                min: Some(1),
+                max: Some(5),
+                sum: Some(9)
+            }
+        );
+        assert_eq!(
+            s.cols[1],
+            ColStats {
+                min: Some(-1),
+                max: Some(7),
+                sum: Some(6)
+            }
+        );
     }
 
     #[test]
@@ -140,7 +167,10 @@ mod tests {
         let s = analyze_view(r.view(), StatsLevel::Full);
         assert_eq!(s.col_bits(0), Some(8)); // span 255 → 8 bits
         assert_eq!(s.col_bits(1), Some(1)); // constant column → 1 bit
-        let empty = analyze_view(Relation::new(Schema::with_arity("e", 1)).view(), StatsLevel::Full);
+        let empty = analyze_view(
+            Relation::new(Schema::with_arity("e", 1)).view(),
+            StatsLevel::Full,
+        );
         assert_eq!(empty.col_bits(0), None);
     }
 

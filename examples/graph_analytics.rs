@@ -6,7 +6,7 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use recstep::{Config, RecStep};
+use recstep::{Database, Engine};
 use recstep_graphgen::{as_values, rmat::rmat, with_weights};
 
 fn main() -> recstep::Result<()> {
@@ -14,51 +14,56 @@ fn main() -> recstep::Result<()> {
     let edges = rmat(n, n as usize * 10, 42);
     println!("RMAT graph: {} vertices, {} edges", n, edges.len());
 
+    // One engine serves every workload below; each program compiles once.
+    let engine = Engine::builder().build()?;
+
     // REACH from one source.
-    let mut engine = RecStep::new(Config::default())?;
-    engine.load_edges("arc", &as_values(&edges))?;
-    engine.load_relation("id", 1, &[vec![0]])?;
-    let stats = engine.run_source(recstep::programs::REACH)?;
+    let mut db = Database::new()?;
+    db.load_edges("arc", &as_values(&edges))?;
+    db.load_relation("id", 1, &[vec![0]])?;
+    let stats = engine.prepare(recstep::programs::REACH)?.run(&mut db)?;
     println!(
         "REACH: {} vertices reachable from 0 in {:?} ({} iterations)",
-        engine.row_count("reach"),
+        db.row_count("reach"),
         stats.total,
         stats.iterations
     );
 
     // Connected components via recursive MIN aggregation.
-    let mut engine = RecStep::new(Config::default())?;
-    engine.load_edges("arc", &as_values(&edges))?;
-    let stats = engine.run_source(recstep::programs::CC)?;
+    let cc = engine.prepare(recstep::programs::CC)?;
+    let mut db = Database::new()?;
+    db.load_edges("arc", &as_values(&edges))?;
+    let stats = cc.run(&mut db)?;
     println!(
         "CC: {} labelled vertices, {} distinct components, {:?}",
-        engine.row_count("cc3"),
-        engine.row_count("cc"),
+        db.row_count("cc3"),
+        db.row_count("cc"),
         stats.total
     );
 
     // Single-source shortest paths over weighted edges.
     let weighted = with_weights(&edges, 100, 7);
-    let mut engine = RecStep::new(Config::default())?;
-    engine.load_weighted_edges("arc", &weighted)?;
-    engine.load_relation("id", 1, &[vec![0]])?;
-    let stats = engine.run_source(recstep::programs::SSSP)?;
+    let mut db = Database::new()?;
+    db.load_weighted_edges("arc", &weighted)?;
+    db.load_relation("id", 1, &[vec![0]])?;
+    let stats = engine.prepare(recstep::programs::SSSP)?.run(&mut db)?;
     println!(
         "SSSP: distances to {} vertices, {:?}",
-        engine.row_count("sssp"),
+        db.row_count("sssp"),
         stats.total
     );
 
-    // Differential check against the naive oracle on a small subgraph.
+    // Differential check against the naive oracle on a small subgraph:
+    // the CC program compiled above runs unchanged over a second database.
     let small = rmat(500, 2_000, 1);
-    let mut engine = RecStep::new(Config::default().threads(4))?;
-    engine.load_edges("arc", &as_values(&small))?;
-    engine.run_source(recstep::programs::CC)?;
+    let mut db = Database::new()?;
+    db.load_edges("arc", &as_values(&small))?;
+    cc.run(&mut db)?;
     let mut oracle = recstep_baselines::naive::NaiveEngine::new();
     oracle.load_edges("arc", &as_values(&small));
     oracle.run_source(recstep::programs::CC)?;
     let got: std::collections::BTreeSet<Vec<i64>> =
-        engine.rows("cc3").unwrap().into_iter().collect();
+        db.relation("cc3").unwrap().to_vec().into_iter().collect();
     let expect: std::collections::BTreeSet<Vec<i64>> =
         oracle.rows("cc3").unwrap().iter().cloned().collect();
     assert_eq!(got, expect, "engine and naive oracle must agree");

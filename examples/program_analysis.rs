@@ -6,38 +6,42 @@
 //! cargo run --release --example program_analysis
 //! ```
 
-use recstep::{Config, PbmeMode, RecStep};
+use recstep::{Database, Engine, PbmeMode};
 use recstep_graphgen::program_analysis as pa;
 
 fn main() -> recstep::Result<()> {
+    let engine = Engine::builder().build()?;
+
     // Andersen's analysis: non-linear recursion (two pointsTo atoms per
-    // rule body).
+    // rule body). All four input relations land in one transaction.
     let input = pa::andersen(3_000, 1);
-    let mut engine = RecStep::new(Config::default())?;
-    engine.load_edges("addressOf", &input.address_of)?;
-    engine.load_edges("assign", &input.assign)?;
-    engine.load_edges("load", &input.load)?;
-    engine.load_edges("store", &input.store)?;
-    let stats = engine.run_source(recstep::programs::ANDERSEN)?;
+    let mut db = Database::new()?;
+    let mut tx = db.transaction();
+    tx.load_edges("addressOf", &input.address_of)?;
+    tx.load_edges("assign", &input.assign)?;
+    tx.load_edges("load", &input.load)?;
+    tx.load_edges("store", &input.store)?;
+    tx.commit()?;
+    let stats = engine.prepare(recstep::programs::ANDERSEN)?.run(&mut db)?;
     println!(
         "Andersen: {} input facts -> {} pointsTo facts in {:?} ({} iterations)",
         input.len(),
-        engine.row_count("pointsTo"),
+        db.row_count("pointsTo"),
         stats.total,
         stats.iterations
     );
 
     // CSPA: mutual recursion across valueFlow / valueAlias / memoryAlias.
     let cspa = pa::cspa(400, 12, 2);
-    let mut engine = RecStep::new(Config::default())?;
-    engine.load_edges("assign", &cspa.assign)?;
-    engine.load_edges("dereference", &cspa.dereference)?;
-    let stats = engine.run_source(recstep::programs::CSPA)?;
+    let mut db = Database::new()?;
+    db.load_edges("assign", &cspa.assign)?;
+    db.load_edges("dereference", &cspa.dereference)?;
+    let stats = engine.prepare(recstep::programs::CSPA)?.run(&mut db)?;
     println!(
         "CSPA: vf={} va={} ma={} in {:?} ({} iterations — few, heavy rounds)",
-        engine.row_count("valueFlow"),
-        engine.row_count("valueAlias"),
-        engine.row_count("memoryAlias"),
+        db.row_count("valueFlow"),
+        db.row_count("valueAlias"),
+        db.row_count("memoryAlias"),
         stats.total,
         stats.iterations
     );
@@ -45,13 +49,16 @@ fn main() -> recstep::Result<()> {
     // CSDA: ~chain-length iterations with tiny deltas — the opposite
     // regime (PBME off to exercise the tuple path the paper measures).
     let csda = pa::csda(50, 600, 3);
-    let mut engine = RecStep::new(Config::default().pbme(PbmeMode::Off))?;
-    engine.load_edges("arc", &csda.arc)?;
-    engine.load_edges("nullEdge", &csda.null_edge)?;
-    let stats = engine.run_source(recstep::programs::CSDA)?;
+    let tuple_engine = Engine::builder().pbme(PbmeMode::Off).build()?;
+    let mut db = Database::new()?;
+    db.load_edges("arc", &csda.arc)?;
+    db.load_edges("nullEdge", &csda.null_edge)?;
+    let stats = tuple_engine
+        .prepare(recstep::programs::CSDA)?
+        .run(&mut db)?;
     println!(
         "CSDA: {} null facts in {:?} ({} iterations — many, cheap rounds)",
-        engine.row_count("null"),
+        db.row_count("null"),
         stats.total,
         stats.iterations
     );

@@ -1,11 +1,12 @@
-//! Quickstart: evaluate transitive closure over a small graph, inspect the
-//! results, and see what the engine did.
+//! Quickstart: the Engine / Database / PreparedProgram flow on transitive
+//! closure — compile once, run over two different graphs, read results
+//! through zero-copy handles.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use recstep::{Config, RecStep};
+use recstep::{Database, Engine};
 
 fn main() -> recstep::Result<()> {
     // A Datalog program (Example 1 of the paper): the transitive closure of
@@ -15,20 +16,30 @@ fn main() -> recstep::Result<()> {
         tc(x, y) :- tc(x, z), arc(z, y).
     ";
 
-    // Engine with defaults: all paper optimizations on (UIE, OOF, DSD,
-    // EOST, FAST-DEDUP), PBME auto-detection, all cores.
-    let mut engine = RecStep::new(Config::default())?;
+    // 1. Engine: immutable machinery — configuration, worker pool, planner.
+    //    Defaults turn on every paper optimization (UIE, OOF, DSD, EOST,
+    //    FAST-DEDUP) plus PBME auto-detection, on all cores.
+    let engine = Engine::builder().build()?;
 
-    // Load the input graph: a chain with a shortcut and a cycle.
-    engine.load_edges("arc", &[(0, 1), (1, 2), (2, 3), (0, 2), (3, 0)])?;
+    // 2. PreparedProgram: parse + analyze + compile exactly once. The
+    //    prepared program is Send + Sync and runnable any number of times.
+    let tc = engine.prepare(program)?;
 
-    let stats = engine.run_source(program)?;
+    // 3. Database: the data. Load the input graph — a chain with a
+    //    shortcut and a cycle.
+    let mut db = Database::new()?;
+    db.load_edges("arc", &[(0, 1), (1, 2), (2, 3), (0, 2), (3, 0)])?;
 
-    println!("tc has {} facts:", engine.row_count("tc"));
-    let mut rows = engine.rows("tc").unwrap();
-    rows.sort();
-    for row in &rows {
-        println!("  tc({}, {})", row[0], row[1]);
+    let stats = tc.run(&mut db)?;
+
+    // 4. Results come back as zero-copy handles over the stored columns:
+    //    iterate, decode typed tuples, or materialize explicitly.
+    let result = db.relation("tc").expect("tc exists after the run");
+    println!("tc has {} facts:", result.len());
+    let mut pairs = result.as_pairs()?;
+    pairs.sort_unstable();
+    for (x, y) in &pairs {
+        println!("  tc({x}, {y})");
     }
 
     println!("\nengine report:");
@@ -36,24 +47,40 @@ fn main() -> recstep::Result<()> {
     println!("  fixpoint iterations: {}", stats.iterations);
     println!("  queries issued   : {}", stats.queries_issued);
     println!("  tuples considered: {}", stats.tuples_considered);
-    println!("  set difference   : {} OPSD / {} TPSD runs", stats.opsd_runs, stats.tpsd_runs);
-    println!("  PBME used        : {}", stats.strata.iter().any(|s| s.pbme));
+    println!(
+        "  set difference   : {} OPSD / {} TPSD runs",
+        stats.opsd_runs, stats.tpsd_runs
+    );
+    println!(
+        "  PBME used        : {}",
+        stats.strata.iter().any(|s| s.pbme)
+    );
     println!("  total time       : {:?}", stats.total);
 
+    // The same prepared program runs over any other database — no
+    // re-parse, no re-compile.
+    let mut other = Database::new()?;
+    other.load_edges("arc", &[(10, 11), (11, 12)])?;
+    tc.run(&mut other)?;
+    println!(
+        "\nsame compiled program over a second graph: {} facts",
+        other.row_count("tc")
+    );
+
     // Inline facts work too, and so do negation and aggregation:
-    let mut engine = RecStep::new(Config::default().threads(2))?;
-    let stats = engine.run_source(
+    let gtc = engine.prepare(
         "arc(1, 2). arc(2, 3).
          tc(x, y) :- arc(x, y).
          tc(x, y) :- tc(x, z), arc(z, y).
          gtc(x, COUNT(y)) :- tc(x, y).",
     )?;
+    let mut db = Database::new()?;
+    gtc.run(&mut db)?;
     println!("\nper-vertex reachability counts (gtc):");
-    let mut rows = engine.rows("gtc").unwrap();
-    rows.sort();
-    for row in &rows {
-        println!("  gtc({}, {})", row[0], row[1]);
+    let mut rows = db.relation("gtc").expect("gtc exists").as_pairs()?;
+    rows.sort_unstable();
+    for (v, count) in &rows {
+        println!("  gtc({v}, {count})");
     }
-    let _ = stats;
     Ok(())
 }

@@ -15,7 +15,11 @@ fn main() -> recstep::Result<()> {
     for (si, stratum) in compiled.strata.iter().enumerate() {
         println!(
             "--- stratum {si} ({}) ---",
-            if stratum.recursive { "recursive" } else { "non-recursive" }
+            if stratum.recursive {
+                "recursive"
+            } else {
+                "non-recursive"
+            }
         );
         for idb in &stratum.idbs {
             println!("\n# Unified IDB Evaluation (UIE) for {}:", idb.rel);

@@ -5,22 +5,25 @@
 
 use std::collections::BTreeSet;
 
-use recstep::{Config, PbmeMode, RecStep, Value};
+use recstep::{Config, Database, Engine, PbmeMode, Value};
+use recstep_baselines::bdd;
 use recstep_baselines::naive::NaiveEngine;
 use recstep_baselines::setbased::SetEngine;
 use recstep_baselines::worklist::{grammars, WorklistEngine};
-use recstep_baselines::bdd;
 use recstep_graphgen::{as_values, gnp::gnp, program_analysis as pa, rmat::rmat, with_weights};
 
 type Rows = BTreeSet<Vec<Value>>;
 
 fn recstep_rows(cfg: Config, loads: &[(&str, &[(Value, Value)])], src: &str, rel: &str) -> Rows {
-    let mut e = RecStep::new(cfg.threads(4)).unwrap();
+    let engine = Engine::from_config(cfg.threads(4)).unwrap();
+    let mut db = Database::new().unwrap();
+    let mut tx = db.transaction();
     for (name, data) in loads {
-        e.load_edges(name, data).unwrap();
+        tx.load_edges(name, data).unwrap();
     }
-    e.run_source(src).unwrap();
-    e.rows(rel).unwrap().into_iter().collect()
+    tx.commit().unwrap();
+    engine.prepare(src).unwrap().run(&mut db).unwrap();
+    db.relation(rel).unwrap().to_vec().into_iter().collect()
 }
 
 fn naive_rows(loads: &[(&str, &[(Value, Value)])], src: &str, rel: &str) -> Rows {
@@ -51,17 +54,28 @@ fn tc_all_engines_agree_on_gnp() {
     let edges = as_values(&gnp(60, 0.03, 5));
     let loads: &[(&str, &[(Value, Value)])] = &[("arc", &edges)];
     let oracle = naive_rows(loads, recstep::programs::TC, "tc");
-    assert_eq!(recstep_rows(Config::default(), loads, recstep::programs::TC, "tc"), oracle);
+    assert_eq!(
+        recstep_rows(Config::default(), loads, recstep::programs::TC, "tc"),
+        oracle
+    );
     assert_eq!(
         recstep_rows(Config::no_op(), loads, recstep::programs::TC, "tc"),
         oracle
     );
-    assert_eq!(setbased_rows(true, loads, recstep::programs::TC, "tc"), oracle);
+    assert_eq!(
+        setbased_rows(true, loads, recstep::programs::TC, "tc"),
+        oracle
+    );
     // Worklist.
     let mut w = WorklistEngine::new(grammars::tc());
     w.load("arc", &edges).unwrap();
     w.run().unwrap();
-    let got: Rows = w.edges_of("tc").unwrap().into_iter().map(|(a, b)| vec![a, b]).collect();
+    let got: Rows = w
+        .edges_of("tc")
+        .unwrap()
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
     assert_eq!(got, oracle);
     // BDD.
     let (pairs, _) = bdd::bdd_tc(&edges);
@@ -79,9 +93,15 @@ fn sg_engines_agree_on_rmat() {
         Config::default().pbme(PbmeMode::Force),
         Config::no_op(),
     ] {
-        assert_eq!(recstep_rows(cfg, loads, recstep::programs::SG, "sg"), oracle);
+        assert_eq!(
+            recstep_rows(cfg, loads, recstep::programs::SG, "sg"),
+            oracle
+        );
     }
-    assert_eq!(setbased_rows(false, loads, recstep::programs::SG, "sg"), oracle);
+    assert_eq!(
+        setbased_rows(false, loads, recstep::programs::SG, "sg"),
+        oracle
+    );
 }
 
 #[test]
@@ -95,25 +115,39 @@ fn andersen_engines_agree_on_generated_input() {
     ];
     let oracle = naive_rows(loads, recstep::programs::ANDERSEN, "pointsTo");
     assert_eq!(
-        recstep_rows(Config::default(), loads, recstep::programs::ANDERSEN, "pointsTo"),
+        recstep_rows(
+            Config::default(),
+            loads,
+            recstep::programs::ANDERSEN,
+            "pointsTo"
+        ),
         oracle
     );
-    assert_eq!(setbased_rows(true, loads, recstep::programs::ANDERSEN, "pointsTo"), oracle);
+    assert_eq!(
+        setbased_rows(true, loads, recstep::programs::ANDERSEN, "pointsTo"),
+        oracle
+    );
     let mut w = WorklistEngine::new(grammars::andersen());
     for (name, data) in loads {
         w.load(name, data).unwrap();
     }
     w.run().unwrap();
-    let got: Rows =
-        w.edges_of("pointsTo").unwrap().into_iter().map(|(a, b)| vec![a, b]).collect();
+    let got: Rows = w
+        .edges_of("pointsTo")
+        .unwrap()
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
     assert_eq!(got, oracle);
 }
 
 #[test]
 fn cspa_engines_agree_on_generated_input() {
     let input = pa::cspa(6, 6, 11);
-    let loads: &[(&str, &[(Value, Value)])] =
-        &[("assign", &input.assign), ("dereference", &input.dereference)];
+    let loads: &[(&str, &[(Value, Value)])] = &[
+        ("assign", &input.assign),
+        ("dereference", &input.dereference),
+    ];
     for rel in ["valueFlow", "valueAlias", "memoryAlias"] {
         let oracle = naive_rows(loads, recstep::programs::CSPA, rel);
         assert_eq!(
@@ -121,13 +155,22 @@ fn cspa_engines_agree_on_generated_input() {
             oracle,
             "recstep {rel}"
         );
-        assert_eq!(setbased_rows(false, loads, recstep::programs::CSPA, rel), oracle, "set {rel}");
+        assert_eq!(
+            setbased_rows(false, loads, recstep::programs::CSPA, rel),
+            oracle,
+            "set {rel}"
+        );
         let mut w = WorklistEngine::new(grammars::cspa());
         for (name, data) in loads {
             w.load(name, data).unwrap();
         }
         w.run().unwrap();
-        let got: Rows = w.edges_of(rel).unwrap().into_iter().map(|(a, b)| vec![a, b]).collect();
+        let got: Rows = w
+            .edges_of(rel)
+            .unwrap()
+            .into_iter()
+            .map(|(a, b)| vec![a, b])
+            .collect();
         assert_eq!(got, oracle, "worklist {rel}");
     }
 }
@@ -139,7 +182,12 @@ fn csda_engines_agree_on_generated_chains() {
         &[("arc", &input.arc), ("nullEdge", &input.null_edge)];
     let oracle = naive_rows(loads, recstep::programs::CSDA, "null");
     assert_eq!(
-        recstep_rows(Config::default().pbme(PbmeMode::Off), loads, recstep::programs::CSDA, "null"),
+        recstep_rows(
+            Config::default().pbme(PbmeMode::Off),
+            loads,
+            recstep::programs::CSDA,
+            "null"
+        ),
         oracle
     );
     // PBME auto mode takes the TC-shaped stratum; results must not change.
@@ -147,13 +195,21 @@ fn csda_engines_agree_on_generated_chains() {
         recstep_rows(Config::default(), loads, recstep::programs::CSDA, "null"),
         oracle
     );
-    assert_eq!(setbased_rows(false, loads, recstep::programs::CSDA, "null"), oracle);
+    assert_eq!(
+        setbased_rows(false, loads, recstep::programs::CSDA, "null"),
+        oracle
+    );
     let mut w = WorklistEngine::new(grammars::csda());
     for (name, data) in loads {
         w.load(name, data).unwrap();
     }
     w.run().unwrap();
-    let got: Rows = w.edges_of("null").unwrap().into_iter().map(|(a, b)| vec![a, b]).collect();
+    let got: Rows = w
+        .edges_of("null")
+        .unwrap()
+        .into_iter()
+        .map(|(a, b)| vec![a, b])
+        .collect();
     assert_eq!(got, oracle);
 }
 
@@ -163,16 +219,27 @@ fn cc_and_sssp_agree_with_oracle_on_weighted_rmat() {
     let edges = as_values(&raw);
     let loads: &[(&str, &[(Value, Value)])] = &[("arc", &edges)];
     let oracle = naive_rows(loads, recstep::programs::CC, "cc3");
-    assert_eq!(recstep_rows(Config::default(), loads, recstep::programs::CC, "cc3"), oracle);
-    assert_eq!(setbased_rows(false, loads, recstep::programs::CC, "cc3"), oracle);
+    assert_eq!(
+        recstep_rows(Config::default(), loads, recstep::programs::CC, "cc3"),
+        oracle
+    );
+    assert_eq!(
+        setbased_rows(false, loads, recstep::programs::CC, "cc3"),
+        oracle
+    );
 
     // SSSP (ternary relation: load directly).
     let weighted = with_weights(&raw, 20, 5);
-    let mut e = RecStep::new(Config::default().threads(4)).unwrap();
-    e.load_weighted_edges("arc", &weighted).unwrap();
-    e.load_relation("id", 1, &[vec![0]]).unwrap();
-    e.run_source(recstep::programs::SSSP).unwrap();
-    let got: Rows = e.rows("sssp").unwrap().into_iter().collect();
+    let engine = Engine::from_config(Config::default().threads(4)).unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_weighted_edges("arc", &weighted).unwrap();
+    db.load_relation("id", 1, &[vec![0]]).unwrap();
+    engine
+        .prepare(recstep::programs::SSSP)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    let got: Rows = db.relation("sssp").unwrap().to_vec().into_iter().collect();
     let mut oracle = NaiveEngine::new();
     oracle.load("arc", weighted.iter().map(|&(a, b, w)| vec![a, b, w]));
     oracle.load("id", [vec![0]]);
@@ -191,11 +258,22 @@ fn reach_bdd_agrees() {
     let expect: BTreeSet<Value> = oracle.rows("reach").unwrap().iter().map(|r| r[0]).collect();
     let got: BTreeSet<Value> = bdd::bdd_reach(&edges, &[7]).into_iter().collect();
     assert_eq!(got, expect);
-    let mut e = RecStep::new(Config::default().threads(4)).unwrap();
-    e.load_edges("arc", &edges).unwrap();
-    e.load_relation("id", 1, &[vec![7]]).unwrap();
-    e.run_source(recstep::programs::REACH).unwrap();
-    let got: BTreeSet<Value> = e.rows("reach").unwrap().into_iter().map(|r| r[0]).collect();
+    let engine = Engine::from_config(Config::default().threads(4)).unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", &edges).unwrap();
+    db.load_relation("id", 1, &[vec![7]]).unwrap();
+    engine
+        .prepare(recstep::programs::REACH)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    let got: BTreeSet<Value> = db
+        .relation("reach")
+        .unwrap()
+        .try_decode::<Value>()
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, expect);
 }
 
@@ -204,6 +282,12 @@ fn negation_program_agrees() {
     let edges = as_values(&gnp(12, 0.15, 17));
     let loads: &[(&str, &[(Value, Value)])] = &[("arc", &edges)];
     let oracle = naive_rows(loads, recstep::programs::NTC, "ntc");
-    assert_eq!(recstep_rows(Config::default(), loads, recstep::programs::NTC, "ntc"), oracle);
-    assert_eq!(setbased_rows(false, loads, recstep::programs::NTC, "ntc"), oracle);
+    assert_eq!(
+        recstep_rows(Config::default(), loads, recstep::programs::NTC, "ntc"),
+        oracle
+    );
+    assert_eq!(
+        setbased_rows(false, loads, recstep::programs::NTC, "ntc"),
+        oracle
+    );
 }

@@ -3,7 +3,7 @@
 //! cross-engine agreement on random inputs.
 
 use proptest::prelude::*;
-use recstep::{Config, PbmeMode, RecStep, Value};
+use recstep::{Config, Database, Engine, PbmeMode, Value};
 use recstep_baselines::naive::NaiveEngine;
 use recstep_baselines::setbased::SetEngine;
 use recstep_exec::dedup::{deduplicate, DedupImpl};
@@ -28,10 +28,12 @@ proptest! {
         let expect: BTreeSet<Vec<Value>> =
             oracle.rows("tc").unwrap().iter().cloned().collect();
 
-        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
-        e.load_edges("arc", &edges).unwrap();
-        e.run_source(recstep::programs::TC).unwrap();
-        let got: BTreeSet<Vec<Value>> = e.rows("tc").unwrap().into_iter().collect();
+        let engine = Engine::from_config(Config::default().threads(2)).unwrap();
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &edges).unwrap();
+        engine.prepare(recstep::programs::TC).unwrap().run(&mut db).unwrap();
+        let got: BTreeSet<Vec<Value>> =
+            db.relation("tc").unwrap().to_vec().into_iter().collect();
         prop_assert_eq!(&got, &expect);
 
         let mut s = SetEngine::new(false);
@@ -44,10 +46,11 @@ proptest! {
     #[test]
     fn sg_pbme_agrees_with_tuples(edges in edges_strategy(16, 50)) {
         let run = |pbme| {
-            let mut e = RecStep::new(Config::default().threads(2).pbme(pbme)).unwrap();
-            e.load_edges("arc", &edges).unwrap();
-            e.run_source(recstep::programs::SG).unwrap();
-            e.rows("sg").unwrap().into_iter().collect::<BTreeSet<Vec<Value>>>()
+            let engine = Engine::from_config(Config::default().threads(2).pbme(pbme)).unwrap();
+            let mut db = Database::new().unwrap();
+            db.load_edges("arc", &edges).unwrap();
+            engine.prepare(recstep::programs::SG).unwrap().run(&mut db).unwrap();
+            db.relation("sg").unwrap().to_vec().into_iter().collect::<BTreeSet<Vec<Value>>>()
         };
         prop_assert_eq!(run(PbmeMode::Off), run(PbmeMode::Force));
     }
@@ -59,10 +62,12 @@ proptest! {
         oracle.run_source(recstep::programs::CC).unwrap();
         let expect: BTreeSet<Vec<Value>> =
             oracle.rows("cc3").unwrap().iter().cloned().collect();
-        let mut e = RecStep::new(Config::default().threads(2)).unwrap();
-        e.load_edges("arc", &edges).unwrap();
-        e.run_source(recstep::programs::CC).unwrap();
-        let got: BTreeSet<Vec<Value>> = e.rows("cc3").unwrap().into_iter().collect();
+        let engine = Engine::from_config(Config::default().threads(2)).unwrap();
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &edges).unwrap();
+        engine.prepare(recstep::programs::CC).unwrap().run(&mut db).unwrap();
+        let got: BTreeSet<Vec<Value>> =
+            db.relation("cc3").unwrap().to_vec().into_iter().collect();
         prop_assert_eq!(got, expect);
     }
 
