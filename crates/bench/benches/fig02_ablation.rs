@@ -37,6 +37,7 @@ fn main() {
         ("OOF-FA", base().oof(OofMode::Full)),
         ("EOST-off", base().eost(false)),
         ("FASTDEDUP-off", base().dedup(DedupImpl::Generic)),
+        ("INDEXREUSE-off", base().index_reuse(false)),
         ("OOF-NA", base().oof(OofMode::None)),
         ("RecStep-NO-OP", Config::no_op()),
     ];
@@ -62,6 +63,38 @@ fn main() {
         witness.windows(2).all(|w| w[0] == w[1]),
         "variants disagree: {witness:?}"
     );
+
+    // Rebuild vs. incremental, plotted directly from the index counters.
+    println!("\n## Index reuse: rebuild vs incremental (same CSPA input)");
+    row(&cells(&[
+        "variant",
+        "full builds",
+        "appends",
+        "scratch",
+        "join built",
+        "join reused",
+        "index KiB",
+    ]));
+    for (name, cfg) in [
+        ("reuse on", base()),
+        ("reuse off", base().index_reuse(false)),
+    ] {
+        let prog = prepared(cfg.threads(max_threads()), recstep::programs::CSPA);
+        let mut db = db_with_edges(&[
+            ("assign", input.assign.as_slice()),
+            ("dereference", input.dereference.as_slice()),
+        ]);
+        let stats = prog.run(&mut db).expect("CSPA completes");
+        row(&[
+            name.to_string(),
+            stats.index.full_builds.to_string(),
+            stats.index.full_appends.to_string(),
+            stats.index.scratch_builds.to_string(),
+            stats.index.join_builds.to_string(),
+            stats.index.join_reuses.to_string(),
+            (stats.index.bytes_peak >> 10).to_string(),
+        ]);
+    }
 
     println!("\n## Figure 4: UIE vs. individual-IDB SQL (Andersen analysis)");
     let prog = compile_source(recstep::programs::ANDERSEN).unwrap();

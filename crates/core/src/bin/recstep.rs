@@ -11,9 +11,10 @@
 //!   --budget-mb MB    memory budget                           [default: 8192]
 //!   --explain         print the generated SQL and exit
 //!   --no-uie | --no-eost | --no-pbme | --oof-na | --oof-fa
-//!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd
+//!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd | --no-index-reuse
 //!                     turn individual optimizations off (the paper's
-//!                     Figure 2 ablation switches)
+//!                     Figure 2 ablation switches, plus the persistent
+//!                     incremental-index toggle)
 //!   --stats           print the evaluation statistics report
 //! ```
 //!
@@ -39,7 +40,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: recstep PROGRAM.datalog [--facts DIR] [--out DIR] [--threads N] \
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
-         [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd]"
+         [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
+         [--no-index-reuse]"
     );
     std::process::exit(2);
 }
@@ -79,6 +81,7 @@ fn parse_args() -> Args {
             "--dedup-generic" => cfg.dedup = DedupImpl::Generic,
             "--setdiff-opsd" => cfg.setdiff = SetDiffStrategy::AlwaysOpsd,
             "--setdiff-tpsd" => cfg.setdiff = SetDiffStrategy::AlwaysTpsd,
+            "--no-index-reuse" => cfg.index_reuse = false,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -137,6 +140,14 @@ fn main() -> ExitCode {
         }
     };
     if args.explain {
+        println!(
+            "-- index_reuse: {}",
+            if engine.config().index_reuse {
+                "on (persistent incremental indexes)"
+            } else {
+                "off (per-iteration rebuild)"
+            }
+        );
         println!("{}", prepared.explain_sql());
         return ExitCode::SUCCESS;
     }
@@ -158,8 +169,19 @@ fn main() -> ExitCode {
                 println!("queries issued: {}", stats_out.queries_issued);
                 println!("tuples considered: {}", stats_out.tuples_considered);
                 println!(
-                    "set difference: {} OPSD / {} TPSD",
-                    stats_out.opsd_runs, stats_out.tpsd_runs
+                    "set difference: {} OPSD / {} TPSD / {} fused",
+                    stats_out.opsd_runs, stats_out.tpsd_runs, stats_out.fused_runs
+                );
+                println!(
+                    "index tables: {} full builds / {} appends / {} scratch; \
+                     joins {} built / {} appended / {} reused; peak {} bytes",
+                    stats_out.index.full_builds,
+                    stats_out.index.full_appends,
+                    stats_out.index.scratch_builds,
+                    stats_out.index.join_builds,
+                    stats_out.index.join_appends,
+                    stats_out.index.join_reuses,
+                    stats_out.index.bytes_peak
                 );
                 println!("peak bytes (engine estimate): {}", stats_out.peak_bytes);
                 println!(

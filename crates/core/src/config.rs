@@ -49,6 +49,12 @@ pub struct Config {
     pub eost: bool,
     /// Deduplication implementation (§5.2 FAST-DEDUP = `Fast`).
     pub dedup: DedupImpl,
+    /// Keep hash indexes alive across fixpoint iterations: the full-R
+    /// dedup/set-difference table is built once per stratum and appended
+    /// thereafter (fused into one pass over Rt), and join build sides over
+    /// unchanged catalog relations are cached. Off = rebuild every table
+    /// at every iteration (the paper's Algorithm 1, kept for ablations).
+    pub index_reuse: bool,
     /// Bit-matrix evaluation policy (§5.3 PBME).
     pub pbme: PbmeMode,
     /// Work-order threshold for coordinated SG-PBME (Figure 7); `None` =
@@ -73,6 +79,7 @@ impl Default for Config {
             setdiff: SetDiffStrategy::Dynamic,
             eost: true,
             dedup: DedupImpl::Fast,
+            index_reuse: true,
             pbme: PbmeMode::Auto,
             pbme_coordination: None,
             mem_budget_bytes: 8 << 30,
@@ -96,6 +103,7 @@ impl Config {
             setdiff: SetDiffStrategy::AlwaysOpsd,
             eost: false,
             dedup: DedupImpl::Generic,
+            index_reuse: false,
             pbme: PbmeMode::Off,
             ..Config::default()
         }
@@ -134,6 +142,12 @@ impl Config {
     /// Set the dedup implementation.
     pub fn dedup(mut self, d: DedupImpl) -> Self {
         self.dedup = d;
+        self
+    }
+
+    /// Toggle persistent incremental indexes (off = per-iteration rebuild).
+    pub fn index_reuse(mut self, on: bool) -> Self {
+        self.index_reuse = on;
         self
     }
 
@@ -182,6 +196,7 @@ mod tests {
         let c = Config::recstep();
         assert!(c.uie);
         assert!(c.eost);
+        assert!(c.index_reuse);
         assert_eq!(c.oof, OofMode::Selective);
         assert_eq!(c.setdiff, SetDiffStrategy::Dynamic);
         assert_eq!(c.dedup, DedupImpl::Fast);
@@ -193,6 +208,7 @@ mod tests {
         let c = Config::no_op();
         assert!(!c.uie);
         assert!(!c.eost);
+        assert!(!c.index_reuse);
         assert_eq!(c.oof, OofMode::None);
         assert_eq!(c.setdiff, SetDiffStrategy::AlwaysOpsd);
         assert_eq!(c.dedup, DedupImpl::Generic);

@@ -158,6 +158,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle persistent incremental indexes (off = per-iteration rebuild,
+    /// the paper's Algorithm 1 behaviour, kept for ablations).
+    pub fn index_reuse(mut self, on: bool) -> Self {
+        self.cfg.index_reuse = on;
+        self
+    }
+
     /// Bit-matrix evaluation policy (§5.3 PBME).
     pub fn pbme(mut self, mode: PbmeMode) -> Self {
         self.cfg.pbme = mode;

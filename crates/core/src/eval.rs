@@ -27,12 +27,19 @@
 
 use std::time::Instant;
 
+use recstep_common::hash::FxHashMap;
 use recstep_common::lang::Expr;
 use recstep_common::{Error, Result, Value};
-use recstep_datalog::plan::{AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, SubQuery};
+use recstep_datalog::plan::{
+    AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, ScanSpec, SubQuery,
+};
 use recstep_exec::agg::{AggCol, MonotonicAgg};
 use recstep_exec::dedup::deduplicate;
-use recstep_exec::join::{anti_join, cross_join, hash_join, project_filter, JoinSpec};
+use recstep_exec::index::{PersistentIndex, SyncAction};
+use recstep_exec::join::{
+    anti_join, anti_join_prebuilt, cross_join, hash_join, hash_join_prebuilt, project_filter,
+    JoinSpec,
+};
 use recstep_exec::setdiff::{set_difference, DsdState};
 use recstep_exec::ExecCtx;
 use recstep_storage::{Catalog, DiskManager, RelId, RelView, Relation, Schema};
@@ -54,6 +61,113 @@ struct IdbState {
     agg: Option<AggKind>,
     /// Frozen build-side choices per (subquery, join) for OOF-NA.
     frozen: Vec<Vec<Option<bool>>>,
+    /// Persistent full-R membership index (whole-tuple keys): built once
+    /// for the stratum, appended after every merge, and probed by the
+    /// fused dedup + set-difference pass. `None` until the first
+    /// iteration, or always under `index_reuse = false`.
+    full_index: Option<PersistentIndex>,
+}
+
+/// Per-stratum cache of join/anti-join build-side tables.
+///
+/// Keyed on `(relation, key columns)`; only unfiltered `Base`/`Full` scans
+/// of catalog relations are cacheable — their row ids are stable and
+/// append-only for the stratum's whole fixpoint, so a cached
+/// [`PersistentIndex`] either matches the relation exactly (EDBs, frozen
+/// relations: built once, reused every iteration) or is appended the rows
+/// the last merge added (growing IDB Full views). Dropped at stratum end;
+/// its counters are folded into [`EvalStats`] then.
+struct JoinCache {
+    enabled: bool,
+    map: FxHashMap<(RelId, Vec<usize>), PersistentIndex>,
+    builds: usize,
+    appends: usize,
+    reuses: usize,
+    build_rows: usize,
+    append_rows: usize,
+    maintain: std::time::Duration,
+}
+
+impl JoinCache {
+    fn new(enabled: bool) -> Self {
+        JoinCache {
+            enabled,
+            map: FxHashMap::default(),
+            builds: 0,
+            appends: 0,
+            reuses: 0,
+            build_rows: 0,
+            append_rows: 0,
+            maintain: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Whether a scan's build side may be served from the cache.
+    fn cacheable(catalog: &Catalog, scan: &ScanSpec) -> Option<RelId> {
+        if scan.filters.is_empty() && matches!(scan.version, AtomVersion::Base | AtomVersion::Full)
+        {
+            catalog.lookup(&scan.rel)
+        } else {
+            None
+        }
+    }
+
+    /// A probe-ready index over `rel_id`'s current rows, keyed on `cols`:
+    /// built on first use, synchronized incrementally afterwards, with the
+    /// compact-key layout invalidated (hashed rebuild, once) when probe
+    /// values escape it.
+    fn probe_ready(
+        &mut self,
+        ctx: &ExecCtx,
+        catalog: &Catalog,
+        rel_id: RelId,
+        cols: &[usize],
+        probe: RelView<'_>,
+        probe_cols: &[usize],
+    ) -> &PersistentIndex {
+        let t0 = Instant::now();
+        let base = catalog.rel(rel_id).view();
+        let key = (rel_id, cols.to_vec());
+        let fresh = !self.map.contains_key(&key);
+        if fresh {
+            self.builds += 1;
+            self.build_rows += base.len();
+            self.map.insert(
+                key.clone(),
+                PersistentIndex::build(ctx, base, cols.to_vec()),
+            );
+        }
+        let index = self.map.get_mut(&key).expect("just inserted");
+        match index.sync_for_probe(ctx, base, probe, probe_cols) {
+            SyncAction::Reused if !fresh => self.reuses += 1,
+            SyncAction::Reused => {}
+            SyncAction::Appended(n) => {
+                self.appends += 1;
+                self.append_rows += n;
+            }
+            SyncAction::Rebuilt => {
+                self.builds += 1;
+                self.build_rows += base.len();
+            }
+        }
+        self.maintain += t0.elapsed();
+        index
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.map.values().map(PersistentIndex::heap_bytes).sum()
+    }
+
+    /// Fold the stratum's cache activity into the run statistics.
+    fn fold_into(&self, stats: &mut EvalStats) {
+        stats.index.join_builds += self.builds;
+        stats.index.join_appends += self.appends;
+        stats.index.join_reuses += self.reuses;
+        stats.index.build_rows += self.build_rows;
+        stats.index.append_rows += self.append_rows;
+        stats.index.bytes_peak = stats.index.bytes_peak.max(self.heap_bytes());
+        stats.phase.index += self.maintain;
+    }
 }
 
 /// How an aggregated IDB is evaluated.
@@ -346,9 +460,14 @@ impl EvalRun<'_, '_> {
                     .iter()
                     .map(|sq| vec![None; sq.joins.len()])
                     .collect(),
+                full_index: None,
             });
         }
 
+        // Join build-side tables persist across this stratum's iterations
+        // (relations are append-only until fixpoint, so cached tables are
+        // appended, never rebuilt).
+        let mut jcache = JoinCache::new(self.cfg.index_reuse);
         let mut iterations = 0usize;
         loop {
             iterations += 1;
@@ -360,7 +479,7 @@ impl EvalRun<'_, '_> {
             // staged and swapped in only after the full pass.
             let mut staged: Vec<Option<Relation>> = (0..stratum.idbs.len()).map(|_| None).collect();
             for (i, idb) in stratum.idbs.iter().enumerate() {
-                let delta = self.step_idb(stratum, idb, i, &mut states, stats)?;
+                let delta = self.step_idb(stratum, idb, i, &mut states, &mut jcache, stats)?;
                 if !delta.is_empty() {
                     all_empty = false;
                 }
@@ -369,12 +488,15 @@ impl EvalRun<'_, '_> {
             for (state, new_delta) in states.iter_mut().zip(staged) {
                 state.delta = new_delta.expect("every idb staged a delta");
             }
-            // Memory budget check (how OOM is reported honestly).
+            // Memory budget check (how OOM is reported honestly). Persistent
+            // indexes are live state and count against the budget.
             let live = self.catalog.heap_bytes()
+                + jcache.heap_bytes()
                 + states
                     .iter()
                     .map(|s| {
                         s.delta.heap_bytes()
+                            + s.full_index.as_ref().map_or(0, PersistentIndex::heap_bytes)
                             + match &s.agg {
                                 Some(AggKind::Mono(m)) => m.mono.heap_bytes(),
                                 _ => 0,
@@ -393,6 +515,7 @@ impl EvalRun<'_, '_> {
             }
         }
         stats.iterations += iterations;
+        jcache.fold_into(stats);
 
         // Monotonic aggregated IDBs: rebuild stored relation from the map.
         for (i, idb) in stratum.idbs.iter().enumerate() {
@@ -432,12 +555,21 @@ impl EvalRun<'_, '_> {
         idb: &CompiledIdb,
         idx: usize,
         states: &mut [IdbState],
+        jcache: &mut JoinCache,
         stats: &mut EvalStats,
     ) -> Result<Relation> {
         // --- Rt ← uieval(rules(R, s)) ---
         let t_eval = Instant::now();
-        let (candidates, queries) =
-            eval_idb(self.ctx, self.cfg, self.catalog, stratum, idb, states, idx)?;
+        let (candidates, queries) = eval_idb(
+            self.ctx,
+            self.cfg,
+            self.catalog,
+            stratum,
+            idb,
+            states,
+            idx,
+            jcache,
+        )?;
         stats.phase.eval += t_eval.elapsed();
         stats.queries_issued += queries;
         let produced = candidates.first().map_or(0, Vec::len);
@@ -560,6 +692,82 @@ impl EvalRun<'_, '_> {
             None => {}
         }
 
+        if self.cfg.index_reuse && stratum.recursive {
+            // --- Fused Rδ ← dedup(Rt), ∆R ← Rδ − R against the persistent
+            // full-R index: one pass over Rt, the full-R table is built
+            // once for the stratum and appended after every merge. ---
+            let t_fused = Instant::now();
+            if state.full_index.is_none() {
+                let rel = self.catalog.rel(state.rel_id);
+                stats.index.full_builds += 1;
+                stats.index.build_rows += rel.len();
+                state.full_index = Some(PersistentIndex::build(
+                    self.ctx,
+                    rel.view(),
+                    (0..idb.arity).collect(),
+                ));
+            }
+            let rel = self.catalog.rel(state.rel_id);
+            let index = state.full_index.as_mut().expect("built above");
+            let outcome = index.absorb(self.ctx, RelView::over(&candidates), rel.view());
+            if outcome.rebuilt {
+                // Compact-key invalidation: a candidate escaped the packed
+                // layout; the index fell back to hashed and rebuilt once.
+                stats.index.full_builds += 1;
+                stats.index.build_rows += rel.len();
+            }
+            stats.index.scratch_builds += 1;
+            stats.index.bytes_peak = stats
+                .index
+                .bytes_peak
+                .max(index.heap_bytes() + outcome.scratch_bytes);
+            stats.peak_bytes = stats
+                .peak_bytes
+                .max(self.catalog.heap_bytes() + index.heap_bytes() + outcome.scratch_bytes);
+            drop(candidates);
+            stats.phase.dedup += t_fused.elapsed();
+            stats.fused_runs += 1;
+            // One fused query replaces the dedup INSERT and the difference
+            // query of the rebuild path.
+            stats.queries_issued += 1;
+
+            // --- R ← R ⊎ ∆R ---
+            let t_merge = Instant::now();
+            let mut delta =
+                Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
+            delta.append_columns(outcome.fresh);
+            let rel = self.catalog.rel_mut(state.rel_id);
+            state.old_len = rel.len();
+            rel.append_relation(&delta);
+            stats.phase.merge += t_merge.elapsed();
+
+            // Maintain the index over the merged rows (incremental).
+            let t_index = Instant::now();
+            let rel = self.catalog.rel(state.rel_id);
+            let index = state.full_index.as_mut().expect("built above");
+            match index.append(self.ctx, rel.view()) {
+                SyncAction::Appended(n) => {
+                    stats.index.full_appends += 1;
+                    stats.index.append_rows += n;
+                }
+                SyncAction::Reused => {}
+                SyncAction::Rebuilt => {
+                    stats.index.full_builds += 1;
+                    stats.index.build_rows += rel.len();
+                }
+            }
+            stats.index.bytes_peak = stats.index.bytes_peak.max(index.heap_bytes());
+            stats.phase.index += t_index.elapsed();
+
+            let t_io = Instant::now();
+            self.disk
+                .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
+            let rel = self.catalog.rel(state.rel_id);
+            self.disk.note_dirty(rel)?;
+            stats.phase.io += t_io.elapsed();
+            return Ok(delta);
+        }
+
         // --- Rδ ← dedup(Rt) ---
         let t_dedup = Instant::now();
         let budget_rows = self.cfg.mem_budget_bytes / (idb.arity.max(1) * 16);
@@ -575,6 +783,7 @@ impl EvalRun<'_, '_> {
         drop(candidates);
         stats.phase.dedup += t_dedup.elapsed();
         stats.queries_issued += 1;
+        stats.index.scratch_builds += dedup_out.tables_built;
         stats.peak_bytes = stats
             .peak_bytes
             .max(self.catalog.heap_bytes() + dedup_out.table_bytes);
@@ -587,6 +796,7 @@ impl EvalRun<'_, '_> {
         // --- ∆R ← Rδ − R ---
         let t_diff = Instant::now();
         let full = self.catalog.rel(state.rel_id).view();
+        let builds_before = state.dsd.tables_built;
         let (diff, algo) = set_difference(
             self.ctx,
             RelView::over(&rdelta),
@@ -596,6 +806,9 @@ impl EvalRun<'_, '_> {
         );
         stats.phase.setdiff += t_diff.elapsed();
         stats.note_setdiff(algo);
+        // Every set-difference table is rebuilt from scratch on this path;
+        // that per-iteration rebuild is what `index_reuse` eliminates.
+        stats.index.full_builds += state.dsd.tables_built - builds_before;
         stats.queries_issued += 1;
 
         // --- R ← R ⊎ ∆R ---
@@ -675,6 +888,7 @@ fn estimate_left_rows(
 /// Evaluate all subqueries of one IDB, returning the UNION ALL of their
 /// outputs (pre-aggregation layout) plus the number of backend queries the
 /// evaluation cost (UIE batches them into one).
+#[allow(clippy::too_many_arguments)]
 fn eval_idb(
     ctx: &ExecCtx,
     cfg: &Config,
@@ -683,6 +897,7 @@ fn eval_idb(
     idb: &CompiledIdb,
     states: &[IdbState],
     idx: usize,
+    jcache: &mut JoinCache,
 ) -> Result<(Vec<Vec<Value>>, usize)> {
     let out_arity = idb.arity;
     let mut unioned: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
@@ -696,6 +911,7 @@ fn eval_idb(
             sq,
             states,
             &states[idx].frozen[si],
+            jcache,
         )?;
         if cfg.uie {
             // One unified query: results land in a single output buffer.
@@ -723,6 +939,7 @@ fn eval_idb(
 }
 
 /// Evaluate one subquery to its head layout.
+#[allow(clippy::too_many_arguments)]
 fn eval_subquery(
     ctx: &ExecCtx,
     cfg: &Config,
@@ -731,6 +948,7 @@ fn eval_subquery(
     sq: &SubQuery,
     states: &[IdbState],
     frozen: &[Option<bool>],
+    jcache: &mut JoinCache,
 ) -> Result<Vec<Vec<Value>>> {
     // Materialize filtered scans; untouched scans stay zero-copy views.
     let mut filtered: Vec<Option<Vec<Vec<Value>>>> = Vec::with_capacity(sq.scans.len());
@@ -810,16 +1028,48 @@ fn eval_subquery(
                     output: &output,
                     residual,
                 };
-                acc = hash_join(ctx, left_view, right, &spec);
+                // Serve the build side from the per-stratum cache when it
+                // is an unfiltered catalog relation (EDBs and Full views
+                // of IDBs): built once, appended thereafter.
+                let cached = if !jcache.enabled {
+                    None
+                } else if build_left && left_is_first {
+                    JoinCache::cacheable(catalog, &sq.scans[0])
+                } else if !build_left {
+                    JoinCache::cacheable(catalog, &sq.scans[ji + 1])
+                } else {
+                    None
+                };
+                acc = match cached {
+                    Some(rel_id) if !left_view.is_empty() && !right.is_empty() => {
+                        let (build_cols, probe_view, probe_cols) = if build_left {
+                            (&join.left_keys, right, &join.right_keys)
+                        } else {
+                            (&join.right_keys, left_view, &join.left_keys)
+                        };
+                        let index = jcache
+                            .probe_ready(ctx, catalog, rel_id, build_cols, probe_view, probe_cols);
+                        hash_join_prebuilt(
+                            ctx,
+                            left_view,
+                            right,
+                            &spec,
+                            index.table(),
+                            index.mode(),
+                        )
+                    }
+                    _ => hash_join(ctx, left_view, right, &spec),
+                };
             }
             // Intermediate materialization must respect the memory budget
             // (the paper's OOM failures on dense graphs come from exactly
-            // these join intermediates). The operators stop emitting at
-            // ctx.row_cap, so an over-cap output means truncation: report
-            // out-of-memory rather than continuing with partial results.
+            // these join intermediates). Producers stop emitting once they
+            // reach ctx.row_cap, so an output at the cap means (possible)
+            // truncation: report out-of-memory rather than continuing with
+            // partial results.
             let rows = acc.first().map_or(0, Vec::len);
             let bytes = acc.iter().map(|c| c.len() * 8).sum::<usize>();
-            if rows > ctx.row_cap || bytes > cfg.mem_budget_bytes {
+            if rows >= ctx.row_cap || bytes > cfg.mem_budget_bytes {
                 return Err(Error::exec(format!(
                     "out of memory: intermediate {rows} rows / {bytes} bytes exceed budget {}",
                     cfg.mem_budget_bytes
@@ -847,14 +1097,43 @@ fn eval_subquery(
             identity_of(sq.width)
         };
         let acc_view = RelView::over(&acc);
-        acc = anti_join(
-            ctx,
-            acc_view,
-            neg_view,
-            &neg.left_keys,
-            &neg.right_keys,
-            &output,
-        );
+        // Anti-join build sides are always the negated (Base) relation:
+        // cacheable whenever unfiltered, same rules as join builds.
+        let cached = if jcache.enabled && neg.filters.is_empty() {
+            catalog.lookup(&neg.rel)
+        } else {
+            None
+        };
+        acc = match cached {
+            Some(rel_id) if !acc_view.is_empty() && !neg_view.is_empty() => {
+                let index = jcache.probe_ready(
+                    ctx,
+                    catalog,
+                    rel_id,
+                    &neg.right_keys,
+                    acc_view,
+                    &neg.left_keys,
+                );
+                anti_join_prebuilt(
+                    ctx,
+                    acc_view,
+                    neg_view,
+                    &neg.left_keys,
+                    &neg.right_keys,
+                    &output,
+                    index.table(),
+                    index.mode(),
+                )
+            }
+            _ => anti_join(
+                ctx,
+                acc_view,
+                neg_view,
+                &neg.left_keys,
+                &neg.right_keys,
+                &output,
+            ),
+        };
     }
     Ok(acc)
 }

@@ -71,7 +71,7 @@ pub use engine::{Engine, EngineBuilder};
 pub use prepared::PreparedProgram;
 #[allow(deprecated)]
 pub use shim::RecStep;
-pub use stats::{EvalStats, PhaseTimes, StratumStats};
+pub use stats::{EvalStats, IndexStats, PhaseTimes, StratumStats};
 
 // Re-exports so downstream users need only this crate.
 pub use recstep_common::{Error, Result, Value};

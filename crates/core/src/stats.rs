@@ -19,10 +19,46 @@ pub struct PhaseTimes {
     pub merge: Duration,
     /// `analyze()` statistics collection.
     pub analyze: Duration,
+    /// Persistent-index maintenance (incremental appends, rehashes).
+    pub index: Duration,
     /// Simulated persistent-storage I/O.
     pub io: Duration,
     /// Bit-matrix evaluation.
     pub pbme: Duration,
+}
+
+/// Hash-index build/append accounting: the rebuild-vs-incremental
+/// instrumentation behind the `index_reuse` ablation. With reuse on, the
+/// full-R table of each recursive IDB is built once and appended
+/// thereafter; with reuse off every iteration rebuilds it, and these
+/// counters make the difference directly plottable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexStats {
+    /// Membership tables built from scratch for the dedup/set-difference
+    /// stage. With reuse on this counts persistent full-R index builds
+    /// (one per recursive IDB per stratum, plus at most one compact-key
+    /// invalidation rebuild); with reuse off it counts every table a set
+    /// difference rebuilt per iteration — OPSD builds on all of R, TPSD
+    /// on the smaller of Rδ/R plus the intersection, so the off-path
+    /// count is per-iteration table *builds*, not all of them R-sized.
+    pub full_builds: usize,
+    /// Incremental appends into persistent full-R indexes.
+    pub full_appends: usize,
+    /// Transient Rt-sized dedup tables (the fused pass's scratch, or the
+    /// rebuild path's per-iteration dedup table).
+    pub scratch_builds: usize,
+    /// Join/anti-join build-side tables built into the per-stratum cache.
+    pub join_builds: usize,
+    /// Incremental appends into cached join build-side tables.
+    pub join_appends: usize,
+    /// Joins that probed a cached build-side table without any insert.
+    pub join_reuses: usize,
+    /// Rows inserted by from-scratch builds (persistent indexes only).
+    pub build_rows: usize,
+    /// Rows inserted by incremental appends (persistent indexes only).
+    pub append_rows: usize,
+    /// Peak bytes held by persistent indexes plus their scratch tables.
+    pub bytes_peak: usize,
 }
 
 /// Per-stratum observations.
@@ -55,6 +91,11 @@ pub struct EvalStats {
     pub opsd_runs: usize,
     /// How often each set-difference algorithm ran.
     pub tpsd_runs: usize,
+    /// Fused dedup+set-difference passes against a persistent index (the
+    /// `index_reuse` replacement for an OPSD/TPSD + dedup pair).
+    pub fused_runs: usize,
+    /// Hash-index build/append accounting (rebuild vs. incremental).
+    pub index: IndexStats,
     /// Peak engine-estimated heap bytes (relations + operator tables).
     pub peak_bytes: usize,
     /// Bytes written to (simulated) persistent storage.

@@ -685,10 +685,13 @@ fn eost_defers_io_relative_to_per_query() {
 fn dsd_switches_algorithms_during_tc() {
     // A long chain makes |R| grow while |Rδ| stays small → β grows and DSD
     // must eventually pick TPSD; OPSD runs at least once at the start.
+    // DSD only runs on the rebuild path: with index reuse the fused pass
+    // replaces set difference outright, so turn reuse off here.
     let chain: Vec<(Value, Value)> = (0..120).map(|i| (i, i + 1)).collect();
     let (_, stats) = run_on_edges(
         Config::default()
             .setdiff(SetDiffStrategy::Dynamic)
+            .index_reuse(false)
             .pbme(PbmeMode::Off),
         &chain,
         recstep::programs::TC,

@@ -147,6 +147,52 @@ impl ChainTable {
     {
         self.iter_key(key).any(eq)
     }
+
+    /// Extend node storage to at least `nodes` slots, keeping every
+    /// existing chain intact. New slots are unlinked until inserted.
+    ///
+    /// This is what makes a table *appendable*: an index over rows `0..n`
+    /// grows to absorb rows `n..m` without rebuilding. Takes `&mut self`,
+    /// so growth is a quiescent point between parallel insert phases.
+    pub fn grow_nodes(&mut self, nodes: usize) {
+        assert!(
+            nodes < u32::MAX as usize,
+            "ChainTable supports < 2^32-1 nodes"
+        );
+        if nodes > self.next.len() {
+            self.next.resize_with(nodes, || AtomicU32::new(NIL));
+            self.keys.resize_with(nodes, || AtomicU64::new(0));
+        }
+    }
+
+    /// Rebuild the bucket array with at least `buckets_hint` buckets
+    /// (rounded to a power of two), relinking every chained node under its
+    /// new bucket. Stored keys are reused — no row is re-read and no key is
+    /// recomputed, so a rehash costs O(chained nodes) pointer writes.
+    ///
+    /// No-op when the table already has that many buckets.
+    pub fn rehash(&mut self, buckets_hint: usize) {
+        let n_buckets = crate::util::next_pow2_at_least(buckets_hint, 16);
+        if n_buckets <= self.heads.len() {
+            return;
+        }
+        let mut old_heads = std::mem::take(&mut self.heads);
+        self.heads = Vec::with_capacity(n_buckets);
+        self.heads.resize_with(n_buckets, || AtomicU32::new(NIL));
+        self.mask = n_buckets - 1;
+        for head in &mut old_heads {
+            let mut cur = *head.get_mut();
+            while cur != NIL {
+                let node = (cur - 1) as usize;
+                let next = *self.next[node].get_mut();
+                let key = *self.keys[node].get_mut();
+                let bucket = self.heads[bucket_of(key, self.mask)].get_mut();
+                *self.next[node].get_mut() = *bucket;
+                *bucket = cur;
+                cur = next;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +274,70 @@ mod tests {
         });
         let total: usize = (0..32u64).map(|k| t.iter_key(k).count()).sum();
         assert_eq!(total, n as usize);
+    }
+
+    #[test]
+    fn grow_then_insert_preserves_existing_chains() {
+        let mut t = ChainTable::with_capacity(4, 4);
+        for i in 0..4u32 {
+            assert!(t.insert_unique(i, i as u64, |_, _| true));
+        }
+        t.grow_nodes(8);
+        assert_eq!(t.capacity(), 8);
+        // Old entries still resolve; duplicates still rejected.
+        for i in 0..4u32 {
+            assert!(t.contains(i as u64, |n| n == i));
+            assert!(!t.insert_unique(4 + i, i as u64, |_, _| true));
+        }
+        // New slots absorb new keys.
+        for i in 4..8u32 {
+            assert!(t.insert_unique(i, i as u64, |_, _| true));
+        }
+        assert_eq!((0..8u64).filter(|&k| t.contains(k, |_| true)).count(), 8);
+    }
+
+    #[test]
+    fn rehash_relinks_every_node() {
+        let mut t = ChainTable::with_capacity(256, 16);
+        for i in 0..256u32 {
+            t.insert_multi(i, (i % 40) as u64);
+        }
+        let before: usize = (0..40u64).map(|k| t.iter_key(k).count()).sum();
+        t.rehash(512);
+        assert_eq!(t.buckets(), 512);
+        let after: usize = (0..40u64).map(|k| t.iter_key(k).count()).sum();
+        assert_eq!(before, after);
+        assert_eq!(after, 256);
+        // Shrinking requests are ignored.
+        t.rehash(4);
+        assert_eq!(t.buckets(), 512);
+    }
+
+    #[test]
+    fn incremental_growth_matches_scratch_build() {
+        // Build one table in 8 grow+insert batches, another in one shot;
+        // membership must agree.
+        let keys: Vec<u64> = (0..400u64).map(|i| i * 7 % 97).collect();
+        let mut inc = ChainTable::with_capacity(0, 4);
+        for (batch, chunk) in keys.chunks(50).enumerate() {
+            let base = batch * 50;
+            inc.grow_nodes(base + chunk.len());
+            inc.rehash((base + chunk.len()) * 2);
+            for (i, &k) in chunk.iter().enumerate() {
+                inc.insert_unique((base + i) as u32, k, |_, _| true);
+            }
+        }
+        let scratch = ChainTable::with_capacity(keys.len(), keys.len() * 2);
+        for (i, &k) in keys.iter().enumerate() {
+            scratch.insert_unique(i as u32, k, |_, _| true);
+        }
+        for probe in 0..120u64 {
+            assert_eq!(
+                inc.contains(probe, |_| true),
+                scratch.contains(probe, |_| true),
+                "membership diverges at key {probe}"
+            );
+        }
     }
 
     #[test]

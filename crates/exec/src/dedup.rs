@@ -48,6 +48,9 @@ pub struct DedupOutput {
     pub input_rows: usize,
     /// Bytes the hash table occupied (0 for the sort path).
     pub table_bytes: usize,
+    /// Hash tables built from scratch by this call (0 for the sort path) —
+    /// the rebuild-vs-incremental instrumentation.
+    pub tables_built: usize,
 }
 
 /// Deduplicate `view`, pre-sizing the table from `distinct_hint` (the
@@ -65,6 +68,7 @@ pub fn deduplicate(
             cols: vec![Vec::new(); arity],
             input_rows: 0,
             table_bytes: 0,
+            tables_built: 0,
         };
     }
     match imp {
@@ -82,6 +86,7 @@ pub fn deduplicate(
                 cols,
                 input_rows: n,
                 table_bytes: 0,
+                tables_built: 0,
             }
         }
         DedupImpl::Fast | DedupImpl::Generic => {
@@ -123,6 +128,7 @@ pub fn deduplicate(
                 cols,
                 input_rows: n,
                 table_bytes: table.heap_bytes() + extra,
+                tables_built: 1,
             }
         }
     }

@@ -13,7 +13,7 @@ use recstep_storage::RelView;
 use crate::chain::ChainTable;
 use crate::expr::{eval_all, Expr, Predicate};
 use crate::key::KeyMode;
-use crate::util::{parallel_fill, parallel_produce};
+use crate::util::{parallel_fill, parallel_produce, CapGate};
 use crate::ExecCtx;
 
 /// Specification of a binary equi-join.
@@ -41,22 +41,52 @@ pub fn hash_join(
     spec: &JoinSpec<'_>,
 ) -> Vec<Vec<Value>> {
     assert_eq!(spec.left_keys.len(), spec.right_keys.len());
+    if left.is_empty() || right.is_empty() {
+        return vec![Vec::new(); spec.output.len()];
+    }
+    let mode = KeyMode::for_views(left, spec.left_keys, right, spec.right_keys);
+    let (build, build_cols) = if spec.build_left {
+        (left, spec.left_keys)
+    } else {
+        (right, spec.right_keys)
+    };
+    let table = build_table(ctx, build, build_cols, &mode);
+    hash_join_prebuilt(ctx, left, right, spec, &table, &mode)
+}
+
+/// Hash equi-join probing an already-built table over the build side
+/// (chosen by `spec.build_left`) — the reuse path for persistent join
+/// indexes kept across fixpoint iterations.
+///
+/// `table` must map node `i` to build-side row `i` for every build-side
+/// row, with keys produced by `mode` over the build-side key columns, and
+/// `mode` must be able to represent the probe side's key values (packed
+/// layouts are verified with `KeyLayout::covers` before reuse).
+pub fn hash_join_prebuilt(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    spec: &JoinSpec<'_>,
+    table: &ChainTable,
+    mode: &KeyMode,
+) -> Vec<Vec<Value>> {
+    assert_eq!(spec.left_keys.len(), spec.right_keys.len());
     let out_arity = spec.output.len();
     if left.is_empty() || right.is_empty() {
         return vec![Vec::new(); out_arity];
     }
-    let mode = KeyMode::for_views(left, spec.left_keys, right, spec.right_keys);
     let (build, probe, build_cols, probe_cols) = if spec.build_left {
         (left, right, spec.left_keys, spec.right_keys)
     } else {
         (right, left, spec.right_keys, spec.left_keys)
     };
-    let table = build_table(ctx, build, build_cols, &mode);
+    debug_assert!(table.capacity() >= build.len());
     let exact = mode.exact();
     let la = left.arity();
     let width = la + right.arity();
-    let emitted = std::sync::atomic::AtomicUsize::new(0);
-    let cap = ctx.row_cap;
+    // Producers stop once `cap` rows are out; the caller reports outputs
+    // reaching the cap as out-of-memory (see `CapGate`).
+    let gate = CapGate::new(ctx.row_cap);
 
     parallel_produce(
         &ctx.pool,
@@ -64,13 +94,15 @@ pub fn hash_join(
         ctx.grain,
         out_arity,
         |range, buf| {
+            let Some(mut snapshot) = gate.start() else {
+                return;
+            };
+            let mut local = 0usize;
             let mut scratch = Vec::new();
             let mut row = vec![0 as Value; width];
             for pr in range {
-                // Stop materializing past the cap; the caller detects the
-                // overflow (output rows > cap) and reports out-of-memory.
-                if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
-                    return;
+                if gate.reached(&mut snapshot, &mut local) {
+                    break;
                 }
                 let key = mode.key_of(probe, pr, probe_cols, &mut scratch);
                 for node in table.iter_key(key) {
@@ -88,13 +120,14 @@ pub fn hash_join(
                         row[la + c] = right.get(rr, c);
                     }
                     if eval_all(spec.residual, &row) {
-                        emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        local += 1;
                         for (c, e) in spec.output.iter().enumerate() {
                             buf.push_at(c, e.eval(&row));
                         }
                     }
                 }
             }
+            gate.commit(local);
         },
     )
 }
@@ -120,6 +153,34 @@ pub fn anti_join(
     }
     let mode = KeyMode::for_views(left, left_keys, right, right_keys);
     let table = build_table(ctx, right, right_keys, &mode);
+    anti_join_prebuilt(
+        ctx, left, right, left_keys, right_keys, output, &table, &mode,
+    )
+}
+
+/// Anti join probing an already-built table over `right` (node `i` = right
+/// row `i`, keys by `mode` over `right_keys`) — the reuse path for
+/// persistent negation indexes. Same prerequisites as
+/// [`hash_join_prebuilt`].
+#[allow(clippy::too_many_arguments)]
+pub fn anti_join_prebuilt(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    output: &[Expr],
+    table: &ChainTable,
+    mode: &KeyMode,
+) -> Vec<Vec<Value>> {
+    let out_arity = output.len();
+    if left.is_empty() {
+        return vec![Vec::new(); out_arity];
+    }
+    if right.is_empty() {
+        return project_filter(ctx, left, output, &[]);
+    }
+    debug_assert!(table.capacity() >= right.len());
     let exact = mode.exact();
     parallel_produce(&ctx.pool, left.len(), ctx.grain, out_arity, |range, buf| {
         let mut scratch = Vec::new();
@@ -154,18 +215,21 @@ pub fn cross_join(
     }
     let la = left.arity();
     let width = la + right.arity();
-    let emitted = std::sync::atomic::AtomicUsize::new(0);
-    let cap = ctx.row_cap;
+    let gate = CapGate::new(ctx.row_cap);
     parallel_produce(
         &ctx.pool,
         left.len(),
         1.max(ctx.grain / right.len().max(1)),
         out_arity,
         |range, buf| {
+            let Some(mut snapshot) = gate.start() else {
+                return;
+            };
+            let mut local = 0usize;
             let mut row = vec![0 as Value; width];
             for lr in range {
-                if emitted.load(std::sync::atomic::Ordering::Relaxed) > cap {
-                    return;
+                if gate.reached(&mut snapshot, &mut local) {
+                    break;
                 }
                 #[allow(clippy::needless_range_loop)]
                 for c in 0..la {
@@ -176,13 +240,14 @@ pub fn cross_join(
                         row[la + c] = right.get(rr, c);
                     }
                     if eval_all(residual, &row) {
-                        emitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        local += 1;
                         for (c, e) in output.iter().enumerate() {
                             buf.push_at(c, e.eval(&row));
                         }
                     }
                 }
             }
+            gate.commit(local);
         },
     )
 }

@@ -56,25 +56,15 @@ impl KeyLayout {
         })
     }
 
-    /// Derive a layout by scanning the given columns of a view (one pass per
-    /// column). Returns `None` for empty views or over-wide keys.
+    /// Derive a layout over the given columns of a view. Bounds come from
+    /// the view's incrementally maintained cache when present (stored
+    /// relations); only raw operator intermediates pay a column scan.
+    /// Returns `None` for empty views or over-wide keys.
     pub fn from_view(view: RelView<'_>, cols: &[usize]) -> Option<KeyLayout> {
         if view.is_empty() {
             return None;
         }
-        let bounds: Vec<(Value, Value)> = cols
-            .iter()
-            .map(|&c| {
-                let data = view.col(c);
-                let mut min = data[0];
-                let mut max = data[0];
-                for &v in data {
-                    min = min.min(v);
-                    max = max.max(v);
-                }
-                (min, max)
-            })
-            .collect();
+        let bounds: Vec<(Value, Value)> = cols.iter().map(|&c| col_bounds(view, c)).collect();
         KeyLayout::from_bounds(&bounds)
     }
 
@@ -98,18 +88,35 @@ impl KeyLayout {
             .map(|(&ca, &cb)| {
                 let mut min = Value::MAX;
                 let mut max = Value::MIN;
-                for &v in a.col(ca) {
-                    min = min.min(v);
-                    max = max.max(v);
+                if !a.is_empty() {
+                    let (lo, hi) = col_bounds(a, ca);
+                    min = min.min(lo);
+                    max = max.max(hi);
                 }
-                for &v in b.col(cb) {
-                    min = min.min(v);
-                    max = max.max(v);
+                if !b.is_empty() {
+                    let (lo, hi) = col_bounds(b, cb);
+                    min = min.min(lo);
+                    max = max.max(hi);
                 }
                 (min, max)
             })
             .collect();
         KeyLayout::from_bounds(&bounds)
+    }
+
+    /// True when every value within `bounds` is representable by this
+    /// layout (column-wise containment). The check behind compact-key
+    /// invalidation: values escaping a persistent index's layout force a
+    /// one-time fall back to hashed keys.
+    pub fn covers(&self, bounds: &[(Value, Value)]) -> bool {
+        debug_assert_eq!(bounds.len(), self.slots.len());
+        self.slots.iter().zip(bounds).all(|(slot, &(lo, hi))| {
+            if lo < slot.min {
+                return false;
+            }
+            let span = (hi as i128 - slot.min as i128) as u128;
+            slot.bits >= 64 || span < (1u128 << slot.bits)
+        })
     }
 
     /// Number of key columns.
@@ -223,6 +230,31 @@ impl KeyMode {
     }
 }
 
+/// `(min, max)` of column `c` over the viewed rows: the cached covering
+/// bounds when the backing relation maintains them, otherwise one scan.
+pub fn col_bounds(view: RelView<'_>, c: usize) -> (Value, Value) {
+    if let Some(b) = view.cached_bounds(c) {
+        return b;
+    }
+    let data = view.col(c);
+    let mut min = data[0];
+    let mut max = data[0];
+    for &v in data {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+/// Per-column `(min, max)` bounds of the given key columns, or `None` for
+/// an empty view.
+pub fn bounds_of(view: RelView<'_>, cols: &[usize]) -> Option<Vec<(Value, Value)>> {
+    if view.is_empty() {
+        return None;
+    }
+    Some(cols.iter().map(|&c| col_bounds(view, c)).collect())
+}
+
 /// Bucket index of a key in a power-of-two table.
 #[inline]
 pub fn bucket_of(key: u64, mask: usize) -> usize {
@@ -316,6 +348,34 @@ mod tests {
             assert_eq!(k0, k1);
             assert_ne!(k0, k2);
         }
+    }
+
+    #[test]
+    fn covers_detects_escaping_bounds() {
+        let layout = KeyLayout::from_bounds(&[(0, 255), (-8, 7)]).unwrap();
+        assert!(layout.covers(&[(0, 255), (-8, 7)]));
+        assert!(layout.covers(&[(10, 20), (0, 0)]));
+        // Below a slot minimum escapes.
+        assert!(!layout.covers(&[(-1, 255), (0, 0)]));
+        // Above a slot's representable span escapes (255 spans 8 bits from
+        // min 0, so 256 does not fit).
+        assert!(!layout.covers(&[(0, 256), (0, 0)]));
+        // 64-bit slots cover everything.
+        let wide = KeyLayout::from_bounds(&[(Value::MIN, Value::MAX)]).unwrap();
+        assert!(wide.covers(&[(Value::MIN, Value::MAX)]));
+    }
+
+    #[test]
+    fn from_view_consumes_cached_relation_bounds() {
+        let mut r = Relation::new(Schema::with_arity("t", 1));
+        r.push_row(&[4]);
+        r.push_row(&[19]);
+        let layout = KeyLayout::from_view(r.view(), &[0]).unwrap();
+        // Bounds (4, 19) span 15 → 4 bits, proving the cached path agrees
+        // with a scan.
+        assert_eq!(layout.total_bits(), 4);
+        assert_eq!(bounds_of(r.view(), &[0]), Some(vec![(4, 19)]));
+        assert_eq!(bounds_of(r.prefix_view(0), &[0]), None);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   shared by deduplication and join builds (the paper's GSCHT);
 //! * [`dedup`] — FAST-DEDUP: parallel insert-if-absent over the chain table,
 //!   plus the incremental-index alternative studied as an ablation;
+//! * [`index`] — persistent CCK-GSCHT indexes pinned to a relation's stable
+//!   row ids: built once, grown incrementally across fixpoint iterations,
+//!   with the fused dedup + set-difference pass (`absorb`);
 //! * [`join`] — parallel hash equi-join with residual predicates and
 //!   projection, cross join, and anti join (for stratified negation);
 //! * [`setdiff`] — one-phase (OPSD) and two-phase (TPSD) set difference and
@@ -25,6 +28,7 @@ pub mod agg;
 pub mod chain;
 pub mod dedup;
 pub mod expr;
+pub mod index;
 pub mod join;
 pub mod key;
 pub mod setdiff;

@@ -53,6 +53,10 @@ pub struct DsdState {
     /// `µ = |Rδ|/|r|` observed at the previous iteration (∞ when the last
     /// intersection was empty; `None` before any TPSD ran).
     pub prev_mu: Option<f64>,
+    /// Cumulative hash tables built from scratch by set differences using
+    /// this state (1 per OPSD, up to 2 per TPSD) — the rebuild-side
+    /// counter of the rebuild-vs-incremental instrumentation.
+    pub tables_built: usize,
 }
 
 impl DsdState {
@@ -61,6 +65,7 @@ impl DsdState {
         DsdState {
             alpha,
             prev_mu: None,
+            tables_built: 0,
         }
     }
 }
@@ -123,7 +128,10 @@ pub fn set_difference(
     let cols: Vec<usize> = (0..arity).collect();
     let mode = KeyMode::for_views(delta, &cols, full, &cols);
     let out = match algo {
-        SetDiffAlgo::Opsd => anti_probe(ctx, delta, full, &mode, &cols),
+        SetDiffAlgo::Opsd => {
+            state.tables_built += 1;
+            anti_probe(ctx, delta, full, &mode, &cols)
+        }
         SetDiffAlgo::Tpsd => {
             // Phase 1: r ← R ∩ Rδ, building on the smaller side.
             let (build, probe) = if delta.len() <= full.len() {
@@ -131,6 +139,7 @@ pub fn set_difference(
             } else {
                 (full, delta)
             };
+            state.tables_built += 1;
             let table = build_multi(ctx, build, &mode, &cols);
             let exact = mode.exact();
             let r = parallel_produce(&ctx.pool, probe.len(), ctx.grain, arity, |range, buf| {
@@ -159,6 +168,7 @@ pub fn set_difference(
             if r_view.is_empty() {
                 copy_view(ctx, delta)
             } else {
+                state.tables_built += 1;
                 anti_probe(ctx, delta, r_view, &mode, &cols)
             }
         }

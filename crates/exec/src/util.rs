@@ -144,6 +144,74 @@ pub fn next_pow2_at_least(n: usize, min: usize) -> usize {
     n.max(min).max(1).next_power_of_two()
 }
 
+/// Deterministic row-cap accounting for producing operators.
+///
+/// Workers snapshot the global count once per morsel ([`CapGate::start`])
+/// and fold their local emissions in per row without touching shared
+/// state; the global counter is updated once per morsel
+/// ([`CapGate::commit`]) and additionally every
+/// [`CapGate::REFRESH_ROWS`] local emissions ([`CapGate::refresh`]), so
+/// the collective overshoot past the cap is bounded by
+/// `workers × (REFRESH_ROWS + one probe row's fan-out)` rather than
+/// `workers × cap`. Producers stop emitting as soon as
+/// `global snapshot + local ≥ cap`, so a truncated output always carries
+/// **at least `cap` rows** — callers detect overflow with `rows >= cap`,
+/// never by a racy late check. (The previous protocol did a Relaxed
+/// `fetch_add` per output row and only stopped *after* the cap had been
+/// exceeded, making both the cost and the detection non-deterministic.)
+pub struct CapGate {
+    emitted: AtomicUsize,
+    cap: usize,
+}
+
+impl CapGate {
+    /// Local emissions between global refreshes: small enough to bound
+    /// over-allocation to a few MiB per worker, large enough that the
+    /// shared counter stays off the hot path.
+    pub const REFRESH_ROWS: usize = 16 * 1024;
+
+    /// Gate stopping production at `cap` rows.
+    pub fn new(cap: usize) -> Self {
+        CapGate {
+            emitted: AtomicUsize::new(0),
+            cap,
+        }
+    }
+
+    /// Snapshot taken at morsel start; `None` when the cap is already
+    /// reached (the worker should skip the morsel entirely).
+    #[inline]
+    pub fn start(&self) -> Option<usize> {
+        let seen = self.emitted.load(Ordering::Relaxed);
+        if seen >= self.cap {
+            None
+        } else {
+            Some(seen)
+        }
+    }
+
+    /// True when `snapshot + local` reaches the cap: stop emitting.
+    /// Publishes the local count and refreshes the snapshot every
+    /// [`CapGate::REFRESH_ROWS`] emissions so concurrent workers observe
+    /// each other's progress long before the cap.
+    #[inline]
+    pub fn reached(&self, snapshot: &mut usize, local: &mut usize) -> bool {
+        if *local >= Self::REFRESH_ROWS {
+            *snapshot = self.emitted.fetch_add(*local, Ordering::Relaxed) + *local;
+            *local = 0;
+        }
+        snapshot.saturating_add(*local) >= self.cap
+    }
+
+    /// Fold one morsel's remaining emissions into the global count.
+    #[inline]
+    pub fn commit(&self, local: usize) {
+        if local > 0 {
+            self.emitted.fetch_add(local, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

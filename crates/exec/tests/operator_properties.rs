@@ -185,4 +185,47 @@ proptest! {
         let distinct: BTreeSet<u64> = keys.iter().copied().collect();
         prop_assert_eq!(winners, distinct.len());
     }
+
+    #[test]
+    fn chain_table_incremental_growth_equals_scratch_build(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..48, 0..40), 1..6),
+        probes in proptest::collection::vec(0u64..64, 1..40),
+    ) {
+        // Incremental: grow node storage (and rehash) batch by batch, as a
+        // persistent index does across fixpoint iterations.
+        let mut inc = ChainTable::with_capacity(0, 4);
+        let mut inc_winners = 0usize;
+        let mut inserted = 0usize;
+        for batch in &batches {
+            inc.grow_nodes(inserted + batch.len());
+            if (inserted + batch.len()) * 2 > inc.buckets() {
+                inc.rehash((inserted + batch.len()) * 2);
+            }
+            for &k in batch {
+                if inc.insert_unique(inserted as u32, k, |_, _| true) {
+                    inc_winners += 1;
+                }
+                inserted += 1;
+            }
+        }
+        // Scratch: one pre-sized build over the same key sequence.
+        let all: Vec<u64> = batches.iter().flatten().copied().collect();
+        let scratch = ChainTable::with_capacity(all.len(), all.len() * 2);
+        let mut scratch_winners = 0usize;
+        for (i, &k) in all.iter().enumerate() {
+            if scratch.insert_unique(i as u32, k, |_, _| true) {
+                scratch_winners += 1;
+            }
+        }
+        prop_assert_eq!(inc_winners, scratch_winners);
+        // Membership after growth is identical to build-from-scratch.
+        for &p in &probes {
+            prop_assert_eq!(
+                inc.contains(p, |_| true),
+                scratch.contains(p, |_| true),
+                "probe {}", p
+            );
+        }
+    }
 }

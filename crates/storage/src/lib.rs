@@ -25,5 +25,5 @@ pub mod stats;
 pub use catalog::{Catalog, RelId};
 pub use disk::{CommitMode, DiskManager};
 pub use handle::{RelHandle, RowDecode, RowIter, RowRef};
-pub use relation::{RelView, Relation, Schema};
+pub use relation::{ColAgg, RelView, Relation, Schema};
 pub use stats::{ColStats, StatsLevel, TableStats};

@@ -35,6 +35,44 @@ impl Schema {
     }
 }
 
+/// Incrementally maintained per-column aggregates.
+///
+/// Because relations are strictly append-only between `clear`s, min/max
+/// are monotone and the sum is a running total: every append folds the new
+/// values in, so reading them is O(1) at any point. Only meaningful while
+/// the relation is non-empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColAgg {
+    /// Minimum value seen.
+    pub min: Value,
+    /// Maximum value seen.
+    pub max: Value,
+    /// Wrapping sum of all values.
+    pub sum: Value,
+}
+
+impl ColAgg {
+    fn absorb(&mut self, v: Value) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    fn merge(&mut self, other: &ColAgg) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    fn seed(v: Value) -> ColAgg {
+        ColAgg {
+            min: v,
+            max: v,
+            sum: v,
+        }
+    }
+}
+
 /// An in-memory columnar relation.
 ///
 /// Storage is column-major (`cols[c][r]`), and strictly append-only
@@ -42,10 +80,15 @@ impl Schema {
 /// `clear` only (the former `set_cell`/`truncate` interior-mutation
 /// helpers were unused and are gone), and result consumers read through
 /// zero-copy views and [`crate::RelHandle`]s.
+///
+/// Per-column min/max/sum are maintained incrementally on every append
+/// (see [`ColAgg`]), so statistics collection and compact-key layout
+/// derivation never re-scan stored columns.
 #[derive(Clone, Debug)]
 pub struct Relation {
     schema: Schema,
     cols: Vec<Vec<Value>>,
+    aggs: Vec<ColAgg>,
 }
 
 impl Relation {
@@ -55,6 +98,7 @@ impl Relation {
         Relation {
             schema,
             cols: vec![Vec::new(); arity],
+            aggs: Vec::new(),
         }
     }
 
@@ -103,6 +147,13 @@ impl Relation {
         for (col, &v) in self.cols.iter_mut().zip(row) {
             col.push(v);
         }
+        if self.aggs.is_empty() {
+            self.aggs = row.iter().map(|&v| ColAgg::seed(v)).collect();
+        } else {
+            for (agg, &v) in self.aggs.iter_mut().zip(row) {
+                agg.absorb(v);
+            }
+        }
     }
 
     /// Bulk-append column-major data produced by an operator.
@@ -123,6 +174,24 @@ impl Relation {
                 self.schema.name
             );
         }
+        let adding = data.first().is_some_and(|c| !c.is_empty());
+        if adding {
+            let seed = self.aggs.is_empty();
+            if seed {
+                self.aggs = data.iter().map(|c| ColAgg::seed(c[0])).collect();
+            }
+            // One pass over only the *new* values keeps the aggregates
+            // incremental: cost is proportional to what is appended, never
+            // to what is stored. The seed row is already folded in by
+            // `ColAgg::seed`, so skip it here (absorbing it twice would
+            // double-count it into the sum).
+            let skip = usize::from(seed);
+            for (agg, new) in self.aggs.iter_mut().zip(&data) {
+                for &v in &new[skip..] {
+                    agg.absorb(v);
+                }
+            }
+        }
         for (col, mut new) in self.cols.iter_mut().zip(data) {
             if col.is_empty() {
                 *col = new; // move, no copy
@@ -135,6 +204,15 @@ impl Relation {
     /// Append all rows of another relation (must have equal arity).
     pub fn append_relation(&mut self, other: &Relation) {
         assert_eq!(other.arity(), self.arity());
+        if !other.is_empty() {
+            if self.aggs.is_empty() {
+                self.aggs = other.aggs.clone();
+            } else {
+                for (agg, oa) in self.aggs.iter_mut().zip(&other.aggs) {
+                    agg.merge(oa);
+                }
+            }
+        }
         for (col, new) in self.cols.iter_mut().zip(&other.cols) {
             col.extend_from_slice(new);
         }
@@ -151,6 +229,29 @@ impl Relation {
         for c in &mut self.cols {
             c.clear();
         }
+        self.aggs.clear();
+    }
+
+    /// Incrementally maintained aggregates of column `c`, or `None` while
+    /// the relation is empty.
+    #[inline]
+    pub fn col_agg(&self, c: usize) -> Option<&ColAgg> {
+        self.aggs.get(c)
+    }
+
+    /// Incrementally maintained `(min, max)` bounds of column `c`, or
+    /// `None` while the relation is empty.
+    #[inline]
+    pub fn col_bounds(&self, c: usize) -> Option<(Value, Value)> {
+        self.aggs.get(c).map(|a| (a.min, a.max))
+    }
+
+    fn agg_slice(&self) -> Option<&[ColAgg]> {
+        if self.aggs.is_empty() {
+            None
+        } else {
+            Some(&self.aggs)
+        }
     }
 
     /// View over all rows.
@@ -160,11 +261,16 @@ impl Relation {
             cols: &self.cols,
             start: 0,
             end: self.len(),
+            aggs: self.agg_slice(),
         }
     }
 
     /// Zero-copy view over the first `len` rows (the *Old* view of
     /// semi-naïve evaluation: facts through iteration `t-1`).
+    ///
+    /// The view inherits the whole relation's cached bounds: they are a
+    /// superset of any row range's true bounds, which is exactly what
+    /// compact-key layout derivation needs (a covering range).
     #[inline]
     pub fn prefix_view(&self, len: usize) -> RelView<'_> {
         assert!(len <= self.len());
@@ -172,10 +278,12 @@ impl Relation {
             cols: &self.cols,
             start: 0,
             end: len,
+            aggs: if len == 0 { None } else { self.agg_slice() },
         }
     }
 
-    /// Zero-copy view over rows `start..end`.
+    /// Zero-copy view over rows `start..end` (bounds inherited as for
+    /// [`Relation::prefix_view`]).
     #[inline]
     pub fn range_view(&self, start: usize, end: usize) -> RelView<'_> {
         assert!(start <= end && end <= self.len());
@@ -183,6 +291,7 @@ impl Relation {
             cols: &self.cols,
             start,
             end,
+            aggs: if start == end { None } else { self.agg_slice() },
         }
     }
 
@@ -225,6 +334,10 @@ pub struct RelView<'a> {
     cols: &'a [Vec<Value>],
     start: usize,
     end: usize,
+    /// Cached per-column aggregates of the *backing relation*, when it
+    /// maintains them. Bounds cover every viewed row (possibly loosely for
+    /// partial views); operators use them to skip whole-column scans.
+    aggs: Option<&'a [ColAgg]>,
 }
 
 impl<'a> RelView<'a> {
@@ -236,6 +349,28 @@ impl<'a> RelView<'a> {
             cols,
             start: 0,
             end: len,
+            aggs: None,
+        }
+    }
+
+    /// Cached covering `(min, max)` bounds of column `c`, if the backing
+    /// relation maintains them. `None` means "unknown" (intermediates and
+    /// empty relations), not "empty".
+    #[inline]
+    pub fn cached_bounds(&self, c: usize) -> Option<(Value, Value)> {
+        self.aggs.and_then(|a| a.get(c)).map(|a| (a.min, a.max))
+    }
+
+    /// Cached aggregates of column `c`. Returned only when the view spans
+    /// the whole backing relation, so min/max/sum are exact (partial views
+    /// would inherit merely covering values; use
+    /// [`RelView::cached_bounds`] for those).
+    #[inline]
+    pub fn cached_agg(&self, c: usize) -> Option<&'a ColAgg> {
+        if self.start == 0 && self.end == self.cols.first().map_or(0, Vec::len) {
+            self.aggs.and_then(|a| a.get(c))
+        } else {
+            None
         }
     }
 
@@ -380,6 +515,54 @@ mod tests {
         let v = RelView::over(&cols);
         assert_eq!(v.len(), 3);
         assert_eq!(v.col(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn incremental_aggs_track_all_append_paths() {
+        let mut r = Relation::new(Schema::with_arity("t", 2));
+        assert_eq!(r.col_bounds(0), None);
+        r.push_row(&[5, -1]);
+        r.push_row(&[1, 7]);
+        assert_eq!(r.col_bounds(0), Some((1, 5)));
+        assert_eq!(r.col_bounds(1), Some((-1, 7)));
+        r.append_columns(vec![vec![9, -4], vec![0, 0]]);
+        assert_eq!(r.col_bounds(0), Some((-4, 9)));
+        assert_eq!(r.col_agg(0).unwrap().sum, 11);
+        assert_eq!(r.col_agg(1).unwrap().sum, 6);
+        // Seeding from empty via append_columns must not double-count the
+        // first value into the sum.
+        let mut fresh = Relation::new(Schema::with_arity("f", 1));
+        fresh.append_columns(vec![vec![3, 4]]);
+        assert_eq!(fresh.col_agg(0).unwrap().sum, 7);
+        assert_eq!(fresh.col_bounds(0), Some((3, 4)));
+        let other = Relation::from_rows(Schema::with_arity("o", 2), &[vec![100, -100]]);
+        r.append_relation(&other);
+        assert_eq!(r.col_bounds(0), Some((-4, 100)));
+        assert_eq!(r.col_bounds(1), Some((-100, 7)));
+        r.clear();
+        assert_eq!(r.col_bounds(0), None);
+        // Re-seeding after clear starts fresh (no stale bounds).
+        r.push_row(&[2, 2]);
+        assert_eq!(r.col_bounds(0), Some((2, 2)));
+    }
+
+    #[test]
+    fn view_bounds_are_covering_and_aggs_exact_only_when_full() {
+        let mut r = Relation::new(Schema::with_arity("t", 1));
+        r.push_row(&[10]);
+        r.push_row(&[20]);
+        let full = r.view();
+        assert_eq!(full.cached_bounds(0), Some((10, 20)));
+        assert_eq!(full.cached_agg(0).unwrap().sum, 30);
+        let prefix = r.prefix_view(1);
+        // Covering bounds are inherited; exact aggregates are not.
+        assert_eq!(prefix.cached_bounds(0), Some((10, 20)));
+        assert!(prefix.cached_agg(0).is_none());
+        let empty = r.prefix_view(0);
+        assert_eq!(empty.cached_bounds(0), None);
+        // Raw operator intermediates carry no cache.
+        let cols = vec![vec![1, 2]];
+        assert_eq!(RelView::over(&cols).cached_bounds(0), None);
     }
 
     #[test]

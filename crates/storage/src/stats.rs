@@ -74,6 +74,11 @@ impl TableStats {
 }
 
 /// Collect statistics of a view at the requested level.
+///
+/// Full-level collection consults the view's incrementally maintained
+/// aggregates first (see [`crate::relation::ColAgg`]): a view spanning a
+/// whole stored relation costs O(arity), and only raw operator
+/// intermediates pay the column scan.
 pub fn analyze_view(view: RelView<'_>, level: StatsLevel) -> TableStats {
     let rows = view.len();
     let cols = match level {
@@ -83,6 +88,14 @@ pub fn analyze_view(view: RelView<'_>, level: StatsLevel) -> TableStats {
                 let data = view.col(c);
                 if data.is_empty() {
                     ColStats::default()
+                } else if let Some(agg) = view.cached_agg(c) {
+                    // `cached_agg` only answers for full-relation views,
+                    // where the incremental aggregates are exact.
+                    ColStats {
+                        min: Some(agg.min),
+                        max: Some(agg.max),
+                        sum: Some(agg.sum),
+                    }
                 } else {
                     let mut min = data[0];
                     let mut max = data[0];

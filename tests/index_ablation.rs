@@ -1,0 +1,212 @@
+//! Persistent-index acceptance tests and the rebuild-vs-incremental
+//! ablation smoke target (run directly with
+//! `cargo test --test index_ablation`).
+//!
+//! Three claims are pinned down here:
+//!
+//! 1. **Build-once**: on a transitive-closure fixpoint with ≥ 20
+//!    iterations, the full-R dedup/set-difference table is built exactly
+//!    once and appended every productive iteration thereafter
+//!    (`EvalStats.index` counters).
+//! 2. **Ablation**: `index_reuse = off` still reproduces the old
+//!    per-iteration rebuild counts, and the reused run never does more
+//!    full-table builds than iterations.
+//! 3. **Equivalence**: reuse on, reuse off, and the sort-based dedup
+//!    baseline compute identical relations on random G(n,p) graphs across
+//!    TC, SG and a non-linear TC variant.
+
+use std::collections::BTreeSet;
+
+use recstep::{Config, Database, DedupImpl, Engine, EvalStats, PbmeMode, Value};
+use recstep_graphgen::gnp::gnp;
+
+/// Non-linear transitive closure: both recursive atoms read the IDB, so
+/// Delta/Old views and the full-R index interact every iteration.
+const TC_NONLINEAR: &str = "\
+p(x, y) :- arc(x, y).\n\
+p(x, y) :- p(x, z), p(z, y).";
+
+fn run(
+    program: &str,
+    out_rel: &str,
+    edges: &[(Value, Value)],
+    cfg: Config,
+) -> (BTreeSet<Vec<Value>>, EvalStats) {
+    let engine = Engine::from_config(cfg.threads(2).pbme(PbmeMode::Off)).unwrap();
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", edges).unwrap();
+    let stats = engine.prepare(program).unwrap().run(&mut db).unwrap();
+    let rows = db.relation(out_rel).unwrap().to_vec().into_iter().collect();
+    (rows, stats)
+}
+
+#[test]
+fn tc_long_fixpoint_builds_full_table_once_and_appends() {
+    // A 25-node path: the recursive stratum runs one iteration per path
+    // length, so the whole evaluation exceeds 20 iterations.
+    let chain: Vec<(Value, Value)> = (0..24).map(|i| (i, i + 1)).collect();
+    let (rows_on, on) = run(
+        recstep::programs::TC,
+        "tc",
+        &chain,
+        Config::default().index_reuse(true),
+    );
+    let (rows_off, off) = run(
+        recstep::programs::TC,
+        "tc",
+        &chain,
+        Config::default().index_reuse(false),
+    );
+    assert_eq!(rows_on, rows_off, "reuse must not change results");
+    assert_eq!(rows_on.len(), 24 * 25 / 2);
+    assert!(
+        on.iterations >= 20,
+        "need ≥ 20 iterations, got {}",
+        on.iterations
+    );
+
+    // Acceptance: the full-R table is built exactly once for the stratum…
+    assert_eq!(on.index.full_builds, 1, "full-R index must be built once");
+    // …and appended on every productive iteration thereafter (the first
+    // iteration lands in the build, the final iteration has an empty ∆R).
+    assert!(
+        on.index.full_appends >= on.iterations - 4,
+        "expected ~one append per iteration, got {} for {} iterations",
+        on.index.full_appends,
+        on.iterations
+    );
+    assert!(on.index.append_rows > 0);
+    assert!(on.fused_runs > 0, "fused dedup+setdiff must have run");
+    assert_eq!(
+        on.tpsd_runs, 0,
+        "no per-iteration set difference under reuse"
+    );
+
+    // The old behaviour is still reproducible: one full-table rebuild per
+    // productive iteration, never an append.
+    assert!(
+        off.index.full_builds >= off.iterations - 4,
+        "rebuild path must rebuild per iteration, got {} builds / {} iterations",
+        off.index.full_builds,
+        off.iterations
+    );
+    assert_eq!(off.index.full_appends, 0);
+    assert_eq!(off.fused_runs, 0);
+    assert!(off.opsd_runs + off.tpsd_runs > 0);
+}
+
+#[test]
+fn ablation_smoke_reused_run_builds_at_most_once_per_iteration() {
+    // The CI smoke target: TC on a small G(n,p) graph, reuse on vs. off;
+    // the reused run must not build more tables than it runs iterations.
+    let edges: Vec<(Value, Value)> = gnp(60, 0.03, 7)
+        .into_iter()
+        .map(|(a, b)| (a as Value, b as Value))
+        .collect();
+    let (rows_on, on) = run(
+        recstep::programs::TC,
+        "tc",
+        &edges,
+        Config::default().index_reuse(true),
+    );
+    let (rows_off, off) = run(
+        recstep::programs::TC,
+        "tc",
+        &edges,
+        Config::default().index_reuse(false),
+    );
+    assert_eq!(rows_on, rows_off);
+    assert!(
+        on.index.full_builds + on.index.join_builds <= on.iterations,
+        "reused run built {} full + {} join tables over {} iterations",
+        on.index.full_builds,
+        on.index.join_builds,
+        on.iterations
+    );
+    assert!(
+        on.index.full_builds < off.index.full_builds.max(2),
+        "reuse must build fewer full tables ({} vs {})",
+        on.index.full_builds,
+        off.index.full_builds
+    );
+    // Index memory is accounted for.
+    assert!(on.index.bytes_peak > 0);
+}
+
+#[test]
+fn differential_random_graphs_agree_across_modes() {
+    // Random small programs over random graphs: persistent indexes, the
+    // rebuild path, and the sort-dedup baseline must agree exactly.
+    let programs: [(&str, &str); 3] = [
+        (recstep::programs::TC, "tc"),
+        (recstep::programs::SG, "sg"),
+        (TC_NONLINEAR, "p"),
+    ];
+    for seed in 0..4u64 {
+        let n = 24 + (seed as u32) * 7;
+        let edges: Vec<(Value, Value)> = gnp(n, 0.06, seed)
+            .into_iter()
+            .map(|(a, b)| (a as Value, b as Value))
+            .collect();
+        for (program, out_rel) in programs {
+            let (reuse, _) = run(
+                program,
+                out_rel,
+                &edges,
+                Config::default().index_reuse(true),
+            );
+            let (rebuild, _) = run(
+                program,
+                out_rel,
+                &edges,
+                Config::default().index_reuse(false),
+            );
+            let (sorted, _) = run(
+                program,
+                out_rel,
+                &edges,
+                Config::default().index_reuse(false).dedup(DedupImpl::Sort),
+            );
+            assert_eq!(
+                reuse,
+                rebuild,
+                "reuse on/off diverge on {out_rel}, seed {seed}, {} edges",
+                edges.len()
+            );
+            assert_eq!(
+                reuse, sorted,
+                "reuse vs sort-dedup diverge on {out_rel}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn negation_and_aggregation_unaffected_by_reuse() {
+    // Stratified negation probes cached anti-join tables; recursive
+    // aggregation bypasses the fused path entirely. Both must agree with
+    // the rebuild configuration.
+    let edges: Vec<(Value, Value)> = gnp(18, 0.12, 11)
+        .into_iter()
+        .map(|(a, b)| (a as Value, b as Value))
+        .collect();
+    // Complement-of-TC uses negation over a cross join.
+    let ntc = "\
+        node(x, x) :- arc(x, y).\n\
+        node(y, y) :- arc(x, y).\n\
+        tc(x, y) :- arc(x, y).\n\
+        tc(x, y) :- tc(x, z), arc(z, y).\n\
+        ntc(x, y) :- node(x, x), node(y, y), !tc(x, y).";
+    let (on, _) = run(ntc, "ntc", &edges, Config::default().index_reuse(true));
+    let (off, _) = run(ntc, "ntc", &edges, Config::default().index_reuse(false));
+    assert_eq!(on, off, "negation results diverge under reuse");
+
+    let (cc_on, _) = run(recstep::programs::CC, "cc3", &edges, Config::default());
+    let (cc_off, _) = run(
+        recstep::programs::CC,
+        "cc3",
+        &edges,
+        Config::default().index_reuse(false),
+    );
+    assert_eq!(cc_on, cc_off, "recursive aggregation diverges under reuse");
+}
