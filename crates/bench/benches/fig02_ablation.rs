@@ -32,6 +32,7 @@ fn main() {
     let base = || Config::default().pbme(PbmeMode::Off);
     let variants: Vec<(&str, Config)> = vec![
         ("RecStep", base()),
+        ("FUSED-off", base().fused_pipeline(false)),
         ("UIE-off", base().uie(false)),
         ("DSD-off", base().setdiff(SetDiffStrategy::AlwaysOpsd)),
         ("OOF-FA", base().oof(OofMode::Full)),
@@ -64,19 +65,24 @@ fn main() {
         "variants disagree: {witness:?}"
     );
 
-    // Rebuild vs. incremental, plotted directly from the index counters.
-    println!("\n## Index reuse: rebuild vs incremental (same CSPA input)");
+    // Rebuild vs. incremental and the streaming pipeline's drop-at-source
+    // effect, plotted directly from the engine counters.
+    println!("\n## Pipeline + index counters (same CSPA input)");
     row(&cells(&[
         "variant",
         "full builds",
         "appends",
-        "scratch",
         "join built",
         "join reused",
+        "rt skipped",
+        "rt KiB saved",
+        "rt KiB merged",
+        "pipeline ms",
         "index KiB",
     ]));
     for (name, cfg) in [
-        ("reuse on", base()),
+        ("fused", base()),
+        ("fused off", base().fused_pipeline(false)),
         ("reuse off", base().index_reuse(false)),
     ] {
         let prog = prepared(cfg.threads(max_threads()), recstep::programs::CSPA);
@@ -89,9 +95,12 @@ fn main() {
             name.to_string(),
             stats.index.full_builds.to_string(),
             stats.index.full_appends.to_string(),
-            stats.index.scratch_builds.to_string(),
             stats.index.join_builds.to_string(),
             stats.index.join_reuses.to_string(),
+            stats.rt_rows_skipped_at_source.to_string(),
+            (stats.rt_bytes_never_materialized >> 10).to_string(),
+            (stats.rt_merge_bytes >> 10).to_string(),
+            format!("{:.1}", stats.phase.pipeline.as_secs_f64() * 1e3),
             (stats.index.bytes_peak >> 10).to_string(),
         ]);
     }

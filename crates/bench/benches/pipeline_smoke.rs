@@ -1,0 +1,60 @@
+//! Pipeline smoke benchmark: a small fig10-style transitive-closure
+//! workload, run with the fused streaming delta pipeline on and off, with
+//! the result recorded as `BENCH_pipeline.json` (tuples/sec, peak bytes,
+//! speedup) so the hot path's performance trajectory is tracked run over
+//! run. The workload combines a dense G(n,p) cluster (high `Rt`
+//! duplication — where fusing wins) with a long path (≥ 20 fixpoint
+//! iterations). Output path override: `RECSTEP_BENCH_OUT`.
+
+use recstep_bench::*;
+
+fn main() {
+    // Scale divisor 50 (default) ⇒ a ~160-node cluster + 40-edge path.
+    let cluster_n = (8000 / scale()).max(60);
+    let edges = pipeline_workload(cluster_n, 12.0 / cluster_n as f64, 40, 42);
+    header(
+        "BENCH pipeline",
+        &format!(
+            "fused vs unfused streaming delta pipeline: TC on a {cluster_n}-node cluster \
+             + 40-edge path ({} edges)",
+            edges.len()
+        ),
+    );
+    let result = run_pipeline_bench(
+        &format!("tc-cluster{cluster_n}-path40"),
+        &edges,
+        max_threads(),
+        3,
+    );
+    row(&cells(&[
+        "mode",
+        "time",
+        "tuples/s",
+        "peak MiB",
+        "iterations",
+    ]));
+    row(&[
+        "fused".into(),
+        format!("{:.3}s", result.fused_secs),
+        format!("{:.0}", result.fused_tuples_per_sec()),
+        format!("{}", result.fused_peak_bytes >> 20),
+        result.iterations.to_string(),
+    ]);
+    row(&[
+        "unfused".into(),
+        format!("{:.3}s", result.unfused_secs),
+        format!("{:.0}", result.unfused_tuples_per_sec()),
+        format!("{}", result.unfused_peak_bytes >> 20),
+        result.iterations.to_string(),
+    ]);
+    println!(
+        "  speedup {:.2}x; {} candidate rows dropped at source ({} bytes never materialized)",
+        result.speedup(),
+        result.rt_rows_skipped_at_source,
+        result.rt_bytes_never_materialized
+    );
+    let out = std::env::var("RECSTEP_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    let path = std::path::PathBuf::from(out);
+    result.write_json(&path).expect("write BENCH_pipeline.json");
+    println!("  wrote {}", path.display());
+}

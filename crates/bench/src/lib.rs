@@ -127,6 +127,167 @@ pub fn run_recstep(
     measure(|| prog.run(&mut db).map(|_| db.row_count(rel)))
 }
 
+/// One fused-vs-unfused measurement of the streaming delta pipeline (the
+/// record behind `BENCH_pipeline.json`, so the perf trajectory of the hot
+/// path is recorded run over run).
+#[derive(Clone, Debug)]
+pub struct PipelineBench {
+    /// Workload label.
+    pub workload: String,
+    /// Input edges.
+    pub edges: usize,
+    /// Output (closure) rows — identical across modes by assertion.
+    pub rows: usize,
+    /// Fixpoint iterations of the fused run.
+    pub iterations: usize,
+    /// Candidate tuples evaluated per run (equal across modes).
+    pub tuples: usize,
+    /// Best wall seconds with the fused pipeline on.
+    pub fused_secs: f64,
+    /// Best wall seconds with `--no-fused-pipeline`.
+    pub unfused_secs: f64,
+    /// Peak engine-estimated bytes, fused.
+    pub fused_peak_bytes: usize,
+    /// Peak engine-estimated bytes, unfused.
+    pub unfused_peak_bytes: usize,
+    /// Candidate rows the fused run dropped at the probe site.
+    pub rt_rows_skipped_at_source: usize,
+    /// Bytes never materialized thanks to those drops.
+    pub rt_bytes_never_materialized: usize,
+    /// `Rt` bytes the unfused run materialized and merged.
+    pub unfused_rt_merge_bytes: usize,
+}
+
+impl PipelineBench {
+    /// Candidate tuples per second, fused.
+    pub fn fused_tuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.fused_secs.max(1e-9)
+    }
+
+    /// Candidate tuples per second, unfused.
+    pub fn unfused_tuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.unfused_secs.max(1e-9)
+    }
+
+    /// Fused speedup over unfused (wall-clock ratio).
+    pub fn speedup(&self) -> f64 {
+        self.unfused_secs / self.fused_secs.max(1e-9)
+    }
+
+    /// Render as a small JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"{}\",\n  \"edges\": {},\n  \"rows\": {},\n  \
+             \"iterations\": {},\n  \"tuples\": {},\n  \
+             \"fused\": {{\"secs\": {:.6}, \"tuples_per_sec\": {:.1}, \"peak_bytes\": {}}},\n  \
+             \"unfused\": {{\"secs\": {:.6}, \"tuples_per_sec\": {:.1}, \"peak_bytes\": {}}},\n  \
+             \"rt_rows_skipped_at_source\": {},\n  \"rt_bytes_never_materialized\": {},\n  \
+             \"unfused_rt_merge_bytes\": {},\n  \"speedup\": {:.3}\n}}\n",
+            self.workload,
+            self.edges,
+            self.rows,
+            self.iterations,
+            self.tuples,
+            self.fused_secs,
+            self.fused_tuples_per_sec(),
+            self.fused_peak_bytes,
+            self.unfused_secs,
+            self.unfused_tuples_per_sec(),
+            self.unfused_peak_bytes,
+            self.rt_rows_skipped_at_source,
+            self.rt_bytes_never_materialized,
+            self.unfused_rt_merge_bytes,
+            self.speedup(),
+        )
+    }
+
+    /// Write the JSON record to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// A fig10-style TC workload with both acceptance properties: a dense
+/// G(n,p) cluster gives the UNION-ALL intermediate a large duplication
+/// factor (where the fused pipeline wins), and a disjoint path of
+/// `path_len` edges forces `path_len` fixpoint iterations.
+pub fn pipeline_workload(
+    cluster_n: u32,
+    cluster_p: f64,
+    path_len: u32,
+    seed: u64,
+) -> Vec<(Value, Value)> {
+    let mut edges: Vec<(Value, Value)> = recstep_graphgen::gnp::gnp(cluster_n, cluster_p, seed)
+        .into_iter()
+        .map(|(a, b)| (a as Value, b as Value))
+        .collect();
+    let base = cluster_n as Value;
+    for i in 0..path_len as Value {
+        edges.push((base + i, base + i + 1));
+    }
+    edges
+}
+
+/// Run transitive closure fused and unfused over `edges`, best-of-`repeats`
+/// wall time per mode (interleaved to even out machine noise), and assert
+/// both modes compute the identical relation.
+pub fn run_pipeline_bench(
+    workload: &str,
+    edges: &[(Value, Value)],
+    threads: usize,
+    repeats: usize,
+) -> PipelineBench {
+    // PBME off: the point is the tuple pipeline, not the bit-matrix path.
+    let cfg = |fused: bool| {
+        Config::default()
+            .threads(threads)
+            .pbme(recstep::PbmeMode::Off)
+            .fused_pipeline(fused)
+    };
+    let run_once = |fused: bool| {
+        let prog = prepared(cfg(fused), recstep::programs::TC);
+        let mut db = db_with_edges(&[("arc", edges)]);
+        let t0 = Instant::now();
+        let stats = prog.run(&mut db).expect("TC completes");
+        (t0.elapsed().as_secs_f64(), stats, db.row_count("tc"))
+    };
+    let mut best: [Option<(f64, recstep::EvalStats, usize)>; 2] = [None, None];
+    for _ in 0..repeats.max(1) {
+        for (slot, fused) in [(0, true), (1, false)] {
+            let (secs, stats, rows) = run_once(fused);
+            let better = best[slot].as_ref().is_none_or(|(b, _, _)| secs < *b);
+            if better {
+                best[slot] = Some((secs, stats, rows));
+            }
+        }
+    }
+    let (fused_secs, fused_stats, fused_rows) = best[0].take().expect("ran");
+    let (unfused_secs, unfused_stats, unfused_rows) = best[1].take().expect("ran");
+    assert_eq!(
+        fused_rows, unfused_rows,
+        "fused and unfused runs must agree on the closure"
+    );
+    assert_eq!(
+        fused_stats.tuples_considered, unfused_stats.tuples_considered,
+        "both modes evaluate the same candidate stream"
+    );
+    assert_eq!(fused_stats.rt_merge_bytes, 0, "fused run must not merge Rt");
+    PipelineBench {
+        workload: workload.to_string(),
+        edges: edges.len(),
+        rows: fused_rows,
+        iterations: fused_stats.iterations,
+        tuples: fused_stats.tuples_considered,
+        fused_secs,
+        unfused_secs,
+        fused_peak_bytes: fused_stats.peak_bytes,
+        unfused_peak_bytes: unfused_stats.peak_bytes,
+        rt_rows_skipped_at_source: fused_stats.rt_rows_skipped_at_source,
+        rt_bytes_never_materialized: fused_stats.rt_bytes_never_materialized,
+        unfused_rt_merge_bytes: unfused_stats.rt_merge_bytes,
+    }
+}
+
 /// Per-run memory budget (scaled stand-in for the paper's 160 GB server).
 pub fn budget_bytes() -> usize {
     std::env::var("RECSTEP_BUDGET_MB")

@@ -12,10 +12,13 @@
 //!   --explain         print the generated SQL and exit
 //!   --no-uie | --no-eost | --no-pbme | --oof-na | --oof-fa
 //!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd | --no-index-reuse
+//!   --no-fused-pipeline
 //!                     turn individual optimizations off (the paper's
-//!                     Figure 2 ablation switches, plus the persistent
-//!                     incremental-index toggle)
-//!   --stats           print the evaluation statistics report
+//!                     Figure 2 ablation switches, the persistent
+//!                     incremental-index toggle, and the fused streaming
+//!                     delta pipeline toggle)
+//!   --stats           print the evaluation statistics report (per-phase
+//!                     pipeline timers included)
 //! ```
 //!
 //! The program is compiled exactly once (`Engine::prepare`); evaluation
@@ -41,7 +44,7 @@ fn usage() -> ! {
         "usage: recstep PROGRAM.datalog [--facts DIR] [--out DIR] [--threads N] \
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
          [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
-         [--no-index-reuse]"
+         [--no-index-reuse] [--no-fused-pipeline]"
     );
     std::process::exit(2);
 }
@@ -82,6 +85,7 @@ fn parse_args() -> Args {
             "--setdiff-opsd" => cfg.setdiff = SetDiffStrategy::AlwaysOpsd,
             "--setdiff-tpsd" => cfg.setdiff = SetDiffStrategy::AlwaysTpsd,
             "--no-index-reuse" => cfg.index_reuse = false,
+            "--no-fused-pipeline" => cfg.fused_pipeline = false,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -148,6 +152,14 @@ fn main() -> ExitCode {
                 "off (per-iteration rebuild)"
             }
         );
+        println!(
+            "-- fused_pipeline: {}",
+            if engine.config().fused_pipeline {
+                "on (dedup/set-difference at the join probe; Rt never materialized)"
+            } else {
+                "off (materialize Rt, absorb in a second pass)"
+            }
+        );
         println!("{}", prepared.explain_sql());
         return ExitCode::SUCCESS;
     }
@@ -169,8 +181,18 @@ fn main() -> ExitCode {
                 println!("queries issued: {}", stats_out.queries_issued);
                 println!("tuples considered: {}", stats_out.tuples_considered);
                 println!(
-                    "set difference: {} OPSD / {} TPSD / {} fused",
-                    stats_out.opsd_runs, stats_out.tpsd_runs, stats_out.fused_runs
+                    "set difference: {} OPSD / {} TPSD / {} fused ({} streaming)",
+                    stats_out.opsd_runs,
+                    stats_out.tpsd_runs,
+                    stats_out.fused_runs,
+                    stats_out.pipeline_runs
+                );
+                println!(
+                    "fused pipeline: {} rows skipped at source, {} bytes never \
+                     materialized; rt merge bytes: {}",
+                    stats_out.rt_rows_skipped_at_source,
+                    stats_out.rt_bytes_never_materialized,
+                    stats_out.rt_merge_bytes
                 );
                 println!(
                     "index tables: {} full builds / {} appends / {} scratch; \
@@ -189,6 +211,22 @@ fn main() -> ExitCode {
                     stats_out.io_bytes, stats_out.io_flushes
                 );
                 println!("pbme: {}", stats_out.strata.iter().any(|s| s.pbme));
+                let p = &stats_out.phase;
+                println!(
+                    "phase: pipeline {:?} / eval {:?} / dedup {:?} / setdiff {:?} / \
+                     aggregate {:?} / merge {:?} / analyze {:?} / index {:?} / io {:?} / \
+                     pbme {:?}",
+                    p.pipeline,
+                    p.eval,
+                    p.dedup,
+                    p.setdiff,
+                    p.aggregate,
+                    p.merge,
+                    p.analyze,
+                    p.index,
+                    p.io,
+                    p.pbme
+                );
                 println!("total: {:?}", stats_out.total);
             }
             ExitCode::SUCCESS

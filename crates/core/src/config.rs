@@ -55,6 +55,14 @@ pub struct Config {
     /// unchanged catalog relations are cached. Off = rebuild every table
     /// at every iteration (the paper's Algorithm 1, kept for ablations).
     pub index_reuse: bool,
+    /// Fused streaming delta pipeline: push dedup + set difference into
+    /// the final operator of every subquery, so the UNION-ALL intermediate
+    /// `Rt` is never materialized — duplicates are dropped at the probe
+    /// site. Applies to recursive, non-aggregated IDBs when `index_reuse`,
+    /// `uie` and `eost` are on and OOF is not collecting full statistics
+    /// (those paths genuinely need a materialized `Rt`). Off = keep the
+    /// two-phase materialize-then-absorb pipeline (for ablations).
+    pub fused_pipeline: bool,
     /// Bit-matrix evaluation policy (§5.3 PBME).
     pub pbme: PbmeMode,
     /// Work-order threshold for coordinated SG-PBME (Figure 7); `None` =
@@ -80,6 +88,7 @@ impl Default for Config {
             eost: true,
             dedup: DedupImpl::Fast,
             index_reuse: true,
+            fused_pipeline: true,
             pbme: PbmeMode::Auto,
             pbme_coordination: None,
             mem_budget_bytes: 8 << 30,
@@ -104,6 +113,7 @@ impl Config {
             eost: false,
             dedup: DedupImpl::Generic,
             index_reuse: false,
+            fused_pipeline: false,
             pbme: PbmeMode::Off,
             ..Config::default()
         }
@@ -148,6 +158,13 @@ impl Config {
     /// Toggle persistent incremental indexes (off = per-iteration rebuild).
     pub fn index_reuse(mut self, on: bool) -> Self {
         self.index_reuse = on;
+        self
+    }
+
+    /// Toggle the fused streaming delta pipeline (off = materialize `Rt`
+    /// and absorb it in a second pass).
+    pub fn fused_pipeline(mut self, on: bool) -> Self {
+        self.fused_pipeline = on;
         self
     }
 
@@ -197,6 +214,7 @@ mod tests {
         assert!(c.uie);
         assert!(c.eost);
         assert!(c.index_reuse);
+        assert!(c.fused_pipeline);
         assert_eq!(c.oof, OofMode::Selective);
         assert_eq!(c.setdiff, SetDiffStrategy::Dynamic);
         assert_eq!(c.dedup, DedupImpl::Fast);
@@ -209,6 +227,7 @@ mod tests {
         assert!(!c.uie);
         assert!(!c.eost);
         assert!(!c.index_reuse);
+        assert!(!c.fused_pipeline);
         assert_eq!(c.oof, OofMode::None);
         assert_eq!(c.setdiff, SetDiffStrategy::AlwaysOpsd);
         assert_eq!(c.dedup, DedupImpl::Generic);

@@ -1,6 +1,6 @@
 //! The evaluation loop: Algorithm 1 over the relational substrate.
 //!
-//! The interpreter mirrors the paper's execution strategy exactly:
+//! The interpreter mirrors the paper's execution strategy:
 //!
 //! ```text
 //! for each stratum s (topological order):
@@ -15,7 +15,23 @@
 //!   until ∀R: ∆R = ∅  (once for non-recursive strata)
 //! ```
 //!
-//! with two engine-level specializations: recursive aggregates replace
+//! Under the default **fused streaming pipeline** (`fused_pipeline`), the
+//! four middle lines collapse into the first: the final operator of every
+//! subquery streams each produced row through a [`DeltaSink`] that probes
+//! the persistent full-`R` index and races into a shared scratch table, so
+//! `Rt` never materializes and `uieval` directly yields `∆R`:
+//!
+//! ```text
+//!     for each IDB R in s:
+//!       ∆R ← uieval(rules(R, s)) ─▷ probe(full-R index) ─▷ scratch CAS
+//!       R  ← R ⊎ ∆R               // one shard append; ∆R is a row range
+//! ```
+//!
+//! The materializing path stays alive behind `--no-fused-pipeline`, for
+//! ablations and for configurations that genuinely need a materialized
+//! `Rt` (OOF-FA statistics, per-query temp spills, aggregation, IIE).
+//!
+//! Two further engine-level specializations: recursive aggregates replace
 //! dedup + set difference by a monotonic absorb (∆ = strictly improved
 //! groups), and TC/SG-shaped strata can be handed to PBME (§5.3).
 //!
@@ -27,7 +43,7 @@
 
 use std::time::Instant;
 
-use recstep_common::hash::FxHashMap;
+use recstep_common::hash::{FxHashMap, FxHashSet};
 use recstep_common::lang::Expr;
 use recstep_common::{Error, Result, Value};
 use recstep_datalog::plan::{
@@ -37,10 +53,11 @@ use recstep_exec::agg::{AggCol, MonotonicAgg};
 use recstep_exec::dedup::deduplicate;
 use recstep_exec::index::{PersistentIndex, SyncAction};
 use recstep_exec::join::{
-    anti_join, anti_join_prebuilt, cross_join, hash_join, hash_join_prebuilt, project_filter,
-    JoinSpec,
+    anti_join_prebuilt_sink, anti_join_sink, cross_join_sink, hash_join_prebuilt_sink,
+    hash_join_sink, project_filter, project_filter_sink, JoinSpec,
 };
 use recstep_exec::setdiff::{set_difference, DsdState};
+use recstep_exec::sink::{DeltaSink, SinkMode};
 use recstep_exec::ExecCtx;
 use recstep_storage::{Catalog, DiskManager, RelId, RelView, Relation, Schema};
 
@@ -48,11 +65,55 @@ use crate::config::{Config, OofMode, PbmeMode};
 use crate::pbme::{detect, fits_budget, PbmePlan};
 use crate::stats::{EvalStats, StratumStats};
 
+/// ∆R of one iteration.
+///
+/// Merging appends `∆R` to the stored relation anyway, and stored
+/// relations are strictly append-only until fixpoint — so for the common
+/// paths `∆R` is just the appended *row range* of `R`, staged and read
+/// back as a zero-copy view (no second materialized relation, no extra
+/// row copy). Only monotonic-aggregate deltas own their rows: improved
+/// groups are not appended to `R` in head layout.
+enum DeltaBuf {
+    /// Rows `start..end` of the IDB's stored relation.
+    Range(usize, usize),
+    /// Separately materialized rows (recursive aggregation).
+    Owned(Relation),
+}
+
+impl DeltaBuf {
+    fn len(&self) -> usize {
+        match self {
+            DeltaBuf::Range(a, b) => b - a,
+            DeltaBuf::Owned(r) => r.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes owned by the delta itself (ranges alias the stored
+    /// relation, which the catalog already accounts for).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            DeltaBuf::Range(..) => 0,
+            DeltaBuf::Owned(r) => r.heap_bytes(),
+        }
+    }
+
+    fn view<'a>(&'a self, rel: &'a Relation) -> RelView<'a> {
+        match self {
+            DeltaBuf::Range(a, b) => rel.range_view(*a, *b),
+            DeltaBuf::Owned(r) => r.view(),
+        }
+    }
+}
+
 /// Per-IDB mutable state across the iterations of one stratum.
 struct IdbState {
     rel_id: RelId,
     /// ∆R of the previous iteration (head-order layout).
-    delta: Relation,
+    delta: DeltaBuf,
     /// Row count of R through iteration `t-1` (the Old prefix).
     old_len: usize,
     /// DSD cost-model state.
@@ -66,6 +127,9 @@ struct IdbState {
     /// fused dedup + set-difference pass. `None` until the first
     /// iteration, or always under `index_reuse = false`.
     full_index: Option<PersistentIndex>,
+    /// Pre-sizing hint for the next streaming pass's scratch table
+    /// (roughly the last iteration's `|∆R|`).
+    scratch_hint: usize,
 }
 
 /// Per-stratum cache of join/anti-join build-side tables.
@@ -250,6 +314,12 @@ impl EvalRun<'_, '_> {
             }
         }
 
+        // Full-R indexes survive their stratum: stratification evaluates
+        // every IDB in exactly one stratum, so a carried index only ever
+        // needs an incremental sync (and the sync is defensive anyway).
+        // For TC-shaped programs this makes the whole run build the table
+        // exactly once — the base stratum builds, the recursive one grows.
+        let mut index_carry: FxHashMap<RelId, PersistentIndex> = FxHashMap::default();
         for stratum in &prog.strata {
             let pbme_plan = match self.cfg.pbme {
                 PbmeMode::Off => None,
@@ -260,9 +330,10 @@ impl EvalRun<'_, '_> {
                 handled = self.try_run_pbme(stratum, &plan, &mut stats)?;
             }
             if !handled {
-                self.run_stratum(stratum, &mut stats)?;
+                self.run_stratum(stratum, &mut index_carry, &mut stats)?;
             }
         }
+        drop(index_carry);
 
         // EOST: commit everything once at fixpoint.
         let t_io = Instant::now();
@@ -400,15 +471,20 @@ impl EvalRun<'_, '_> {
     }
 
     /// Tuple-based evaluation of one stratum (the Algorithm 1 inner loop).
-    fn run_stratum(&mut self, stratum: &CompiledStratum, stats: &mut EvalStats) -> Result<()> {
+    fn run_stratum(
+        &mut self,
+        stratum: &CompiledStratum,
+        index_carry: &mut FxHashMap<RelId, PersistentIndex>,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
         // Initialize per-IDB state.
         let mut states: Vec<IdbState> = Vec::with_capacity(stratum.idbs.len());
         for idb in &stratum.idbs {
             let rel_id = self.catalog.lookup(&idb.rel).expect("idb relation exists");
             let rel = self.catalog.rel(rel_id);
-            let mut delta =
-                Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
-            delta.append_relation(rel);
+            // ∆R of iteration 0 is everything already in R (facts and
+            // earlier-strata results), read as a zero-copy row range.
+            let delta = DeltaBuf::Range(0, rel.len());
             let agg = match &idb.agg {
                 None => None,
                 Some(shape) if stratum.recursive => {
@@ -449,6 +525,7 @@ impl EvalRun<'_, '_> {
                     })
                 }
             };
+            let scratch_hint = self.catalog.rel(rel_id).len().max(1024);
             states.push(IdbState {
                 rel_id,
                 delta,
@@ -460,7 +537,8 @@ impl EvalRun<'_, '_> {
                     .iter()
                     .map(|sq| vec![None; sq.joins.len()])
                     .collect(),
-                full_index: None,
+                full_index: index_carry.remove(&rel_id),
+                scratch_hint,
             });
         }
 
@@ -476,8 +554,10 @@ impl EvalRun<'_, '_> {
             // current iteration's ∆R is being produced ("two temporary
             // tables are created for each idb R", §4): every IDB of the
             // stratum must read the *previous* deltas, so the new ones are
-            // staged and swapped in only after the full pass.
-            let mut staged: Vec<Option<Relation>> = (0..stratum.idbs.len()).map(|_| None).collect();
+            // staged and swapped in only after the full pass. Row-range
+            // deltas make this free — R is append-only until fixpoint, so
+            // a previously staged range stays valid while R grows.
+            let mut staged: Vec<Option<DeltaBuf>> = (0..stratum.idbs.len()).map(|_| None).collect();
             for (i, idb) in stratum.idbs.iter().enumerate() {
                 let delta = self.step_idb(stratum, idb, i, &mut states, &mut jcache, stats)?;
                 if !delta.is_empty() {
@@ -492,6 +572,10 @@ impl EvalRun<'_, '_> {
             // indexes are live state and count against the budget.
             let live = self.catalog.heap_bytes()
                 + jcache.heap_bytes()
+                + index_carry
+                    .values()
+                    .map(PersistentIndex::heap_bytes)
+                    .sum::<usize>()
                 + states
                     .iter()
                     .map(|s| {
@@ -538,12 +622,198 @@ impl EvalRun<'_, '_> {
             }
         }
 
+        // Hand the full-R indexes back for later strata that re-read these
+        // relations (they are frozen from here on, so the indexes stay
+        // valid; `append` double-checks defensively on reuse).
+        for state in states {
+            if let Some(index) = state.full_index {
+                index_carry.insert(state.rel_id, index);
+            }
+        }
+
         stats.strata.push(StratumStats {
             idbs: stratum.idbs.iter().map(|i| i.rel.clone()).collect(),
             iterations,
             pbme: false,
         });
         Ok(())
+    }
+
+    /// Whether the fused streaming pipeline evaluates this IDB: the paths
+    /// excluded here genuinely need a materialized `Rt` (OOF-FA analyzes
+    /// it, per-query commit mode spills it, aggregation groups over it,
+    /// IIE stages per-subquery temporaries) or have no full-R index to
+    /// probe (`index_reuse` off). Non-recursive strata stream too — their
+    /// single pass dedups across rules at source the same way.
+    fn fused_applies(&self, state: &IdbState) -> bool {
+        self.cfg.fused_pipeline
+            && self.cfg.index_reuse
+            && self.cfg.uie
+            && self.cfg.eost
+            && self.cfg.oof != OofMode::Full
+            && state.agg.is_none()
+    }
+
+    /// One fused streaming step: `∆R` comes straight out of rule
+    /// evaluation — each subquery's final operator probes the persistent
+    /// full-R index and the shared scratch table per produced row, so the
+    /// UNION-ALL intermediate is never buffered, merged or re-scanned.
+    fn step_idb_fused(
+        &mut self,
+        stratum: &CompiledStratum,
+        idb: &CompiledIdb,
+        idx: usize,
+        states: &mut [IdbState],
+        jcache: &mut JoinCache,
+        stats: &mut EvalStats,
+    ) -> Result<DeltaBuf> {
+        if states[idx].full_index.is_none() {
+            let t_index = Instant::now();
+            let rel = self.catalog.rel(states[idx].rel_id);
+            stats.index.full_builds += 1;
+            stats.index.build_rows += rel.len();
+            states[idx].full_index = Some(PersistentIndex::build(
+                self.ctx,
+                rel.view(),
+                (0..idb.arity).collect(),
+            ));
+            stats.phase.index += t_index.elapsed();
+        }
+        // The sink borrows the index and the base view for the whole
+        // evaluation; take the index out of the state so `states` can be
+        // reborrowed immutably by the subquery evaluator.
+        let mut full_index = states[idx].full_index.take().expect("built above");
+        let rel_id = states[idx].rel_id;
+        // An index carried over from an earlier stratum may trail the
+        // relation (or follow a cleared one): sync it before probing.
+        {
+            let rel = self.catalog.rel(rel_id);
+            if full_index.rows() != rel.len() {
+                let t_index = Instant::now();
+                match full_index.append(self.ctx, rel.view()) {
+                    SyncAction::Appended(n) => {
+                        stats.index.full_appends += 1;
+                        stats.index.append_rows += n;
+                    }
+                    SyncAction::Reused => {}
+                    SyncAction::Rebuilt => {
+                        stats.index.full_builds += 1;
+                        stats.index.build_rows += rel.len();
+                    }
+                }
+                stats.phase.index += t_index.elapsed();
+            }
+        }
+        let hint = states[idx].scratch_hint;
+        // Index build/sync above is booked under `phase.index` (as on the
+        // materializing path); the pipeline timer covers only the
+        // streaming pass itself.
+        let t_pipe = Instant::now();
+        let evaluated = {
+            let base = self.catalog.rel(rel_id).view();
+            let sink = DeltaSink::new(&full_index, base, hint);
+            eval_idb(
+                self.ctx,
+                self.cfg,
+                self.catalog,
+                stratum,
+                idb,
+                states,
+                idx,
+                jcache,
+                Some(&sink),
+            )
+            .map(|out| {
+                (
+                    out,
+                    sink.considered(),
+                    sink.take_overflow(),
+                    sink.scratch_bytes(),
+                )
+            })
+        };
+        let (out, considered, overflow, scratch_bytes) = match evaluated {
+            Ok(v) => v,
+            Err(e) => {
+                states[idx].full_index = Some(full_index);
+                return Err(e);
+            }
+        };
+        states[idx].full_index = Some(full_index);
+        let mut fresh = out.cols;
+        let sink_fresh = fresh.first().map_or(0, Vec::len);
+        // Compact-key escapes equal no packed-fitting tuple (a tuple fits
+        // iff each value fits), so they are new w.r.t. R and the sink's
+        // winners — they only need dedup among themselves. The merge below
+        // triggers the index's one-time hashed rebuild via `append`.
+        if !overflow.is_empty() {
+            let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+            for row in &overflow {
+                if seen.insert(row.clone()) {
+                    for (col, &v) in fresh.iter_mut().zip(row) {
+                        col.push(v);
+                    }
+                }
+            }
+        }
+        let fresh_rows = fresh.first().map_or(0, Vec::len);
+        let skipped = considered - sink_fresh - overflow.len();
+        stats.queries_issued += out.queries + 1;
+        stats.tuples_considered += considered;
+        stats.rt_rows_skipped_at_source += skipped;
+        stats.rt_bytes_never_materialized += skipped * idb.arity * 8;
+        stats.fused_runs += 1;
+        stats.pipeline_runs += 1;
+        stats.index.scratch_builds += 1;
+        stats.phase.pipeline += t_pipe.elapsed();
+
+        // Record frozen choices on first iteration for OOF-NA.
+        if self.cfg.oof == OofMode::None {
+            freeze_choices(self.catalog, stratum, idb, states, idx);
+        }
+
+        // --- R ← R ⊎ ∆R: one shard append; ∆R stays a row range. ---
+        let t_merge = Instant::now();
+        let state = &mut states[idx];
+        let rel = self.catalog.rel_mut(state.rel_id);
+        state.old_len = rel.len();
+        rel.append_columns(fresh);
+        let delta = DeltaBuf::Range(state.old_len, rel.len());
+        stats.phase.merge += t_merge.elapsed();
+        // Next iteration's scratch sizing: follow |∆R| up immediately but
+        // decay slowly, so one small delta after a burst does not shrink
+        // the bucket array back under the workload's scale.
+        state.scratch_hint = (fresh_rows * 2).max(state.scratch_hint / 2).max(1024);
+
+        // Maintain the index over the merged rows (incremental).
+        let t_index = Instant::now();
+        let rel = self.catalog.rel(state.rel_id);
+        let index = state.full_index.as_mut().expect("restored above");
+        match index.append(self.ctx, rel.view()) {
+            SyncAction::Appended(n) => {
+                stats.index.full_appends += 1;
+                stats.index.append_rows += n;
+            }
+            SyncAction::Reused => {}
+            SyncAction::Rebuilt => {
+                stats.index.full_builds += 1;
+                stats.index.build_rows += rel.len();
+            }
+        }
+        stats.index.bytes_peak = stats
+            .index
+            .bytes_peak
+            .max(index.heap_bytes() + scratch_bytes);
+        stats.phase.index += t_index.elapsed();
+        stats.peak_bytes = stats
+            .peak_bytes
+            .max(self.catalog.heap_bytes() + index.heap_bytes() + scratch_bytes);
+
+        // EOST is a precondition of the fused gate, so temporaries never
+        // reach disk here; just note the relation dirty for the commit.
+        let rel = self.catalog.rel(state.rel_id);
+        self.disk.note_dirty(rel)?;
+        Ok(delta)
     }
 
     /// One Algorithm 1 step (lines 8–13) for one IDB. Returns the freshly
@@ -557,10 +827,14 @@ impl EvalRun<'_, '_> {
         states: &mut [IdbState],
         jcache: &mut JoinCache,
         stats: &mut EvalStats,
-    ) -> Result<Relation> {
+    ) -> Result<DeltaBuf> {
+        if self.fused_applies(&states[idx]) {
+            return self.step_idb_fused(stratum, idb, idx, states, jcache, stats);
+        }
+
         // --- Rt ← uieval(rules(R, s)) ---
         let t_eval = Instant::now();
-        let (candidates, queries) = eval_idb(
+        let out = eval_idb(
             self.ctx,
             self.cfg,
             self.catalog,
@@ -569,11 +843,16 @@ impl EvalRun<'_, '_> {
             states,
             idx,
             jcache,
+            None,
         )?;
+        let (candidates, queries) = (out.cols, out.queries);
         stats.phase.eval += t_eval.elapsed();
         stats.queries_issued += queries;
         let produced = candidates.first().map_or(0, Vec::len);
         stats.tuples_considered += produced;
+        // The whole UNION-ALL intermediate was buffered and merged — the
+        // cost the streaming pipeline eliminates.
+        stats.rt_merge_bytes += produced * idb.arity * 8;
 
         // Record frozen choices on first iteration for OOF-NA.
         if self.cfg.oof == OofMode::None {
@@ -582,10 +861,13 @@ impl EvalRun<'_, '_> {
 
         // Non-UIE: the per-subquery temporaries were already flushed inside
         // eval; the unified Rt temp is flushed here in per-query mode.
-        let t_io = Instant::now();
-        self.disk
-            .flush_temp(&format!("{}_rt", idb.rel), RelView::over(&candidates))?;
-        stats.phase.io += t_io.elapsed();
+        spill_temp(
+            self.cfg,
+            self.disk,
+            &idb.rt_name,
+            RelView::over(&candidates),
+            stats,
+        )?;
 
         // OOF-FA: full statistics on every updated table, every iteration.
         if self.cfg.oof == OofMode::Full {
@@ -617,7 +899,7 @@ impl EvalRun<'_, '_> {
                     &aggs,
                 );
                 let mut delta =
-                    Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
+                    Relation::new(Schema::with_arity(idb.delta_name.clone(), idb.arity));
                 let rows = grouped.first().map_or(0, Vec::len);
                 let mut group = Vec::with_capacity(g);
                 let mut out_row = vec![0 as Value; idb.arity];
@@ -635,12 +917,9 @@ impl EvalRun<'_, '_> {
                     }
                 }
                 stats.phase.aggregate += t_agg.elapsed();
-                let t_io = Instant::now();
-                self.disk
-                    .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
-                stats.phase.io += t_io.elapsed();
+                spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(), stats)?;
                 stats.queries_issued += 1;
-                return Ok(delta);
+                return Ok(DeltaBuf::Owned(delta));
             }
             Some(AggKind::Plain {
                 group_positions,
@@ -673,17 +952,14 @@ impl EvalRun<'_, '_> {
                 for (j, &pos) in agg_positions.iter().enumerate() {
                     cols[pos] = grouped[g + j].clone();
                 }
-                let mut delta =
-                    Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
-                delta.append_columns(cols);
                 stats.phase.aggregate += t_agg.elapsed();
                 let rel = self.catalog.rel_mut(state.rel_id);
                 state.old_len = rel.len();
-                rel.append_relation(&delta);
-                let t_io = Instant::now();
-                self.disk
-                    .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
+                rel.append_columns(cols);
+                let delta = DeltaBuf::Range(state.old_len, rel.len());
                 let rel = self.catalog.rel(state.rel_id);
+                spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(rel), stats)?;
+                let t_io = Instant::now();
                 self.disk.note_dirty(rel)?;
                 stats.phase.io += t_io.elapsed();
                 stats.queries_issued += 1;
@@ -731,14 +1007,12 @@ impl EvalRun<'_, '_> {
             // query of the rebuild path.
             stats.queries_issued += 1;
 
-            // --- R ← R ⊎ ∆R ---
+            // --- R ← R ⊎ ∆R: one shard append, ∆R stays a row range. ---
             let t_merge = Instant::now();
-            let mut delta =
-                Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
-            delta.append_columns(outcome.fresh);
             let rel = self.catalog.rel_mut(state.rel_id);
             state.old_len = rel.len();
-            rel.append_relation(&delta);
+            rel.append_columns(outcome.fresh);
+            let delta = DeltaBuf::Range(state.old_len, rel.len());
             stats.phase.merge += t_merge.elapsed();
 
             // Maintain the index over the merged rows (incremental).
@@ -759,10 +1033,9 @@ impl EvalRun<'_, '_> {
             stats.index.bytes_peak = stats.index.bytes_peak.max(index.heap_bytes());
             stats.phase.index += t_index.elapsed();
 
-            let t_io = Instant::now();
-            self.disk
-                .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
             let rel = self.catalog.rel(state.rel_id);
+            spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(rel), stats)?;
+            let t_io = Instant::now();
             self.disk.note_dirty(rel)?;
             stats.phase.io += t_io.elapsed();
             return Ok(delta);
@@ -788,10 +1061,13 @@ impl EvalRun<'_, '_> {
             .peak_bytes
             .max(self.catalog.heap_bytes() + dedup_out.table_bytes);
         let rdelta = dedup_out.cols;
-        let t_io = Instant::now();
-        self.disk
-            .flush_temp(&format!("{}_rdelta", idb.rel), RelView::over(&rdelta))?;
-        stats.phase.io += t_io.elapsed();
+        spill_temp(
+            self.cfg,
+            self.disk,
+            &idb.rdelta_name,
+            RelView::over(&rdelta),
+            stats,
+        )?;
 
         // --- ∆R ← Rδ − R ---
         let t_diff = Instant::now();
@@ -811,22 +1087,39 @@ impl EvalRun<'_, '_> {
         stats.index.full_builds += state.dsd.tables_built - builds_before;
         stats.queries_issued += 1;
 
-        // --- R ← R ⊎ ∆R ---
+        // --- R ← R ⊎ ∆R: one shard append, ∆R stays a row range. ---
         let t_merge = Instant::now();
-        let mut delta = Relation::new(Schema::with_arity(format!("{}_mDelta", idb.rel), idb.arity));
-        delta.append_columns(diff);
         let rel = self.catalog.rel_mut(state.rel_id);
         state.old_len = rel.len();
-        rel.append_relation(&delta);
+        rel.append_columns(diff);
+        let delta = DeltaBuf::Range(state.old_len, rel.len());
         stats.phase.merge += t_merge.elapsed();
-        let t_io = Instant::now();
-        self.disk
-            .flush_temp(&format!("{}_mDelta", idb.rel), delta.view())?;
         let rel = self.catalog.rel(state.rel_id);
+        spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(rel), stats)?;
+        let t_io = Instant::now();
         self.disk.note_dirty(rel)?;
         stats.phase.io += t_io.elapsed();
         Ok(delta)
     }
+}
+
+/// Flush a temporary table to the simulated store — skipped entirely when
+/// disk spilling is disabled (EOST pends all I/O until the final commit),
+/// so the hot loop pays neither the call nor the timer for it.
+fn spill_temp(
+    cfg: &Config,
+    disk: &mut DiskManager,
+    name: &str,
+    view: RelView<'_>,
+    stats: &mut EvalStats,
+) -> Result<()> {
+    if cfg.eost {
+        return Ok(());
+    }
+    let t = Instant::now();
+    disk.flush_temp(name, view)?;
+    stats.phase.io += t.elapsed();
+    Ok(())
 }
 
 /// Record first-iteration build-side choices (OOF-NA freezing).
@@ -885,9 +1178,22 @@ fn estimate_left_rows(
         .unwrap_or(0)
 }
 
-/// Evaluate all subqueries of one IDB, returning the UNION ALL of their
-/// outputs (pre-aggregation layout) plus the number of backend queries the
-/// evaluation cost (UIE batches them into one).
+/// Output of [`eval_idb`].
+struct EvalOut {
+    /// With no sink: the UNION ALL of the subquery outputs (`Rt`,
+    /// pre-aggregation layout). With a [`DeltaSink`]: the fresh rows only
+    /// — already deduplicated across subqueries and subtracted from `R`.
+    cols: Vec<Vec<Value>>,
+    /// Backend queries the evaluation cost (UIE batches them into one).
+    queries: usize,
+}
+
+/// Evaluate all subqueries of one IDB.
+///
+/// When `sink` is set, every subquery's final operator streams its rows
+/// through it, so the union below concatenates *disjoint fresh* row sets
+/// (the shared scratch table dedups across rules at source); without a
+/// sink this is Algorithm 1's materializing `uieval`.
 #[allow(clippy::too_many_arguments)]
 fn eval_idb(
     ctx: &ExecCtx,
@@ -898,8 +1204,13 @@ fn eval_idb(
     states: &[IdbState],
     idx: usize,
     jcache: &mut JoinCache,
-) -> Result<(Vec<Vec<Value>>, usize)> {
+    sink: Option<&DeltaSink<'_>>,
+) -> Result<EvalOut> {
     let out_arity = idb.arity;
+    let sink_mode = match sink {
+        Some(s) => SinkMode::Delta(s),
+        None => SinkMode::Materialize,
+    };
     let mut unioned: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
     let mut queries = 0usize;
     for (si, sq) in idb.subqueries.iter().enumerate() {
@@ -912,19 +1223,22 @@ fn eval_idb(
             states,
             &states[idx].frozen[si],
             jcache,
+            &sink_mode,
         )?;
         if cfg.uie {
             // One unified query: results land in a single output buffer.
+            // The first subquery's columns are moved, not copied.
             for (dst, mut src) in unioned.iter_mut().zip(cols) {
-                dst.append(&mut src);
+                if dst.is_empty() {
+                    *dst = src;
+                } else {
+                    dst.append(&mut src);
+                }
             }
         } else {
             // Individual evaluation: materialize a per-subquery temp table,
             // then merge — the extra query + copy of Figure 4 (left).
-            let mut tmp = Relation::new(Schema::with_arity(
-                format!("{}_tmp_mDelta{}", idb.rel, si),
-                out_arity,
-            ));
+            let mut tmp = Relation::new(Schema::with_arity(idb.tmp_names[si].clone(), out_arity));
             tmp.append_columns(cols);
             for (c, dst) in unioned.iter_mut().enumerate() {
                 dst.extend_from_slice(tmp.col(c));
@@ -935,10 +1249,17 @@ fn eval_idb(
     if cfg.uie {
         queries += 1;
     }
-    Ok((unioned, queries))
+    Ok(EvalOut {
+        cols: unioned,
+        queries,
+    })
 }
 
 /// Evaluate one subquery to its head layout.
+///
+/// `sink` applies only to the subquery's *final* operator — the one
+/// projecting to the head layout; intermediate join results materialize
+/// as before (they feed the next join, not `Rt`).
 #[allow(clippy::too_many_arguments)]
 fn eval_subquery(
     ctx: &ExecCtx,
@@ -949,6 +1270,7 @@ fn eval_subquery(
     states: &[IdbState],
     frozen: &[Option<bool>],
     jcache: &mut JoinCache,
+    sink: &SinkMode<'_>,
 ) -> Result<Vec<Vec<Value>>> {
     // Materialize filtered scans; untouched scans stay zero-copy views.
     let mut filtered: Vec<Option<Vec<Vec<Value>>>> = Vec::with_capacity(sq.scans.len());
@@ -985,7 +1307,12 @@ fn eval_subquery(
         } else {
             (sq.head_exprs.clone(), sq.residual.as_slice())
         };
-        acc = project_filter(ctx, view_of(0)?, &output, residual);
+        let stage_sink = if has_neg {
+            &SinkMode::Materialize
+        } else {
+            sink
+        };
+        acc = project_filter_sink(ctx, view_of(0)?, &output, residual, stage_sink);
     } else {
         acc = Vec::new();
         let mut width = sq.scans[0].arity;
@@ -1008,12 +1335,19 @@ fn eval_subquery(
             };
             // Width-accurate materialization cap for this join's output:
             // producers stop emitting past it and the post-check below
-            // converts the truncation into an out-of-memory error.
+            // converts the truncation into an out-of-memory error. (With a
+            // delta sink only fresh rows materialize, so the cap governs
+            // exactly what occupies memory.)
             let mut capped = ctx.clone();
             capped.row_cap = (cfg.mem_budget_bytes / (output.len().max(1) * 8)).max(1);
             let ctx = &capped;
+            let stage_sink = if last && !has_neg {
+                sink
+            } else {
+                &SinkMode::Materialize
+            };
             if join.left_keys.is_empty() {
-                acc = cross_join(ctx, left_view, right, &output, residual);
+                acc = cross_join_sink(ctx, left_view, right, &output, residual, stage_sink);
             } else {
                 // OOF: choose the build side from current sizes (Selective /
                 // Full) or the frozen first-iteration choice (None).
@@ -1049,16 +1383,17 @@ fn eval_subquery(
                         };
                         let index = jcache
                             .probe_ready(ctx, catalog, rel_id, build_cols, probe_view, probe_cols);
-                        hash_join_prebuilt(
+                        hash_join_prebuilt_sink(
                             ctx,
                             left_view,
                             right,
                             &spec,
                             index.table(),
                             index.mode(),
+                            stage_sink,
                         )
                     }
-                    _ => hash_join(ctx, left_view, right, &spec),
+                    _ => hash_join_sink(ctx, left_view, right, &spec, stage_sink),
                 };
             }
             // Intermediate materialization must respect the memory budget
@@ -1096,6 +1431,7 @@ fn eval_subquery(
         } else {
             identity_of(sq.width)
         };
+        let stage_sink = if last { sink } else { &SinkMode::Materialize };
         let acc_view = RelView::over(&acc);
         // Anti-join build sides are always the negated (Base) relation:
         // cacheable whenever unfiltered, same rules as join builds.
@@ -1114,7 +1450,7 @@ fn eval_subquery(
                     acc_view,
                     &neg.left_keys,
                 );
-                anti_join_prebuilt(
+                anti_join_prebuilt_sink(
                     ctx,
                     acc_view,
                     neg_view,
@@ -1123,15 +1459,17 @@ fn eval_subquery(
                     &output,
                     index.table(),
                     index.mode(),
+                    stage_sink,
                 )
             }
-            _ => anti_join(
+            _ => anti_join_sink(
                 ctx,
                 acc_view,
                 neg_view,
                 &neg.left_keys,
                 &neg.right_keys,
                 &output,
+                stage_sink,
             ),
         };
     }
@@ -1167,7 +1505,7 @@ fn resolve_view<'a>(
         AtomVersion::Delta => {
             let state = find_state(stratum, states, rel)
                 .ok_or_else(|| Error::exec(format!("no delta state for '{rel}'")))?;
-            Ok(state.delta.view())
+            Ok(state.delta.view(catalog.rel(state.rel_id)))
         }
         AtomVersion::Old => {
             let state = find_state(stratum, states, rel)

@@ -7,8 +7,12 @@ use recstep_exec::setdiff::SetDiffAlgo;
 /// Wall-clock time spent in each engine phase.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimes {
-    /// Rule-body evaluation (joins, projections).
+    /// Rule-body evaluation (joins, projections) on the materializing path.
     pub eval: Duration,
+    /// The fused streaming pipeline: rule-body evaluation with dedup + set
+    /// difference pushed into the operators' probe loops (replaces
+    /// `eval` + `dedup` + `setdiff` when the pipeline is fused).
+    pub pipeline: Duration,
     /// Deduplication.
     pub dedup: Duration,
     /// Set difference.
@@ -92,8 +96,22 @@ pub struct EvalStats {
     /// How often each set-difference algorithm ran.
     pub tpsd_runs: usize,
     /// Fused dedup+set-difference passes against a persistent index (the
-    /// `index_reuse` replacement for an OPSD/TPSD + dedup pair).
+    /// `index_reuse` replacement for an OPSD/TPSD + dedup pair), whether
+    /// streaming or over a materialized `Rt`.
     pub fused_runs: usize,
+    /// Fused *streaming* pipeline passes: `Rt` never materialized,
+    /// duplicates dropped at the operators' probe sites.
+    pub pipeline_runs: usize,
+    /// Candidate rows the streaming pipeline dropped at the probe site
+    /// (rows the materializing path would have buffered, merged, flushed
+    /// and re-scanned before discarding them).
+    pub rt_rows_skipped_at_source: usize,
+    /// Bytes those dropped rows would have occupied in a materialized `Rt`.
+    pub rt_bytes_never_materialized: usize,
+    /// Bytes of UNION-ALL (`Rt`) candidate columns materialized and merged
+    /// by the non-streaming path. Zero under the fused pipeline — the
+    /// acceptance signal that duplicates die at the probe site.
+    pub rt_merge_bytes: usize,
     /// Hash-index build/append accounting (rebuild vs. incremental).
     pub index: IndexStats,
     /// Peak engine-estimated heap bytes (relations + operator tables).

@@ -712,8 +712,21 @@ fn stats_account_iterations_and_phases() {
     assert_eq!(stats.strata.len(), 2);
     assert!(stats.total.as_nanos() > 0);
     assert!(stats.tuples_considered > 0);
-    assert!(stats.phase.eval.as_nanos() > 0);
-    assert!(stats.phase.dedup.as_nanos() > 0);
+    // Default config streams: all rule evaluation + dedup + set difference
+    // lands in the fused pipeline phase and Rt is never merged.
+    assert!(stats.phase.pipeline.as_nanos() > 0);
+    assert!(stats.pipeline_runs > 0);
+    assert_eq!(stats.rt_merge_bytes, 0);
+    // The materializing path still reports its own phases.
+    let (_, unfused) = run_on_edges(
+        Config::default().fused_pipeline(false).pbme(PbmeMode::Off),
+        &random_edges(20, 60, 4),
+        recstep::programs::TC,
+    );
+    assert!(unfused.phase.eval.as_nanos() > 0);
+    assert!(unfused.phase.dedup.as_nanos() > 0);
+    assert_eq!(unfused.phase.pipeline.as_nanos(), 0);
+    assert!(unfused.rt_merge_bytes > 0);
 }
 
 #[test]

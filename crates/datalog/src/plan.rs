@@ -114,6 +114,16 @@ pub struct CompiledIdb {
     pub agg: Option<IdbAgg>,
     /// The subqueries whose UNION ALL produces the iteration's candidates.
     pub subqueries: Vec<SubQuery>,
+    /// Temp-table name of the UNION-ALL intermediate (`{rel}_rt`), built
+    /// once here instead of being re-formatted every iteration.
+    pub rt_name: String,
+    /// Temp-table name of the deduplicated candidates (`{rel}_rdelta`).
+    pub rdelta_name: String,
+    /// Temp-table / staging name of `∆R` (`{rel}_mDelta`).
+    pub delta_name: String,
+    /// Per-subquery temp-table names of the individual-evaluation (IIE)
+    /// path (`{rel}_tmp_mDelta{i}`), indexed like `subqueries`.
+    pub tmp_names: Vec<String>,
 }
 
 /// One stratum of the compiled program.
@@ -194,11 +204,16 @@ pub fn compile(analysis: &Analysis) -> Result<CompiledProgram> {
             let idb = match idb_pos {
                 Some(p) => &mut idbs[p],
                 None => {
+                    let rel = rule.head.pred.clone();
                     idbs.push(CompiledIdb {
-                        rel: rule.head.pred.clone(),
+                        rt_name: format!("{rel}_rt"),
+                        rdelta_name: format!("{rel}_rdelta"),
+                        delta_name: format!("{rel}_mDelta"),
+                        rel,
                         arity: rule.head.arity(),
                         agg: agg_shape(rule),
                         subqueries: Vec::new(),
+                        tmp_names: Vec::new(),
                     });
                     idbs.last_mut().unwrap()
                 }
@@ -223,6 +238,11 @@ pub fn compile(analysis: &Analysis) -> Result<CompiledProgram> {
                     )?);
                 }
             }
+        }
+        for idb in &mut idbs {
+            idb.tmp_names = (0..idb.subqueries.len())
+                .map(|i| format!("{}_tmp_mDelta{}", idb.rel, i))
+                .collect();
         }
         strata.push(CompiledStratum {
             recursive: stratum.recursive,

@@ -21,8 +21,20 @@
 //! For unique inserts ([`ChainTable::insert_unique`]) a failed CAS re-walks
 //! the chain from the new head before retrying, so two racing equal tuples
 //! resolve to exactly one winner.
+//!
+//! [`ChainTable`] exploits the known-cardinality case (node `i` is input
+//! row `i`, storage sized up front). [`GrowChainTable`] drops that
+//! assumption for the fused streaming pipeline, where the number of join
+//! output tuples is unknown until the join has run: workers *reserve* node
+//! slots through a `fetch_add` allocator over chunked node storage, so the
+//! paper's "pre-allocate big, insert latch-free" protocol survives unknown
+//! sizes — growth never moves a published node and never takes a latch on
+//! the insert path.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use recstep_common::Value;
 
 use crate::key::bucket_of;
 
@@ -195,6 +207,199 @@ impl ChainTable {
     }
 }
 
+/// Pre-planned chunk slots: chunk `k` holds `base << k` nodes, so the
+/// cumulative capacity `base × (2^32 − 1)` exceeds the `u32` node-id
+/// ceiling for any base — a table can always grow to the id limit.
+const GROW_CHUNKS: usize = 32;
+
+/// One lazily allocated shard of node storage. Rows are stored inline
+/// (`width` values per node) so duplicate checks on hash collisions never
+/// need to reach back into operator inputs that no longer exist — the
+/// fused pipeline drops candidate tuples instead of materializing them.
+struct NodeChunk {
+    next: Vec<AtomicU32>,
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicI64>,
+}
+
+impl NodeChunk {
+    fn new(cap: usize, width: usize) -> Self {
+        let mut next = Vec::with_capacity(cap);
+        next.resize_with(cap, || AtomicU32::new(NIL));
+        let mut keys = Vec::with_capacity(cap);
+        keys.resize_with(cap, || AtomicU64::new(0));
+        let mut vals = Vec::with_capacity(cap * width);
+        vals.resize_with(cap * width, || AtomicI64::new(0));
+        NodeChunk { next, keys, vals }
+    }
+}
+
+/// A grow-capable latch-free separate-chaining table over owned rows.
+///
+/// Unlike [`ChainTable`], node ids are not input row numbers: workers
+/// reserve slots with a single `fetch_add` and node storage is a series of
+/// doubling chunks, so concurrent inserts proceed while the table grows —
+/// no published node is ever moved, and the only blocking event is the
+/// one-time allocation of a fresh chunk (`OnceLock`, hit `log₂` times over
+/// a table's whole life).
+///
+/// The insert protocol is the same Treiber-style publish as
+/// [`ChainTable::insert_unique`]: write the slot's fields (Relaxed, the
+/// slot is private until publication), then `compare_exchange` the bucket
+/// head; a failed CAS re-scans the newly published prefix of the chain
+/// before retrying, so two racing equal tuples resolve to exactly one
+/// winner. Slots lost to such races stay reserved but unlinked.
+///
+/// One deliberate trade-off: the *bucket array* is fixed at construction
+/// (concurrently swapping it would reintroduce the latch the paper's
+/// protocol avoids), so node storage grows but chains lengthen past the
+/// sizing hint — a workload whose insert count dwarfs the hint degrades
+/// to longer chain walks, never to incorrectness. Callers should hint
+/// generously; [`GrowChainTable::new`] floors the bucket count at 4096
+/// (16 KiB) so even a wildly wrong hint keeps short chains for the first
+/// couple thousand distinct rows.
+pub struct GrowChainTable {
+    heads: Vec<AtomicU32>,
+    mask: usize,
+    width: usize,
+    /// Capacity of chunk 0 (power of two); chunk `k` holds `base << k`.
+    base: usize,
+    chunks: Vec<OnceLock<NodeChunk>>,
+    alloc: AtomicUsize,
+}
+
+impl GrowChainTable {
+    /// Table for rows of `width` values, pre-sizing chunk 0 for
+    /// `nodes_hint` nodes and the bucket array for `buckets_hint` buckets
+    /// (both rounded up to powers of two). The hints only tune chunk and
+    /// chain lengths — inserts beyond them grow the table.
+    pub fn new(width: usize, nodes_hint: usize, buckets_hint: usize) -> Self {
+        assert!(width > 0, "GrowChainTable rows need at least one column");
+        let base = crate::util::next_pow2_at_least(nodes_hint, 64);
+        let n_buckets = crate::util::next_pow2_at_least(buckets_hint, 4096);
+        let mut heads = Vec::with_capacity(n_buckets);
+        heads.resize_with(n_buckets, || AtomicU32::new(NIL));
+        let mut chunks = Vec::with_capacity(GROW_CHUNKS);
+        chunks.resize_with(GROW_CHUNKS, OnceLock::new);
+        GrowChainTable {
+            heads,
+            mask: n_buckets - 1,
+            width,
+            base,
+            chunks,
+            alloc: AtomicUsize::new(0),
+        }
+    }
+
+    /// Values per stored row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Node slots reserved so far (an upper bound on distinct rows: slots
+    /// lost to duplicate races stay reserved but never become reachable).
+    pub fn slots_reserved(&self) -> usize {
+        self.alloc.load(Ordering::Relaxed)
+    }
+
+    /// Approximate heap footprint in bytes (allocated chunks only).
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.heads.capacity() * 4;
+        for (k, chunk) in self.chunks.iter().enumerate() {
+            if chunk.get().is_some() {
+                bytes += (self.base << k) * (4 + 8 + self.width * 8);
+            }
+        }
+        bytes
+    }
+
+    /// Chunk and in-chunk offset of node slot `idx`, allocating the chunk
+    /// on first touch. Chunk `k` covers slots `base·(2^k − 1) .. base·(2^(k+1) − 1)`.
+    #[inline]
+    fn locate(&self, idx: usize) -> (&NodeChunk, usize) {
+        let q = idx / self.base + 1;
+        let k = (usize::BITS - 1 - q.leading_zeros()) as usize;
+        let off = idx - ((1usize << k) - 1) * self.base;
+        let chunk = self.chunks[k].get_or_init(|| NodeChunk::new(self.base << k, self.width));
+        (chunk, off)
+    }
+
+    #[inline]
+    fn row_eq(&self, chunk: &NodeChunk, off: usize, row: &[Value]) -> bool {
+        let at = off * self.width;
+        row.iter()
+            .enumerate()
+            .all(|(c, &v)| chunk.vals[at + c].load(Ordering::Relaxed) == v)
+    }
+
+    /// Walk the chain from `cur`, stopping at `until` (exclusive; `NIL`
+    /// walks the whole chain). Chains are prepend-only, so `until` set to
+    /// a previously observed head restricts the scan to nodes published
+    /// since that observation.
+    fn chain_contains(&self, mut cur: u32, until: u32, key: u64, row: &[Value]) -> bool {
+        while cur != until && cur != NIL {
+            let (chunk, off) = self.locate((cur - 1) as usize);
+            if chunk.keys[off].load(Ordering::Relaxed) == key && self.row_eq(chunk, off, row) {
+                return true;
+            }
+            cur = chunk.next[off].load(Ordering::Relaxed);
+        }
+        false
+    }
+
+    /// True if an equal row is stored under `key`.
+    pub fn contains_row(&self, key: u64, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.width);
+        let head = self.heads[bucket_of(key, self.mask)].load(Ordering::Acquire);
+        self.chain_contains(head, NIL, key, row)
+    }
+
+    /// Insert `row` under `key` unless an equal row is already stored.
+    /// Returns `true` when this call's row won (it was new). Safe to call
+    /// from any number of threads concurrently; the caller does not manage
+    /// node ids or capacity.
+    pub fn insert_unique_row(&self, key: u64, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.width);
+        let bucket = &self.heads[bucket_of(key, self.mask)];
+        let mut head = bucket.load(Ordering::Acquire);
+        if self.chain_contains(head, NIL, key, row) {
+            return false;
+        }
+        // Reserve a slot and fill it privately (Relaxed: unpublished).
+        let idx = self.alloc.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            idx < u32::MAX as usize - 1,
+            "GrowChainTable supports < 2^32-1 nodes"
+        );
+        let (chunk, off) = self.locate(idx);
+        chunk.keys[off].store(key, Ordering::Relaxed);
+        let at = off * self.width;
+        for (c, &v) in row.iter().enumerate() {
+            chunk.vals[at + c].store(v, Ordering::Relaxed);
+        }
+        let node = (idx + 1) as u32;
+        loop {
+            chunk.next[off].store(head, Ordering::Relaxed);
+            match bucket.compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return true,
+                Err(actual) => {
+                    // Lost a race: scan only the newly published prefix
+                    // for an equal tuple; the slot leaks if one is found.
+                    if self.chain_contains(actual, head, key, row) {
+                        return false;
+                    }
+                    head = actual;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +551,59 @@ mod tests {
         assert_eq!(t.buckets(), 64);
         assert_eq!(t.capacity(), 5);
         assert!(t.heap_bytes() >= 64 * 4 + 5 * 12);
+    }
+
+    #[test]
+    fn grow_table_inserts_across_chunk_boundaries() {
+        // base = 64 (floor), so 1000 rows span chunks 0..=3.
+        let t = GrowChainTable::new(2, 1, 16);
+        for i in 0..1000i64 {
+            assert!(t.insert_unique_row(i as u64, &[i, i * 2]));
+        }
+        assert_eq!(t.slots_reserved(), 1000);
+        for i in 0..1000i64 {
+            assert!(t.contains_row(i as u64, &[i, i * 2]));
+            assert!(!t.contains_row(i as u64, &[i, i * 2 + 1]));
+            assert!(!t.insert_unique_row(i as u64, &[i, i * 2]));
+        }
+        assert!(t.heap_bytes() > 1000 * (4 + 8 + 16));
+    }
+
+    #[test]
+    fn grow_table_distinguishes_colliding_keys_by_row() {
+        // Same key, different rows: both survive; equal rows do not.
+        let t = GrowChainTable::new(2, 8, 8);
+        assert!(t.insert_unique_row(7, &[1, 2]));
+        assert!(t.insert_unique_row(7, &[3, 4]));
+        assert!(!t.insert_unique_row(7, &[1, 2]));
+        assert!(t.contains_row(7, &[1, 2]));
+        assert!(t.contains_row(7, &[3, 4]));
+        assert!(!t.contains_row(7, &[5, 6]));
+    }
+
+    #[test]
+    fn grow_table_parallel_unique_inserts_have_one_winner_per_row() {
+        // 64 distinct rows, each raced by 32 inserts across 8 workers,
+        // with tiny hints so growth happens under contention.
+        let pool = ThreadPool::new(8);
+        let t = GrowChainTable::new(2, 4, 16);
+        let winners: Vec<std::sync::atomic::AtomicU32> = (0..64)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        pool.parallel_for(64 * 32, 8, |range, _| {
+            for i in range {
+                let r = (i % 64) as Value;
+                if t.insert_unique_row(r as u64 % 13, &[r, r + 1]) {
+                    winners[r as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        for w in &winners {
+            assert_eq!(w.load(Ordering::Relaxed), 1);
+        }
+        // Reserved slots may exceed winners (lost races leak slots) but
+        // never the number of insert attempts.
+        assert!(t.slots_reserved() >= 64);
+        assert!(t.slots_reserved() <= 64 * 32);
     }
 }

@@ -6,6 +6,14 @@
 //! regardless of which physical side the hash table was built on — the
 //! build-side choice (the knob OOF re-optimizes every iteration) is purely
 //! physical.
+//!
+//! Every producing operator additionally comes in a `*_sink` form taking a
+//! [`SinkMode`]: in `Delta` mode the worker offers each output row to a
+//! [`crate::sink::DeltaSink`] right at the probe site and buffers only
+//! fresh tuples — the fused streaming pipeline that stops materializing
+//! the UNION-ALL intermediate `Rt`. The plain forms are thin
+//! `Materialize` wrappers, so existing callers and the ablation path are
+//! untouched.
 
 use recstep_common::Value;
 use recstep_storage::RelView;
@@ -13,8 +21,51 @@ use recstep_storage::RelView;
 use crate::chain::ChainTable;
 use crate::expr::{eval_all, Expr, Predicate};
 use crate::key::KeyMode;
-use crate::util::{parallel_fill, parallel_produce, CapGate};
+use crate::sink::SinkMode;
+use crate::util::{parallel_fill, parallel_produce, CapGate, ColBuf};
 use crate::ExecCtx;
+
+/// Emit one flattened row through the sink policy. Returns `true` when a
+/// row was materialized into `buf` (what counts against a producer's row
+/// cap); in `Delta` mode duplicates are dropped here, at the probe site.
+#[inline]
+fn emit_row(
+    sink: &SinkMode<'_>,
+    output: &[Expr],
+    row: &[Value],
+    buf: &mut ColBuf,
+    out_row: &mut Vec<Value>,
+    considered: &mut usize,
+) -> bool {
+    match sink {
+        SinkMode::Materialize => {
+            for (c, e) in output.iter().enumerate() {
+                buf.push_at(c, e.eval(row));
+            }
+            true
+        }
+        SinkMode::Delta(s) => {
+            out_row.clear();
+            out_row.extend(output.iter().map(|e| e.eval(row)));
+            *considered += 1;
+            if s.offer(out_row) {
+                buf.push_row(out_row);
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// Publish a worker's per-morsel offered-row count (no-op when
+/// materializing).
+#[inline]
+fn flush_considered(sink: &SinkMode<'_>, considered: usize) {
+    if let SinkMode::Delta(s) = sink {
+        s.note_considered(considered);
+    }
+}
 
 /// Specification of a binary equi-join.
 pub struct JoinSpec<'a> {
@@ -40,6 +91,17 @@ pub fn hash_join(
     right: RelView<'_>,
     spec: &JoinSpec<'_>,
 ) -> Vec<Vec<Value>> {
+    hash_join_sink(ctx, left, right, spec, &SinkMode::Materialize)
+}
+
+/// [`hash_join`] with an output sink (the fused-pipeline entry point).
+pub fn hash_join_sink(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    spec: &JoinSpec<'_>,
+    sink: &SinkMode<'_>,
+) -> Vec<Vec<Value>> {
     assert_eq!(spec.left_keys.len(), spec.right_keys.len());
     if left.is_empty() || right.is_empty() {
         return vec![Vec::new(); spec.output.len()];
@@ -51,7 +113,7 @@ pub fn hash_join(
         (right, spec.right_keys)
     };
     let table = build_table(ctx, build, build_cols, &mode);
-    hash_join_prebuilt(ctx, left, right, spec, &table, &mode)
+    hash_join_prebuilt_sink(ctx, left, right, spec, &table, &mode, sink)
 }
 
 /// Hash equi-join probing an already-built table over the build side
@@ -70,6 +132,21 @@ pub fn hash_join_prebuilt(
     table: &ChainTable,
     mode: &KeyMode,
 ) -> Vec<Vec<Value>> {
+    hash_join_prebuilt_sink(ctx, left, right, spec, table, mode, &SinkMode::Materialize)
+}
+
+/// [`hash_join_prebuilt`] with an output sink: in `Delta` mode each probe
+/// match immediately probes the full-`R` index and races into the scratch
+/// table, so duplicate join outputs are never buffered.
+pub fn hash_join_prebuilt_sink(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    spec: &JoinSpec<'_>,
+    table: &ChainTable,
+    mode: &KeyMode,
+    sink: &SinkMode<'_>,
+) -> Vec<Vec<Value>> {
     assert_eq!(spec.left_keys.len(), spec.right_keys.len());
     let out_arity = spec.output.len();
     if left.is_empty() || right.is_empty() {
@@ -85,7 +162,8 @@ pub fn hash_join_prebuilt(
     let la = left.arity();
     let width = la + right.arity();
     // Producers stop once `cap` rows are out; the caller reports outputs
-    // reaching the cap as out-of-memory (see `CapGate`).
+    // reaching the cap as out-of-memory (see `CapGate`). In `Delta` mode
+    // only fresh rows count — duplicates occupy no memory.
     let gate = CapGate::new(ctx.row_cap);
 
     parallel_produce(
@@ -98,7 +176,9 @@ pub fn hash_join_prebuilt(
                 return;
             };
             let mut local = 0usize;
+            let mut considered = 0usize;
             let mut scratch = Vec::new();
+            let mut out_row = Vec::new();
             let mut row = vec![0 as Value; width];
             for pr in range {
                 if gate.reached(&mut snapshot, &mut local) {
@@ -119,14 +199,14 @@ pub fn hash_join_prebuilt(
                     for c in 0..right.arity() {
                         row[la + c] = right.get(rr, c);
                     }
-                    if eval_all(spec.residual, &row) {
+                    if eval_all(spec.residual, &row)
+                        && emit_row(sink, spec.output, &row, buf, &mut out_row, &mut considered)
+                    {
                         local += 1;
-                        for (c, e) in spec.output.iter().enumerate() {
-                            buf.push_at(c, e.eval(&row));
-                        }
                     }
                 }
             }
+            flush_considered(sink, considered);
             gate.commit(local);
         },
     )
@@ -143,18 +223,40 @@ pub fn anti_join(
     right_keys: &[usize],
     output: &[Expr],
 ) -> Vec<Vec<Value>> {
+    anti_join_sink(
+        ctx,
+        left,
+        right,
+        left_keys,
+        right_keys,
+        output,
+        &SinkMode::Materialize,
+    )
+}
+
+/// [`anti_join`] with an output sink (the fused-pipeline entry point).
+#[allow(clippy::too_many_arguments)]
+pub fn anti_join_sink(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    output: &[Expr],
+    sink: &SinkMode<'_>,
+) -> Vec<Vec<Value>> {
     let out_arity = output.len();
     if left.is_empty() {
         return vec![Vec::new(); out_arity];
     }
     if right.is_empty() {
         // Nothing to reject: pure projection.
-        return project_filter(ctx, left, output, &[]);
+        return project_filter_sink(ctx, left, output, &[], sink);
     }
     let mode = KeyMode::for_views(left, left_keys, right, right_keys);
     let table = build_table(ctx, right, right_keys, &mode);
-    anti_join_prebuilt(
-        ctx, left, right, left_keys, right_keys, output, &table, &mode,
+    anti_join_prebuilt_sink(
+        ctx, left, right, left_keys, right_keys, output, &table, &mode, sink,
     )
 }
 
@@ -173,17 +275,45 @@ pub fn anti_join_prebuilt(
     table: &ChainTable,
     mode: &KeyMode,
 ) -> Vec<Vec<Value>> {
+    anti_join_prebuilt_sink(
+        ctx,
+        left,
+        right,
+        left_keys,
+        right_keys,
+        output,
+        table,
+        mode,
+        &SinkMode::Materialize,
+    )
+}
+
+/// [`anti_join_prebuilt`] with an output sink.
+#[allow(clippy::too_many_arguments)]
+pub fn anti_join_prebuilt_sink(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    output: &[Expr],
+    table: &ChainTable,
+    mode: &KeyMode,
+    sink: &SinkMode<'_>,
+) -> Vec<Vec<Value>> {
     let out_arity = output.len();
     if left.is_empty() {
         return vec![Vec::new(); out_arity];
     }
     if right.is_empty() {
-        return project_filter(ctx, left, output, &[]);
+        return project_filter_sink(ctx, left, output, &[], sink);
     }
     debug_assert!(table.capacity() >= right.len());
     let exact = mode.exact();
     parallel_produce(&ctx.pool, left.len(), ctx.grain, out_arity, |range, buf| {
         let mut scratch = Vec::new();
+        let mut out_row = Vec::new();
+        let mut considered = 0usize;
         let mut row = Vec::new();
         for lr in range {
             let key = mode.key_of(left, lr, left_keys, &mut scratch);
@@ -192,11 +322,10 @@ pub fn anti_join_prebuilt(
             });
             if !hit {
                 left.copy_row(lr, &mut row);
-                for (c, e) in output.iter().enumerate() {
-                    buf.push_at(c, e.eval(&row));
-                }
+                emit_row(sink, output, &row, buf, &mut out_row, &mut considered);
             }
         }
+        flush_considered(sink, considered);
     })
 }
 
@@ -208,6 +337,18 @@ pub fn cross_join(
     right: RelView<'_>,
     output: &[Expr],
     residual: &[Predicate],
+) -> Vec<Vec<Value>> {
+    cross_join_sink(ctx, left, right, output, residual, &SinkMode::Materialize)
+}
+
+/// [`cross_join`] with an output sink.
+pub fn cross_join_sink(
+    ctx: &ExecCtx,
+    left: RelView<'_>,
+    right: RelView<'_>,
+    output: &[Expr],
+    residual: &[Predicate],
+    sink: &SinkMode<'_>,
 ) -> Vec<Vec<Value>> {
     let out_arity = output.len();
     if left.is_empty() || right.is_empty() {
@@ -226,6 +367,8 @@ pub fn cross_join(
                 return;
             };
             let mut local = 0usize;
+            let mut considered = 0usize;
+            let mut out_row = Vec::new();
             let mut row = vec![0 as Value; width];
             for lr in range {
                 if gate.reached(&mut snapshot, &mut local) {
@@ -239,14 +382,14 @@ pub fn cross_join(
                     for c in 0..right.arity() {
                         row[la + c] = right.get(rr, c);
                     }
-                    if eval_all(residual, &row) {
+                    if eval_all(residual, &row)
+                        && emit_row(sink, output, &row, buf, &mut out_row, &mut considered)
+                    {
                         local += 1;
-                        for (c, e) in output.iter().enumerate() {
-                            buf.push_at(c, e.eval(&row));
-                        }
                     }
                 }
             }
+            flush_considered(sink, considered);
             gate.commit(local);
         },
     )
@@ -259,17 +402,29 @@ pub fn project_filter(
     output: &[Expr],
     residual: &[Predicate],
 ) -> Vec<Vec<Value>> {
+    project_filter_sink(ctx, view, output, residual, &SinkMode::Materialize)
+}
+
+/// [`project_filter`] with an output sink.
+pub fn project_filter_sink(
+    ctx: &ExecCtx,
+    view: RelView<'_>,
+    output: &[Expr],
+    residual: &[Predicate],
+    sink: &SinkMode<'_>,
+) -> Vec<Vec<Value>> {
     let out_arity = output.len();
     parallel_produce(&ctx.pool, view.len(), ctx.grain, out_arity, |range, buf| {
         let mut row = Vec::new();
+        let mut out_row = Vec::new();
+        let mut considered = 0usize;
         for r in range {
             view.copy_row(r, &mut row);
             if eval_all(residual, &row) {
-                for (c, e) in output.iter().enumerate() {
-                    buf.push_at(c, e.eval(&row));
-                }
+                emit_row(sink, output, &row, buf, &mut out_row, &mut considered);
             }
         }
+        flush_considered(sink, considered);
     })
 }
 
@@ -521,6 +676,69 @@ mod tests {
         let mut sums = out[0].clone();
         sums.sort_unstable();
         assert_eq!(sums, vec![5, 6, 7]); // rows (2,3),(3,4),(2,4)
+    }
+
+    #[test]
+    fn delta_sink_join_emits_exactly_the_fresh_distinct_rows() {
+        use crate::index::PersistentIndex;
+        use crate::sink::{DeltaSink, SinkMode};
+        // tc ⋈ arc with a sink over base R: output must equal
+        // dedup(join) − R, computed here via the materializing join.
+        let ctx = ctx();
+        let tc = arc();
+        let a = arc();
+        let base = Relation::from_rows(
+            Schema::with_arity("r", 2),
+            &[vec![1, 3], vec![7, 7]], // (1,3) is a join output, (7,7) is not
+        );
+        let spec = JoinSpec {
+            left_keys: &[1],
+            right_keys: &[0],
+            build_left: false,
+            output: &[Expr::Col(0), Expr::Col(3)],
+            residual: &[],
+        };
+        let materialized = hash_join(&ctx, tc.view(), a.view(), &spec);
+        let mut oracle = rows_of(&materialized);
+        oracle.retain(|r| r != &vec![1, 3]);
+
+        let index = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        let sink = DeltaSink::new(&index, base.view(), 16);
+        let fused = hash_join_sink(&ctx, tc.view(), a.view(), &spec, &SinkMode::Delta(&sink));
+        assert_eq!(rows_of(&fused), oracle);
+        // No duplicates buffered: row count equals the distinct count.
+        assert_eq!(fused[0].len(), oracle.len());
+        // Every produced tuple was considered, duplicates included.
+        assert_eq!(sink.considered(), materialized[0].len());
+    }
+
+    #[test]
+    fn delta_sink_threads_through_anti_join_and_projection() {
+        use crate::index::PersistentIndex;
+        use crate::sink::{DeltaSink, SinkMode};
+        let ctx = ctx();
+        let l = Relation::from_rows(
+            Schema::with_arity("l", 2),
+            &[vec![1, 10], vec![2, 20], vec![3, 30], vec![3, 30]],
+        );
+        let r = Relation::from_rows(Schema::with_arity("r", 1), &[vec![2]]);
+        // Two base rows so the packed layout's bounds cover (3, 30).
+        let base = Relation::from_rows(Schema::with_arity("b", 2), &[vec![1, 10], vec![5, 50]]);
+        let index = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        let sink = DeltaSink::new(&index, base.view(), 8);
+        let out = anti_join_sink(
+            &ctx,
+            l.view(),
+            r.view(),
+            &[0],
+            &[0],
+            &[Expr::Col(0), Expr::Col(1)],
+            &SinkMode::Delta(&sink),
+        );
+        // (2,20) rejected by the anti join, (1,10) already in base,
+        // (3,30) deduplicated to one row.
+        assert_eq!(rows_of(&out), [vec![3, 30]].into_iter().collect());
+        assert_eq!(out[0].len(), 1);
     }
 
     #[test]

@@ -142,6 +142,27 @@ impl KeyLayout {
         key
     }
 
+    /// Pack `vals` only if every value is representable: `None` when a
+    /// value escapes its slot. This is the streaming form of compact-key
+    /// invalidation — the fused pipeline checks each produced row as it
+    /// streams past instead of scanning a materialized batch's bounds.
+    #[inline]
+    pub fn try_pack(&self, vals: &[Value]) -> Option<u64> {
+        debug_assert_eq!(vals.len(), self.slots.len());
+        let mut key = 0u64;
+        for (slot, &v) in self.slots.iter().zip(vals) {
+            if v < slot.min {
+                return None;
+            }
+            let off = (v as i128 - slot.min as i128) as u128;
+            if slot.bits < 64 && off >= (1u128 << slot.bits) {
+                return None;
+            }
+            key |= (off as u64) << slot.shift;
+        }
+        Some(key)
+    }
+
     /// Pack key columns of row `r` in `view`.
     #[inline]
     pub fn pack_row(&self, view: RelView<'_>, r: usize, cols: &[usize]) -> u64 {
@@ -206,6 +227,18 @@ impl KeyMode {
     /// True when key equality implies tuple equality.
     pub fn exact(&self) -> bool {
         matches!(self, KeyMode::Packed(_))
+    }
+
+    /// Key of an owned row (all values are key columns, in order), or
+    /// `None` when a packed layout cannot represent it. Hashed mode never
+    /// fails. Produces the same keys as [`KeyMode::key_of`] over identity
+    /// key columns, so streamed rows and stored rows compare equal.
+    #[inline]
+    pub fn try_key_of_row(&self, row: &[Value]) -> Option<u64> {
+        match self {
+            KeyMode::Packed(layout) => layout.try_pack(row),
+            KeyMode::Hashed => Some(hash_row(row)),
+        }
     }
 
     /// Key of row `r`'s key columns in `view`.
@@ -376,6 +409,42 @@ mod tests {
         assert_eq!(layout.total_bits(), 4);
         assert_eq!(bounds_of(r.view(), &[0]), Some(vec![(4, 19)]));
         assert_eq!(bounds_of(r.prefix_view(0), &[0]), None);
+    }
+
+    #[test]
+    fn try_pack_agrees_with_pack_and_detects_escapes() {
+        let layout = KeyLayout::from_bounds(&[(0, 255), (-8, 7)]).unwrap();
+        assert_eq!(layout.try_pack(&[17, -3]), Some(layout.pack(&[17, -3])));
+        assert_eq!(layout.try_pack(&[255, 7]), Some(layout.pack(&[255, 7])));
+        // Below a slot minimum and above a slot span both escape.
+        assert_eq!(layout.try_pack(&[-1, 0]), None);
+        assert_eq!(layout.try_pack(&[256, 0]), None);
+        assert_eq!(layout.try_pack(&[0, 8]), None);
+        // 64-bit slots cover everything.
+        let wide = KeyLayout::from_bounds(&[(Value::MIN, Value::MAX)]).unwrap();
+        assert_eq!(wide.try_pack(&[Value::MAX]), Some(wide.pack(&[Value::MAX])));
+    }
+
+    #[test]
+    fn try_key_of_row_matches_key_of_identity_columns() {
+        let rel = Relation::from_rows(
+            Schema::with_arity("t", 2),
+            &[vec![5, -3], vec![100, 7], vec![50, 0]],
+        );
+        for mode in [KeyMode::for_view(rel.view(), &[0, 1]), KeyMode::Hashed] {
+            let mut s = Vec::new();
+            for r in 0..rel.len() {
+                let row = [rel.col(0)[r], rel.col(1)[r]];
+                assert_eq!(
+                    mode.try_key_of_row(&row),
+                    Some(mode.key_of(rel.view(), r, &[0, 1], &mut s))
+                );
+            }
+        }
+        // Escapes surface as None only in packed mode.
+        let packed = KeyMode::for_view(rel.view(), &[0, 1]);
+        assert_eq!(packed.try_key_of_row(&[Value::MAX, 0]), None);
+        assert!(KeyMode::Hashed.try_key_of_row(&[Value::MAX, 0]).is_some());
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //!   row ids: built once, grown incrementally across fixpoint iterations,
 //!   with the fused dedup + set-difference pass (`absorb`);
 //! * [`join`] — parallel hash equi-join with residual predicates and
-//!   projection, cross join, and anti join (for stratified negation);
+//!   projection, cross join, and anti join (for stratified negation); every
+//!   producing operator also has a `*_sink` form feeding a [`sink::SinkMode`];
+//! * [`sink`] — the fused streaming delta pipeline: a [`sink::DeltaSink`]
+//!   probed at the operators' emit sites fuses dedup + set difference into
+//!   the join itself, so the UNION-ALL intermediate `Rt` never materializes
+//!   (duplicates are dropped at the probe site, backed by the grow-capable
+//!   [`chain::GrowChainTable`]);
 //! * [`setdiff`] — one-phase (OPSD) and two-phase (TPSD) set difference and
 //!   the dynamic choice (DSD) driven by the Appendix A cost model;
 //! * [`agg`] — hash group-by aggregation (MIN/MAX/SUM/COUNT/AVG) and the
@@ -32,6 +38,7 @@ pub mod index;
 pub mod join;
 pub mod key;
 pub mod setdiff;
+pub mod sink;
 pub mod util;
 
 use std::sync::Arc;

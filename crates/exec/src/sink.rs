@@ -1,0 +1,237 @@
+//! The fused streaming delta pipeline: dedup + set difference pushed into
+//! the producing operator's probe loop.
+//!
+//! Algorithm 1 materializes the full UNION-ALL intermediate `Rt` before a
+//! second pass deduplicates it and subtracts `R` — on transitive closure
+//! the duplication factor of `Rt` is enormous, so most of what gets
+//! copied, merged and re-scanned is thrown away. A [`DeltaSink`] removes
+//! the intermediate entirely: every morsel worker of the *final* operator
+//! of a subquery offers each produced row to the sink, which
+//!
+//! 1. packs/hashes the whole tuple once ([`crate::key::KeyMode`]),
+//! 2. probes the per-stratum full-`R` [`PersistentIndex`] (set membership
+//!    in `R`), and
+//! 3. races an `insert_unique_row` into a shared iteration-scratch
+//!    [`GrowChainTable`] (dedup *within* the candidates, across all rules
+//!    of the IDB — UNION ALL dedups at source).
+//!
+//! Only CAS winners — exactly `∆R` — are buffered; duplicates are never
+//! pushed into a column buffer, never merged, never re-scanned. The
+//! scratch table is grow-capable because join output cardinality is
+//! unknown up front (see [`GrowChainTable`]).
+//!
+//! ## Compact-key escapes
+//!
+//! A packed key layout derived from `R`'s bounds may not represent a
+//! candidate value. Such a row provably equals *no* packed-fitting tuple
+//! (a tuple fits iff each of its values fits, so equal tuples fit or
+//! escape together) — it is neither in `R` nor equal to any sink winner.
+//! Escaped rows are parked in an overflow list and only need dedup among
+//! themselves; the caller folds the survivors into `∆R` and the
+//! subsequent index `append` performs the one-time hashed rebuild.
+//!
+//! [`SinkMode`] is the switch operators consume: `Materialize` preserves
+//! the UNION-ALL contract (every row is buffered), `Delta` streams rows
+//! through a sink. The materializing mode stays available behind
+//! `--no-fused-pipeline` for ablations and for paths that genuinely need
+//! a materialized `Rt` (OOF-FA statistics, per-query temp-table spills).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use recstep_common::Value;
+use recstep_storage::RelView;
+
+use crate::chain::GrowChainTable;
+use crate::index::PersistentIndex;
+use crate::key::KeyMode;
+
+/// How a producing operator disposes of its output rows.
+pub enum SinkMode<'a> {
+    /// Buffer every row (UNION ALL semantics; Algorithm 1's `uieval`).
+    Materialize,
+    /// Stream rows through a fused dedup + set-difference sink; only
+    /// fresh rows are buffered.
+    Delta(&'a DeltaSink<'a>),
+}
+
+/// Shared per-iteration state of one fused streaming pass: the full-`R`
+/// index to probe, the scratch table deduplicating candidates, and the
+/// overflow list for compact-key escapes.
+pub struct DeltaSink<'a> {
+    index: &'a PersistentIndex,
+    base: RelView<'a>,
+    mode: KeyMode,
+    exact: bool,
+    arity: usize,
+    scratch: GrowChainTable,
+    /// Rows escaping a packed key layout, flattened row-major (rare; at
+    /// most one iteration per stratum sees any, right before the index's
+    /// one-time hashed rebuild).
+    overflow: Mutex<Vec<Value>>,
+    considered: AtomicUsize,
+}
+
+impl<'a> DeltaSink<'a> {
+    /// Sink probing `index` (whole-tuple keys over `base`, which must be
+    /// the relation the index covers). `fresh_hint` pre-sizes the scratch
+    /// table — an estimate of `|∆R|`, not a cap.
+    pub fn new(index: &'a PersistentIndex, base: RelView<'a>, fresh_hint: usize) -> Self {
+        assert_eq!(
+            index.rows(),
+            base.len(),
+            "index out of sync with its base relation"
+        );
+        let arity = base.arity();
+        assert!(
+            index.key_cols().iter().copied().eq(0..arity),
+            "fused sink requires whole-tuple index keys"
+        );
+        // An index over an empty relation has no key mode yet (deferred
+        // choice); hash for this iteration — nothing is probed anyway,
+        // and the merge's `append` picks the real mode from `R`'s bounds.
+        let mode = if base.is_empty() {
+            KeyMode::Hashed
+        } else {
+            index.mode().clone()
+        };
+        let exact = mode.exact();
+        let hint = fresh_hint.max(64);
+        DeltaSink {
+            index,
+            base,
+            mode,
+            exact,
+            arity,
+            scratch: GrowChainTable::new(arity, hint, hint.saturating_mul(2)),
+            overflow: Mutex::new(Vec::new()),
+            considered: AtomicUsize::new(0),
+        }
+    }
+
+    /// Offer one produced row (head layout). Returns `true` when the row
+    /// is fresh — not in `R`, not yet offered this iteration — and should
+    /// be buffered as part of `∆R`. Duplicates and escapes return `false`
+    /// and must not be buffered. Callable from any worker concurrently.
+    #[inline]
+    pub fn offer(&self, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let Some(key) = self.mode.try_key_of_row(row) else {
+            self.overflow.lock().extend_from_slice(row);
+            return false;
+        };
+        if !self.base.is_empty() {
+            let in_base = self.index.table().iter_key(key).any(|node| {
+                self.exact || (0..self.arity).all(|c| self.base.get(node as usize, c) == row[c])
+            });
+            if in_base {
+                return false;
+            }
+        }
+        self.scratch.insert_unique_row(key, row)
+    }
+
+    /// Fold a worker's per-morsel count of offered rows into the shared
+    /// total (one atomic add per morsel keeps the hot path clean).
+    pub fn note_considered(&self, n: usize) {
+        if n > 0 {
+            self.considered.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Rows offered across all workers — `|Rt|` of the materializing
+    /// path, without `Rt` ever existing.
+    pub fn considered(&self) -> usize {
+        self.considered.load(Ordering::Relaxed)
+    }
+
+    /// Approximate scratch-table heap footprint.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.heap_bytes()
+    }
+
+    /// Drain the compact-key escapes (row-major). May contain duplicates
+    /// of each other, never of `R` or of sink winners.
+    pub fn take_overflow(&self) -> Vec<Vec<Value>> {
+        let flat = std::mem::take(&mut *self.overflow.lock());
+        flat.chunks(self.arity).map(<[Value]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecCtx;
+    use recstep_storage::{Relation, Schema};
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::with_threads(4)
+    }
+
+    #[test]
+    fn offer_filters_base_members_and_duplicates() {
+        let ctx = ctx();
+        let base = Relation::from_rows(Schema::with_arity("r", 2), &[vec![0, 0], vec![9, 90]]);
+        let idx = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        let sink = DeltaSink::new(&idx, base.view(), 8);
+        assert!(!sink.offer(&[9, 90]), "already in R");
+        assert!(sink.offer(&[3, 30]), "fresh");
+        assert!(!sink.offer(&[3, 30]), "duplicate candidate");
+        assert!(sink.offer(&[4, 40]));
+        sink.note_considered(4);
+        assert_eq!(sink.considered(), 4);
+        assert!(sink.take_overflow().is_empty());
+        assert!(sink.scratch_bytes() > 0);
+    }
+
+    #[test]
+    fn packed_escapes_land_in_overflow() {
+        let ctx = ctx();
+        let base = Relation::from_rows(Schema::with_arity("r", 2), &[vec![1, 2], vec![100, 200]]);
+        let idx = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        assert!(idx.mode().exact(), "small values pack");
+        let sink = DeltaSink::new(&idx, base.view(), 8);
+        assert!(!sink.offer(&[Value::MIN, Value::MAX]), "escape is parked");
+        assert!(!sink.offer(&[Value::MIN, Value::MAX]), "parked again");
+        assert!(sink.offer(&[3, 4]), "fitting rows still stream");
+        let overflow = sink.take_overflow();
+        assert_eq!(
+            overflow,
+            vec![vec![Value::MIN, Value::MAX], vec![Value::MIN, Value::MAX]]
+        );
+        assert!(sink.take_overflow().is_empty(), "drained");
+    }
+
+    #[test]
+    fn empty_base_defers_to_hashed_and_accepts_everything_once() {
+        let ctx = ctx();
+        let base = Relation::new(Schema::with_arity("r", 2));
+        let idx = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        let sink = DeltaSink::new(&idx, base.view(), 4);
+        // No escapes possible in hashed mode, even for extreme values.
+        assert!(sink.offer(&[Value::MIN, Value::MAX]));
+        assert!(!sink.offer(&[Value::MIN, Value::MAX]));
+        assert!(sink.offer(&[0, 0]));
+        assert!(sink.take_overflow().is_empty());
+    }
+
+    #[test]
+    fn concurrent_offers_produce_each_fresh_row_once() {
+        let ctx = ctx();
+        // Wide bounds so every offered row fits the packed layout.
+        let base = Relation::from_rows(Schema::with_arity("r", 2), &[vec![0, 1], vec![40, 41]]);
+        let idx = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        let sink = DeltaSink::new(&idx, base.view(), 4);
+        let winners = AtomicUsize::new(0);
+        // 32 distinct rows (one equals a base row), offered 64× each.
+        ctx.pool.parallel_for(32 * 64, 16, |range, _| {
+            for i in range {
+                let r = (i % 32) as Value;
+                if sink.offer(&[r, r + 1]) {
+                    winners.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 31);
+    }
+}

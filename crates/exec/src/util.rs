@@ -100,10 +100,19 @@ fn merge_parts(parts: Vec<ColBuf>, arity: usize) -> Vec<Vec<Value>> {
     let Some(first) = iter.next() else {
         return vec![Vec::new(); arity];
     };
+    // The first part's buffers are moved, not copied; the remaining rows
+    // are counted up front so every column grows exactly once.
+    let rest: Vec<ColBuf> = iter.collect();
+    let extra: usize = rest.iter().map(ColBuf::len).sum();
     let mut out = first.cols;
-    for part in iter {
-        for (dst, mut src) in out.iter_mut().zip(part.cols) {
-            dst.append(&mut src);
+    if extra > 0 {
+        for col in &mut out {
+            col.reserve_exact(extra);
+        }
+        for part in rest {
+            for (dst, mut src) in out.iter_mut().zip(part.cols) {
+                dst.append(&mut src);
+            }
         }
     }
     out

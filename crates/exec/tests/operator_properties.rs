@@ -228,4 +228,49 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn grow_chain_concurrent_inserts_match_sequential_membership(
+        rows in proptest::collection::vec((0i64..24, 0i64..24), 0..400),
+    ) {
+        // The fused pipeline's scratch table: concurrent reserve + insert
+        // (fetch_add slot allocator, chunked storage, duplicate races)
+        // must yield exactly the membership of a sequential
+        // build-from-scratch, with one winner per distinct row.
+        use recstep_common::hash::hash_row;
+        use recstep_common::sched::ThreadPool;
+        use recstep_exec::chain::GrowChainTable;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Tiny hints force chunk growth and long chains under contention.
+        let concurrent = GrowChainTable::new(2, 4, 16);
+        let winners = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        pool.parallel_for(rows.len(), 7, |range, _| {
+            for i in range {
+                let row = [rows[i].0, rows[i].1];
+                if concurrent.insert_unique_row(hash_row(&row), &row) {
+                    winners.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        let sequential = GrowChainTable::new(2, 4, 16);
+        for &(a, b) in &rows {
+            let _ = sequential.insert_unique_row(hash_row(&[a, b]), &[a, b]);
+        }
+        let distinct: BTreeSet<Pair> = rows.iter().copied().collect();
+        prop_assert_eq!(winners.load(Ordering::Relaxed), distinct.len());
+        for a in 0..24i64 {
+            for b in 0..24i64 {
+                let row = [a, b];
+                let key = hash_row(&row);
+                prop_assert_eq!(
+                    concurrent.contains_row(key, &row),
+                    sequential.contains_row(key, &row),
+                    "membership diverges at ({}, {})", a, b
+                );
+            }
+        }
+    }
 }
