@@ -53,6 +53,10 @@ fn main() {
         result.rt_rows_skipped_at_source,
         result.rt_bytes_never_materialized
     );
+    println!(
+        "  shared index cache: {} misses on run 1, {} hits on run 2, {} resident bytes",
+        result.cache_misses, result.cache_hits, result.cache_bytes
+    );
     let out = std::env::var("RECSTEP_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
     let path = std::path::PathBuf::from(out);
     result.write_json(&path).expect("write BENCH_pipeline.json");

@@ -156,6 +156,16 @@ pub struct PipelineBench {
     pub rt_bytes_never_materialized: usize,
     /// `Rt` bytes the unfused run materialized and merged.
     pub unfused_rt_merge_bytes: usize,
+    /// Shared-cache misses of the first fused run over a fresh database
+    /// (indexes built and published).
+    pub cache_misses: usize,
+    /// Shared-cache hits of a *second* fused run over the same database —
+    /// the cross-run reuse this cache exists for.
+    pub cache_hits: usize,
+    /// Entries evicted across the two cache-measurement runs.
+    pub cache_evictions: usize,
+    /// Cache resident bytes after the second run.
+    pub cache_bytes: usize,
 }
 
 impl PipelineBench {
@@ -182,7 +192,9 @@ impl PipelineBench {
              \"fused\": {{\"secs\": {:.6}, \"tuples_per_sec\": {:.1}, \"peak_bytes\": {}}},\n  \
              \"unfused\": {{\"secs\": {:.6}, \"tuples_per_sec\": {:.1}, \"peak_bytes\": {}}},\n  \
              \"rt_rows_skipped_at_source\": {},\n  \"rt_bytes_never_materialized\": {},\n  \
-             \"unfused_rt_merge_bytes\": {},\n  \"speedup\": {:.3}\n}}\n",
+             \"unfused_rt_merge_bytes\": {},\n  \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"resident_bytes\": {}}},\n  \"speedup\": {:.3}\n}}\n",
             self.workload,
             self.edges,
             self.rows,
@@ -197,6 +209,10 @@ impl PipelineBench {
             self.rt_rows_skipped_at_source,
             self.rt_bytes_never_materialized,
             self.unfused_rt_merge_bytes,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_bytes,
             self.speedup(),
         )
     }
@@ -272,6 +288,16 @@ pub fn run_pipeline_bench(
         "both modes evaluate the same candidate stream"
     );
     assert_eq!(fused_stats.rt_merge_bytes, 0, "fused run must not merge Rt");
+    // Cross-run cache measurement (untimed): two fused runs over *one*
+    // database — the second run's shared-cache hits witness the cross-run
+    // index reuse the database-owned cache exists for.
+    let (cache_first, cache_second) = {
+        let prog = prepared(cfg(true), recstep::programs::TC);
+        let mut db = db_with_edges(&[("arc", edges)]);
+        let first = prog.run(&mut db).expect("TC completes");
+        let second = prog.run(&mut db).expect("TC completes");
+        (first, second)
+    };
     PipelineBench {
         workload: workload.to_string(),
         edges: edges.len(),
@@ -285,6 +311,10 @@ pub fn run_pipeline_bench(
         rt_rows_skipped_at_source: fused_stats.rt_rows_skipped_at_source,
         rt_bytes_never_materialized: fused_stats.rt_bytes_never_materialized,
         unfused_rt_merge_bytes: unfused_stats.rt_merge_bytes,
+        cache_misses: cache_first.index.cache_misses,
+        cache_hits: cache_second.index.cache_hits,
+        cache_evictions: cache_first.index.cache_evictions + cache_second.index.cache_evictions,
+        cache_bytes: cache_second.index.cache_bytes,
     }
 }
 

@@ -12,13 +12,17 @@
 //!   --explain         print the generated SQL and exit
 //!   --no-uie | --no-eost | --no-pbme | --oof-na | --oof-fa
 //!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd | --no-index-reuse
-//!   --no-fused-pipeline
+//!   --no-fused-pipeline | --no-shared-index-cache
 //!                     turn individual optimizations off (the paper's
 //!                     Figure 2 ablation switches, the persistent
-//!                     incremental-index toggle, and the fused streaming
-//!                     delta pipeline toggle)
+//!                     incremental-index toggle, the fused streaming
+//!                     delta pipeline toggle, and the shared cross-run
+//!                     index cache toggle)
+//!   --index-cache-budget MB
+//!                     resident budget of the shared index cache
+//!                     [default: 2048]
 //!   --stats           print the evaluation statistics report (per-phase
-//!                     pipeline timers included)
+//!                     pipeline timers and shared-cache counters included)
 //! ```
 //!
 //! The program is compiled exactly once (`Engine::prepare`); evaluation
@@ -44,7 +48,8 @@ fn usage() -> ! {
         "usage: recstep PROGRAM.datalog [--facts DIR] [--out DIR] [--threads N] \
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
          [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
-         [--no-index-reuse] [--no-fused-pipeline]"
+         [--no-index-reuse] [--no-fused-pipeline] [--no-shared-index-cache] \
+         [--index-cache-budget MB]"
     );
     std::process::exit(2);
 }
@@ -86,6 +91,13 @@ fn parse_args() -> Args {
             "--setdiff-tpsd" => cfg.setdiff = SetDiffStrategy::AlwaysTpsd,
             "--no-index-reuse" => cfg.index_reuse = false,
             "--no-fused-pipeline" => cfg.fused_pipeline = false,
+            "--no-shared-index-cache" => cfg.shared_index_cache = false,
+            "--index-cache-budget" => {
+                cfg.index_cache_budget_bytes = value("--index-cache-budget")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage())
+                    << 20
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -160,6 +172,14 @@ fn main() -> ExitCode {
                 "off (materialize Rt, absorb in a second pass)"
             }
         );
+        println!(
+            "-- shared_index_cache: {}",
+            if engine.config().shared_index_cache {
+                "on (frozen-relation join indexes shared across runs)"
+            } else {
+                "off (per-run indexes)"
+            }
+        );
         println!("{}", prepared.explain_sql());
         return ExitCode::SUCCESS;
     }
@@ -204,6 +224,14 @@ fn main() -> ExitCode {
                     stats_out.index.join_appends,
                     stats_out.index.join_reuses,
                     stats_out.index.bytes_peak
+                );
+                println!(
+                    "shared index cache: {} hits / {} misses / {} evictions; \
+                     {} resident bytes",
+                    stats_out.index.cache_hits,
+                    stats_out.index.cache_misses,
+                    stats_out.index.cache_evictions,
+                    stats_out.index.cache_bytes
                 );
                 println!("peak bytes (engine estimate): {}", stats_out.peak_bytes);
                 println!(

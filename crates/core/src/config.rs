@@ -63,6 +63,19 @@ pub struct Config {
     /// (those paths genuinely need a materialized `Rt`). Off = keep the
     /// two-phase materialize-then-absorb pipeline (for ablations).
     pub fused_pipeline: bool,
+    /// Shared cross-run index cache: join build-side indexes over frozen
+    /// relations (EDBs, relations this program never derives) are
+    /// published into the database-owned [`recstep_exec::cache::IndexCache`]
+    /// keyed by `(relation, catalog version, key columns)`, so N runs over
+    /// one database — sequential or concurrent — build each such index
+    /// exactly once. Off = every run rebuilds its own indexes (the
+    /// pre-cache per-run behavior, kept for ablations).
+    pub shared_index_cache: bool,
+    /// Resident-byte budget of the shared index cache. A publish that
+    /// would exceed it evicts coldest entries first (scored by
+    /// `bytes / rebuild_cost`), and the engine's memory-pressure path
+    /// spills the cache before reporting OOM.
+    pub index_cache_budget_bytes: usize,
     /// Bit-matrix evaluation policy (§5.3 PBME).
     pub pbme: PbmeMode,
     /// Work-order threshold for coordinated SG-PBME (Figure 7); `None` =
@@ -89,6 +102,8 @@ impl Default for Config {
             dedup: DedupImpl::Fast,
             index_reuse: true,
             fused_pipeline: true,
+            shared_index_cache: true,
+            index_cache_budget_bytes: 2 << 30,
             pbme: PbmeMode::Auto,
             pbme_coordination: None,
             mem_budget_bytes: 8 << 30,
@@ -114,6 +129,7 @@ impl Config {
             dedup: DedupImpl::Generic,
             index_reuse: false,
             fused_pipeline: false,
+            shared_index_cache: false,
             pbme: PbmeMode::Off,
             ..Config::default()
         }
@@ -168,6 +184,18 @@ impl Config {
         self
     }
 
+    /// Toggle the shared cross-run index cache (off = per-run indexes).
+    pub fn shared_index_cache(mut self, on: bool) -> Self {
+        self.shared_index_cache = on;
+        self
+    }
+
+    /// Set the shared index cache's resident-byte budget.
+    pub fn index_cache_budget(mut self, bytes: usize) -> Self {
+        self.index_cache_budget_bytes = bytes;
+        self
+    }
+
     /// Set the PBME mode.
     pub fn pbme(mut self, mode: PbmeMode) -> Self {
         self.pbme = mode;
@@ -215,6 +243,8 @@ mod tests {
         assert!(c.eost);
         assert!(c.index_reuse);
         assert!(c.fused_pipeline);
+        assert!(c.shared_index_cache);
+        assert!(c.index_cache_budget_bytes > 0);
         assert_eq!(c.oof, OofMode::Selective);
         assert_eq!(c.setdiff, SetDiffStrategy::Dynamic);
         assert_eq!(c.dedup, DedupImpl::Fast);
@@ -228,6 +258,7 @@ mod tests {
         assert!(!c.eost);
         assert!(!c.index_reuse);
         assert!(!c.fused_pipeline);
+        assert!(!c.shared_index_cache);
         assert_eq!(c.oof, OofMode::None);
         assert_eq!(c.setdiff, SetDiffStrategy::AlwaysOpsd);
         assert_eq!(c.dedup, DedupImpl::Generic);

@@ -11,16 +11,34 @@
 //! [`Database::relation`] borrows the stored columns directly, and
 //! materializing an owned `Vec<Vec<Value>>` is an explicit `to_vec()`
 //! escape hatch rather than the default.
+//!
+//! The database also owns the **shared cross-run index cache**
+//! ([`Database::index_cache`]): join build-side indexes over frozen
+//! relations, built by one run and reused — concurrently — by every other
+//! run over this database. The cache is keyed by catalog version, so
+//! loading new data never serves stale indexes; it just makes them cold.
+
+use std::sync::Arc;
 
 use recstep_common::{Error, Result, Value};
+use recstep_exec::cache::IndexCache;
 use recstep_storage::{Catalog, CommitMode, DiskManager, RelHandle, Schema};
+
+use crate::stats::EvalStats;
 
 /// A collection of relations: EDB inputs plus the IDB results of any
 /// programs that have run over it.
 pub struct Database {
     catalog: Catalog,
     disk: DiskManager,
+    cache: Arc<IndexCache>,
 }
+
+// `&Database` is handed to N concurrent `run_shared` evaluations.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 impl Database {
     /// Create an empty database with a fresh simulated persistent store.
@@ -28,6 +46,7 @@ impl Database {
         Ok(Database {
             catalog: Catalog::new(),
             disk: DiskManager::new(CommitMode::Eost)?,
+            cache: Arc::new(IndexCache::new()),
         })
     }
 
@@ -106,9 +125,74 @@ impl Database {
         }
     }
 
+    /// The shared cross-run index cache owned by this database.
+    ///
+    /// Useful for observation (resident bytes, entry count) and for
+    /// explicit spills: [`IndexCache::evict_all`] drops every entry no run
+    /// is currently using, after which the next run simply rebuilds.
+    ///
+    /// ```
+    /// use recstep::{Database, Engine};
+    ///
+    /// let engine = Engine::builder().threads(1).build().unwrap();
+    /// let prog = engine.prepare("p(x) :- node(x), !blocked(x).").unwrap();
+    /// let mut db = Database::new().unwrap();
+    /// db.load_relation("node", 1, &[vec![1], vec![2], vec![3]]).unwrap();
+    /// db.load_relation("blocked", 1, &[vec![1], vec![3]]).unwrap();
+    ///
+    /// let first = prog.run(&mut db).unwrap();
+    /// assert_eq!(first.index.cache_misses, 1); // built + published
+    /// assert!(db.index_cache().resident_bytes() > 0);
+    ///
+    /// let again = prog.run(&mut db).unwrap();
+    /// assert_eq!(again.index.cache_hits, 1); // reused, not rebuilt
+    ///
+    /// db.index_cache().evict_all(); // explicit spill: next run rebuilds
+    /// assert_eq!(db.index_cache().resident_bytes(), 0);
+    /// ```
+    pub fn index_cache(&self) -> &Arc<IndexCache> {
+        &self.cache
+    }
+
     /// Split borrow for evaluation: mutable catalog + mutable store.
     pub(crate) fn eval_parts(&mut self) -> (&mut Catalog, &mut DiskManager) {
         (&mut self.catalog, &mut self.disk)
+    }
+}
+
+/// The results of one shared-mode evaluation
+/// ([`crate::PreparedProgram::run_shared`]): the run-local overlay catalog
+/// holding every relation the run derived (or shadowed), plus the run's
+/// statistics. The base [`Database`] is untouched — reading results goes
+/// through this value instead.
+pub struct RunOutput {
+    pub(crate) catalog: Catalog,
+    pub(crate) stats: EvalStats,
+}
+
+impl RunOutput {
+    /// Zero-copy handle over a derived relation, if this run produced it.
+    pub fn relation(&self, name: &str) -> Option<RelHandle<'_>> {
+        self.catalog
+            .lookup(name)
+            .map(|id| RelHandle::new(self.catalog.rel(id)))
+    }
+
+    /// Row count of a derived relation (0 if this run did not produce it).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.catalog
+            .lookup(name)
+            .map_or(0, |id| self.catalog.rel(id).len())
+    }
+
+    /// The run's evaluation statistics.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// The overlay catalog itself (every relation this run wrote).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 }
 

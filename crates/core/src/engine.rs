@@ -165,6 +165,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle the shared cross-run index cache (off = every run builds its
+    /// own frozen-relation indexes, the pre-cache per-run behavior).
+    pub fn shared_index_cache(mut self, on: bool) -> Self {
+        self.cfg.shared_index_cache = on;
+        self
+    }
+
+    /// Resident-byte budget of the shared index cache (publishes evict
+    /// coldest-first past it; the pre-OOM pressure path spills it).
+    pub fn index_cache_budget(mut self, bytes: usize) -> Self {
+        self.cfg.index_cache_budget_bytes = bytes;
+        self
+    }
+
     /// Bit-matrix evaluation policy (§5.3 PBME).
     pub fn pbme(mut self, mode: PbmeMode) -> Self {
         self.cfg.pbme = mode;

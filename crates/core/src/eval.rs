@@ -37,10 +37,15 @@
 //!
 //! The loop is deliberately free of engine-object state: one [`EvalRun`]
 //! borrows the engine's immutable configuration and execution context
-//! plus one database's mutable catalog and store, which is what lets a
-//! single [`crate::PreparedProgram`] run concurrently over distinct
-//! [`crate::Database`]s.
+//! plus one database's catalog — exclusively, or as a frozen base under a
+//! run-local overlay ([`RunCatalog`]) — which is what lets a single
+//! [`crate::PreparedProgram`] run concurrently over distinct
+//! [`crate::Database`]s *and* concurrently over one shared database.
+//! Frozen-relation join indexes are served from the database's shared
+//! cross-run [`IndexCache`] (built once across runs, evicted under
+//! memory pressure); everything mutable stays run-local.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use recstep_common::hash::{FxHashMap, FxHashSet};
@@ -50,16 +55,19 @@ use recstep_datalog::plan::{
     AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, ScanSpec, SubQuery,
 };
 use recstep_exec::agg::{AggCol, MonotonicAgg};
+use recstep_exec::cache::{CacheKey, IndexCache};
+use recstep_exec::chain::ChainTable;
 use recstep_exec::dedup::deduplicate;
-use recstep_exec::index::{PersistentIndex, SyncAction};
+use recstep_exec::index::{PersistentIndex, SharedIndex, SyncAction};
 use recstep_exec::join::{
     anti_join_prebuilt_sink, anti_join_sink, cross_join_sink, hash_join_prebuilt_sink,
     hash_join_sink, project_filter, project_filter_sink, JoinSpec,
 };
+use recstep_exec::key::{bounds_of, KeyMode};
 use recstep_exec::setdiff::{set_difference, DsdState};
 use recstep_exec::sink::{DeltaSink, SinkMode};
 use recstep_exec::ExecCtx;
-use recstep_storage::{Catalog, DiskManager, RelId, RelView, Relation, Schema};
+use recstep_storage::{DiskManager, RelId, RelView, Relation, RunCatalog, Schema};
 
 use crate::config::{Config, OofMode, PbmeMode};
 use crate::pbme::{detect, fits_budget, PbmePlan};
@@ -132,17 +140,53 @@ struct IdbState {
     scratch_hint: usize,
 }
 
-/// Per-stratum cache of join/anti-join build-side tables.
+/// The shared (read-only) tier of the join cache: a borrow of the
+/// database-owned [`IndexCache`] plus this run's pinned snapshots and
+/// hit/miss accounting.
+struct SharedTier<'c> {
+    cache: &'c IndexCache,
+    budget: usize,
+    /// Snapshots this run is actively probing. Holding the `Arc` pins the
+    /// entry against eviction (the cache skips entries with live
+    /// borrowers) and keeps it valid even if it *is* dropped from the map.
+    pins: FxHashMap<(RelId, Vec<usize>), Arc<SharedIndex>>,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+/// Per-run, two-tier cache of join/anti-join build-side tables.
 ///
 /// Keyed on `(relation, key columns)`; only unfiltered `Base`/`Full` scans
 /// of catalog relations are cacheable — their row ids are stable and
-/// append-only for the stratum's whole fixpoint, so a cached
-/// [`PersistentIndex`] either matches the relation exactly (EDBs, frozen
-/// relations: built once, reused every iteration) or is appended the rows
-/// the last merge added (growing IDB Full views). Dropped at stratum end;
-/// its counters are folded into [`EvalStats`] then.
-struct JoinCache {
+/// append-only for a stratum's whole fixpoint.
+///
+/// * **Shared tier** — relations *frozen for this run* (EDBs and anything
+///   the program never derives) are served from the database-owned
+///   [`IndexCache`]: built at most once across all runs over the database
+///   (first builder wins, concurrent racers block on the publish and
+///   reuse), pinned by this run while probing. Subject to spill-aware
+///   eviction; a dropped entry surfaces as a miss, i.e. a rebuild signal —
+///   never a dangling reference.
+/// * **Local tier** — mutable build sides (growing IDB `Full` views, and
+///   shared-tier fallbacks whose probe values escape the published packed
+///   layout) keep the PR-2 behavior: a run-private [`PersistentIndex`],
+///   built once and appended the rows each merge adds.
+///
+/// The cache now lives for the whole run (PR 2 dropped it at stratum end):
+/// relations are append-only between IDB resets, `sync_for_probe` rebuilds
+/// defensively on any shrink, and the two mid-run clear-and-refill sites
+/// (monotonic-aggregate rebuilds, PBME materialization) explicitly
+/// [`JoinCache::invalidate`] their relation — an equal-length refill
+/// reassigns row ids without tripping the length check, so invalidation
+/// there is what makes cross-stratum reuse sound. Counters fold into
+/// [`EvalStats`] at run end.
+struct JoinCache<'c> {
     enabled: bool,
+    shared: Option<SharedTier<'c>>,
+    /// Relations this run derives (its IDBs): their build sides grow, so
+    /// they are never served from the shared tier.
+    mutable_ids: FxHashSet<RelId>,
     map: FxHashMap<(RelId, Vec<usize>), PersistentIndex>,
     builds: usize,
     appends: usize,
@@ -152,10 +196,23 @@ struct JoinCache {
     maintain: std::time::Duration,
 }
 
-impl JoinCache {
-    fn new(enabled: bool) -> Self {
+impl<'c> JoinCache<'c> {
+    fn new(
+        enabled: bool,
+        shared: Option<(&'c IndexCache, usize)>,
+        mutable_ids: FxHashSet<RelId>,
+    ) -> Self {
         JoinCache {
             enabled,
+            shared: shared.map(|(cache, budget)| SharedTier {
+                cache,
+                budget,
+                pins: FxHashMap::default(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            mutable_ids,
             map: FxHashMap::default(),
             builds: 0,
             appends: 0,
@@ -167,7 +224,7 @@ impl JoinCache {
     }
 
     /// Whether a scan's build side may be served from the cache.
-    fn cacheable(catalog: &Catalog, scan: &ScanSpec) -> Option<RelId> {
+    fn cacheable(catalog: &RunCatalog<'_>, scan: &ScanSpec) -> Option<RelId> {
         if scan.filters.is_empty() && matches!(scan.version, AtomVersion::Base | AtomVersion::Full)
         {
             catalog.lookup(&scan.rel)
@@ -176,35 +233,111 @@ impl JoinCache {
         }
     }
 
-    /// A probe-ready index over `rel_id`'s current rows, keyed on `cols`:
-    /// built on first use, synchronized incrementally afterwards, with the
-    /// compact-key layout invalidated (hashed rebuild, once) when probe
-    /// values escape it.
+    /// A probe-ready `(table, key mode)` over `rel_id`'s current rows,
+    /// keyed on `cols`: served from the shared tier when the relation is
+    /// frozen for this run, otherwise built on first use and synchronized
+    /// incrementally, with the compact-key layout invalidated (hashed
+    /// rebuild, once) when probe values escape it.
     fn probe_ready(
         &mut self,
         ctx: &ExecCtx,
-        catalog: &Catalog,
+        catalog: &RunCatalog<'_>,
         rel_id: RelId,
         cols: &[usize],
         probe: RelView<'_>,
         probe_cols: &[usize],
-    ) -> &PersistentIndex {
+    ) -> (&ChainTable, &KeyMode) {
         let t0 = Instant::now();
         let base = catalog.rel(rel_id).view();
         let key = (rel_id, cols.to_vec());
-        let fresh = !self.map.contains_key(&key);
-        if fresh {
+        if !self.map.contains_key(&key) {
+            if let Some(tier) = self.shared.as_mut() {
+                if !self.mutable_ids.contains(&rel_id) && !base.is_empty() {
+                    if let Some(version) = catalog.shared_version(rel_id) {
+                        let pinned_ok = tier.pins.get(&key).is_some_and(|idx| {
+                            idx.rows() == base.len() && idx.admits_probe(probe, probe_cols)
+                        });
+                        // A snapshot only helps if its key mode admits
+                        // this probe, and the mode is knowable *before*
+                        // building (it derives from the frozen base's
+                        // bounds — exactly what `SharedIndex::build`
+                        // uses). An escaping probe therefore skips the
+                        // shared tier entirely: no useless snapshot is
+                        // published against the cache budget, and no
+                        // phantom hit is counted while every run pays a
+                        // local rebuild anyway.
+                        let admissible = pinned_ok
+                            || match KeyMode::for_view(base, cols) {
+                                KeyMode::Hashed => true,
+                                KeyMode::Packed(layout) => {
+                                    bounds_of(probe, probe_cols).is_none_or(|b| layout.covers(&b))
+                                }
+                            };
+                        if pinned_ok {
+                            self.reuses += 1;
+                        } else {
+                            // The pin (if any) is stale or does not admit
+                            // this probe: drop it *unconditionally* so the
+                            // fallthrough below can never serve a packed
+                            // snapshot to an escaping probe (packed keys
+                            // wrap out-of-range values, and exact mode
+                            // skips tuple re-verification — a stale pin
+                            // would mean wrong join results, not just
+                            // wasted work).
+                            tier.pins.remove(&key);
+                        }
+                        if !pinned_ok && admissible {
+                            let ckey = CacheKey {
+                                rel: rel_id,
+                                version,
+                                cols: cols.to_vec(),
+                            };
+                            let out = tier.cache.get_or_build(&ckey, tier.budget, || {
+                                SharedIndex::build(ctx, base, cols.to_vec())
+                            });
+                            if out.built {
+                                tier.misses += 1;
+                                self.builds += 1;
+                                self.build_rows += base.len();
+                            } else {
+                                tier.hits += 1;
+                            }
+                            tier.evictions += out.evicted;
+                            // Belt and braces: the deferred-mode corner
+                            // (snapshot built over rows that arrived
+                            // after an empty-view mode choice) re-checks
+                            // against the actual snapshot.
+                            if out.index.rows() == base.len()
+                                && out.index.admits_probe(probe, probe_cols)
+                            {
+                                tier.pins.insert(key.clone(), out.index);
+                            }
+                        }
+                        if let Some(idx) = tier.pins.get(&key) {
+                            self.maintain += t0.elapsed();
+                            return (idx.table(), idx.mode());
+                        }
+                    }
+                }
+            }
             self.builds += 1;
             self.build_rows += base.len();
             self.map.insert(
                 key.clone(),
                 PersistentIndex::build(ctx, base, cols.to_vec()),
             );
+            let index = self.map.get_mut(&key).expect("just inserted");
+            if let SyncAction::Rebuilt = index.sync_for_probe(ctx, base, probe, probe_cols) {
+                self.builds += 1;
+                self.build_rows += base.len();
+            }
+            self.maintain += t0.elapsed();
+            let index = self.map.get(&key).expect("just inserted");
+            return (index.table(), index.mode());
         }
-        let index = self.map.get_mut(&key).expect("just inserted");
+        let index = self.map.get_mut(&key).expect("checked above");
         match index.sync_for_probe(ctx, base, probe, probe_cols) {
-            SyncAction::Reused if !fresh => self.reuses += 1,
-            SyncAction::Reused => {}
+            SyncAction::Reused => self.reuses += 1,
             SyncAction::Appended(n) => {
                 self.appends += 1;
                 self.append_rows += n;
@@ -215,14 +348,52 @@ impl JoinCache {
             }
         }
         self.maintain += t0.elapsed();
-        index
+        let index = self.map.get(&key).expect("checked above");
+        (index.table(), index.mode())
     }
 
+    /// Heap bytes of the run-local tier (shared snapshots are accounted by
+    /// the database cache's resident total).
     fn heap_bytes(&self) -> usize {
         self.map.values().map(PersistentIndex::heap_bytes).sum()
     }
 
-    /// Fold the stratum's cache activity into the run statistics.
+    /// Resident bytes of the shared tier's backing cache (0 without one).
+    fn shared_resident_bytes(&self) -> usize {
+        self.shared.as_ref().map_or(0, |t| t.cache.resident_bytes())
+    }
+
+    /// Drop every cached build side over `rel_id`.
+    ///
+    /// Required whenever a relation is *cleared and refilled* mid-run
+    /// (monotonic-aggregate rebuilds, PBME materialization): refilling
+    /// reassigns row ids, and a refill to an equal-or-larger length would
+    /// pass the length-based `sync_for_probe` check and serve stale
+    /// row-id mappings. The append-only contract the cache relies on
+    /// holds *between* these sites, not across them.
+    fn invalidate(&mut self, rel_id: RelId) {
+        self.map.retain(|(id, _), _| *id != rel_id);
+        if let Some(tier) = self.shared.as_mut() {
+            tier.pins.retain(|(id, _), _| *id != rel_id);
+        }
+    }
+
+    /// Memory-pressure spill: release this run's pins (mid-stratum drop —
+    /// the next probe re-fetches or rebuilds) and evict the shared tier
+    /// down to `target` resident bytes. Returns the bytes actually freed.
+    fn spill_for_pressure(&mut self, target: usize) -> usize {
+        match self.shared.as_mut() {
+            Some(tier) => {
+                tier.pins.clear();
+                let (evicted, freed) = tier.cache.evict_to_fit(target);
+                tier.evictions += evicted;
+                freed
+            }
+            None => 0,
+        }
+    }
+
+    /// Fold the run's cache activity into the run statistics.
     fn fold_into(&self, stats: &mut EvalStats) {
         stats.index.join_builds += self.builds;
         stats.index.join_appends += self.appends;
@@ -231,6 +402,12 @@ impl JoinCache {
         stats.index.append_rows += self.append_rows;
         stats.index.bytes_peak = stats.index.bytes_peak.max(self.heap_bytes());
         stats.phase.index += self.maintain;
+        if let Some(tier) = &self.shared {
+            stats.index.cache_hits += tier.hits;
+            stats.index.cache_misses += tier.misses;
+            stats.index.cache_evictions += tier.evictions;
+            stats.index.cache_bytes = tier.cache.resident_bytes();
+        }
     }
 }
 
@@ -255,13 +432,19 @@ struct MonoState {
 /// One evaluation of a compiled program over one database.
 ///
 /// Borrows the engine side (`cfg`, `ctx`, `alpha`) immutably and the
-/// database side (`catalog`, `disk`) mutably for the duration of the run.
+/// database side through a [`RunCatalog`]: exclusively (`&mut Catalog` +
+/// the simulated store) for classic runs, or as a frozen base plus
+/// run-local overlay for shared-mode runs — which is what lets N
+/// evaluations proceed concurrently over one database. `cache` is the
+/// database's shared cross-run index cache (`None` under
+/// `--no-shared-index-cache`).
 pub(crate) struct EvalRun<'e, 'd> {
     pub(crate) cfg: &'e Config,
     pub(crate) ctx: &'e ExecCtx,
     pub(crate) alpha: f64,
-    pub(crate) catalog: &'d mut Catalog,
-    pub(crate) disk: &'d mut DiskManager,
+    pub(crate) catalog: RunCatalog<'d>,
+    pub(crate) disk: Option<&'d mut DiskManager>,
+    pub(crate) cache: Option<&'d IndexCache>,
 }
 
 impl EvalRun<'_, '_> {
@@ -284,7 +467,7 @@ impl EvalRun<'_, '_> {
                         )));
                     }
                     if decl.is_idb {
-                        self.catalog.rel_mut(id).clear();
+                        self.catalog.reset_for_run(id);
                     }
                 }
                 None => {
@@ -314,6 +497,24 @@ impl EvalRun<'_, '_> {
             }
         }
 
+        // Relations this run derives: their build-side indexes grow, so
+        // only everything else is eligible for the shared cross-run tier.
+        let mutable_ids: FxHashSet<RelId> = prog
+            .relations
+            .iter()
+            .filter(|d| d.is_idb)
+            .filter_map(|d| self.catalog.lookup(&d.name))
+            .collect();
+        // Join build-side tables persist across the whole run (relations
+        // are append-only between IDB resets, and syncs rebuild
+        // defensively on shrink), with frozen relations served from the
+        // database's shared cross-run cache.
+        let mut jcache = JoinCache::new(
+            self.cfg.index_reuse,
+            self.cache.map(|c| (c, self.cfg.index_cache_budget_bytes)),
+            mutable_ids,
+        );
+
         // Full-R indexes survive their stratum: stratification evaluates
         // every IDB in exactly one stratum, so a carried index only ever
         // needs an incremental sync (and the sync is defensive anyway).
@@ -328,22 +529,35 @@ impl EvalRun<'_, '_> {
             let mut handled = false;
             if let Some(plan) = pbme_plan {
                 handled = self.try_run_pbme(stratum, &plan, &mut stats)?;
+                if handled {
+                    // PBME cleared and refilled the IDB: cached build
+                    // sides over it (if any) hold reassigned row ids.
+                    if let Some(id) = self.catalog.lookup(plan.idb()) {
+                        jcache.invalidate(id);
+                    }
+                }
             }
             if !handled {
-                self.run_stratum(stratum, &mut index_carry, &mut stats)?;
+                self.run_stratum(stratum, &mut index_carry, &mut jcache, &mut stats)?;
             }
         }
         drop(index_carry);
+        jcache.fold_into(&mut stats);
+        drop(jcache);
 
-        // EOST: commit everything once at fixpoint.
-        let t_io = Instant::now();
-        let catalog = &*self.catalog;
-        self.disk
-            .commit_all(|name| catalog.lookup(name).map(|id| catalog.rel(id)))?;
-        stats.phase.io += t_io.elapsed();
-
-        stats.io_bytes = self.disk.bytes_written();
-        stats.io_flushes = self.disk.flushes();
+        // EOST: commit everything once at fixpoint (exclusive runs only;
+        // shared-mode results live in the run's overlay, not the store).
+        if let Some(disk) = self.disk.as_deref_mut() {
+            let t_io = Instant::now();
+            let catalog = self
+                .catalog
+                .as_exclusive()
+                .expect("store-backed runs own their catalog exclusively");
+            disk.commit_all(|name| catalog.lookup(name).map(|id| catalog.rel(id)))?;
+            stats.phase.io += t_io.elapsed();
+            stats.io_bytes = disk.bytes_written();
+            stats.io_flushes = disk.flushes();
+        }
         stats.total = t0.elapsed();
         stats.busy =
             std::time::Duration::from_nanos(self.ctx.pool.busy_ns_total().saturating_sub(busy0));
@@ -453,10 +667,12 @@ impl EvalRun<'_, '_> {
             }
         }
         rel.append_columns(cols);
-        let t_io = Instant::now();
-        let rel = self.catalog.rel(idb_id);
-        self.disk.note_dirty(rel)?;
-        stats.phase.io += t_io.elapsed();
+        if let Some(disk) = self.disk.as_deref_mut() {
+            let t_io = Instant::now();
+            let rel = self.catalog.rel(idb_id);
+            disk.note_dirty(rel)?;
+            stats.phase.io += t_io.elapsed();
+        }
         stats.phase.pbme += t.elapsed();
         stats.iterations += 1;
         stats.strata.push(StratumStats {
@@ -475,6 +691,7 @@ impl EvalRun<'_, '_> {
         &mut self,
         stratum: &CompiledStratum,
         index_carry: &mut FxHashMap<RelId, PersistentIndex>,
+        jcache: &mut JoinCache<'_>,
         stats: &mut EvalStats,
     ) -> Result<()> {
         // Initialize per-IDB state.
@@ -542,10 +759,6 @@ impl EvalRun<'_, '_> {
             });
         }
 
-        // Join build-side tables persist across this stratum's iterations
-        // (relations are append-only until fixpoint, so cached tables are
-        // appended, never rebuilt).
-        let mut jcache = JoinCache::new(self.cfg.index_reuse);
         let mut iterations = 0usize;
         loop {
             iterations += 1;
@@ -559,7 +772,7 @@ impl EvalRun<'_, '_> {
             // a previously staged range stays valid while R grows.
             let mut staged: Vec<Option<DeltaBuf>> = (0..stratum.idbs.len()).map(|_| None).collect();
             for (i, idb) in stratum.idbs.iter().enumerate() {
-                let delta = self.step_idb(stratum, idb, i, &mut states, &mut jcache, stats)?;
+                let delta = self.step_idb(stratum, idb, i, &mut states, jcache, stats)?;
                 if !delta.is_empty() {
                     all_empty = false;
                 }
@@ -569,9 +782,12 @@ impl EvalRun<'_, '_> {
                 state.delta = new_delta.expect("every idb staged a delta");
             }
             // Memory budget check (how OOM is reported honestly). Persistent
-            // indexes are live state and count against the budget.
-            let live = self.catalog.heap_bytes()
+            // indexes — including the shared cache's resident snapshots —
+            // are live state and count against the budget.
+            let cache_resident = jcache.shared_resident_bytes();
+            let mut live = self.catalog.heap_bytes()
                 + jcache.heap_bytes()
+                + cache_resident
                 + index_carry
                     .values()
                     .map(PersistentIndex::heap_bytes)
@@ -588,6 +804,23 @@ impl EvalRun<'_, '_> {
                     })
                     .sum::<usize>();
             stats.peak_bytes = stats.peak_bytes.max(live);
+            // Running high-water mark: entries dropped later by
+            // `invalidate` or a pressure spill must still count toward
+            // the run's index peak (fold_into only sees what survived).
+            stats.index.bytes_peak = stats
+                .index
+                .bytes_peak
+                .max(jcache.heap_bytes() + cache_resident);
+            if live > self.cfg.mem_budget_bytes {
+                // Spill the shared index tier before reporting OOM: drop
+                // this run's pins (a mid-stratum drop — the next probe
+                // misses and rebuilds) and evict cold entries. Shared
+                // snapshots are pure caches, so this only trades rebuild
+                // time for memory.
+                let overrun = live - self.cfg.mem_budget_bytes;
+                let target = cache_resident.saturating_sub(overrun);
+                live -= jcache.spill_for_pressure(target);
+            }
             if live > self.cfg.mem_budget_bytes {
                 return Err(Error::exec(format!(
                     "out of memory: {} live > {} budget",
@@ -599,7 +832,6 @@ impl EvalRun<'_, '_> {
             }
         }
         stats.iterations += iterations;
-        jcache.fold_into(stats);
 
         // Monotonic aggregated IDBs: rebuild stored relation from the map.
         for (i, idb) in stratum.idbs.iter().enumerate() {
@@ -615,10 +847,16 @@ impl EvalRun<'_, '_> {
                 let rel = self.catalog.rel_mut(state.rel_id);
                 rel.clear();
                 rel.append_columns(cols);
-                let t_io = Instant::now();
-                let rel = self.catalog.rel(state.rel_id);
-                self.disk.note_dirty(rel)?;
-                stats.phase.io += t_io.elapsed();
+                // The clear-and-refill reassigned row ids: any cached
+                // build side over this relation is stale even at equal
+                // length, so drop it before later strata can probe it.
+                jcache.invalidate(state.rel_id);
+                if let Some(disk) = self.disk.as_deref_mut() {
+                    let t_io = Instant::now();
+                    let rel = self.catalog.rel(state.rel_id);
+                    disk.note_dirty(rel)?;
+                    stats.phase.io += t_io.elapsed();
+                }
             }
         }
 
@@ -664,7 +902,7 @@ impl EvalRun<'_, '_> {
         idb: &CompiledIdb,
         idx: usize,
         states: &mut [IdbState],
-        jcache: &mut JoinCache,
+        jcache: &mut JoinCache<'_>,
         stats: &mut EvalStats,
     ) -> Result<DeltaBuf> {
         if states[idx].full_index.is_none() {
@@ -715,7 +953,7 @@ impl EvalRun<'_, '_> {
             eval_idb(
                 self.ctx,
                 self.cfg,
-                self.catalog,
+                &self.catalog,
                 stratum,
                 idb,
                 states,
@@ -769,7 +1007,7 @@ impl EvalRun<'_, '_> {
 
         // Record frozen choices on first iteration for OOF-NA.
         if self.cfg.oof == OofMode::None {
-            freeze_choices(self.catalog, stratum, idb, states, idx);
+            freeze_choices(&self.catalog, stratum, idb, states, idx);
         }
 
         // --- R ← R ⊎ ∆R: one shard append; ∆R stays a row range. ---
@@ -811,8 +1049,10 @@ impl EvalRun<'_, '_> {
 
         // EOST is a precondition of the fused gate, so temporaries never
         // reach disk here; just note the relation dirty for the commit.
-        let rel = self.catalog.rel(state.rel_id);
-        self.disk.note_dirty(rel)?;
+        if let Some(disk) = self.disk.as_deref_mut() {
+            let rel = self.catalog.rel(state.rel_id);
+            disk.note_dirty(rel)?;
+        }
         Ok(delta)
     }
 
@@ -825,7 +1065,7 @@ impl EvalRun<'_, '_> {
         idb: &CompiledIdb,
         idx: usize,
         states: &mut [IdbState],
-        jcache: &mut JoinCache,
+        jcache: &mut JoinCache<'_>,
         stats: &mut EvalStats,
     ) -> Result<DeltaBuf> {
         if self.fused_applies(&states[idx]) {
@@ -837,7 +1077,7 @@ impl EvalRun<'_, '_> {
         let out = eval_idb(
             self.ctx,
             self.cfg,
-            self.catalog,
+            &self.catalog,
             stratum,
             idb,
             states,
@@ -856,14 +1096,14 @@ impl EvalRun<'_, '_> {
 
         // Record frozen choices on first iteration for OOF-NA.
         if self.cfg.oof == OofMode::None {
-            freeze_choices(self.catalog, stratum, idb, states, idx);
+            freeze_choices(&self.catalog, stratum, idb, states, idx);
         }
 
         // Non-UIE: the per-subquery temporaries were already flushed inside
         // eval; the unified Rt temp is flushed here in per-query mode.
         spill_temp(
             self.cfg,
-            self.disk,
+            &mut self.disk,
             &idb.rt_name,
             RelView::over(&candidates),
             stats,
@@ -877,7 +1117,7 @@ impl EvalRun<'_, '_> {
                 recstep_storage::StatsLevel::Full,
             );
             let id = states[idx].rel_id;
-            self.catalog.analyze(id, recstep_storage::StatsLevel::Full);
+            self.catalog.analyze_full(id);
             stats.phase.analyze += t_an.elapsed();
         }
 
@@ -917,7 +1157,13 @@ impl EvalRun<'_, '_> {
                     }
                 }
                 stats.phase.aggregate += t_agg.elapsed();
-                spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(), stats)?;
+                spill_temp(
+                    self.cfg,
+                    &mut self.disk,
+                    &idb.delta_name,
+                    delta.view(),
+                    stats,
+                )?;
                 stats.queries_issued += 1;
                 return Ok(DeltaBuf::Owned(delta));
             }
@@ -958,10 +1204,19 @@ impl EvalRun<'_, '_> {
                 rel.append_columns(cols);
                 let delta = DeltaBuf::Range(state.old_len, rel.len());
                 let rel = self.catalog.rel(state.rel_id);
-                spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(rel), stats)?;
-                let t_io = Instant::now();
-                self.disk.note_dirty(rel)?;
-                stats.phase.io += t_io.elapsed();
+                spill_temp(
+                    self.cfg,
+                    &mut self.disk,
+                    &idb.delta_name,
+                    delta.view(rel),
+                    stats,
+                )?;
+                if let Some(disk) = self.disk.as_deref_mut() {
+                    let rel = self.catalog.rel(state.rel_id);
+                    let t_io = Instant::now();
+                    disk.note_dirty(rel)?;
+                    stats.phase.io += t_io.elapsed();
+                }
                 stats.queries_issued += 1;
                 return Ok(delta);
             }
@@ -1034,10 +1289,19 @@ impl EvalRun<'_, '_> {
             stats.phase.index += t_index.elapsed();
 
             let rel = self.catalog.rel(state.rel_id);
-            spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(rel), stats)?;
-            let t_io = Instant::now();
-            self.disk.note_dirty(rel)?;
-            stats.phase.io += t_io.elapsed();
+            spill_temp(
+                self.cfg,
+                &mut self.disk,
+                &idb.delta_name,
+                delta.view(rel),
+                stats,
+            )?;
+            if let Some(disk) = self.disk.as_deref_mut() {
+                let rel = self.catalog.rel(state.rel_id);
+                let t_io = Instant::now();
+                disk.note_dirty(rel)?;
+                stats.phase.io += t_io.elapsed();
+            }
             return Ok(delta);
         }
 
@@ -1063,7 +1327,7 @@ impl EvalRun<'_, '_> {
         let rdelta = dedup_out.cols;
         spill_temp(
             self.cfg,
-            self.disk,
+            &mut self.disk,
             &idb.rdelta_name,
             RelView::over(&rdelta),
             stats,
@@ -1095,20 +1359,30 @@ impl EvalRun<'_, '_> {
         let delta = DeltaBuf::Range(state.old_len, rel.len());
         stats.phase.merge += t_merge.elapsed();
         let rel = self.catalog.rel(state.rel_id);
-        spill_temp(self.cfg, self.disk, &idb.delta_name, delta.view(rel), stats)?;
-        let t_io = Instant::now();
-        self.disk.note_dirty(rel)?;
-        stats.phase.io += t_io.elapsed();
+        spill_temp(
+            self.cfg,
+            &mut self.disk,
+            &idb.delta_name,
+            delta.view(rel),
+            stats,
+        )?;
+        if let Some(disk) = self.disk.as_deref_mut() {
+            let rel = self.catalog.rel(state.rel_id);
+            let t_io = Instant::now();
+            disk.note_dirty(rel)?;
+            stats.phase.io += t_io.elapsed();
+        }
         Ok(delta)
     }
 }
 
 /// Flush a temporary table to the simulated store — skipped entirely when
-/// disk spilling is disabled (EOST pends all I/O until the final commit),
-/// so the hot loop pays neither the call nor the timer for it.
+/// disk spilling is disabled (EOST pends all I/O until the final commit,
+/// and shared-mode runs have no store at all), so the hot loop pays
+/// neither the call nor the timer for it.
 fn spill_temp(
     cfg: &Config,
-    disk: &mut DiskManager,
+    disk: &mut Option<&mut DiskManager>,
     name: &str,
     view: RelView<'_>,
     stats: &mut EvalStats,
@@ -1116,6 +1390,9 @@ fn spill_temp(
     if cfg.eost {
         return Ok(());
     }
+    let Some(disk) = disk.as_deref_mut() else {
+        return Ok(());
+    };
     let t = Instant::now();
     disk.flush_temp(name, view)?;
     stats.phase.io += t.elapsed();
@@ -1124,7 +1401,7 @@ fn spill_temp(
 
 /// Record first-iteration build-side choices (OOF-NA freezing).
 fn freeze_choices(
-    catalog: &Catalog,
+    catalog: &RunCatalog<'_>,
     stratum: &CompiledStratum,
     idb: &CompiledIdb,
     states: &mut [IdbState],
@@ -1143,7 +1420,7 @@ fn freeze_choices(
 }
 
 fn scan_rows(
-    catalog: &Catalog,
+    catalog: &RunCatalog<'_>,
     stratum: &CompiledStratum,
     states: &[IdbState],
     sq: &SubQuery,
@@ -1165,7 +1442,7 @@ fn scan_rows(
 }
 
 fn estimate_left_rows(
-    catalog: &Catalog,
+    catalog: &RunCatalog<'_>,
     stratum: &CompiledStratum,
     states: &[IdbState],
     sq: &SubQuery,
@@ -1198,12 +1475,12 @@ struct EvalOut {
 fn eval_idb(
     ctx: &ExecCtx,
     cfg: &Config,
-    catalog: &Catalog,
+    catalog: &RunCatalog<'_>,
     stratum: &CompiledStratum,
     idb: &CompiledIdb,
     states: &[IdbState],
     idx: usize,
-    jcache: &mut JoinCache,
+    jcache: &mut JoinCache<'_>,
     sink: Option<&DeltaSink<'_>>,
 ) -> Result<EvalOut> {
     let out_arity = idb.arity;
@@ -1264,12 +1541,12 @@ fn eval_idb(
 fn eval_subquery(
     ctx: &ExecCtx,
     cfg: &Config,
-    catalog: &Catalog,
+    catalog: &RunCatalog<'_>,
     stratum: &CompiledStratum,
     sq: &SubQuery,
     states: &[IdbState],
     frozen: &[Option<bool>],
-    jcache: &mut JoinCache,
+    jcache: &mut JoinCache<'_>,
     sink: &SinkMode<'_>,
 ) -> Result<Vec<Vec<Value>>> {
     // Materialize filtered scans; untouched scans stay zero-copy views.
@@ -1381,16 +1658,10 @@ fn eval_subquery(
                         } else {
                             (&join.right_keys, left_view, &join.left_keys)
                         };
-                        let index = jcache
+                        let (table, mode) = jcache
                             .probe_ready(ctx, catalog, rel_id, build_cols, probe_view, probe_cols);
                         hash_join_prebuilt_sink(
-                            ctx,
-                            left_view,
-                            right,
-                            &spec,
-                            index.table(),
-                            index.mode(),
-                            stage_sink,
+                            ctx, left_view, right, &spec, table, mode, stage_sink,
                         )
                     }
                     _ => hash_join_sink(ctx, left_view, right, &spec, stage_sink),
@@ -1442,7 +1713,7 @@ fn eval_subquery(
         };
         acc = match cached {
             Some(rel_id) if !acc_view.is_empty() && !neg_view.is_empty() => {
-                let index = jcache.probe_ready(
+                let (table, mode) = jcache.probe_ready(
                     ctx,
                     catalog,
                     rel_id,
@@ -1457,8 +1728,8 @@ fn eval_subquery(
                     &neg.left_keys,
                     &neg.right_keys,
                     &output,
-                    index.table(),
-                    index.mode(),
+                    table,
+                    mode,
                     stage_sink,
                 )
             }
@@ -1489,7 +1760,7 @@ fn find_state<'a>(
 }
 
 fn resolve_view<'a>(
-    catalog: &'a Catalog,
+    catalog: &'a RunCatalog<'_>,
     stratum: &CompiledStratum,
     states: &'a [IdbState],
     rel: &str,

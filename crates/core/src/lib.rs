@@ -19,7 +19,11 @@
 //!   zero-copy [`RelHandle`]s.
 //! * [`PreparedProgram`] — a program parsed, analyzed and compiled
 //!   **once** ([`Engine::prepare`]), then run any number of times —
-//!   including concurrently over distinct databases from multiple threads.
+//!   concurrently over distinct databases ([`PreparedProgram::run`]), or
+//!   concurrently over **one** shared database
+//!   ([`PreparedProgram::run_shared`], results in a [`RunOutput`] overlay,
+//!   with frozen-relation join indexes built once across all runs via the
+//!   database's [`IndexCache`]).
 //!
 //! ```
 //! use recstep::{Database, Engine};
@@ -54,6 +58,8 @@
 //! | `engine.row_count("tc")`         | [`Database::row_count`]                        |
 //! | `RecStep::explain(src)`          | [`PreparedProgram::explain_sql`]               |
 
+#![deny(missing_docs)]
+
 pub mod capabilities;
 pub mod config;
 pub mod db;
@@ -66,9 +72,10 @@ mod shim;
 pub mod stats;
 
 pub use config::{Config, OofMode, PbmeMode};
-pub use db::{Database, Transaction};
+pub use db::{Database, RunOutput, Transaction};
 pub use engine::{Engine, EngineBuilder};
 pub use prepared::PreparedProgram;
+pub use recstep_exec::cache::IndexCache;
 #[allow(deprecated)]
 pub use shim::RecStep;
 pub use stats::{EvalStats, IndexStats, PhaseTimes, StratumStats};

@@ -2,7 +2,8 @@
 //!
 //! The engine swaps tuple-based evaluation of a recursive stratum for
 //! parallel bit-matrix evaluation when the stratum *is* transitive closure
-//! or same generation over a binary EDB, and (in [`PbmeMode::Auto`]) when
+//! or same generation over a binary EDB, and (in
+//! [`PbmeMode::Auto`](crate::PbmeMode::Auto)) when
 //! the matrix plus index fits the memory budget — the paper's rule: "We
 //! decide to build the bit-matrix data structure only if the memory
 //! available can fit both the bit matrix, as well as any additional index

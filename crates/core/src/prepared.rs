@@ -11,11 +11,11 @@ use recstep_common::Result;
 use recstep_datalog::plan::CompiledProgram;
 use recstep_datalog::sqlgen;
 
-use crate::db::Database;
+use crate::db::{Database, RunOutput};
 use crate::engine::Engine;
 use crate::eval::EvalRun;
 use crate::stats::EvalStats;
-use recstep_storage::CommitMode;
+use recstep_storage::{CommitMode, RunCatalog};
 
 /// A compiled Datalog program bound to the engine that will evaluate it.
 pub struct PreparedProgram {
@@ -49,6 +49,59 @@ impl PreparedProgram {
     /// result counts stay exact.)
     pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
         run_compiled(&self.engine, db, &self.compiled)
+    }
+
+    /// Evaluate over a *shared* database to fixpoint, without mutating it.
+    ///
+    /// The database is only read: every write — IDB results, inline facts
+    /// — lands in a run-local overlay returned as [`RunOutput`]. Because
+    /// nothing mutates `db`, **any number of `run_shared` calls may
+    /// proceed concurrently over one database** (the serving-style
+    /// workload), and they cooperate through the database's shared index
+    /// cache: each frozen join index is built by exactly one of them and
+    /// reused by the rest (`EvalStats::index.cache_hits` / `cache_misses`
+    /// account for it).
+    ///
+    /// Differences from [`PreparedProgram::run`]: results are read from
+    /// the returned [`RunOutput`] instead of the database, and nothing is
+    /// committed to the simulated persistent store (shared runs are
+    /// in-memory serving; `io_bytes`/`io_flushes` report 0).
+    ///
+    /// ```
+    /// use recstep::{Database, Engine};
+    ///
+    /// let engine = Engine::builder().threads(2).build().unwrap();
+    /// let tc = engine
+    ///     .prepare("tc(x, y) :- arc(x, y).\ntc(x, y) :- tc(x, z), arc(z, y).")
+    ///     .unwrap();
+    /// let mut db = Database::new().unwrap();
+    /// db.load_edges("arc", &[(0, 1), (1, 2)]).unwrap();
+    ///
+    /// let out = std::thread::scope(|s| {
+    ///     let a = s.spawn(|| tc.run_shared(&db).unwrap());
+    ///     let b = s.spawn(|| tc.run_shared(&db).unwrap());
+    ///     (a.join().unwrap(), b.join().unwrap())
+    /// });
+    /// assert_eq!(out.0.row_count("tc"), 3);
+    /// assert_eq!(out.1.row_count("tc"), 3);
+    /// assert_eq!(db.row_count("tc"), 0); // the database itself is untouched
+    /// ```
+    pub fn run_shared(&self, db: &Database) -> Result<RunOutput> {
+        let (cfg, ctx, alpha) = self.engine.parts();
+        let mut run = EvalRun {
+            cfg,
+            ctx,
+            alpha,
+            catalog: RunCatalog::shared(db.catalog()),
+            disk: None,
+            cache: cfg.shared_index_cache.then(|| &**db.index_cache()),
+        };
+        let stats = run.run(&self.compiled)?;
+        let catalog = run
+            .catalog
+            .into_overlay()
+            .expect("shared runs evaluate over an overlay");
+        Ok(RunOutput { catalog, stats })
     }
 
     /// Render the backend SQL this program executes (UIE form), stratum by
@@ -88,6 +141,7 @@ pub(crate) fn run_compiled(
     compiled: &CompiledProgram,
 ) -> Result<EvalStats> {
     let (cfg, ctx, alpha) = engine.parts();
+    let cache = db.index_cache().clone();
     let (catalog, disk) = db.eval_parts();
     // EOST is an engine policy; the store belongs to the database.
     disk.set_mode(if cfg.eost {
@@ -99,8 +153,9 @@ pub(crate) fn run_compiled(
         cfg,
         ctx,
         alpha,
-        catalog,
-        disk,
+        catalog: RunCatalog::Exclusive(catalog),
+        disk: Some(disk),
+        cache: cfg.shared_index_cache.then_some(&*cache),
     }
     .run(compiled)
 }

@@ -57,6 +57,18 @@ pub struct IndexStats {
     pub join_appends: usize,
     /// Joins that probed a cached build-side table without any insert.
     pub join_reuses: usize,
+    /// Probes served by the shared cross-run index cache (an index some
+    /// earlier — possibly concurrent — run already built).
+    pub cache_hits: usize,
+    /// Shared-cache misses this run paid for by building (and publishing)
+    /// the index. Across N concurrent runs over one database, hits and
+    /// misses sum so that each frozen index is built exactly once.
+    pub cache_misses: usize,
+    /// Entries the shared cache evicted on this run's behalf (budget
+    /// pressure at publish time or the engine's pre-OOM spill).
+    pub cache_evictions: usize,
+    /// Resident bytes of the shared cache when the run finished.
+    pub cache_bytes: usize,
     /// Rows inserted by from-scratch builds (persistent indexes only).
     pub build_rows: usize,
     /// Rows inserted by incremental appends (persistent indexes only).

@@ -42,6 +42,8 @@
 //! stable ids. Per-iteration work is `O(|Rt|)` — never `O(|R|)` — and the
 //! full-R table is built exactly once per stratum.
 
+use std::time::{Duration, Instant};
+
 use recstep_common::Value;
 use recstep_storage::RelView;
 
@@ -50,8 +52,8 @@ use crate::key::{bounds_of, KeyMode};
 use crate::util::{parallel_fill, parallel_produce};
 use crate::ExecCtx;
 
-/// What a synchronization step ([`PersistentIndex::sync`] /
-/// [`PersistentIndex::append`]) had to do.
+/// What a synchronization step ([`PersistentIndex::append`] /
+/// [`PersistentIndex::sync_for_probe`]) had to do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncAction {
     /// Index already covered the relation; nothing inserted.
@@ -307,6 +309,108 @@ impl PersistentIndex {
             }
         }
         action
+    }
+}
+
+/// An immutable, `Arc`-shareable snapshot of a [`PersistentIndex`].
+///
+/// A shared index is the read-only tier of index caching: it is built once
+/// over a *frozen* relation snapshot (EDBs, or IDB relations of already
+/// completed strata), published into a [`crate::cache::IndexCache`], and
+/// probed concurrently by any number of evaluations. It is never
+/// synchronized — staleness is handled by the cache key (relation version),
+/// not by mutation — which is what makes `&SharedIndex` safe to hand to
+/// many threads at once.
+///
+/// Probe compatibility still matters: a packed CCK layout derived from the
+/// base relation's bounds may not cover a particular probe's values.
+/// Callers check [`SharedIndex::admits_probe`] and fall back to a run-local
+/// hashed [`PersistentIndex`] when it fails (the immutable snapshot cannot
+/// rebuild itself).
+pub struct SharedIndex {
+    table: ChainTable,
+    mode: KeyMode,
+    cols: Vec<usize>,
+    rows: usize,
+    bytes: usize,
+    build_cost: Duration,
+}
+
+// Backing stores are atomics + plain data; sharing across threads is the
+// whole point.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedIndex>();
+};
+
+impl SharedIndex {
+    /// Build an immutable index over all current rows of `base`, recording
+    /// the build cost so cache eviction can weigh bytes against the price
+    /// of rebuilding.
+    pub fn build(ctx: &ExecCtx, base: RelView<'_>, cols: Vec<usize>) -> Self {
+        let t0 = Instant::now();
+        PersistentIndex::build(ctx, base, cols).freeze(t0.elapsed())
+    }
+
+    /// The underlying chain table (for prebuilt-table probes).
+    pub fn table(&self) -> &ChainTable {
+        &self.table
+    }
+
+    /// The key mode the snapshot was built with.
+    pub fn mode(&self) -> &KeyMode {
+        &self.mode
+    }
+
+    /// Rows of the frozen base relation the snapshot covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Key columns the index is built on.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Approximate heap footprint in bytes (frozen at build time).
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Wall-clock cost of the original build — the denominator of the
+    /// cache's `bytes / rebuild_cost` eviction score.
+    pub fn build_cost(&self) -> Duration {
+        self.build_cost
+    }
+
+    /// Whether keys drawn from `probe`'s key columns are representable
+    /// under this snapshot's key mode. Hashed mode admits everything;
+    /// packed layouts admit probes whose bounds they cover. A `false`
+    /// answer means the caller needs a run-local hashed index instead.
+    pub fn admits_probe(&self, probe: RelView<'_>, probe_cols: &[usize]) -> bool {
+        match &self.mode {
+            KeyMode::Hashed => true,
+            KeyMode::Packed(layout) => match bounds_of(probe, probe_cols) {
+                Some(b) => layout.covers(&b),
+                None => true,
+            },
+        }
+    }
+}
+
+impl PersistentIndex {
+    /// Freeze this index into an immutable, shareable [`SharedIndex`],
+    /// recording `build_cost` for eviction scoring.
+    pub fn freeze(self, build_cost: Duration) -> SharedIndex {
+        let bytes = self.heap_bytes();
+        SharedIndex {
+            table: self.table,
+            mode: self.mode,
+            cols: self.cols,
+            rows: self.rows,
+            bytes,
+            build_cost,
+        }
     }
 }
 

@@ -15,7 +15,12 @@
 //!   plus the incremental-index alternative studied as an ablation;
 //! * [`index`] — persistent CCK-GSCHT indexes pinned to a relation's stable
 //!   row ids: built once, grown incrementally across fixpoint iterations,
-//!   with the fused dedup + set-difference pass (`absorb`);
+//!   with the fused dedup + set-difference pass (`absorb`), plus the
+//!   immutable [`index::SharedIndex`] snapshot form used for cross-run
+//!   sharing;
+//! * [`cache`] — the shared cross-run index cache: `Arc`-shared,
+//!   version-keyed, build-once (`OnceLock` publish), with spill-aware
+//!   coldest-first eviction scored by `bytes / rebuild_cost`;
 //! * [`join`] — parallel hash equi-join with residual predicates and
 //!   projection, cross join, and anti join (for stratified negation); every
 //!   producing operator also has a `*_sink` form feeding a [`sink::SinkMode`];
@@ -31,6 +36,7 @@
 //! * [`util`] — morsel-driven production helpers shared by the operators.
 
 pub mod agg;
+pub mod cache;
 pub mod chain;
 pub mod dedup;
 pub mod expr;

@@ -159,7 +159,7 @@ pub fn next_pow2_at_least(n: usize, min: usize) -> usize {
 /// and fold their local emissions in per row without touching shared
 /// state; the global counter is updated once per morsel
 /// ([`CapGate::commit`]) and additionally every
-/// [`CapGate::REFRESH_ROWS`] local emissions ([`CapGate::refresh`]), so
+/// [`CapGate::REFRESH_ROWS`] local emissions ([`CapGate::reached`]), so
 /// the collective overshoot past the cap is bounded by
 /// `workers × (REFRESH_ROWS + one probe row's fan-out)` rather than
 /// `workers × cap`. Producers stop emitting as soon as

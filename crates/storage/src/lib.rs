@@ -16,14 +16,20 @@
 //!   bytes after every state-changing query (default RDBMS transaction
 //!   semantics) while EOST pends all I/O until fixpoint (paper §5.2).
 
+//! * [`overlay`] — run-scoped catalog access: exclusive mutation for
+//!   classic runs, or a copy-on-write overlay over a frozen base catalog
+//!   so N concurrent evaluations can share one database.
+
 pub mod catalog;
 pub mod disk;
 pub mod handle;
+pub mod overlay;
 pub mod relation;
 pub mod stats;
 
 pub use catalog::{Catalog, RelId};
 pub use disk::{CommitMode, DiskManager};
 pub use handle::{RelHandle, RowDecode, RowIter, RowRef};
+pub use overlay::RunCatalog;
 pub use relation::{ColAgg, RelView, Relation, Schema};
 pub use stats::{ColStats, StatsLevel, TableStats};
