@@ -20,12 +20,18 @@ fn main() {
             edges.len()
         ),
     );
-    let result = run_pipeline_bench(
+    let mut result = run_pipeline_bench(
         &format!("tc-cluster{cluster_n}-path40"),
         &edges,
         max_threads(),
         3,
     );
+    result.agg = Some(run_agg_bench(
+        &format!("cc-cluster{cluster_n}-path40"),
+        &edges,
+        max_threads(),
+        3,
+    ));
     row(&cells(&[
         "mode",
         "time",
@@ -57,6 +63,15 @@ fn main() {
         "  shared index cache: {} misses on run 1, {} hits on run 2, {} resident bytes",
         result.cache_misses, result.cache_hits, result.cache_bytes
     );
+    if let Some(a) = &result.agg {
+        println!(
+            "  streaming aggregation (CC): {:.2}x over --no-fused-agg; {} rows folded \
+             at source, {} groups improved",
+            a.speedup(),
+            a.rows_folded_at_source,
+            a.groups_improved
+        );
+    }
     let out = std::env::var("RECSTEP_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
     let path = std::path::PathBuf::from(out);
     result.write_json(&path).expect("write BENCH_pipeline.json");

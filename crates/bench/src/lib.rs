@@ -166,6 +166,103 @@ pub struct PipelineBench {
     pub cache_evictions: usize,
     /// Cache resident bytes after the second run.
     pub cache_bytes: usize,
+    /// Group-at-source streaming aggregation measurement (the `"agg"`
+    /// block of `BENCH_pipeline.json`), when the caller ran one.
+    pub agg: Option<AggBench>,
+}
+
+/// One fused-vs-unfused measurement of group-at-source streaming
+/// aggregation: connected components (recursive `MIN` + a non-recursive
+/// group-by tail) with `fused_agg` on vs. `--no-fused-agg`.
+#[derive(Clone, Debug)]
+pub struct AggBench {
+    /// Workload label.
+    pub workload: String,
+    /// Input edges.
+    pub edges: usize,
+    /// Output (`cc3`) rows — identical across modes by assertion.
+    pub rows: usize,
+    /// Fixpoint iterations of the fused run.
+    pub iterations: usize,
+    /// Best wall seconds with group-at-source streaming on.
+    pub fused_secs: f64,
+    /// Best wall seconds with `--no-fused-agg`.
+    pub unfused_secs: f64,
+    /// Candidate rows the fused run folded into aggregate state at the
+    /// probe site (what the unfused run buffered into `Rt`).
+    pub rows_folded_at_source: usize,
+    /// Groups the aggregation sinks emitted as ∆ across the fused run.
+    pub groups_improved: usize,
+}
+
+impl AggBench {
+    /// Fused speedup over unfused (wall-clock ratio).
+    pub fn speedup(&self) -> f64 {
+        self.unfused_secs / self.fused_secs.max(1e-9)
+    }
+}
+
+/// Run connected components with group-at-source streaming aggregation on
+/// and off, best-of-`repeats` wall time per mode (interleaved), asserting
+/// both modes compute the identical relation and that the fused mode
+/// really folded at source.
+pub fn run_agg_bench(
+    workload: &str,
+    edges: &[(Value, Value)],
+    threads: usize,
+    repeats: usize,
+) -> AggBench {
+    let cfg = |fused: bool| {
+        Config::default()
+            .threads(threads)
+            .pbme(recstep::PbmeMode::Off)
+            .fused_agg(fused)
+    };
+    let run_once = |fused: bool| {
+        let prog = prepared(cfg(fused), recstep::programs::CC);
+        let mut db = db_with_edges(&[("arc", edges)]);
+        let t0 = Instant::now();
+        let stats = prog.run(&mut db).expect("CC completes");
+        (t0.elapsed().as_secs_f64(), stats, db.row_count("cc3"))
+    };
+    let mut best: [Option<(f64, recstep::EvalStats, usize)>; 2] = [None, None];
+    for _ in 0..repeats.max(1) {
+        for (slot, fused) in [(0, true), (1, false)] {
+            let (secs, stats, rows) = run_once(fused);
+            let better = best[slot].as_ref().is_none_or(|(b, _, _)| secs < *b);
+            if better {
+                best[slot] = Some((secs, stats, rows));
+            }
+        }
+    }
+    let (fused_secs, fused_stats, fused_rows) = best[0].take().expect("ran");
+    let (unfused_secs, unfused_stats, unfused_rows) = best[1].take().expect("ran");
+    assert_eq!(
+        fused_rows, unfused_rows,
+        "fused and unfused aggregation must agree on the components"
+    );
+    assert_eq!(
+        fused_stats.rt_merge_bytes, 0,
+        "fused aggregation must not materialize the pre-aggregation Rt"
+    );
+    assert!(
+        fused_stats.agg_rows_folded_at_source > 0,
+        "CC must fold candidate rows at source"
+    );
+    assert_eq!(
+        unfused_stats.agg_sink_runs, 0,
+        "--no-fused-agg must keep the materializing aggregation path"
+    );
+    AggBench {
+        workload: workload.to_string(),
+        edges: edges.len(),
+        rows: fused_rows,
+        iterations: fused_stats.iterations,
+        fused_secs,
+        unfused_secs,
+        rows_folded_at_source: fused_stats.agg_rows_folded_at_source,
+        groups_improved: fused_stats.agg_groups_improved,
+    }
 }
 
 impl PipelineBench {
@@ -186,6 +283,30 @@ impl PipelineBench {
 
     /// Render as a small JSON document.
     pub fn to_json(&self) -> String {
+        let mut json = self.to_json_base();
+        if let Some(a) = &self.agg {
+            let block = format!(
+                ",\n  \"agg\": {{\"workload\": \"{}\", \"edges\": {}, \"rows\": {}, \
+                 \"iterations\": {}, \"fused\": {:.6}, \"unfused\": {:.6}, \
+                 \"rows_folded_at_source\": {}, \"groups_improved\": {}, \
+                 \"speedup\": {:.3}}}",
+                a.workload,
+                a.edges,
+                a.rows,
+                a.iterations,
+                a.fused_secs,
+                a.unfused_secs,
+                a.rows_folded_at_source,
+                a.groups_improved,
+                a.speedup(),
+            );
+            let at = json.rfind("\n}").expect("base document closes");
+            json.insert_str(at, &block);
+        }
+        json
+    }
+
+    fn to_json_base(&self) -> String {
         format!(
             "{{\n  \"workload\": \"{}\",\n  \"edges\": {},\n  \"rows\": {},\n  \
              \"iterations\": {},\n  \"tuples\": {},\n  \
@@ -315,6 +436,7 @@ pub fn run_pipeline_bench(
         cache_hits: cache_second.index.cache_hits,
         cache_evictions: cache_first.index.cache_evictions + cache_second.index.cache_evictions,
         cache_bytes: cache_second.index.cache_bytes,
+        agg: None,
     }
 }
 

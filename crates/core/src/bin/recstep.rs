@@ -12,12 +12,13 @@
 //!   --explain         print the generated SQL and exit
 //!   --no-uie | --no-eost | --no-pbme | --oof-na | --oof-fa
 //!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd | --no-index-reuse
-//!   --no-fused-pipeline | --no-shared-index-cache
+//!   --no-fused-pipeline | --no-fused-agg | --no-shared-index-cache
 //!                     turn individual optimizations off (the paper's
 //!                     Figure 2 ablation switches, the persistent
 //!                     incremental-index toggle, the fused streaming
-//!                     delta pipeline toggle, and the shared cross-run
-//!                     index cache toggle)
+//!                     delta pipeline toggle, the group-at-source
+//!                     streaming aggregation toggle, and the shared
+//!                     cross-run index cache toggle)
 //!   --index-cache-budget MB
 //!                     resident budget of the shared index cache
 //!                     [default: 2048]
@@ -48,8 +49,8 @@ fn usage() -> ! {
         "usage: recstep PROGRAM.datalog [--facts DIR] [--out DIR] [--threads N] \
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
          [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
-         [--no-index-reuse] [--no-fused-pipeline] [--no-shared-index-cache] \
-         [--index-cache-budget MB]"
+         [--no-index-reuse] [--no-fused-pipeline] [--no-fused-agg] \
+         [--no-shared-index-cache] [--index-cache-budget MB]"
     );
     std::process::exit(2);
 }
@@ -91,6 +92,7 @@ fn parse_args() -> Args {
             "--setdiff-tpsd" => cfg.setdiff = SetDiffStrategy::AlwaysTpsd,
             "--no-index-reuse" => cfg.index_reuse = false,
             "--no-fused-pipeline" => cfg.fused_pipeline = false,
+            "--no-fused-agg" => cfg.fused_agg = false,
             "--no-shared-index-cache" => cfg.shared_index_cache = false,
             "--index-cache-budget" => {
                 cfg.index_cache_budget_bytes = value("--index-cache-budget")
@@ -173,6 +175,14 @@ fn main() -> ExitCode {
             }
         );
         println!(
+            "-- fused_agg: {}",
+            if engine.config().fused_agg {
+                "on (aggregated heads group at source; pre-agg Rt never materialized)"
+            } else {
+                "off (group over a materialized pre-aggregation Rt)"
+            }
+        );
+        println!(
             "-- shared_index_cache: {}",
             if engine.config().shared_index_cache {
                 "on (frozen-relation join indexes shared across runs)"
@@ -213,6 +223,14 @@ fn main() -> ExitCode {
                     stats_out.rt_rows_skipped_at_source,
                     stats_out.rt_bytes_never_materialized,
                     stats_out.rt_merge_bytes
+                );
+                println!(
+                    "streaming aggregation: {} sink passes, {} rows folded at \
+                     source, {} groups improved, {} sampled stat rows",
+                    stats_out.agg_sink_runs,
+                    stats_out.agg_rows_folded_at_source,
+                    stats_out.agg_groups_improved,
+                    stats_out.sink_stat_samples
                 );
                 println!(
                     "index tables: {} full builds / {} appends / {} scratch; \

@@ -63,6 +63,16 @@ pub struct Config {
     /// (those paths genuinely need a materialized `Rt`). Off = keep the
     /// two-phase materialize-then-absorb pipeline (for ablations).
     pub fused_pipeline: bool,
+    /// Group-at-source streaming aggregation: aggregated heads (recursive
+    /// MIN/MAX and non-recursive group-by) stream every produced row into
+    /// a concurrent aggregate state at the probe site — a CAS-on-best
+    /// monotonic map whose dirty list *is* ∆R, or sharded group-by
+    /// partials merged once at sink flush — so the pre-aggregation `Rt`
+    /// is never materialized, and OOF-FA statistics are sampled from the
+    /// sink (reservoir + exact counts) instead of re-scanning `Rt`.
+    /// Applies when `uie` and `eost` are on. Off = group over a
+    /// materialized `Rt` in a second pass (for ablations).
+    pub fused_agg: bool,
     /// Shared cross-run index cache: join build-side indexes over frozen
     /// relations (EDBs, relations this program never derives) are
     /// published into the database-owned [`recstep_exec::cache::IndexCache`]
@@ -102,6 +112,7 @@ impl Default for Config {
             dedup: DedupImpl::Fast,
             index_reuse: true,
             fused_pipeline: true,
+            fused_agg: true,
             shared_index_cache: true,
             index_cache_budget_bytes: 2 << 30,
             pbme: PbmeMode::Auto,
@@ -129,6 +140,7 @@ impl Config {
             dedup: DedupImpl::Generic,
             index_reuse: false,
             fused_pipeline: false,
+            fused_agg: false,
             shared_index_cache: false,
             pbme: PbmeMode::Off,
             ..Config::default()
@@ -181,6 +193,13 @@ impl Config {
     /// and absorb it in a second pass).
     pub fn fused_pipeline(mut self, on: bool) -> Self {
         self.fused_pipeline = on;
+        self
+    }
+
+    /// Toggle group-at-source streaming aggregation (off = group over a
+    /// materialized pre-aggregation `Rt` in a second pass).
+    pub fn fused_agg(mut self, on: bool) -> Self {
+        self.fused_agg = on;
         self
     }
 
@@ -243,6 +262,7 @@ mod tests {
         assert!(c.eost);
         assert!(c.index_reuse);
         assert!(c.fused_pipeline);
+        assert!(c.fused_agg);
         assert!(c.shared_index_cache);
         assert!(c.index_cache_budget_bytes > 0);
         assert_eq!(c.oof, OofMode::Selective);
@@ -258,6 +278,7 @@ mod tests {
         assert!(!c.eost);
         assert!(!c.index_reuse);
         assert!(!c.fused_pipeline);
+        assert!(!c.fused_agg);
         assert!(!c.shared_index_cache);
         assert_eq!(c.oof, OofMode::None);
         assert_eq!(c.setdiff, SetDiffStrategy::AlwaysOpsd);

@@ -165,6 +165,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle group-at-source streaming aggregation (off = aggregated
+    /// heads group over a materialized pre-aggregation `Rt`).
+    pub fn fused_agg(mut self, on: bool) -> Self {
+        self.cfg.fused_agg = on;
+        self
+    }
+
     /// Toggle the shared cross-run index cache (off = every run builds its
     /// own frozen-relation indexes, the pre-cache per-run behavior).
     pub fn shared_index_cache(mut self, on: bool) -> Self {

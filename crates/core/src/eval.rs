@@ -54,7 +54,7 @@ use recstep_common::{Error, Result, Value};
 use recstep_datalog::plan::{
     AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, ScanSpec, SubQuery,
 };
-use recstep_exec::agg::{AggCol, MonotonicAgg};
+use recstep_exec::agg::{AggCol, ConcurrentMonoMap, GroupSink, MonotonicAgg};
 use recstep_exec::cache::{CacheKey, IndexCache};
 use recstep_exec::chain::ChainTable;
 use recstep_exec::dedup::deduplicate;
@@ -65,7 +65,7 @@ use recstep_exec::join::{
 };
 use recstep_exec::key::{bounds_of, KeyMode};
 use recstep_exec::setdiff::{set_difference, DsdState};
-use recstep_exec::sink::{DeltaSink, SinkMode};
+use recstep_exec::sink::{AggSink, AggTarget, DeltaSink, SinkMode, SinkSampler};
 use recstep_exec::ExecCtx;
 use recstep_storage::{DiskManager, RelId, RelView, Relation, RunCatalog, Schema};
 
@@ -423,11 +423,43 @@ enum AggKind {
     },
 }
 
+/// The monotonic-aggregate map backing a recursive aggregated IDB: which
+/// variant a run uses is decided once by the `fused_agg` gate.
+enum MonoEval {
+    /// Sequential map fed by a per-iteration group-by over a materialized
+    /// pre-aggregation `Rt` (the `--no-fused-agg` ablation path).
+    Seq(MonotonicAgg),
+    /// Concurrent CAS-on-best map fed directly by operator workers at the
+    /// probe site (group-at-source streaming): its dirty-list drain *is*
+    /// the iteration's ∆.
+    Conc(ConcurrentMonoMap),
+}
+
+impl MonoEval {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            MonoEval::Seq(m) => m.heap_bytes(),
+            MonoEval::Conc(m) => m.heap_bytes(),
+        }
+    }
+
+    fn to_columns(&self, group_arity: usize) -> Vec<Vec<Value>> {
+        match self {
+            MonoEval::Seq(m) => m.to_columns(group_arity),
+            MonoEval::Conc(m) => m.to_columns(group_arity),
+        }
+    }
+}
+
 struct MonoState {
-    mono: MonotonicAgg,
+    mono: MonoEval,
     group_positions: Vec<usize>,
     agg_position: usize,
 }
+
+/// Reservoir size for sink-sampled OOF-FA statistics (rows held, not rows
+/// counted — exact cardinalities come from the sink's counters).
+const SINK_SAMPLE_CAP: usize = 1024;
 
 /// One evaluation of a compiled program over one database.
 ///
@@ -713,14 +745,32 @@ impl EvalRun<'_, '_> {
                             shape.funcs.len()
                         )));
                     }
-                    let mut mono = MonotonicAgg::new(shape.funcs[0])?;
                     // Seed from facts already in R (earlier strata).
                     let mut group = Vec::with_capacity(shape.group_positions.len());
-                    for r in 0..rel.len() {
-                        group.clear();
-                        group.extend(shape.group_positions.iter().map(|&p| rel.col(p)[r]));
-                        mono.absorb(&group, rel.col(shape.agg_positions[0])[r]);
-                    }
+                    let mono = if self.fused_agg_applies() {
+                        let mut conc = ConcurrentMonoMap::new(
+                            shape.funcs[0],
+                            shape.group_positions.len(),
+                            rel.len().max(1024),
+                        )?;
+                        for r in 0..rel.len() {
+                            group.clear();
+                            group.extend(shape.group_positions.iter().map(|&p| rel.col(p)[r]));
+                            conc.absorb(&group, rel.col(shape.agg_positions[0])[r]);
+                        }
+                        // Seeds are pre-existing facts, not this run's ∆.
+                        let _ = conc.take_improved();
+                        conc.maybe_rehash();
+                        MonoEval::Conc(conc)
+                    } else {
+                        let mut seq = MonotonicAgg::new(shape.funcs[0])?;
+                        for r in 0..rel.len() {
+                            group.clear();
+                            group.extend(shape.group_positions.iter().map(|&p| rel.col(p)[r]));
+                            seq.absorb(&group, rel.col(shape.agg_positions[0])[r]);
+                        }
+                        MonoEval::Seq(seq)
+                    };
                     Some(AggKind::Mono(MonoState {
                         mono,
                         group_positions: shape.group_positions.clone(),
@@ -879,10 +929,12 @@ impl EvalRun<'_, '_> {
 
     /// Whether the fused streaming pipeline evaluates this IDB: the paths
     /// excluded here genuinely need a materialized `Rt` (OOF-FA analyzes
-    /// it, per-query commit mode spills it, aggregation groups over it,
-    /// IIE stages per-subquery temporaries) or have no full-R index to
-    /// probe (`index_reuse` off). Non-recursive strata stream too — their
-    /// single pass dedups across rules at source the same way.
+    /// it, per-query commit mode spills it, IIE stages per-subquery
+    /// temporaries) or have no full-R index to probe (`index_reuse` off).
+    /// Non-recursive strata stream too — their single pass dedups across
+    /// rules at source the same way. Aggregated heads stream through
+    /// their own group-at-source sink instead (see
+    /// [`Self::fused_agg_applies`]).
     fn fused_applies(&self, state: &IdbState) -> bool {
         self.cfg.fused_pipeline
             && self.cfg.index_reuse
@@ -890,6 +942,182 @@ impl EvalRun<'_, '_> {
             && self.cfg.eost
             && self.cfg.oof != OofMode::Full
             && state.agg.is_none()
+    }
+
+    /// Whether group-at-source streaming evaluates aggregated IDBs: every
+    /// produced row is folded into a concurrent aggregate state at the
+    /// probe site, so neither a materialized pre-aggregation `Rt` nor a
+    /// full-R probe index is involved. Requires UIE (per-subquery temp
+    /// staging would re-materialize the stream) and EOST (per-query commit
+    /// mode spills the temporaries the sink no longer produces). OOF-FA is
+    /// *not* excluded: the sink samples the statistics `analyze(Rt)` needs
+    /// (reservoir + exact counts) while rows stream through.
+    fn fused_agg_applies(&self) -> bool {
+        self.cfg.fused_agg && self.cfg.uie && self.cfg.eost
+    }
+
+    /// Run the OOF-FA statistics pass from a sink's reservoir sample
+    /// instead of a materialized `Rt` (no-op without a sampler).
+    fn note_sink_stats(
+        &mut self,
+        sampler: Option<&SinkSampler>,
+        rel_id: RelId,
+        stats: &mut EvalStats,
+    ) {
+        let Some(s) = sampler else { return };
+        let t_an = Instant::now();
+        let cols = s.columns();
+        let _ = recstep_storage::stats::analyze_view(
+            RelView::over(&cols),
+            recstep_storage::StatsLevel::Full,
+        );
+        self.catalog.analyze_full(rel_id);
+        stats.sink_stat_samples += s.sampled();
+        stats.phase.analyze += t_an.elapsed();
+    }
+
+    /// One group-at-source streaming step for an aggregated IDB: every
+    /// subquery's final operator folds each produced row into a concurrent
+    /// aggregate state (`AggSink`) at the probe site, so the
+    /// pre-aggregation `Rt` is never buffered, merged, or re-scanned — the
+    /// sink's flush yields ∆R (monotonic heads: the strictly improved
+    /// groups off the dirty list; plain group-by heads: the merged shard
+    /// partials) directly.
+    fn step_idb_agg_fused(
+        &mut self,
+        stratum: &CompiledStratum,
+        idb: &CompiledIdb,
+        idx: usize,
+        states: &mut [IdbState],
+        jcache: &mut JoinCache<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<DeltaBuf> {
+        let sampler =
+            (self.cfg.oof == OofMode::Full).then(|| SinkSampler::new(idb.arity, SINK_SAMPLE_CAP));
+        let rel_id = states[idx].rel_id;
+        let t_pipe = Instant::now();
+        if matches!(states[idx].agg, Some(AggKind::Mono(_))) {
+            // --- Recursive monotonic head: CAS-on-best at the probe site. ---
+            let (out, considered) = {
+                let Some(AggKind::Mono(ms)) = &states[idx].agg else {
+                    unreachable!("checked above")
+                };
+                let MonoEval::Conc(map) = &ms.mono else {
+                    unreachable!("the fused-agg gate constructs the concurrent map")
+                };
+                let sink = AggSink::new(AggTarget::Mono(map), sampler);
+                let out = eval_idb(
+                    self.ctx,
+                    self.cfg,
+                    &self.catalog,
+                    stratum,
+                    idb,
+                    states,
+                    idx,
+                    jcache,
+                    &SinkMode::Agg(&sink),
+                )?;
+                // Close the pipeline timer before the statistics pass so
+                // the analyze interval is booked under `phase.analyze`
+                // only — the per-phase breakdown stays disjoint.
+                stats.phase.pipeline += t_pipe.elapsed();
+                self.note_sink_stats(sink.sampler(), rel_id, stats);
+                (out, sink.considered())
+            };
+            stats.queries_issued += out.queries + 1;
+            stats.tuples_considered += considered;
+            stats.agg_sink_runs += 1;
+            stats.agg_rows_folded_at_source += considered;
+            if self.cfg.oof == OofMode::None {
+                freeze_choices(&self.catalog, stratum, idb, states, idx);
+            }
+            // --- Flush: the dirty list is ∆R, in head layout. ---
+            let t_agg = Instant::now();
+            let Some(AggKind::Mono(ms)) = &mut states[idx].agg else {
+                unreachable!("checked above")
+            };
+            let MonoEval::Conc(map) = &mut ms.mono else {
+                unreachable!("the fused-agg gate constructs the concurrent map")
+            };
+            let improved = map.take_improved();
+            map.maybe_rehash();
+            let g = ms.group_positions.len();
+            let mut delta = Relation::new(Schema::with_arity(idb.delta_name.clone(), idb.arity));
+            let mut out_row = vec![0 as Value; idb.arity];
+            for row in improved.chunks(g + 1) {
+                for (gi, &pos) in ms.group_positions.iter().enumerate() {
+                    out_row[pos] = row[gi];
+                }
+                out_row[ms.agg_position] = row[g];
+                delta.push_row(&out_row);
+            }
+            stats.agg_groups_improved += delta.len();
+            stats.phase.aggregate += t_agg.elapsed();
+            return Ok(DeltaBuf::Owned(delta));
+        }
+
+        // --- Non-recursive group-by head: sharded partials at the sink. ---
+        let Some(AggKind::Plain {
+            group_positions,
+            agg_positions,
+            funcs,
+        }) = &states[idx].agg
+        else {
+            unreachable!("caller dispatches only aggregated IDBs")
+        };
+        let (group_positions, agg_positions) = (group_positions.clone(), agg_positions.clone());
+        let gsink = GroupSink::new(funcs.clone(), group_positions.len());
+        let (out, considered) = {
+            let sink = AggSink::new(AggTarget::Group(&gsink), sampler);
+            let out = eval_idb(
+                self.ctx,
+                self.cfg,
+                &self.catalog,
+                stratum,
+                idb,
+                states,
+                idx,
+                jcache,
+                &SinkMode::Agg(&sink),
+            )?;
+            // As above: keep the analyze interval out of `phase.pipeline`.
+            stats.phase.pipeline += t_pipe.elapsed();
+            self.note_sink_stats(sink.sampler(), rel_id, stats);
+            (out, sink.considered())
+        };
+        stats.queries_issued += out.queries + 1;
+        stats.tuples_considered += considered;
+        stats.agg_sink_runs += 1;
+        stats.agg_rows_folded_at_source += considered;
+        if self.cfg.oof == OofMode::None {
+            freeze_choices(&self.catalog, stratum, idb, states, idx);
+        }
+        // --- Flush: merge the shard partials straight into head layout. ---
+        let t_agg = Instant::now();
+        let g = group_positions.len();
+        let mut grouped = gsink.into_columns();
+        let rows = grouped.first().map_or(0, Vec::len);
+        let mut cols = vec![Vec::new(); idb.arity];
+        for (gi, &pos) in group_positions.iter().enumerate() {
+            cols[pos] = std::mem::take(&mut grouped[gi]);
+        }
+        for (j, &pos) in agg_positions.iter().enumerate() {
+            cols[pos] = std::mem::take(&mut grouped[g + j]);
+        }
+        stats.agg_groups_improved += rows;
+        stats.phase.aggregate += t_agg.elapsed();
+        let state = &mut states[idx];
+        let rel = self.catalog.rel_mut(state.rel_id);
+        state.old_len = rel.len();
+        rel.append_columns(cols);
+        let delta = DeltaBuf::Range(state.old_len, rel.len());
+        if let Some(disk) = self.disk.as_deref_mut() {
+            let rel = self.catalog.rel(state.rel_id);
+            let t_io = Instant::now();
+            disk.note_dirty(rel)?;
+            stats.phase.io += t_io.elapsed();
+        }
+        Ok(delta)
     }
 
     /// One fused streaming step: `∆R` comes straight out of rule
@@ -959,7 +1187,7 @@ impl EvalRun<'_, '_> {
                 states,
                 idx,
                 jcache,
-                Some(&sink),
+                &SinkMode::Delta(&sink),
             )
             .map(|out| {
                 (
@@ -1071,6 +1299,9 @@ impl EvalRun<'_, '_> {
         if self.fused_applies(&states[idx]) {
             return self.step_idb_fused(stratum, idb, idx, states, jcache, stats);
         }
+        if states[idx].agg.is_some() && self.fused_agg_applies() {
+            return self.step_idb_agg_fused(stratum, idb, idx, states, jcache, stats);
+        }
 
         // --- Rt ← uieval(rules(R, s)) ---
         let t_eval = Instant::now();
@@ -1083,7 +1314,7 @@ impl EvalRun<'_, '_> {
             states,
             idx,
             jcache,
-            None,
+            &SinkMode::Materialize,
         )?;
         let (candidates, queries) = (out.cols, out.queries);
         stats.phase.eval += t_eval.elapsed();
@@ -1125,11 +1356,14 @@ impl EvalRun<'_, '_> {
         match &mut state.agg {
             Some(AggKind::Mono(mono_state)) => {
                 // --- Recursive aggregation path: group, then absorb. ---
+                let MonoEval::Seq(mono) = &mut mono_state.mono else {
+                    unreachable!("the fused-agg gate constructs the sequential map")
+                };
                 let t_agg = Instant::now();
                 let g = mono_state.group_positions.len();
                 let group_exprs: Vec<Expr> = (0..g).map(Expr::Col).collect();
                 let aggs = vec![AggCol {
-                    func: mono_state.mono.func(),
+                    func: mono.func(),
                     expr: Expr::Col(g),
                 }];
                 let grouped = recstep_exec::agg::group_aggregate(
@@ -1148,7 +1382,7 @@ impl EvalRun<'_, '_> {
                     group.clear();
                     group.extend((0..g).map(|c| grouped[c][r]));
                     let v = grouped[g][r];
-                    if mono_state.mono.absorb(&group, v) {
+                    if mono.absorb(&group, v) {
                         for (gi, &pos) in mono_state.group_positions.iter().enumerate() {
                             out_row[pos] = group[gi];
                         }
@@ -1457,9 +1691,11 @@ fn estimate_left_rows(
 
 /// Output of [`eval_idb`].
 struct EvalOut {
-    /// With no sink: the UNION ALL of the subquery outputs (`Rt`,
+    /// Materializing: the UNION ALL of the subquery outputs (`Rt`,
     /// pre-aggregation layout). With a [`DeltaSink`]: the fresh rows only
     /// — already deduplicated across subqueries and subtracted from `R`.
+    /// With an [`AggSink`]: empty — every row was folded into the sink's
+    /// aggregate state at the probe site.
     cols: Vec<Vec<Value>>,
     /// Backend queries the evaluation cost (UIE batches them into one).
     queries: usize,
@@ -1467,10 +1703,11 @@ struct EvalOut {
 
 /// Evaluate all subqueries of one IDB.
 ///
-/// When `sink` is set, every subquery's final operator streams its rows
+/// With a `Delta` sink, every subquery's final operator streams its rows
 /// through it, so the union below concatenates *disjoint fresh* row sets
-/// (the shared scratch table dedups across rules at source); without a
-/// sink this is Algorithm 1's materializing `uieval`.
+/// (the shared scratch table dedups across rules at source); with an
+/// `Agg` sink the rows are folded into concurrent aggregate state and the
+/// union stays empty; `Materialize` is Algorithm 1's `uieval`.
 #[allow(clippy::too_many_arguments)]
 fn eval_idb(
     ctx: &ExecCtx,
@@ -1481,13 +1718,9 @@ fn eval_idb(
     states: &[IdbState],
     idx: usize,
     jcache: &mut JoinCache<'_>,
-    sink: Option<&DeltaSink<'_>>,
+    sink: &SinkMode<'_>,
 ) -> Result<EvalOut> {
     let out_arity = idb.arity;
-    let sink_mode = match sink {
-        Some(s) => SinkMode::Delta(s),
-        None => SinkMode::Materialize,
-    };
     let mut unioned: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
     let mut queries = 0usize;
     for (si, sq) in idb.subqueries.iter().enumerate() {
@@ -1500,7 +1733,7 @@ fn eval_idb(
             states,
             &states[idx].frozen[si],
             jcache,
-            &sink_mode,
+            sink,
         )?;
         if cfg.uie {
             // One unified query: results land in a single output buffer.

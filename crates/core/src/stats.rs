@@ -124,6 +124,22 @@ pub struct EvalStats {
     /// by the non-streaming path. Zero under the fused pipeline — the
     /// acceptance signal that duplicates die at the probe site.
     pub rt_merge_bytes: usize,
+    /// Group-at-source streaming aggregation passes: aggregated heads
+    /// whose produced rows were folded into concurrent aggregate state at
+    /// the probe site instead of materializing a pre-aggregation `Rt`.
+    pub agg_sink_runs: usize,
+    /// Candidate rows the aggregation sink folded at source (rows the
+    /// materializing path would have buffered into `Rt`, merged, and
+    /// re-scanned by the group-by pass).
+    pub agg_rows_folded_at_source: usize,
+    /// Groups the aggregation sink emitted as ∆: strict improvements for
+    /// monotonic (recursive MIN/MAX) heads, all result groups for one-shot
+    /// group-by heads.
+    pub agg_groups_improved: usize,
+    /// Rows the sink-side reservoir handed to the OOF-FA statistics pass
+    /// in place of a full `Rt` re-scan (0 unless `--oof-fa` streams
+    /// through an aggregation sink).
+    pub sink_stat_samples: usize,
     /// Hash-index build/append accounting (rebuild vs. incremental).
     pub index: IndexStats,
     /// Peak engine-estimated heap bytes (relations + operator tables).

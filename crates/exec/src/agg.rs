@@ -7,13 +7,47 @@
 //! [Lefebvre 92]: the IDB keeps one tuple per group holding the current best
 //! value, and the ∆ of an iteration is the set of *strictly improved*
 //! groups — which is exactly what [`MonotonicAgg::absorb`] reports.
+//!
+//! Both shapes also exist as *sink-side* concurrent states for the fused
+//! streaming pipeline (group-at-source): [`ConcurrentMonoMap`] is a
+//! latch-free CAS-on-best map whose dirty list yields the iteration's ∆
+//! directly, and [`GroupSink`] holds sharded group-by partials that
+//! operator workers fold rows into at the probe site, merged once at
+//! flush. With either, the pre-aggregation `Rt` is never materialized.
+//!
+//! ## Overflow
+//!
+//! Accumulators widen through `i128`, so the running sum itself cannot
+//! wrap on any realistic input; the hazard is the final narrowing back to
+//! the engine's `i64` value domain. `SUM`/`COUNT`/`AVG` **saturate**: an
+//! accumulated value outside `i64` range clamps to `i64::MIN`/`i64::MAX`
+//! instead of wrapping silently (and the `i128` accumulator saturates at
+//! its own bounds as belt-and-braces).
 
-use recstep_common::hash::FxHashMap;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use recstep_common::hash::{hash_row, FxHashMap};
 use recstep_common::Value;
 use recstep_storage::RelView;
 
 use crate::expr::{AggFunc, Expr};
+use crate::key::bucket_of;
 use crate::ExecCtx;
+
+/// Saturating narrowing from the `i128` accumulator domain back to the
+/// engine's `i64` value domain (see the module docs on overflow).
+#[inline]
+fn saturate_value(acc: i128) -> Value {
+    if acc > Value::MAX as i128 {
+        Value::MAX
+    } else if acc < Value::MIN as i128 {
+        Value::MIN
+    } else {
+        acc as Value
+    }
+}
 
 #[derive(Clone, Copy)]
 struct AggState {
@@ -41,12 +75,12 @@ impl AggState {
             AggFunc::Min => self.acc = self.acc.min(v as i128),
             AggFunc::Max => self.acc = self.acc.max(v as i128),
             AggFunc::Sum | AggFunc::Avg => {
-                self.acc += v as i128;
-                self.cnt += 1;
+                self.acc = self.acc.saturating_add(v as i128);
+                self.cnt = self.cnt.saturating_add(1);
             }
             AggFunc::Count => {
-                self.acc += 1;
-                self.cnt += 1;
+                self.acc = self.acc.saturating_add(1);
+                self.cnt = self.cnt.saturating_add(1);
             }
         }
     }
@@ -56,16 +90,16 @@ impl AggState {
             AggFunc::Min => self.acc = self.acc.min(other.acc),
             AggFunc::Max => self.acc = self.acc.max(other.acc),
             AggFunc::Sum | AggFunc::Avg | AggFunc::Count => {
-                self.acc += other.acc;
-                self.cnt += other.cnt;
+                self.acc = self.acc.saturating_add(other.acc);
+                self.cnt = self.cnt.saturating_add(other.cnt);
             }
         }
     }
 
     fn finish(&self, func: AggFunc) -> Value {
         match func {
-            AggFunc::Avg => (self.acc / self.cnt.max(1) as i128) as Value,
-            _ => self.acc as Value,
+            AggFunc::Avg => saturate_value(self.acc / self.cnt.max(1) as i128),
+            _ => saturate_value(self.acc),
         }
     }
 }
@@ -247,6 +281,461 @@ impl MonotonicAgg {
         // Entry overhead ≈ key box + value + hashmap slot.
         self.map.len() * (std::mem::size_of::<Value>() * 2 + 32)
             + self.map.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Chain-next sentinel: empty bucket / end of chain (`node + 1` addressing).
+const NIL: u32 = 0;
+/// Dirty-list sentinel: the node is clean (not queued for the next ∆).
+const NOT_DIRTY: u32 = u32::MAX;
+/// Pre-planned chunk slots, mirroring [`crate::chain::GrowChainTable`].
+const MONO_CHUNKS: usize = 32;
+
+/// One lazily allocated shard of [`ConcurrentMonoMap`] node storage.
+/// Groups are stored inline (`group_arity` values per node) next to the
+/// CAS-able best value and the dirty-list link.
+struct MonoChunk {
+    next: Vec<AtomicU32>,
+    keys: Vec<AtomicU64>,
+    best: Vec<AtomicI64>,
+    dirty: Vec<AtomicU32>,
+    groups: Vec<AtomicI64>,
+}
+
+impl MonoChunk {
+    fn new(cap: usize, group_arity: usize) -> Self {
+        let mut next = Vec::with_capacity(cap);
+        next.resize_with(cap, || AtomicU32::new(NIL));
+        let mut keys = Vec::with_capacity(cap);
+        keys.resize_with(cap, || AtomicU64::new(0));
+        let mut best = Vec::with_capacity(cap);
+        best.resize_with(cap, || AtomicI64::new(0));
+        let mut dirty = Vec::with_capacity(cap);
+        dirty.resize_with(cap, || AtomicU32::new(NOT_DIRTY));
+        let mut groups = Vec::with_capacity(cap * group_arity);
+        groups.resize_with(cap * group_arity, || AtomicI64::new(0));
+        MonoChunk {
+            next,
+            keys,
+            best,
+            dirty,
+            groups,
+        }
+    }
+}
+
+/// A concurrent monotonic-aggregate map: the sink-side twin of
+/// [`MonotonicAgg`] for the fused streaming pipeline (group-at-source).
+///
+/// Layout and insert protocol follow [`crate::chain::GrowChainTable`]
+/// (fixed bucket array, `fetch_add` slot allocator over doubling chunks,
+/// Treiber-style publish with duplicate re-scan on a lost CAS), with two
+/// additions:
+///
+/// * each node carries one **CAS-on-best** `AtomicI64` — an existing
+///   group absorbs a candidate with a compare-exchange loop that only
+///   ever installs strict improvements, so concurrent candidates for one
+///   group resolve to the true MIN/MAX without a latch;
+/// * improved or newly created nodes self-register on a latch-free
+///   **dirty list** (one Treiber stack threaded through per-node links,
+///   claimed by a `NOT_DIRTY → queued` CAS so each group appears at most
+///   once). [`ConcurrentMonoMap::take_improved`] drains that list at the
+///   quiescent end of an iteration — it *is* ∆R, with each group's final
+///   (best) value, no pre-aggregation `Rt` ever materialized.
+///
+/// The bucket array is fixed while workers insert (same trade-off as the
+/// scratch table), but the map persists across iterations and
+/// [`ConcurrentMonoMap::maybe_rehash`] regrows it at flush time — a
+/// quiescent point — so chains track the group count of the workload.
+pub struct ConcurrentMonoMap {
+    func: AggFunc,
+    group_arity: usize,
+    heads: Vec<AtomicU32>,
+    mask: usize,
+    base: usize,
+    chunks: Vec<OnceLock<MonoChunk>>,
+    alloc: AtomicUsize,
+    /// Head of the dirty Treiber stack (`node + 1`, 0 = empty).
+    dirty_head: AtomicU32,
+    /// Published (reachable) nodes — the number of groups.
+    live: AtomicUsize,
+}
+
+impl ConcurrentMonoMap {
+    /// New concurrent monotonic map. Like [`MonotonicAgg::new`], only
+    /// `MIN` and `MAX` converge under recursion; other functions are
+    /// rejected.
+    pub fn new(
+        func: AggFunc,
+        group_arity: usize,
+        groups_hint: usize,
+    ) -> recstep_common::Result<Self> {
+        match func {
+            AggFunc::Min | AggFunc::Max => {}
+            other => {
+                return Err(recstep_common::Error::analysis(format!(
+                    "recursive aggregation requires MIN or MAX, got {}",
+                    other.sql()
+                )))
+            }
+        }
+        let base = crate::util::next_pow2_at_least(groups_hint, 64);
+        let n_buckets = crate::util::next_pow2_at_least(groups_hint.saturating_mul(2), 4096);
+        let mut heads = Vec::with_capacity(n_buckets);
+        heads.resize_with(n_buckets, || AtomicU32::new(NIL));
+        let mut chunks = Vec::with_capacity(MONO_CHUNKS);
+        chunks.resize_with(MONO_CHUNKS, OnceLock::new);
+        Ok(ConcurrentMonoMap {
+            func,
+            group_arity: group_arity.max(1),
+            heads,
+            mask: n_buckets - 1,
+            base,
+            chunks,
+            alloc: AtomicUsize::new(0),
+            dirty_head: AtomicU32::new(0),
+            live: AtomicUsize::new(0),
+        })
+    }
+
+    /// Aggregate function in effect.
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    /// Values per group key.
+    pub fn group_arity(&self) -> usize {
+        self.group_arity
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// True when no group has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chunk and in-chunk offset of node slot `idx`, allocating the chunk
+    /// on first touch (chunk `k` covers `base·(2^k − 1) .. base·(2^(k+1) − 1)`).
+    #[inline]
+    fn locate(&self, idx: usize) -> (&MonoChunk, usize) {
+        let q = idx / self.base + 1;
+        let k = (usize::BITS - 1 - q.leading_zeros()) as usize;
+        let off = idx - ((1usize << k) - 1) * self.base;
+        let chunk = self.chunks[k].get_or_init(|| MonoChunk::new(self.base << k, self.group_arity));
+        (chunk, off)
+    }
+
+    #[inline]
+    fn group_eq(&self, chunk: &MonoChunk, off: usize, group: &[Value]) -> bool {
+        let at = off * self.group_arity;
+        group
+            .iter()
+            .enumerate()
+            .all(|(c, &v)| chunk.groups[at + c].load(Ordering::Relaxed) == v)
+    }
+
+    /// Walk the chain from `cur` (stopping before `until`) for an equal
+    /// group; chains are prepend-only, so bounding by a previously
+    /// observed head restricts the scan to newly published nodes.
+    fn find_in_chain(&self, mut cur: u32, until: u32, key: u64, group: &[Value]) -> Option<usize> {
+        while cur != until && cur != NIL {
+            let idx = (cur - 1) as usize;
+            let (chunk, off) = self.locate(idx);
+            if chunk.keys[off].load(Ordering::Relaxed) == key && self.group_eq(chunk, off, group) {
+                return Some(idx);
+            }
+            cur = chunk.next[off].load(Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Queue `idx` for the next [`Self::take_improved`] drain. Idempotent:
+    /// the `NOT_DIRTY → queued` claim admits each node at most once.
+    fn mark_dirty(&self, idx: usize) {
+        let (chunk, off) = self.locate(idx);
+        if chunk.dirty[off]
+            .compare_exchange(NOT_DIRTY, 0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // already queued
+        }
+        let node = (idx + 1) as u32;
+        let mut head = self.dirty_head.load(Ordering::Acquire);
+        loop {
+            chunk.dirty[off].store(head, Ordering::Relaxed);
+            match self.dirty_head.compare_exchange_weak(
+                head,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// CAS-on-best: install `v` iff it strictly improves node `idx`.
+    /// Returns `true` when this call improved the group.
+    fn cas_best(&self, idx: usize, v: Value) -> bool {
+        let (chunk, off) = self.locate(idx);
+        let cell = &chunk.best[off];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let better = match self.func {
+                AggFunc::Min => v < cur,
+                AggFunc::Max => v > cur,
+                _ => unreachable!("constructor admits only MIN/MAX"),
+            };
+            if !better {
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.mark_dirty(idx);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Absorb a candidate `(group, value)` from any worker concurrently;
+    /// returns `true` iff this call created the group or strictly improved
+    /// its best value. Improved groups are queued for the next
+    /// [`Self::take_improved`] regardless of which caller wins a race.
+    pub fn absorb(&self, group: &[Value], v: Value) -> bool {
+        debug_assert_eq!(group.len(), self.group_arity);
+        let key = hash_row(group);
+        let bucket = &self.heads[bucket_of(key, self.mask)];
+        let mut head = bucket.load(Ordering::Acquire);
+        if let Some(existing) = self.find_in_chain(head, NIL, key, group) {
+            return self.cas_best(existing, v);
+        }
+        // Reserve a slot and fill it privately (Relaxed: unpublished).
+        let idx = self.alloc.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            idx < u32::MAX as usize - 1,
+            "ConcurrentMonoMap supports < 2^32-1 groups"
+        );
+        let (chunk, off) = self.locate(idx);
+        chunk.keys[off].store(key, Ordering::Relaxed);
+        chunk.best[off].store(v, Ordering::Relaxed);
+        let at = off * self.group_arity;
+        for (c, &g) in group.iter().enumerate() {
+            chunk.groups[at + c].store(g, Ordering::Relaxed);
+        }
+        let node = (idx + 1) as u32;
+        loop {
+            chunk.next[off].store(head, Ordering::Relaxed);
+            match bucket.compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.live.fetch_add(1, Ordering::Relaxed);
+                    self.mark_dirty(idx);
+                    return true;
+                }
+                Err(actual) => {
+                    // Lost a race: scan only the newly published prefix for
+                    // an equal group; our reserved slot leaks if one won.
+                    if let Some(existing) = self.find_in_chain(actual, head, key, group) {
+                        return self.cas_best(existing, v);
+                    }
+                    head = actual;
+                }
+            }
+        }
+    }
+
+    /// Absorb one pre-aggregation row laid out `[group ‖ value]` (the
+    /// sink-facing entry point).
+    #[inline]
+    pub fn absorb_row(&self, row: &[Value]) -> bool {
+        debug_assert_eq!(row.len(), self.group_arity + 1);
+        self.absorb(&row[..self.group_arity], row[self.group_arity])
+    }
+
+    /// Current best value of a group.
+    pub fn get(&self, group: &[Value]) -> Option<Value> {
+        let key = hash_row(group);
+        let head = self.heads[bucket_of(key, self.mask)].load(Ordering::Acquire);
+        self.find_in_chain(head, NIL, key, group).map(|idx| {
+            let (chunk, off) = self.locate(idx);
+            chunk.best[off].load(Ordering::Relaxed)
+        })
+    }
+
+    /// Drain the dirty list: the groups created or strictly improved since
+    /// the previous drain, each with its current (final) best value —
+    /// exactly ∆R of the iteration, flattened row-major as
+    /// `[group ‖ value]` rows. Requires quiescence (`&mut`): call between
+    /// parallel absorb phases.
+    pub fn take_improved(&mut self) -> Vec<Value> {
+        let width = self.group_arity + 1;
+        let mut out = Vec::new();
+        let mut cur = self.dirty_head.swap(0, Ordering::Relaxed);
+        while cur != 0 {
+            let idx = (cur - 1) as usize;
+            let (chunk, off) = self.locate(idx);
+            let at = off * self.group_arity;
+            out.reserve(width);
+            for c in 0..self.group_arity {
+                out.push(chunk.groups[at + c].load(Ordering::Relaxed));
+            }
+            out.push(chunk.best[off].load(Ordering::Relaxed));
+            cur = chunk.dirty[off].swap(NOT_DIRTY, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Regrow the bucket array to track the group count (no-op while the
+    /// load factor is ≤ 1). Quiescent-only, like [`Self::take_improved`]:
+    /// relinking swaps no values and moves no node.
+    pub fn maybe_rehash(&mut self) {
+        let live = self.live.load(Ordering::Relaxed);
+        if live <= self.heads.len() {
+            return;
+        }
+        let n_buckets = crate::util::next_pow2_at_least(live.saturating_mul(2), 4096);
+        let old_heads = std::mem::replace(&mut self.heads, {
+            let mut heads = Vec::with_capacity(n_buckets);
+            heads.resize_with(n_buckets, || AtomicU32::new(NIL));
+            heads
+        });
+        self.mask = n_buckets - 1;
+        for head in &old_heads {
+            let mut cur = head.load(Ordering::Relaxed);
+            while cur != NIL {
+                let idx = (cur - 1) as usize;
+                let (chunk, off) = self.locate(idx);
+                let next = chunk.next[off].load(Ordering::Relaxed);
+                let key = chunk.keys[off].load(Ordering::Relaxed);
+                let bucket = &self.heads[bucket_of(key, self.mask)];
+                chunk.next[off].store(bucket.load(Ordering::Relaxed), Ordering::Relaxed);
+                bucket.store(cur, Ordering::Relaxed);
+                cur = next;
+            }
+        }
+    }
+
+    /// Materialize as `[group columns ‖ value]` (live nodes only — slots
+    /// lost to insert races are unreachable and skipped).
+    pub fn to_columns(&self, group_arity: usize) -> Vec<Vec<Value>> {
+        debug_assert_eq!(group_arity, self.group_arity);
+        let n = self.len();
+        let mut cols = vec![Vec::with_capacity(n); group_arity + 1];
+        for head in &self.heads {
+            let mut cur = head.load(Ordering::Acquire);
+            while cur != NIL {
+                let idx = (cur - 1) as usize;
+                let (chunk, off) = self.locate(idx);
+                let at = off * self.group_arity;
+                for (c, col) in cols.iter_mut().enumerate().take(group_arity) {
+                    col.push(chunk.groups[at + c].load(Ordering::Relaxed));
+                }
+                cols[group_arity].push(chunk.best[off].load(Ordering::Relaxed));
+                cur = chunk.next[off].load(Ordering::Relaxed);
+            }
+        }
+        cols
+    }
+
+    /// Approximate heap footprint in bytes (allocated chunks only).
+    pub fn heap_bytes(&self) -> usize {
+        let per_node = 4 + 8 + 8 + 4 + self.group_arity * 8;
+        let mut bytes = self.heads.capacity() * 4;
+        for (k, chunk) in self.chunks.iter().enumerate() {
+            if chunk.get().is_some() {
+                bytes += (self.base << k) * per_node;
+            }
+        }
+        bytes
+    }
+}
+
+/// Number of partial-state shards a [`GroupSink`] spreads workers over.
+const GROUP_SHARDS: usize = 64;
+
+/// One [`GroupSink`] shard: partial aggregation states keyed by group.
+type GroupShard = Mutex<FxHashMap<Box<[Value]>, Vec<AggState>>>;
+
+/// Sink-side state for *non-recursive* group-by heads: sharded partial
+/// aggregation maps that operator workers fold produced rows into at the
+/// probe site (rows laid out `[group ‖ aggregate arguments]`, the
+/// pre-aggregation layout), merged once at sink flush.
+///
+/// A group's shard is a pure function of its key hash, so every row of a
+/// group lands in the same shard — the flush needs no cross-shard merge,
+/// just concatenation, and contention distributes across 64 shard locks
+/// instead of one.
+pub struct GroupSink {
+    funcs: Vec<AggFunc>,
+    group_arity: usize,
+    shards: Vec<GroupShard>,
+}
+
+impl GroupSink {
+    /// Sink for `funcs` aggregates over `group_arity` leading group
+    /// columns.
+    pub fn new(funcs: Vec<AggFunc>, group_arity: usize) -> Self {
+        let mut shards = Vec::with_capacity(GROUP_SHARDS);
+        shards.resize_with(GROUP_SHARDS, || Mutex::new(FxHashMap::default()));
+        GroupSink {
+            funcs,
+            group_arity,
+            shards,
+        }
+    }
+
+    /// Fold one pre-aggregation row (`[group ‖ args]`) into its shard's
+    /// partial state. Callable from any worker concurrently.
+    pub fn absorb_row(&self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.group_arity + self.funcs.len());
+        let (group, args) = row.split_at(self.group_arity);
+        let h = hash_row(group);
+        let mut shard = self.shards[(h as usize) & (GROUP_SHARDS - 1)].lock();
+        match shard.get_mut(group) {
+            Some(states) => {
+                for ((st, &f), &v) in states.iter_mut().zip(&self.funcs).zip(args) {
+                    st.update(f, v);
+                }
+            }
+            None => {
+                let states: Vec<AggState> = self
+                    .funcs
+                    .iter()
+                    .zip(args)
+                    .map(|(&f, &v)| AggState::new(f, v))
+                    .collect();
+                shard.insert(group.to_vec().into_boxed_slice(), states);
+            }
+        }
+    }
+
+    /// Number of distinct groups folded so far.
+    pub fn groups(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Flush: finish every partial state and materialize the result as
+    /// `[group columns ‖ aggregate columns]`, one row per group.
+    pub fn into_columns(self) -> Vec<Vec<Value>> {
+        let out_arity = self.group_arity + self.funcs.len();
+        let mut cols = vec![Vec::new(); out_arity];
+        for shard in self.shards {
+            for (key, states) in shard.into_inner() {
+                for (c, &v) in key.iter().enumerate() {
+                    cols[c].push(v);
+                }
+                for (i, (st, &f)) in states.iter().zip(&self.funcs).enumerate() {
+                    cols[self.group_arity + i].push(st.finish(f));
+                }
+            }
+        }
+        cols
     }
 }
 
@@ -443,5 +932,159 @@ mod tests {
         rows.sort_unstable();
         assert_eq!(rows, vec![vec![1, 2, 9], vec![3, 4, 8]]);
         assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        // Two i64::MAX contributions overflow the value domain: the result
+        // must clamp to i64::MAX, not wrap negative.
+        let rel = Relation::from_rows(
+            Schema::with_arity("t", 2),
+            &[
+                vec![1, Value::MAX],
+                vec![1, Value::MAX],
+                vec![2, Value::MIN],
+            ],
+        );
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[Expr::Col(0)],
+            &[AggCol {
+                func: AggFunc::Sum,
+                expr: Expr::Col(1),
+            }],
+        );
+        assert_eq!(
+            result_map(&out),
+            HashMap::from([(1, Value::MAX), (2, Value::MIN)])
+        );
+    }
+
+    #[test]
+    fn sum_saturates_at_the_negative_bound_too() {
+        let rel = Relation::from_rows(
+            Schema::with_arity("t", 2),
+            &[vec![1, Value::MIN], vec![1, Value::MIN], vec![1, -7]],
+        );
+        let out = group_aggregate(
+            &ctx(),
+            rel.view(),
+            &[Expr::Col(0)],
+            &[AggCol {
+                func: AggFunc::Sum,
+                expr: Expr::Col(1),
+            }],
+        );
+        assert_eq!(result_map(&out), HashMap::from([(1, Value::MIN)]));
+    }
+
+    #[test]
+    fn group_sink_saturates_like_group_aggregate() {
+        let sink = GroupSink::new(vec![AggFunc::Sum], 1);
+        sink.absorb_row(&[1, Value::MAX]);
+        sink.absorb_row(&[1, Value::MAX]);
+        let cols = sink.into_columns();
+        assert_eq!(result_map(&cols), HashMap::from([(1, Value::MAX)]));
+    }
+
+    #[test]
+    fn concurrent_mono_absorbs_and_reports_improvements() {
+        let mut m = ConcurrentMonoMap::new(AggFunc::Min, 1, 8).unwrap();
+        assert!(m.absorb(&[1], 10)); // new
+        assert!(!m.absorb(&[1], 10)); // equal → not improved
+        assert!(!m.absorb(&[1], 12)); // worse
+        assert!(m.absorb(&[1], 3)); // better
+        assert!(m.absorb(&[2], 5));
+        assert_eq!(m.get(&[1]), Some(3));
+        assert_eq!(m.get(&[9]), None);
+        assert_eq!(m.len(), 2);
+        // One ∆ row per group, final values only.
+        let mut improved: Vec<Vec<Value>> =
+            m.take_improved().chunks(2).map(<[_]>::to_vec).collect();
+        improved.sort_unstable();
+        assert_eq!(improved, vec![vec![1, 3], vec![2, 5]]);
+        // Drained: nothing reported until the next improvement.
+        assert!(m.take_improved().is_empty());
+        assert!(!m.absorb(&[1], 4));
+        assert!(m.take_improved().is_empty());
+        assert!(m.absorb(&[1], 2));
+        assert_eq!(m.take_improved(), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_mono_rejects_non_extremal_functions() {
+        assert!(ConcurrentMonoMap::new(AggFunc::Sum, 1, 8).is_err());
+        assert!(ConcurrentMonoMap::new(AggFunc::Count, 1, 8).is_err());
+        assert!(ConcurrentMonoMap::new(AggFunc::Avg, 1, 8).is_err());
+    }
+
+    #[test]
+    fn concurrent_mono_to_columns_matches_sequential() {
+        let mut seq = MonotonicAgg::new(AggFunc::Max).unwrap();
+        let mut conc = ConcurrentMonoMap::new(AggFunc::Max, 2, 4).unwrap();
+        for i in 0..500i64 {
+            let group = [i % 17, i % 5];
+            seq.absorb(&group, i * 3 % 101);
+            conc.absorb(&group, i * 3 % 101);
+        }
+        assert_eq!(seq.len(), conc.len());
+        let rows = |cols: &[Vec<Value>]| -> Vec<Vec<Value>> {
+            let mut rows: Vec<Vec<Value>> = (0..cols[0].len())
+                .map(|r| cols.iter().map(|c| c[r]).collect())
+                .collect();
+            rows.sort_unstable();
+            rows
+        };
+        assert_eq!(rows(&seq.to_columns(2)), rows(&conc.to_columns(2)));
+        assert!(conc.heap_bytes() > 0);
+        conc.maybe_rehash();
+        assert_eq!(rows(&seq.to_columns(2)), rows(&conc.to_columns(2)));
+    }
+
+    #[test]
+    fn concurrent_mono_parallel_absorbs_resolve_to_the_true_min() {
+        use recstep_common::sched::ThreadPool;
+        let pool = ThreadPool::new(8);
+        // Tiny hints force chunk growth; 64 groups raced by 8 workers.
+        let mut m = ConcurrentMonoMap::new(AggFunc::Min, 1, 4).unwrap();
+        pool.parallel_for(64 * 128, 16, |range, _| {
+            for i in range {
+                let g = (i % 64) as Value;
+                let v = ((i * 37) % 1000) as Value;
+                m.absorb(&[g], v);
+            }
+        });
+        assert_eq!(m.len(), 64);
+        let mut oracle: HashMap<Value, Value> = HashMap::new();
+        for i in 0..64 * 128i64 {
+            let e = oracle.entry(i % 64).or_insert(Value::MAX);
+            *e = (*e).min((i * 37) % 1000);
+        }
+        for (g, best) in oracle {
+            assert_eq!(m.get(&[g]), Some(best), "group {g}");
+        }
+        // Every group improved at least once → exactly 64 ∆ rows.
+        let improved = m.take_improved();
+        assert_eq!(improved.len(), 64 * 2);
+    }
+
+    #[test]
+    fn group_sink_matches_group_aggregate() {
+        let rel = input();
+        let sink = GroupSink::new(vec![AggFunc::Min, AggFunc::Count], 1);
+        let mut row = Vec::new();
+        for r in 0..rel.len() {
+            rel.view().copy_row(r, &mut row);
+            // Pre-agg layout [group ‖ arg, arg]: duplicate the value column
+            // as the argument of both aggregates.
+            sink.absorb_row(&[row[0], row[1], row[1]]);
+        }
+        assert_eq!(sink.groups(), 3);
+        let cols = sink.into_columns();
+        let m: HashMap<Value, (Value, Value)> = (0..cols[0].len())
+            .map(|r| (cols[0][r], (cols[1][r], cols[2][r])))
+            .collect();
+        assert_eq!(m, HashMap::from([(1, (4, 3)), (2, (7, 2)), (3, (-5, 1))]));
     }
 }

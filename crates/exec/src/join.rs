@@ -55,6 +55,14 @@ fn emit_row(
                 false
             }
         }
+        SinkMode::Agg(s) => {
+            out_row.clear();
+            out_row.extend(output.iter().map(|e| e.eval(row)));
+            *considered += 1;
+            // Folded into the aggregation state at source; never buffered.
+            s.offer(out_row);
+            false
+        }
     }
 }
 
@@ -62,8 +70,10 @@ fn emit_row(
 /// materializing).
 #[inline]
 fn flush_considered(sink: &SinkMode<'_>, considered: usize) {
-    if let SinkMode::Delta(s) = sink {
-        s.note_considered(considered);
+    match sink {
+        SinkMode::Delta(s) => s.note_considered(considered),
+        SinkMode::Agg(s) => s.note_considered(considered),
+        SinkMode::Materialize => {}
     }
 }
 

@@ -39,9 +39,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+use recstep_common::hash::mix64;
 use recstep_common::Value;
 use recstep_storage::RelView;
 
+use crate::agg::{ConcurrentMonoMap, GroupSink};
 use crate::chain::GrowChainTable;
 use crate::index::PersistentIndex;
 use crate::key::KeyMode;
@@ -53,6 +55,10 @@ pub enum SinkMode<'a> {
     /// Stream rows through a fused dedup + set-difference sink; only
     /// fresh rows are buffered.
     Delta(&'a DeltaSink<'a>),
+    /// Stream rows into a concurrent aggregation state at the probe site
+    /// (group-at-source): nothing is ever buffered — the sink's flush
+    /// yields the aggregated result or ∆ directly.
+    Agg(&'a AggSink<'a>),
 }
 
 /// Shared per-iteration state of one fused streaming pass: the full-`R`
@@ -158,6 +164,156 @@ impl<'a> DeltaSink<'a> {
     }
 }
 
+/// A concurrent reservoir sample over rows streamed through a sink.
+///
+/// OOF-FA wants `analyze(Rt)` over the pre-aggregation intermediate —
+/// which the streaming pipeline never materializes. The sampler keeps a
+/// fixed-capacity uniform-ish reservoir (replacement index drawn from a
+/// deterministic splitmix of the arrival counter, so runs are
+/// reproducible given an arrival order) plus the exact row count, which
+/// together are what the statistics pass consumes instead of a full
+/// `Rt` scan.
+pub struct SinkSampler {
+    arity: usize,
+    cap: usize,
+    seen: AtomicUsize,
+    /// Reservoir rows, flattened row-major (≤ `cap · arity` values).
+    rows: Mutex<Vec<Value>>,
+}
+
+impl SinkSampler {
+    /// Sampler for rows of `arity` values keeping at most `cap` of them.
+    pub fn new(arity: usize, cap: usize) -> Self {
+        let cap = cap.max(1);
+        SinkSampler {
+            arity,
+            cap,
+            seen: AtomicUsize::new(0),
+            rows: Mutex::new(Vec::with_capacity(cap.min(1024) * arity)),
+        }
+    }
+
+    /// Offer one row; callable from any worker concurrently.
+    pub fn offer(&self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.arity);
+        let i = self.seen.fetch_add(1, Ordering::Relaxed);
+        if i < self.cap {
+            let mut r = self.rows.lock();
+            let end = (i + 1) * self.arity;
+            if r.len() < end {
+                r.resize(end, 0);
+            }
+            r[i * self.arity..end].copy_from_slice(row);
+        } else {
+            // Classic reservoir replacement with a deterministic draw.
+            let j = (mix64(i as u64) % (i as u64 + 1)) as usize;
+            if j < self.cap {
+                let mut r = self.rows.lock();
+                // Slot j's under-cap owner may not have resized yet (its
+                // `fetch_add` and its lock acquisition are not atomic
+                // together): grow to full capacity before writing past
+                // the filled prefix. The owner's late write then merely
+                // replaces this sample with another valid row.
+                if r.len() < self.cap * self.arity {
+                    r.resize(self.cap * self.arity, 0);
+                }
+                r[j * self.arity..(j + 1) * self.arity].copy_from_slice(row);
+            }
+        }
+    }
+
+    /// Exact number of rows offered.
+    pub fn seen(&self) -> usize {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Rows currently held by the reservoir.
+    pub fn sampled(&self) -> usize {
+        self.seen().min(self.cap)
+    }
+
+    /// Materialize the reservoir column-major (for `analyze_view`).
+    pub fn columns(&self) -> Vec<Vec<Value>> {
+        let r = self.rows.lock();
+        let n = r.len() / self.arity.max(1);
+        let mut cols = vec![Vec::with_capacity(n); self.arity];
+        for row in r.chunks(self.arity) {
+            for (c, &v) in row.iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        cols
+    }
+}
+
+/// The aggregation state a streaming [`AggSink`] folds rows into.
+pub enum AggTarget<'a> {
+    /// Recursive monotonic aggregation: CAS-on-best concurrent map whose
+    /// dirty list is the iteration's ∆.
+    Mono(&'a ConcurrentMonoMap),
+    /// Non-recursive group-by: sharded partial states merged at flush.
+    Group(&'a GroupSink),
+}
+
+/// Shared state of one group-at-source streaming pass: every produced row
+/// of an aggregated head is absorbed into a concurrent aggregation state
+/// right at the probe site — the pre-aggregation `Rt` is never
+/// materialized, merged or re-scanned — optionally sampling the
+/// statistics OOF-FA would otherwise re-scan `Rt` for.
+pub struct AggSink<'a> {
+    target: AggTarget<'a>,
+    sampler: Option<SinkSampler>,
+    considered: AtomicUsize,
+}
+
+impl<'a> AggSink<'a> {
+    /// Sink folding rows into `target`, sampling for statistics when
+    /// `sampler` is given (the OOF-FA path).
+    pub fn new(target: AggTarget<'a>, sampler: Option<SinkSampler>) -> Self {
+        AggSink {
+            target,
+            sampler,
+            considered: AtomicUsize::new(0),
+        }
+    }
+
+    /// Offer one produced row in pre-aggregation layout
+    /// (`[group ‖ aggregate arguments]`). Never buffers: the row is folded
+    /// into the aggregation state and dropped. Callable from any worker
+    /// concurrently.
+    #[inline]
+    pub fn offer(&self, row: &[Value]) {
+        match self.target {
+            AggTarget::Mono(m) => {
+                m.absorb_row(row);
+            }
+            AggTarget::Group(g) => g.absorb_row(row),
+        }
+        if let Some(s) = &self.sampler {
+            s.offer(row);
+        }
+    }
+
+    /// Fold a worker's per-morsel count of offered rows into the shared
+    /// total (one atomic add per morsel keeps the hot path clean).
+    pub fn note_considered(&self, n: usize) {
+        if n > 0 {
+            self.considered.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Rows offered across all workers — `|Rt|` of the materializing
+    /// path, folded at source instead of being buffered.
+    pub fn considered(&self) -> usize {
+        self.considered.load(Ordering::Relaxed)
+    }
+
+    /// The statistics sampler, when sampling was requested.
+    pub fn sampler(&self) -> Option<&SinkSampler> {
+        self.sampler.as_ref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +369,87 @@ mod tests {
         assert!(!sink.offer(&[Value::MIN, Value::MAX]));
         assert!(sink.offer(&[0, 0]));
         assert!(sink.take_overflow().is_empty());
+    }
+
+    #[test]
+    fn sampler_keeps_exact_counts_and_a_bounded_reservoir() {
+        let s = SinkSampler::new(2, 8);
+        for i in 0..100i64 {
+            s.offer(&[i, i * 2]);
+        }
+        assert_eq!(s.seen(), 100);
+        assert_eq!(s.sampled(), 8);
+        let cols = s.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].len(), 8);
+        // Every sampled row is a real input row.
+        for (a, b) in cols[0].iter().zip(&cols[1]) {
+            assert_eq!(*b, a * 2);
+        }
+    }
+
+    #[test]
+    fn sampler_survives_concurrent_offers_across_the_cap_boundary() {
+        // Regression: an overflow-branch replacement must not index past
+        // a reservoir an in-flight under-cap filler has not grown yet.
+        let ctx = ctx();
+        let s = SinkSampler::new(2, 64);
+        ctx.pool.parallel_for(64 * 50, 8, |range, _| {
+            for i in range {
+                let v = i as Value;
+                s.offer(&[v, v + 1]);
+            }
+        });
+        assert_eq!(s.seen(), 64 * 50);
+        assert_eq!(s.sampled(), 64);
+        let cols = s.columns();
+        assert_eq!(cols[0].len(), 64);
+        for (a, b) in cols[0].iter().zip(&cols[1]) {
+            assert_eq!(*b, a + 1, "sampled rows must be real input rows");
+        }
+    }
+
+    #[test]
+    fn sampler_underfull_holds_every_row() {
+        let s = SinkSampler::new(1, 16);
+        for i in 0..5i64 {
+            s.offer(&[i]);
+        }
+        assert_eq!(s.sampled(), 5);
+        let mut col = s.columns().remove(0);
+        col.sort_unstable();
+        assert_eq!(col, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn agg_sink_folds_rows_without_buffering() {
+        use crate::agg::ConcurrentMonoMap;
+        use crate::expr::AggFunc;
+        let mut map = ConcurrentMonoMap::new(AggFunc::Min, 1, 8).unwrap();
+        {
+            let sink = AggSink::new(AggTarget::Mono(&map), Some(SinkSampler::new(2, 4)));
+            sink.offer(&[1, 10]);
+            sink.offer(&[1, 7]);
+            sink.offer(&[2, 3]);
+            sink.note_considered(3);
+            assert_eq!(sink.considered(), 3);
+            assert_eq!(sink.sampler().unwrap().seen(), 3);
+        }
+        assert_eq!(map.get(&[1]), Some(7));
+        assert_eq!(map.take_improved().len(), 2 * 2);
+    }
+
+    #[test]
+    fn agg_sink_group_target_reaches_the_sharded_partials() {
+        use crate::agg::GroupSink;
+        use crate::expr::AggFunc;
+        let group = GroupSink::new(vec![AggFunc::Count], 1);
+        let sink = AggSink::new(AggTarget::Group(&group), None);
+        sink.offer(&[5, 0]);
+        sink.offer(&[5, 0]);
+        sink.offer(&[6, 0]);
+        assert!(sink.sampler().is_none());
+        assert_eq!(group.groups(), 2);
     }
 
     #[test]

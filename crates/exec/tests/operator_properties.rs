@@ -273,4 +273,57 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn concurrent_mono_map_matches_sequential_monotonic_agg(
+        rows in proptest::collection::vec((0i64..16, -50i64..50), 1..400),
+        threads in 2usize..5,
+    ) {
+        // The aggregation sink's concurrent map: CAS-on-best absorbs
+        // racing across OS threads (random interleavings via
+        // `thread::scope`, mirroring the GrowChainTable proptest above)
+        // must converge to exactly the map a sequential MonotonicAgg
+        // build produces — same groups, same best values — and the dirty
+        // list must report each group exactly once with its final value.
+        use recstep_exec::agg::{ConcurrentMonoMap, MonotonicAgg};
+        use recstep_exec::expr::AggFunc;
+
+        // Tiny hint forces chunk growth and long chains under contention.
+        let mut concurrent = ConcurrentMonoMap::new(AggFunc::Min, 1, 2).unwrap();
+        let shared = &concurrent;
+        std::thread::scope(|scope| {
+            for chunk in rows.chunks(rows.len().div_ceil(threads)) {
+                scope.spawn(move || {
+                    for &(g, v) in chunk {
+                        shared.absorb(&[g], v);
+                    }
+                });
+            }
+        });
+
+        let mut sequential = MonotonicAgg::new(AggFunc::Min).unwrap();
+        for &(g, v) in &rows {
+            sequential.absorb(&[g], v);
+        }
+        prop_assert_eq!(concurrent.len(), sequential.len());
+        for g in 0..16i64 {
+            prop_assert_eq!(
+                concurrent.get(&[g]),
+                sequential.get(&[g]),
+                "best value diverges for group {}", g
+            );
+        }
+        // ∆ = every group exactly once (all were new), final values only.
+        let mut improved: Vec<(i64, i64)> = concurrent
+            .take_improved()
+            .chunks(2)
+            .map(|r| (r[0], r[1]))
+            .collect();
+        improved.sort_unstable();
+        prop_assert_eq!(improved.len(), sequential.len());
+        for (g, v) in improved {
+            prop_assert_eq!(sequential.get(&[g]), Some(v));
+        }
+        prop_assert!(concurrent.take_improved().is_empty());
+    }
 }

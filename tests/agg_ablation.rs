@@ -1,0 +1,274 @@
+//! Group-at-source streaming aggregation acceptance tests and the serial
+//! agg bench gate (run directly with `cargo test --test agg_ablation`).
+//!
+//! Pinned claims:
+//!
+//! 1. **Fold at source**: on a CC workload with ≥ 20 fixpoint iterations
+//!    and the default config, `EvalStats` shows *zero* pre-aggregation
+//!    `Rt` merge bytes and a positive `agg_rows_folded_at_source` — every
+//!    candidate row of the aggregated heads was absorbed into concurrent
+//!    aggregate state at the probe site, never buffered.
+//! 2. **Equivalence**: fused-agg and `--no-fused-agg` compute identical
+//!    relations on CC (recursive `MIN`), SSSP (recursive `MIN` over
+//!    weighted arcs) and GTC (`COUNT` group-by), across random graphs and
+//!    in combination with the `fused_pipeline` toggle — and OOF-FA runs
+//!    stream too, with their statistics sampled at the sink.
+//! 3. **Throughput**: group-at-source is ≥ 1.1× the materializing
+//!    aggregation path on a high-duplication CC workload (the `"agg"`
+//!    block of `BENCH_pipeline.json` records the trajectory).
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard};
+
+use recstep::{Config, Database, Engine, EvalStats, OofMode, PbmeMode, Value};
+use recstep_bench::{pipeline_workload, run_agg_bench};
+use recstep_graphgen::gnp::gnp;
+
+/// Serialize all tests in this binary: the bench gate below is a
+/// wall-clock measurement and must not compete with the differential
+/// tests for cores (cargo already runs test *binaries* sequentially).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+type Rows = BTreeSet<Vec<Value>>;
+
+fn engine(cfg: Config) -> Engine {
+    Engine::from_config(cfg.threads(2).pbme(PbmeMode::Off)).unwrap()
+}
+
+/// Run `program` over unweighted edges, returning every listed output
+/// relation's row set plus the run statistics.
+fn run_edges(
+    program: &str,
+    out_rels: &[&str],
+    edges: &[(Value, Value)],
+    cfg: Config,
+) -> (Vec<Rows>, EvalStats) {
+    let mut db = Database::new().unwrap();
+    db.load_edges("arc", edges).unwrap();
+    let stats = engine(cfg).prepare(program).unwrap().run(&mut db).unwrap();
+    let rows = out_rels
+        .iter()
+        .map(|r| db.relation(r).unwrap().to_vec().into_iter().collect())
+        .collect();
+    (rows, stats)
+}
+
+/// Run SSSP over deterministically weighted edges from source 0.
+fn run_sssp(edges: &[(Value, Value)], cfg: Config) -> (Rows, EvalStats) {
+    let weighted: Vec<(Value, Value, Value)> = edges
+        .iter()
+        .map(|&(a, b)| (a, b, (a * 7 + b * 13) % 20 + 1))
+        .collect();
+    let mut db = Database::new().unwrap();
+    db.load_weighted_edges("arc", &weighted).unwrap();
+    db.load_relation("id", 1, &[vec![0]]).unwrap();
+    let stats = engine(cfg)
+        .prepare(recstep::programs::SSSP)
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
+    let rows = db.relation("sssp").unwrap().to_vec().into_iter().collect();
+    (rows, stats)
+}
+
+/// The ≥ 20-iteration acceptance workload (same shape as the pipeline
+/// acceptance: dense cluster for duplication, long path for iterations).
+fn acceptance_workload() -> Vec<(Value, Value)> {
+    pipeline_workload(150, 0.16, 40, 11)
+}
+
+#[test]
+fn fused_cc_folds_at_source_and_matches_unfused() {
+    let _serial = serial();
+    let edges = acceptance_workload();
+    let rels = ["cc3", "cc2", "cc"];
+    let (rows_on, on) = run_edges(recstep::programs::CC, &rels, &edges, Config::default());
+    let (rows_off, off) = run_edges(
+        recstep::programs::CC,
+        &rels,
+        &edges,
+        Config::default().fused_agg(false),
+    );
+    assert!(
+        on.iterations >= 20,
+        "need ≥ 20 iterations, got {}",
+        on.iterations
+    );
+    assert_eq!(rows_on, rows_off, "fused-agg must not change results");
+
+    // Acceptance: nothing materialized a pre-aggregation Rt — every
+    // candidate row of the aggregated heads folded at the probe site.
+    assert_eq!(on.rt_merge_bytes, 0, "fused run merged pre-agg Rt bytes");
+    assert!(on.agg_sink_runs > 0, "aggregated heads must stream");
+    assert!(on.agg_rows_folded_at_source > 0);
+    assert!(on.agg_groups_improved > 0);
+    assert!(
+        on.agg_groups_improved < on.agg_rows_folded_at_source,
+        "folding at source must compress rows into groups"
+    );
+    // Both modes evaluate the identical candidate stream.
+    assert_eq!(on.tuples_considered, off.tuples_considered);
+    // The ablation path really is the materializing one.
+    assert_eq!(off.agg_sink_runs, 0);
+    assert_eq!(off.agg_rows_folded_at_source, 0);
+    assert!(
+        off.rt_merge_bytes > 0,
+        "--no-fused-agg must materialize the pre-aggregation Rt"
+    );
+}
+
+#[test]
+fn differential_cc_sssp_gtc_agree_across_agg_modes() {
+    let _serial = serial();
+    for seed in 0..4u64 {
+        let n = 24 + (seed as u32) * 8;
+        let edges: Vec<(Value, Value)> = gnp(n, 0.09, seed)
+            .into_iter()
+            .map(|(a, b)| (a as Value, b as Value))
+            .collect();
+        // CC and GTC: fused, unfused, and fused-agg with the tuple
+        // pipeline ablated (the toggles must compose).
+        for (program, rels) in [
+            (recstep::programs::CC, vec!["cc3", "cc2", "cc"]),
+            (recstep::programs::GTC, vec!["gtc", "tc"]),
+        ] {
+            let (fused, fstats) = run_edges(program, &rels, &edges, Config::default());
+            let (unfused, _) =
+                run_edges(program, &rels, &edges, Config::default().fused_agg(false));
+            let (mixed, _) = run_edges(
+                program,
+                &rels,
+                &edges,
+                Config::default().fused_pipeline(false),
+            );
+            assert_eq!(fused, unfused, "{rels:?} diverge on seed {seed}");
+            assert_eq!(
+                fused, mixed,
+                "{rels:?} diverge with --no-fused-pipeline on seed {seed}"
+            );
+            assert_eq!(fstats.rt_merge_bytes, 0, "{rels:?} materialized Rt");
+            assert!(fstats.agg_sink_runs > 0);
+        }
+        // SSSP: recursive MIN over a ternary EDB with arithmetic in the
+        // aggregate argument.
+        let (fused, fstats) = run_sssp(&edges, Config::default());
+        let (unfused, _) = run_sssp(&edges, Config::default().fused_agg(false));
+        assert_eq!(fused, unfused, "sssp diverges on seed {seed}");
+        if !fused.is_empty() {
+            assert!(fstats.agg_sink_runs > 0);
+        }
+    }
+}
+
+#[test]
+fn oof_fa_streams_aggregated_heads_with_sink_sampled_stats() {
+    let _serial = serial();
+    let edges = acceptance_workload();
+    let rels = ["cc3", "cc2", "cc"];
+    let (rows_fa, fa) = run_edges(
+        recstep::programs::CC,
+        &rels,
+        &edges,
+        Config::default().oof(OofMode::Full),
+    );
+    let (rows_default, _) = run_edges(recstep::programs::CC, &rels, &edges, Config::default());
+    assert_eq!(rows_fa, rows_default, "OOF-FA changes results");
+    // OOF-FA no longer forces the materializing pipeline onto aggregated
+    // heads: they stream, and the statistics pass consumed the sink's
+    // reservoir instead of a materialized Rt.
+    assert!(
+        fa.agg_sink_runs > 0,
+        "aggregated heads must stream under FA"
+    );
+    assert!(fa.agg_rows_folded_at_source > 0);
+    assert!(
+        fa.sink_stat_samples > 0,
+        "OOF-FA must sample statistics from the sink"
+    );
+}
+
+#[test]
+fn count_group_by_streams_without_materializing() {
+    let _serial = serial();
+    let edges = acceptance_workload();
+    let (rows_on, on) = run_edges(recstep::programs::GTC, &["gtc"], &edges, Config::default());
+    let (rows_off, off) = run_edges(
+        recstep::programs::GTC,
+        &["gtc"],
+        &edges,
+        Config::default().fused_agg(false),
+    );
+    assert_eq!(rows_on, rows_off, "COUNT group-by diverges");
+    assert_eq!(on.rt_merge_bytes, 0);
+    assert!(on.agg_sink_runs > 0, "the group-by head must stream");
+    // One-shot group-by: every result group is emitted as ∆ once.
+    assert_eq!(
+        on.agg_groups_improved,
+        rows_on[0].len(),
+        "group count must match the result"
+    );
+    assert_eq!(off.agg_sink_runs, 0);
+}
+
+#[test]
+fn engine_level_sum_saturates_instead_of_wrapping() {
+    let _serial = serial();
+    // Two near-MAX contributions to one group: a wrapping SUM would go
+    // negative; the engine must clamp at the i64 boundary (and agree
+    // with the materializing path about it).
+    let program = "s(x, SUM(y)) :- e(x, y).";
+    let big = Value::MAX - 10;
+    let rows = vec![vec![1, big], vec![1, big], vec![2, 5]];
+    let run = |cfg: Config| -> Rows {
+        let mut db = Database::new().unwrap();
+        db.load_relation("e", 2, &rows).unwrap();
+        engine(cfg).prepare(program).unwrap().run(&mut db).unwrap();
+        db.relation("s").unwrap().to_vec().into_iter().collect()
+    };
+    let expect: Rows = [vec![1, Value::MAX], vec![2, 5]].into_iter().collect();
+    assert_eq!(run(Config::default()), expect, "fused SUM must saturate");
+    assert_eq!(
+        run(Config::default().fused_agg(false)),
+        expect,
+        "materializing SUM must saturate"
+    );
+}
+
+#[test]
+fn bench_agg_gate_records_at_least_1_1x() {
+    let _serial = serial();
+    // The CI agg gate: CC over a high-duplication, high-iteration
+    // workload (the per-iteration group-by setup the sink eliminates is
+    // what the long path amplifies), measured
+    // best-of-3 per mode (re-measured best-of-5 on a miss, like the
+    // pipeline gate); `RECSTEP_SKIP_SPEEDUP_GATE=1` keeps the record but
+    // skips the ratio assertion on heavily loaded machines.
+    let edges = pipeline_workload(100, 0.25, 400, 11);
+    let mut result = run_agg_bench("cc-cluster100-path400", &edges, 2, 3);
+    if result.speedup() < 1.1 {
+        result = run_agg_bench("cc-cluster100-path400", &edges, 2, 5);
+    }
+    if std::env::var_os("RECSTEP_SKIP_SPEEDUP_GATE").is_some() {
+        eprintln!(
+            "RECSTEP_SKIP_SPEEDUP_GATE set: recorded {:.2}x without asserting",
+            result.speedup()
+        );
+        return;
+    }
+    assert!(
+        result.speedup() >= 1.1,
+        "group-at-source aggregation must be ≥ 1.1× the materializing path \
+         on the high-duplication CC workload, measured {:.2}× ({:.4}s fused vs \
+         {:.4}s unfused over {} folded rows)",
+        result.speedup(),
+        result.fused_secs,
+        result.unfused_secs,
+        result.rows_folded_at_source
+    );
+}

@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::sync::{Mutex, MutexGuard};
 
 use recstep::{Config, Database, DedupImpl, Engine, EvalStats, PbmeMode, Value};
-use recstep_bench::{pipeline_workload, run_pipeline_bench};
+use recstep_bench::{pipeline_workload, run_agg_bench, run_pipeline_bench};
 use recstep_graphgen::gnp::gnp;
 
 /// Every test in this binary takes this lock: the speedup gate below is a
@@ -180,9 +180,10 @@ fn negation_and_aggregation_unaffected_by_fusing() {
     let (off, _) = run(ntc, "ntc", &edges, Config::default().fused_pipeline(false));
     assert_eq!(on, off, "negation results diverge under the fused pipeline");
 
-    // Aggregated IDBs bypass the streaming path (they group over a
-    // materialized Rt) but must be unaffected by the flag; CC's plain
-    // helper IDBs still stream.
+    // Aggregated IDBs stream through their own group-at-source sink
+    // (PR 5): under the default config nothing materializes a
+    // pre-aggregation Rt, and the results are identical whichever
+    // pipeline toggles are off.
     let (cc_on, cc_stats) = run(recstep::programs::CC, "cc3", &edges, Config::default());
     let (cc_off, off_stats) = run(
         recstep::programs::CC,
@@ -191,11 +192,26 @@ fn negation_and_aggregation_unaffected_by_fusing() {
         Config::default().fused_pipeline(false),
     );
     assert_eq!(cc_on, cc_off, "recursive aggregation diverges");
-    assert!(
-        cc_stats.rt_merge_bytes > 0,
-        "the aggregated stratum still materializes its pre-aggregation Rt"
+    assert_eq!(
+        cc_stats.rt_merge_bytes, 0,
+        "aggregated heads must fold at source under the default config"
     );
+    assert!(cc_stats.agg_sink_runs > 0);
+    assert!(cc_stats.agg_rows_folded_at_source > 0);
     assert_eq!(off_stats.pipeline_runs, 0);
+    // The ablation flag restores the materializing aggregation path.
+    let (cc_unfused_agg, unfused_agg_stats) = run(
+        recstep::programs::CC,
+        "cc3",
+        &edges,
+        Config::default().fused_agg(false),
+    );
+    assert_eq!(cc_on, cc_unfused_agg, "--no-fused-agg diverges");
+    assert_eq!(unfused_agg_stats.agg_sink_runs, 0);
+    assert!(
+        unfused_agg_stats.rt_merge_bytes > 0,
+        "the ablation path must materialize the pre-aggregation Rt"
+    );
 }
 
 #[test]
@@ -242,6 +258,11 @@ fn bench_pipeline_json_records_a_speedup_of_at_least_1_3x() {
     if result.speedup() < 1.3 {
         result = run_pipeline_bench("tc-cluster150-path40", &edges, 2, 5);
     }
+    // The agg block rides along, recorded from the cheap acceptance
+    // workload already in hand — the asserted ≥ 1.1× gate lives in
+    // tests/agg_ablation.rs over its own heavier workload, so the
+    // expensive measurement is not repeated here.
+    result.agg = Some(run_agg_bench("cc-cluster150-path40", &edges, 2, 3));
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_pipeline.json");
     result.write_json(&path).expect("write BENCH_pipeline.json");
     let json = std::fs::read_to_string(&path).unwrap();
@@ -253,6 +274,9 @@ fn bench_pipeline_json_records_a_speedup_of_at_least_1_3x() {
         "\"peak_bytes\"",
         "\"rt_rows_skipped_at_source\"",
         "\"speedup\"",
+        "\"agg\"",
+        "\"rows_folded_at_source\"",
+        "\"groups_improved\"",
     ] {
         assert!(json.contains(key), "BENCH_pipeline.json missing {key}");
     }
