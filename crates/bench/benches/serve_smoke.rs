@@ -1,0 +1,135 @@
+//! Serve smoke benchmark: stand up the query service in-process, drive a
+//! warm request mix through `/query`, and record the service-side latency
+//! percentiles and cache behaviour as the `"serve"` block of
+//! `BENCH_pipeline.json` — so the service layer's performance trajectory
+//! is tracked alongside the engine's. Output path override:
+//! `RECSTEP_BENCH_OUT`.
+
+use recstep::{Config, Database, ServeConfig};
+use recstep_bench::*;
+use recstep_serve::client::{get, post};
+use recstep_serve::{json::Json, Server};
+
+const NEG: &str = "p(x) :- node(x), !blocked(x).";
+const TC: &str = "tc(x, y) :- arc(x, y).\\ntc(x, y) :- tc(x, z), arc(z, y).";
+
+fn main() {
+    // A small mixed database: a negation workload that exercises the
+    // shared frozen-index cache, and a TC chain for a recursive fixpoint.
+    let n = (6400 / scale()).max(64) as i64;
+    let mut db = Database::new().expect("database");
+    let nodes: Vec<Vec<i64>> = (1..=n).map(|v| vec![v]).collect();
+    let blocked: Vec<Vec<i64>> = (1..=n).filter(|v| v % 2 == 1).map(|v| vec![v]).collect();
+    let arcs: Vec<(i64, i64)> = (1..n.min(200)).map(|v| (v, v + 1)).collect();
+    db.load_relation("node", 1, &nodes).expect("node");
+    db.load_relation("blocked", 1, &blocked).expect("blocked");
+    db.load_edges("arc", &arcs).expect("arc");
+
+    header(
+        "BENCH serve",
+        &format!(
+            "query service smoke: warm /query mix over {n} nodes + {}-edge chain",
+            arcs.len()
+        ),
+    );
+
+    let server = Server::start(
+        Config::default().threads(max_threads()),
+        ServeConfig::default().addr("127.0.0.1:0"),
+        db,
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // One cold request per program (compile + frozen-index build), then a
+    // warm mix that should be all prepared-cache hits.
+    let warm_rounds = 24usize;
+    for prog in [NEG, TC] {
+        let (status, body) =
+            post(addr, "/query", &format!("{{\"program\":\"{prog}\"}}")).expect("cold query");
+        assert_eq!(status, 200, "{body}");
+    }
+    for _ in 0..warm_rounds {
+        for prog in [NEG, TC] {
+            let (status, body) =
+                post(addr, "/query", &format!("{{\"program\":\"{prog}\"}}")).expect("warm query");
+            assert_eq!(status, 200, "{body}");
+        }
+    }
+
+    let (status, stats_body) = get(addr, "/stats").expect("/stats");
+    assert_eq!(status, 200, "{stats_body}");
+    let stats = Json::parse(&stats_body).expect("stats parses");
+    let pick = |path: &[&str]| -> i64 {
+        let mut cur = &stats;
+        for key in path {
+            cur = cur
+                .get(key)
+                .unwrap_or_else(|| panic!("no {key} in {stats_body}"));
+        }
+        cur.as_int()
+            .unwrap_or_else(|| panic!("{path:?} not an int"))
+    };
+
+    let queries = pick(&["queries"]);
+    let compiles = pick(&["compiles"]);
+    let prepared_hits = pick(&["prepared_hits"]);
+    let shed_count = pick(&["shed_count"]);
+    let cache_hits = pick(&["lifetime", "cache_hits"]);
+    let p50_us = pick(&["latency", "p50_us"]);
+    let p95_us = pick(&["latency", "p95_us"]);
+    assert_eq!(compiles, 2, "two programs, each compiled exactly once");
+    assert_eq!(
+        prepared_hits,
+        queries - 2,
+        "every warm request is a prepared-cache hit"
+    );
+    assert_eq!(shed_count, 0, "a sequential smoke run must not shed");
+
+    server.shutdown();
+
+    row(&cells(&["queries", "p50 us", "p95 us", "hits", "shed"]));
+    row(&[
+        queries.to_string(),
+        p50_us.to_string(),
+        p95_us.to_string(),
+        cache_hits.to_string(),
+        shed_count.to_string(),
+    ]);
+
+    // Splice the `"serve"` block into BENCH_pipeline.json (created by the
+    // pipeline_smoke bench; a minimal document is written if absent so the
+    // benches can run in either order).
+    // Benches run with the package dir as cwd; the pipeline record lives
+    // at the workspace root.
+    let out = std::env::var("RECSTEP_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").into()
+    });
+    let path = std::path::PathBuf::from(out);
+    let block = format!(
+        "\"serve\": {{\"queries\": {queries}, \"compiles\": {compiles}, \
+         \"prepared_hits\": {prepared_hits}, \"p50_us\": {p50_us}, \"p95_us\": {p95_us}, \
+         \"cache_hits\": {cache_hits}, \"shed_count\": {shed_count}}}"
+    );
+    let mut doc = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".into());
+    // Replace a stale single-line serve block from a previous run, if any.
+    if let Some(key) = doc.find("\n  \"serve\": ") {
+        let start = if doc[..key].ends_with(',') {
+            key - 1
+        } else {
+            key
+        };
+        if let Some(len) = doc[key + 1..].find('\n') {
+            doc.replace_range(start..key + 1 + len, "");
+        }
+    }
+    let at = doc.rfind("\n}").expect("pipeline document closes");
+    let lead = if doc[..at].trim_end().ends_with('{') {
+        "\n  "
+    } else {
+        ",\n  "
+    };
+    doc.insert_str(at, &format!("{lead}{block}"));
+    std::fs::write(&path, &doc).expect("write BENCH_pipeline.json");
+    println!("  spliced \"serve\" block into {}", path.display());
+}

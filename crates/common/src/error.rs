@@ -22,6 +22,9 @@ pub enum Error {
     Exec(String),
     /// An I/O error from the (simulated) persistent storage layer.
     Io(std::io::Error),
+    /// The evaluation was cooperatively cancelled (request timeout or an
+    /// explicit abort) at an iteration boundary; no partial state escaped.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -33,6 +36,7 @@ impl fmt::Display for Error {
             Error::Analysis(msg) => write!(f, "analysis error: {msg}"),
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Cancelled => write!(f, "evaluation cancelled"),
         }
     }
 }
@@ -81,6 +85,7 @@ mod tests {
         assert_eq!(e.to_string(), "parse error at 3:7: unexpected ')'");
         assert_eq!(Error::analysis("bad").to_string(), "analysis error: bad");
         assert_eq!(Error::exec("boom").to_string(), "execution error: boom");
+        assert_eq!(Error::Cancelled.to_string(), "evaluation cancelled");
     }
 
     #[test]

@@ -200,6 +200,147 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Cooperative cancellation flag shared between a requester and a running
+/// evaluation.
+///
+/// The fixpoint driver polls [`CancelToken::is_cancelled`] at iteration
+/// boundaries — the only points where aborting leaves no partial state —
+/// so a server-side timeout stops a runaway recursion within one iteration
+/// instead of running it to completion. The token carries an optional
+/// deadline, letting the thread that runs the fixpoint enforce its own
+/// timeout without a watchdog.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally reports cancelled once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        let t = Self::default();
+        *t.inner.deadline.lock() = Some(deadline);
+        t
+    }
+
+    /// Request cancellation. Idempotent; wakes nothing — the evaluation
+    /// notices at its next iteration boundary.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] was called or the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match *self.inner.deadline.lock() {
+            Some(d) if Instant::now() >= d => {
+                self.inner.flag.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Outcome of [`Semaphore::acquire`].
+pub enum Admission {
+    /// A permit was granted; dropping the guard releases it.
+    Admitted(SemaphoreGuard),
+    /// The wait queue was already at capacity — shed the request.
+    QueueFull,
+    /// The caller's deadline passed while queued.
+    TimedOut,
+}
+
+/// Counting semaphore with a bounded wait queue — the admission-control
+/// primitive for the query service.
+///
+/// At most `permits` holders run concurrently; at most `queue_depth`
+/// further callers may block waiting. Callers beyond that are shed
+/// immediately ([`Admission::QueueFull`]) so load peaks turn into fast
+/// `429`s instead of unbounded memory growth.
+pub struct Semaphore {
+    state: Mutex<SemState>,
+    freed: Condvar,
+    permits: usize,
+    queue_depth: usize,
+}
+
+struct SemState {
+    available: usize,
+    waiting: usize,
+}
+
+/// RAII permit returned by [`Semaphore::acquire`].
+pub struct SemaphoreGuard {
+    sem: Arc<Semaphore>,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` concurrent holders (clamped to ≥ 1) and
+    /// room for `queue_depth` waiters.
+    pub fn new(permits: usize, queue_depth: usize) -> Arc<Self> {
+        let permits = permits.max(1);
+        Arc::new(Semaphore {
+            state: Mutex::new(SemState {
+                available: permits,
+                waiting: 0,
+            }),
+            freed: Condvar::new(),
+            permits,
+            queue_depth,
+        })
+    }
+
+    /// Maximum concurrent holders.
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// Acquire a permit, waiting until `deadline` if one is not free.
+    pub fn acquire(self: &Arc<Self>, deadline: Instant) -> Admission {
+        let mut state = self.state.lock();
+        if state.available == 0 {
+            if state.waiting >= self.queue_depth {
+                return Admission::QueueFull;
+            }
+            state.waiting += 1;
+            while state.available == 0 {
+                if self.freed.wait_until(&mut state, deadline).timed_out() {
+                    state.waiting -= 1;
+                    return Admission::TimedOut;
+                }
+            }
+            state.waiting -= 1;
+        }
+        state.available -= 1;
+        Admission::Admitted(SemaphoreGuard {
+            sem: Arc::clone(self),
+        })
+    }
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        let mut state = self.sem.state.lock();
+        state.available += 1;
+        drop(state);
+        self.sem.freed.notify_one();
+    }
+}
+
 fn worker_loop(worker: usize, shared: &PoolShared) {
     loop {
         let job = {
@@ -311,5 +452,55 @@ mod tests {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
         pool.run(|ctx| assert_eq!(ctx.threads, 1));
+    }
+
+    #[test]
+    fn cancel_token_flag_and_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled());
+
+        let past = CancelToken::with_deadline(Instant::now());
+        assert!(past.is_cancelled());
+        let future =
+            CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+
+    #[test]
+    fn semaphore_admits_queues_and_sheds() {
+        let sem = Semaphore::new(1, 1);
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        let g1 = match sem.acquire(deadline) {
+            Admission::Admitted(g) => g,
+            _ => panic!("first acquire must be admitted"),
+        };
+        // Queue slot taken by a blocked waiter, third caller is shed.
+        std::thread::scope(|s| {
+            let sem2 = Arc::clone(&sem);
+            let waiter = s.spawn(move || {
+                let d = Instant::now() + std::time::Duration::from_secs(5);
+                matches!(sem2.acquire(d), Admission::Admitted(_))
+            });
+            // Give the waiter time to enqueue, then overflow the queue.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(matches!(
+                sem.acquire(Instant::now() + std::time::Duration::from_secs(5)),
+                Admission::QueueFull
+            ));
+            drop(g1);
+            assert!(waiter.join().unwrap());
+        });
+        // Queued waiter whose deadline passes times out.
+        let _g = match sem.acquire(Instant::now() + std::time::Duration::from_secs(5)) {
+            Admission::Admitted(g) => g,
+            _ => panic!("reacquire must succeed"),
+        };
+        assert!(matches!(
+            sem.acquire(Instant::now() + std::time::Duration::from_millis(10)),
+            Admission::TimedOut
+        ));
     }
 }

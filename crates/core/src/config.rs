@@ -58,10 +58,11 @@ pub struct Config {
     /// Fused streaming delta pipeline: push dedup + set difference into
     /// the final operator of every subquery, so the UNION-ALL intermediate
     /// `Rt` is never materialized — duplicates are dropped at the probe
-    /// site. Applies to recursive, non-aggregated IDBs when `index_reuse`,
-    /// `uie` and `eost` are on and OOF is not collecting full statistics
-    /// (those paths genuinely need a materialized `Rt`). Off = keep the
-    /// two-phase materialize-then-absorb pipeline (for ablations).
+    /// site. Applies to non-aggregated IDBs when `index_reuse`, `uie` and
+    /// `eost` are on; under OOF-FA a reservoir sampler attached to the
+    /// sink stands in for the `Rt` the statistics pass would otherwise
+    /// re-scan. Off = keep the two-phase materialize-then-absorb pipeline
+    /// (for ablations).
     pub fused_pipeline: bool,
     /// Group-at-source streaming aggregation: aggregated heads (recursive
     /// MIN/MAX and non-recursive group-by) stream every produced row into
@@ -86,6 +87,13 @@ pub struct Config {
     /// `bytes / rebuild_cost`), and the engine's memory-pressure path
     /// spills the cache before reporting OOM.
     pub index_cache_budget_bytes: usize,
+    /// Publish the final full-`R` indexes of a run's IDB *results* into
+    /// the shared index cache (exclusive, store-committed runs only), so
+    /// a later program that joins or anti-joins against those now-frozen
+    /// relations reuses the table this run already built. Off by default:
+    /// one-shot CLI runs would only pay the resident bytes — the query
+    /// service and its warmup path turn it on.
+    pub publish_idb_indexes: bool,
     /// Bit-matrix evaluation policy (§5.3 PBME).
     pub pbme: PbmeMode,
     /// Work-order threshold for coordinated SG-PBME (Figure 7); `None` =
@@ -115,6 +123,7 @@ impl Default for Config {
             fused_agg: true,
             shared_index_cache: true,
             index_cache_budget_bytes: 2 << 30,
+            publish_idb_indexes: false,
             pbme: PbmeMode::Auto,
             pbme_coordination: None,
             mem_budget_bytes: 8 << 30,
@@ -215,6 +224,12 @@ impl Config {
         self
     }
 
+    /// Toggle publishing final IDB result indexes into the shared cache.
+    pub fn publish_idb_indexes(mut self, on: bool) -> Self {
+        self.publish_idb_indexes = on;
+        self
+    }
+
     /// Set the PBME mode.
     pub fn pbme(mut self, mode: PbmeMode) -> Self {
         self.pbme = mode;
@@ -248,6 +263,90 @@ impl Config {
         } else {
             self.threads
         }
+    }
+}
+
+/// Configuration of the long-lived query service (`recstep serve`).
+///
+/// Admission control is deliberately simple and fully bounded: at most
+/// `max_concurrent_runs` evaluations execute at once, at most
+/// `queue_depth` requests wait for a permit, and everything beyond that
+/// is shed immediately with `429`/`Retry-After`. Each admitted request
+/// carries a deadline (`request_timeout_ms`) that doubles as the
+/// cooperative cancellation point of its fixpoint.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Maximum evaluations in flight at once (`--max-concurrent-runs`,
+    /// clamped to ≥ 1). Backpressure, not parallelism: each run already
+    /// fans out over the engine's worker pool.
+    pub max_concurrent_runs: usize,
+    /// Maximum requests allowed to wait for a run permit
+    /// (`--queue-depth`); callers beyond it are shed with `429`.
+    pub queue_depth: usize,
+    /// Per-request wall-clock budget in milliseconds
+    /// (`--request-timeout-ms`), covering both queue wait and evaluation;
+    /// an over-budget fixpoint is cancelled at its next iteration
+    /// boundary.
+    pub request_timeout_ms: u64,
+    /// Programs evaluated at startup (`--warmup FILE`, repeatable): each
+    /// runs exclusively with `publish_idb_indexes` on, so the caches are
+    /// hot before the first client connects.
+    pub warmup: Vec<String>,
+    /// Prepared-program cache capacity (entries); least-recently-used
+    /// programs are evicted past it.
+    pub prepared_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".into(),
+            max_concurrent_runs: 2,
+            queue_depth: 32,
+            request_timeout_ms: 30_000,
+            warmup: Vec::new(),
+            prepared_capacity: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the listen address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Set the concurrent-run cap.
+    pub fn max_concurrent_runs(mut self, n: usize) -> Self {
+        self.max_concurrent_runs = n.max(1);
+        self
+    }
+
+    /// Set the admission queue depth.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Set the per-request timeout in milliseconds.
+    pub fn request_timeout_ms(mut self, ms: u64) -> Self {
+        self.request_timeout_ms = ms;
+        self
+    }
+
+    /// Add a warmup program file.
+    pub fn warmup(mut self, path: impl Into<String>) -> Self {
+        self.warmup.push(path.into());
+        self
+    }
+
+    /// Set the prepared-program cache capacity.
+    pub fn prepared_capacity(mut self, n: usize) -> Self {
+        self.prepared_capacity = n.max(1);
+        self
     }
 }
 
@@ -301,5 +400,26 @@ mod tests {
     #[test]
     fn zero_threads_resolves_to_cores() {
         assert!(Config::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn serve_config_defaults_and_builders() {
+        let s = ServeConfig::default();
+        assert!(s.max_concurrent_runs >= 1);
+        assert!(s.prepared_capacity >= 1);
+        assert!(s.warmup.is_empty());
+        let s = ServeConfig::default()
+            .addr("0.0.0.0:9000")
+            .max_concurrent_runs(0)
+            .queue_depth(4)
+            .request_timeout_ms(500)
+            .warmup("w.datalog")
+            .prepared_capacity(0);
+        assert_eq!(s.addr, "0.0.0.0:9000");
+        assert_eq!(s.max_concurrent_runs, 1, "clamped to ≥ 1");
+        assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.request_timeout_ms, 500);
+        assert_eq!(s.warmup, vec!["w.datalog".to_string()]);
+        assert_eq!(s.prepared_capacity, 1, "clamped to ≥ 1");
     }
 }

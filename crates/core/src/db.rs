@@ -196,11 +196,13 @@ impl RunOutput {
     }
 }
 
-/// One staged relation of a [`Transaction`]: name, arity, column-major data.
+/// One staged relation of a [`Transaction`]: name, arity, column-major
+/// inserts plus row-major deletes.
 struct Staged {
     name: String,
     arity: usize,
     cols: Vec<Vec<Value>>,
+    deletes: Vec<Vec<Value>>,
 }
 
 /// A bulk loader staging rows for several relations and applying them
@@ -265,6 +267,29 @@ impl Transaction<'_> {
         Ok(())
     }
 
+    /// Stage whole-tuple deletions for a relation (applied after this
+    /// transaction's inserts; every matching occurrence is removed).
+    pub fn delete_rows<'r>(
+        &mut self,
+        name: &str,
+        arity: usize,
+        rows: impl IntoIterator<Item = &'r [Value]>,
+    ) -> Result<()> {
+        let mut staged_rows = Vec::new();
+        for row in rows {
+            if row.len() != arity {
+                return Err(Error::exec(format!(
+                    "row arity {} does not match declared arity {arity} for '{name}'",
+                    row.len()
+                )));
+            }
+            staged_rows.push(row.to_vec());
+        }
+        let staged = self.staged_entry(name, arity)?;
+        staged.deletes.append(&mut staged_rows);
+        Ok(())
+    }
+
     /// Apply every staged batch to the database.
     pub fn commit(self) -> Result<()> {
         for staged in self.staged {
@@ -275,7 +300,11 @@ impl Transaction<'_> {
                     .catalog
                     .create(Schema::with_arity(&staged.name, staged.arity))?,
             };
-            self.db.catalog.rel_mut(id).append_columns(staged.cols);
+            let rel = self.db.catalog.rel_mut(id);
+            rel.append_columns(staged.cols);
+            if !staged.deletes.is_empty() {
+                rel.delete_rows(&staged.deletes);
+            }
         }
         Ok(())
     }
@@ -305,6 +334,7 @@ impl Transaction<'_> {
                     name: name.to_string(),
                     arity,
                     cols: vec![Vec::new(); arity],
+                    deletes: Vec::new(),
                 });
                 self.staged.len() - 1
             }
@@ -349,6 +379,29 @@ mod tests {
         tx.commit().unwrap();
         assert_eq!(db.row_count("arc"), 2);
         assert_eq!(db.row_count("warc"), 1);
+    }
+
+    #[test]
+    fn staged_deletes_apply_after_inserts_and_bump_the_version() {
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &[(1, 2), (2, 3), (1, 2)]).unwrap();
+        let id = db.catalog.lookup("arc").unwrap();
+        let v0 = db.catalog.version(id);
+        let mut tx = db.transaction();
+        tx.load_edges("arc", &[(4, 5)]).unwrap();
+        tx.delete_rows("arc", 2, [vec![1, 2]].iter().map(Vec::as_slice))
+            .unwrap();
+        // Arity mismatches surface at staging, like inserts.
+        assert!(tx
+            .delete_rows("arc", 3, [vec![1, 2, 3]].iter().map(Vec::as_slice))
+            .is_err());
+        tx.commit().unwrap();
+        let arc = db.relation("arc").unwrap();
+        assert_eq!(arc.as_pairs().unwrap(), vec![(2, 3), (4, 5)]);
+        assert!(
+            db.catalog.version(id) > v0,
+            "writes must invalidate version-keyed caches"
+        );
     }
 
     #[test]

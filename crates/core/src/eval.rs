@@ -50,6 +50,7 @@ use std::time::Instant;
 
 use recstep_common::hash::{FxHashMap, FxHashSet};
 use recstep_common::lang::Expr;
+use recstep_common::sched::CancelToken;
 use recstep_common::{Error, Result, Value};
 use recstep_datalog::plan::{
     AtomVersion, CompiledIdb, CompiledProgram, CompiledStratum, ScanSpec, SubQuery,
@@ -477,6 +478,10 @@ pub(crate) struct EvalRun<'e, 'd> {
     pub(crate) catalog: RunCatalog<'d>,
     pub(crate) disk: Option<&'d mut DiskManager>,
     pub(crate) cache: Option<&'d IndexCache>,
+    /// Cooperative cancellation, polled at iteration boundaries (the only
+    /// points where aborting leaves no partial state). `None` for
+    /// uncancellable runs.
+    pub(crate) cancel: Option<&'e CancelToken>,
 }
 
 impl EvalRun<'_, '_> {
@@ -571,6 +576,44 @@ impl EvalRun<'_, '_> {
             }
             if !handled {
                 self.run_stratum(stratum, &mut index_carry, &mut jcache, &mut stats)?;
+            }
+        }
+        // Publish the final full-R indexes of this run's IDB results into
+        // the shared cross-run cache (PR 4 follow-up — only worth it once
+        // runs are long-lived). Under a query service the results of one
+        // program are frequently the frozen inputs of the next (anti-joins
+        // and set differences probe them whole-tuple), so the table this
+        // run already built keeps amortizing instead of dying with the
+        // run. Exclusive runs only: shared-mode results live in a
+        // run-local overlay, so their versions name nothing durable.
+        if self.cfg.publish_idb_indexes && self.catalog.as_exclusive().is_some() {
+            if let Some(cache) = self.cache {
+                for (rel_id, index) in index_carry.drain() {
+                    let Some(version) = self.catalog.shared_version(rel_id) else {
+                        continue;
+                    };
+                    if index.rows() != self.catalog.rel(rel_id).len() {
+                        continue; // trails the relation (e.g. a mono rebuild)
+                    }
+                    let key = CacheKey {
+                        rel: rel_id,
+                        version,
+                        cols: index.key_cols().to_vec(),
+                    };
+                    // Freeze moves the already-built table. The nominal
+                    // per-row build cost stands in for the unmeasured
+                    // original build so eviction does not treat the entry
+                    // as free to rebuild.
+                    let cost = std::time::Duration::from_nanos(index.rows() as u64 * 25);
+                    let mut moved = Some(index);
+                    let out = cache.get_or_build(&key, self.cfg.index_cache_budget_bytes, || {
+                        moved.take().expect("first builder wins").freeze(cost)
+                    });
+                    stats.index.cache_evictions += out.evicted;
+                    if out.built {
+                        stats.index.published += 1;
+                    }
+                }
             }
         }
         drop(index_carry);
@@ -811,6 +854,9 @@ impl EvalRun<'_, '_> {
 
         let mut iterations = 0usize;
         loop {
+            if self.cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(Error::Cancelled);
+            }
             iterations += 1;
             let mut all_empty = true;
             // The paper keeps ∆R of the previous iteration alive while the
@@ -928,9 +974,12 @@ impl EvalRun<'_, '_> {
     }
 
     /// Whether the fused streaming pipeline evaluates this IDB: the paths
-    /// excluded here genuinely need a materialized `Rt` (OOF-FA analyzes
-    /// it, per-query commit mode spills it, IIE stages per-subquery
-    /// temporaries) or have no full-R index to probe (`index_reuse` off).
+    /// excluded here genuinely need a materialized `Rt` (per-query commit
+    /// mode spills it, IIE stages per-subquery temporaries) or have no
+    /// full-R index to probe (`index_reuse` off). OOF-FA is *not*
+    /// excluded: a [`SinkSampler`] attached to the delta sink mirrors
+    /// every offered row, and the statistics pass reads the reservoir in
+    /// place of an `Rt` re-scan — same as the aggregated path.
     /// Non-recursive strata stream too — their single pass dedups across
     /// rules at source the same way. Aggregated heads stream through
     /// their own group-at-source sink instead (see
@@ -940,7 +989,6 @@ impl EvalRun<'_, '_> {
             && self.cfg.index_reuse
             && self.cfg.uie
             && self.cfg.eost
-            && self.cfg.oof != OofMode::Full
             && state.agg.is_none()
     }
 
@@ -1171,13 +1219,20 @@ impl EvalRun<'_, '_> {
             }
         }
         let hint = states[idx].scratch_hint;
+        // OOF-FA: sample the would-be Rt while it streams through the
+        // sink; the statistics pass below consumes the reservoir.
+        let sampler =
+            (self.cfg.oof == OofMode::Full).then(|| SinkSampler::new(idb.arity, SINK_SAMPLE_CAP));
         // Index build/sync above is booked under `phase.index` (as on the
         // materializing path); the pipeline timer covers only the
         // streaming pass itself.
         let t_pipe = Instant::now();
         let evaluated = {
             let base = self.catalog.rel(rel_id).view();
-            let sink = DeltaSink::new(&full_index, base, hint);
+            let mut sink = DeltaSink::new(&full_index, base, hint);
+            if let Some(s) = &sampler {
+                sink = sink.with_sampler(s);
+            }
             eval_idb(
                 self.ctx,
                 self.cfg,
@@ -1232,6 +1287,7 @@ impl EvalRun<'_, '_> {
         stats.pipeline_runs += 1;
         stats.index.scratch_builds += 1;
         stats.phase.pipeline += t_pipe.elapsed();
+        self.note_sink_stats(sampler.as_ref(), rel_id, stats);
 
         // Record frozen choices on first iteration for OOF-NA.
         if self.cfg.oof == OofMode::None {

@@ -71,7 +71,7 @@ pub mod prepared;
 mod shim;
 pub mod stats;
 
-pub use config::{Config, OofMode, PbmeMode};
+pub use config::{Config, OofMode, PbmeMode, ServeConfig};
 pub use db::{Database, RunOutput, Transaction};
 pub use engine::{Engine, EngineBuilder};
 pub use prepared::PreparedProgram;

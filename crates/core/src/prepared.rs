@@ -87,6 +87,28 @@ impl PreparedProgram {
     /// assert_eq!(db.row_count("tc"), 0); // the database itself is untouched
     /// ```
     pub fn run_shared(&self, db: &Database) -> Result<RunOutput> {
+        self.run_shared_inner(db, None)
+    }
+
+    /// [`PreparedProgram::run_shared`] with a cooperative cancellation
+    /// token: the fixpoint polls `cancel` at iteration boundaries and
+    /// aborts with [`recstep_common::Error::Cancelled`] once it reports
+    /// cancelled (explicitly or by deadline). Nothing escapes an aborted
+    /// run — the overlay dies with it — so a timed-out request leaves the
+    /// database and the shared caches exactly as a never-started one.
+    pub fn run_shared_cancellable(
+        &self,
+        db: &Database,
+        cancel: &recstep_common::sched::CancelToken,
+    ) -> Result<RunOutput> {
+        self.run_shared_inner(db, Some(cancel))
+    }
+
+    fn run_shared_inner(
+        &self,
+        db: &Database,
+        cancel: Option<&recstep_common::sched::CancelToken>,
+    ) -> Result<RunOutput> {
         let (cfg, ctx, alpha) = self.engine.parts();
         let mut run = EvalRun {
             cfg,
@@ -95,6 +117,7 @@ impl PreparedProgram {
             catalog: RunCatalog::shared(db.catalog()),
             disk: None,
             cache: cfg.shared_index_cache.then(|| &**db.index_cache()),
+            cancel,
         };
         let stats = run.run(&self.compiled)?;
         let catalog = run
@@ -156,6 +179,7 @@ pub(crate) fn run_compiled(
         catalog: RunCatalog::Exclusive(catalog),
         disk: Some(disk),
         cache: cfg.shared_index_cache.then_some(&*cache),
+        cancel: None,
     }
     .run(compiled)
 }

@@ -69,6 +69,10 @@ pub struct IndexStats {
     pub cache_evictions: usize,
     /// Resident bytes of the shared cache when the run finished.
     pub cache_bytes: usize,
+    /// Final IDB result indexes this run published into the shared cache
+    /// (`publish_idb_indexes`): full-`R` tables frozen at fixpoint for
+    /// later programs that join against the now-frozen results.
+    pub published: usize,
     /// Rows inserted by from-scratch builds (persistent indexes only).
     pub build_rows: usize,
     /// Rows inserted by incremental appends (persistent indexes only).
@@ -156,7 +160,75 @@ pub struct EvalStats {
     pub coord_orders_posted: u64,
 }
 
+impl PhaseTimes {
+    fn merge(&mut self, other: &PhaseTimes) {
+        self.eval += other.eval;
+        self.pipeline += other.pipeline;
+        self.dedup += other.dedup;
+        self.setdiff += other.setdiff;
+        self.aggregate += other.aggregate;
+        self.merge += other.merge;
+        self.analyze += other.analyze;
+        self.index += other.index;
+        self.io += other.io;
+        self.pbme += other.pbme;
+    }
+}
+
+impl IndexStats {
+    fn merge(&mut self, other: &IndexStats) {
+        self.full_builds += other.full_builds;
+        self.full_appends += other.full_appends;
+        self.scratch_builds += other.scratch_builds;
+        self.join_builds += other.join_builds;
+        self.join_appends += other.join_appends;
+        self.join_reuses += other.join_reuses;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        // A gauge, not a counter: the later run's snapshot wins.
+        self.cache_bytes = other.cache_bytes;
+        self.published += other.published;
+        self.build_rows += other.build_rows;
+        self.append_rows += other.append_rows;
+        self.bytes_peak = self.bytes_peak.max(other.bytes_peak);
+    }
+}
+
 impl EvalStats {
+    /// Fold another run's statistics into this accumulator — the
+    /// engine-lifetime aggregate view behind the service's `/stats`
+    /// endpoint (per-run reports only ever covered one evaluation).
+    /// Counters and durations sum, per-stratum details concatenate,
+    /// peaks take the maximum, and gauges (`index.cache_bytes`) take the
+    /// later run's snapshot.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.total += other.total;
+        self.phase.merge(&other.phase);
+        self.strata.extend(other.strata.iter().cloned());
+        self.iterations += other.iterations;
+        self.queries_issued += other.queries_issued;
+        self.tuples_considered += other.tuples_considered;
+        self.opsd_runs += other.opsd_runs;
+        self.tpsd_runs += other.tpsd_runs;
+        self.fused_runs += other.fused_runs;
+        self.pipeline_runs += other.pipeline_runs;
+        self.rt_rows_skipped_at_source += other.rt_rows_skipped_at_source;
+        self.rt_bytes_never_materialized += other.rt_bytes_never_materialized;
+        self.rt_merge_bytes += other.rt_merge_bytes;
+        self.agg_sink_runs += other.agg_sink_runs;
+        self.agg_rows_folded_at_source += other.agg_rows_folded_at_source;
+        self.agg_groups_improved += other.agg_groups_improved;
+        self.sink_stat_samples += other.sink_stat_samples;
+        self.index.merge(&other.index);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.io_bytes += other.io_bytes;
+        self.io_flushes += other.io_flushes;
+        self.busy += other.busy;
+        self.pbme_matrix_bytes = self.pbme_matrix_bytes.max(other.pbme_matrix_bytes);
+        self.coord_orders_posted += other.coord_orders_posted;
+    }
+
     /// Record a set-difference algorithm choice.
     pub(crate) fn note_setdiff(&mut self, algo: SetDiffAlgo) {
         match algo {
@@ -212,6 +284,37 @@ mod tests {
         assert_eq!(s.cpu_utilization(1), 1.0);
         let zero = EvalStats::default();
         assert_eq!(zero.cpu_utilization(4), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut acc = EvalStats {
+            iterations: 3,
+            peak_bytes: 100,
+            total: Duration::from_secs(1),
+            ..Default::default()
+        };
+        acc.index.cache_hits = 1;
+        acc.index.cache_bytes = 10;
+        acc.index.bytes_peak = 50;
+        let mut other = EvalStats {
+            iterations: 4,
+            peak_bytes: 80,
+            total: Duration::from_secs(2),
+            ..Default::default()
+        };
+        other.index.cache_hits = 2;
+        other.index.cache_bytes = 7;
+        other.index.bytes_peak = 60;
+        other.strata.push(StratumStats::default());
+        acc.merge(&other);
+        assert_eq!(acc.iterations, 7);
+        assert_eq!(acc.total, Duration::from_secs(3));
+        assert_eq!(acc.peak_bytes, 100, "peaks take the max");
+        assert_eq!(acc.index.cache_hits, 3);
+        assert_eq!(acc.index.cache_bytes, 7, "gauge takes the later snapshot");
+        assert_eq!(acc.index.bytes_peak, 60);
+        assert_eq!(acc.strata.len(), 1);
     }
 
     #[test]

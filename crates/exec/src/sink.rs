@@ -33,8 +33,11 @@
 //! [`SinkMode`] is the switch operators consume: `Materialize` preserves
 //! the UNION-ALL contract (every row is buffered), `Delta` streams rows
 //! through a sink. The materializing mode stays available behind
-//! `--no-fused-pipeline` for ablations and for paths that genuinely need
-//! a materialized `Rt` (OOF-FA statistics, per-query temp-table spills).
+//! `--no-fused-pipeline` for ablations and for per-query temp-table
+//! spills; OOF-FA statistics no longer force it — an attached
+//! [`SinkSampler`] ([`DeltaSink::with_sampler`]) mirrors every offered
+//! row into a reservoir the statistics pass consumes in place of an `Rt`
+//! re-scan.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -76,6 +79,7 @@ pub struct DeltaSink<'a> {
     /// one-time hashed rebuild).
     overflow: Mutex<Vec<Value>>,
     considered: AtomicUsize,
+    sampler: Option<&'a SinkSampler>,
 }
 
 impl<'a> DeltaSink<'a> {
@@ -112,7 +116,16 @@ impl<'a> DeltaSink<'a> {
             scratch: GrowChainTable::new(arity, hint, hint.saturating_mul(2)),
             overflow: Mutex::new(Vec::new()),
             considered: AtomicUsize::new(0),
+            sampler: None,
         }
+    }
+
+    /// Attach a statistics sampler: every offered row (the would-be `Rt`)
+    /// is mirrored into it, which is what lets the OOF-FA path run fused —
+    /// `analyze(Rt)` reads the reservoir instead of a materialized `Rt`.
+    pub fn with_sampler(mut self, sampler: &'a SinkSampler) -> Self {
+        self.sampler = Some(sampler);
+        self
     }
 
     /// Offer one produced row (head layout). Returns `true` when the row
@@ -122,6 +135,11 @@ impl<'a> DeltaSink<'a> {
     #[inline]
     pub fn offer(&self, row: &[Value]) -> bool {
         debug_assert_eq!(row.len(), self.arity);
+        // Sample before any filtering: the reservoir stands in for `Rt`,
+        // which would have contained every produced row.
+        if let Some(s) = self.sampler {
+            s.offer(row);
+        }
         let Some(key) = self.mode.try_key_of_row(row) else {
             self.overflow.lock().extend_from_slice(row);
             return false;
@@ -338,6 +356,22 @@ mod tests {
         assert_eq!(sink.considered(), 4);
         assert!(sink.take_overflow().is_empty());
         assert!(sink.scratch_bytes() > 0);
+    }
+
+    #[test]
+    fn attached_sampler_mirrors_every_offered_row() {
+        let ctx = ctx();
+        let base = Relation::from_rows(Schema::with_arity("r", 2), &[vec![0, 0], vec![9, 90]]);
+        let idx = PersistentIndex::build(&ctx, base.view(), vec![0, 1]);
+        let sampler = SinkSampler::new(2, 16);
+        let sink = DeltaSink::new(&idx, base.view(), 8).with_sampler(&sampler);
+        assert!(!sink.offer(&[9, 90]), "base member still filtered");
+        assert!(sink.offer(&[3, 30]));
+        assert!(!sink.offer(&[3, 30]), "duplicate still filtered");
+        // The reservoir saw all three offers — base members and duplicates
+        // included, exactly what a materialized Rt would have held.
+        assert_eq!(sampler.seen(), 3);
+        assert_eq!(sampler.sampled(), 3);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! The `recstep` command-line interface: evaluate a `.datalog` program over
-//! fact files, matching the paper's workflow (§4).
+//! The `recstep` command-line interface.
+//!
+//! Two modes share one flag surface:
 //!
 //! ```text
-//! recstep PROGRAM.datalog [OPTIONS]
+//! recstep PROGRAM.datalog [OPTIONS]     one-shot evaluation (paper §4)
+//! recstep serve [OPTIONS]               long-lived HTTP/JSON query service
 //!
 //! Options:
 //!   --facts DIR       directory with <input>.facts files      [default: .]
@@ -24,22 +26,45 @@
 //!                     [default: 2048]
 //!   --stats           print the evaluation statistics report (per-phase
 //!                     pipeline timers and shared-cache counters included)
+//!
+//! Serve-mode options:
+//!   --addr HOST:PORT  listen address                 [default: 127.0.0.1:7171]
+//!   --max-concurrent-runs N
+//!                     evaluations in flight at once             [default: 2]
+//!   --queue-depth N   requests allowed to wait for a run permit;
+//!                     the rest are shed with 429 Retry-After   [default: 32]
+//!   --request-timeout-ms MS
+//!                     per-request deadline (queue wait + evaluation;
+//!                     over-budget fixpoints are cancelled)  [default: 30000]
+//!   --warmup FILE     program evaluated at startup to pre-warm the
+//!                     prepared-program and shared index caches (repeat
+//!                     for several; their .input facts load from --facts)
 //! ```
 //!
+//! In serve mode every `<name>.facts` file found in `--facts` is loaded
+//! into the database at startup; clients then POST Datalog programs to
+//! `/query` and fact deltas to `/facts` (see `docs/flags.md` and the
+//! README quickstart).
+//!
 //! The program is compiled exactly once (`Engine::prepare`); evaluation
-//! and the `--explain` rendering both reuse that compilation.
+//! and the `--explain` rendering both reuse that compilation. The service
+//! keeps that guarantee per program text via its prepared-program cache.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use recstep::io::run_datalog_file;
-use recstep::{Config, Database, DedupImpl, Engine, OofMode, PbmeMode, SetDiffStrategy};
+use recstep::{
+    Config, Database, DedupImpl, Engine, OofMode, PbmeMode, ServeConfig, SetDiffStrategy,
+};
+use recstep_serve::Server;
 
 struct Args {
-    program: PathBuf,
+    program: Option<PathBuf>,
     facts: PathBuf,
     out: PathBuf,
     cfg: Config,
+    serve: Option<ServeConfig>,
     explain: bool,
     stats: bool,
 }
@@ -50,7 +75,10 @@ fn usage() -> ! {
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
          [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
          [--no-index-reuse] [--no-fused-pipeline] [--no-fused-agg] \
-         [--no-shared-index-cache] [--index-cache-budget MB]"
+         [--no-shared-index-cache] [--index-cache-budget MB]\n\
+         \x20      recstep serve [--addr HOST:PORT] [--max-concurrent-runs N] \
+         [--queue-depth N] [--request-timeout-ms MS] [--warmup FILE]... \
+         [--facts DIR] [engine options]"
     );
     std::process::exit(2);
 }
@@ -60,9 +88,15 @@ fn parse_args() -> Args {
     let mut facts = PathBuf::from(".");
     let mut out = PathBuf::from("./out");
     let mut cfg = Config::default();
+    let mut serve: Option<ServeConfig> = None;
     let mut explain = false;
     let mut stats = false;
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    // Subcommand comes first: `recstep serve [options]`.
+    if it.peek().map(String::as_str) == Some("serve") {
+        it.next();
+        serve = Some(ServeConfig::default());
+    }
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> String {
             it.next().unwrap_or_else(|| {
@@ -100,6 +134,30 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
                     << 20
             }
+            "--addr" => {
+                let v = value("--addr");
+                require_serve(&mut serve, "--addr").addr = v;
+            }
+            "--max-concurrent-runs" => {
+                let n: usize = value("--max-concurrent-runs")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                require_serve(&mut serve, "--max-concurrent-runs").max_concurrent_runs = n.max(1);
+            }
+            "--queue-depth" => {
+                let n = value("--queue-depth").parse().unwrap_or_else(|_| usage());
+                require_serve(&mut serve, "--queue-depth").queue_depth = n;
+            }
+            "--request-timeout-ms" => {
+                let ms = value("--request-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                require_serve(&mut serve, "--request-timeout-ms").request_timeout_ms = ms;
+            }
+            "--warmup" => {
+                let path = value("--warmup");
+                require_serve(&mut serve, "--warmup").warmup.push(path);
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -113,25 +171,114 @@ fn parse_args() -> Args {
             }
         }
     }
-    let Some(program) = program else {
+    if serve.is_none() && program.is_none() {
         usage();
-    };
+    }
+    if serve.is_some() && program.is_some() {
+        eprintln!("serve mode takes no program file; use --warmup FILE");
+        usage();
+    }
     Args {
         program,
         facts,
         out,
         cfg,
+        serve,
         explain,
         stats,
     }
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let src = match std::fs::read_to_string(&args.program) {
+/// Serve-mode flags reject cleanly outside `recstep serve`.
+fn require_serve<'a>(serve: &'a mut Option<ServeConfig>, flag: &str) -> &'a mut ServeConfig {
+    match serve {
+        Some(s) => s,
+        None => {
+            eprintln!("{flag} is only valid after `recstep serve`");
+            usage()
+        }
+    }
+}
+
+/// Load every `<name>.facts` file in `dir` (arity sniffed from the first
+/// fact line; empty files are skipped).
+fn preload_facts_dir(db: &mut Database, dir: &Path) -> Result<Vec<(String, usize)>, String> {
+    let mut loaded = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(loaded), // missing dir: start empty
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("facts") {
+            continue;
+        }
+        let Some(name) = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map(str::to_string)
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let Some(arity) = text
+            .lines()
+            .find_map(recstep::parser::parse_fact_line)
+            .map(|vals| vals.len())
+        else {
+            continue;
+        };
+        let n = recstep::io::load_facts_file(db, &name, arity, &path).map_err(|e| e.to_string())?;
+        loaded.push((name, n));
+    }
+    Ok(loaded)
+}
+
+fn serve_main(args: Args, serve: ServeConfig) -> ExitCode {
+    let mut db = match Database::new() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("recstep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match preload_facts_dir(&mut db, &args.facts) {
+        Ok(loaded) => {
+            for (name, rows) in &loaded {
+                println!("loaded {name}: {rows} facts");
+            }
+        }
+        Err(e) => {
+            eprintln!("recstep: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match Server::start(args.cfg, serve, db) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("recstep: cannot read {}: {e}", args.program.display());
+            eprintln!("recstep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("recstep-serve listening on http://{}", server.addr());
+    // Serve until the process is killed (the CI smoke test and systemd
+    // both stop us with a signal; there is no in-band shutdown route).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(serve) = args.serve.clone() {
+        return serve_main(args, serve);
+    }
+    let program = args.program.clone().expect("checked in parse_args");
+    let src = match std::fs::read_to_string(&program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("recstep: cannot read {}: {e}", program.display());
             return ExitCode::FAILURE;
         }
     };
@@ -245,11 +392,12 @@ fn main() -> ExitCode {
                 );
                 println!(
                     "shared index cache: {} hits / {} misses / {} evictions; \
-                     {} resident bytes",
+                     {} resident bytes ({} published)",
                     stats_out.index.cache_hits,
                     stats_out.index.cache_misses,
                     stats_out.index.cache_evictions,
-                    stats_out.index.cache_bytes
+                    stats_out.index.cache_bytes,
+                    stats_out.index.published
                 );
                 println!("peak bytes (engine estimate): {}", stats_out.peak_bytes);
                 println!(

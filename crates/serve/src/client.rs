@@ -1,0 +1,59 @@
+//! A one-shot blocking HTTP client, just enough to talk to the service.
+//!
+//! Used by the integration tests and the serve benchmark; real clients
+//! can use anything that speaks HTTP/1.1 (the CI smoke test uses `curl`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// `GET path` against `addr`; returns `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, None).map(|(s, _, b)| (s, b))
+}
+
+/// `POST path` with a JSON body against `addr`; returns `(status, body)`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body)).map(|(s, _, b)| (s, b))
+}
+
+/// Like [`post`] but also returns the raw response head, for callers that
+/// need to inspect headers (e.g. `Retry-After` on a 429).
+pub fn post_full(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut parts = text.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or("");
+    let body = parts.next().unwrap_or("").to_string();
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok((status, head.to_string(), body))
+}

@@ -1,0 +1,259 @@
+//! A deliberately small HTTP/1.1 layer for the query service.
+//!
+//! One request per connection (`Connection: close`), bodies sized by
+//! `Content-Length`, everything else rejected early with a 4xx. This is
+//! all the service protocol needs, and it keeps the server a plain
+//! thread-per-connection loop over `std::net` — no external runtime, per
+//! the workspace's no-new-dependencies rule.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on declared body size; a request past it is shed with 413 before
+/// any allocation of that size happens.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (query strings are not split off; the
+    /// service routes on exact paths).
+    pub path: String,
+    /// Decoded body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped to the status the caller
+/// should answer with.
+#[derive(Debug)]
+pub struct ParseError {
+    /// HTTP status to answer with (400, 408, 413, 431, 505).
+    pub status: u16,
+    /// Human-readable reason, sent in the error body.
+    pub reason: String,
+}
+
+impl ParseError {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        ParseError {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Read one request from the stream. `io_timeout` bounds each read so a
+/// stalled client cannot pin a worker forever.
+pub fn read_request(stream: &mut TcpStream, io_timeout: Duration) -> Result<Request, ParseError> {
+    stream
+        .set_read_timeout(Some(io_timeout))
+        .map_err(|e| ParseError::new(400, format!("set_read_timeout: {e}")))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    read_line(&mut reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::new(400, "empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ParseError::new(400, "missing request target"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::new(505, format!("unsupported {version}")));
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        read_line(&mut reader, &mut line)?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::new(431, "request head too large"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::new(400, "bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::new(413, "body too large"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ParseError::new(408, format!("short body: {e}")))?;
+    Ok(Request { method, path, body })
+}
+
+fn read_line<R: BufRead>(reader: &mut R, line: &mut String) -> Result<(), ParseError> {
+    match reader.read_line(line) {
+        Ok(0) => Err(ParseError::new(400, "connection closed mid-request")),
+        Ok(_) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(ParseError::new(408, "read timed out"))
+        }
+        Err(e) => Err(ParseError::new(400, format!("read: {e}"))),
+    }
+}
+
+/// A response ready to serialize: status, JSON body, optional
+/// `Retry-After` seconds (the load-shed signal).
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+    /// When set, a `Retry-After: N` header is emitted (sent with 429).
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A 200 response with the given JSON body.
+    pub fn ok(body: String) -> Self {
+        Response {
+            status: 200,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// An error response; the reason is wrapped as `{"ok":false,"error":..}`.
+    pub fn error(status: u16, reason: &str) -> Self {
+        Response {
+            status,
+            body: crate::json::obj(vec![
+                ("ok", crate::json::Json::Bool(false)),
+                ("error", crate::json::str(reason)),
+            ])
+            .to_string(),
+            retry_after: None,
+        }
+    }
+
+    /// A 429 load-shed response carrying `Retry-After`.
+    pub fn shed(reason: &str, retry_after_secs: u64) -> Self {
+        let mut r = Response::error(429, reason);
+        r.retry_after = Some(retry_after_secs);
+        r
+    }
+
+    /// Serialize and write the response; the connection is then done
+    /// (`Connection: close`).
+    pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Keep the socket open until the server is done parsing.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream, Duration::from_secs(2));
+        drop(stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let huge = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(roundtrip(huge.as_bytes()).unwrap_err().status, 413);
+        assert_eq!(roundtrip(b"\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(roundtrip(b"GET / SPDY/3\r\n\r\n").unwrap_err().status, 505);
+        // Declared body longer than what arrives: times out as a short body.
+        let short = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert_eq!(short.unwrap_err().status, 408);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let r = Response::shed("queue full", 1);
+        assert_eq!(r.status, 429);
+        assert!(r.body.contains("queue full"));
+        assert_eq!(r.retry_after, Some(1));
+        assert!(Response::error(404, "no such route").body.contains("false"));
+    }
+}

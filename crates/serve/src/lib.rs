@@ -1,0 +1,33 @@
+//! # recstep-serve — a long-lived query service over the RecStep engine
+//!
+//! The engine crate's serving story ends at the library boundary:
+//! [`recstep::PreparedProgram::run_shared`] lets any number of threads
+//! evaluate concurrently over one shared [`recstep::Database`]. This
+//! crate turns that primitive into an actual service process:
+//!
+//! * a minimal HTTP/1.1 front end over `std::net` (no async runtime, no
+//!   external dependencies) with four routes — `POST /query`,
+//!   `POST /facts`, `GET /stats`, `GET /healthz`;
+//! * a **prepared-program cache**: programs compile once per (normalized
+//!   text, data version) and are LRU-evicted;
+//! * **request batching**: identical concurrent queries coalesce onto a
+//!   single in-flight fixpoint whose output every requester shares;
+//! * **admission control**: a semaphore caps concurrent runs, a bounded
+//!   queue absorbs bursts, everything past it is shed with
+//!   `429 Retry-After`, and per-request deadlines cancel over-budget
+//!   fixpoints cooperatively at iteration boundaries.
+//!
+//! The `recstep` binary lives here too: its classic one-shot evaluation
+//! mode is unchanged, and `recstep serve PROGRAM...` starts the service.
+//! See [`server::Server`] for the lifecycle and `ARCHITECTURE.md` § "The
+//! service layer" for the request walk-through.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use recstep::ServeConfig;
+pub use server::{normalize_program, Server};

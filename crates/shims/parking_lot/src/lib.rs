@@ -90,6 +90,25 @@ impl Condvar {
         }
     }
 
+    /// Block until notified or `deadline` passes, whichever comes first.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        // SAFETY: same move-out/move-back dance as `wait` above.
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (inner, result) = self
+                .0
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::ptr::write(&mut guard.0, inner);
+            WaitTimeoutResult(result.timed_out())
+        }
+    }
+
     /// Wake all waiting threads.
     pub fn notify_all(&self) {
         self.0.notify_all();
@@ -107,6 +126,93 @@ impl Default for Condvar {
     }
 }
 
+/// Result of [`Condvar::wait_until`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Reader-writer lock with parking_lot's infallible `read()`/`write()`.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access, blocking until no writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(
+            self.0
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Acquire exclusive access, blocking until all guards are released.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(
+            self.0
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +224,18 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(5);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
     }
 
     #[test]

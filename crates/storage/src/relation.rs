@@ -224,6 +224,55 @@ impl Relation {
         &self.cols[c]
     }
 
+    /// Delete every stored row equal to one of `rows` (whole-tuple match,
+    /// all occurrences). Returns the number of rows removed. Column
+    /// aggregates are recomputed from the survivors — deletion is the one
+    /// mutation incremental min/max/sum cannot absorb.
+    pub fn delete_rows(&mut self, rows: &[Vec<Value>]) -> usize {
+        if rows.is_empty() || self.is_empty() {
+            return 0;
+        }
+        let doomed: std::collections::HashSet<&[Value]> = rows.iter().map(Vec::as_slice).collect();
+        let n = self.len();
+        let mut row = Vec::with_capacity(self.arity());
+        let keep: Vec<bool> = (0..n)
+            .map(|r| {
+                row.clear();
+                for c in &self.cols {
+                    row.push(c[r]);
+                }
+                !doomed.contains(row.as_slice())
+            })
+            .collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
+        if removed == 0 {
+            return 0;
+        }
+        for col in &mut self.cols {
+            let mut w = 0;
+            for r in 0..n {
+                if keep[r] {
+                    col[w] = col[r];
+                    w += 1;
+                }
+            }
+            col.truncate(w);
+        }
+        self.aggs = self
+            .cols
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| {
+                let mut agg = ColAgg::seed(c[0]);
+                for &v in &c[1..] {
+                    agg.absorb(v);
+                }
+                agg
+            })
+            .collect();
+        removed
+    }
+
     /// Drop all rows, keeping capacity.
     pub fn clear(&mut self) {
         for c in &mut self.cols {
@@ -572,5 +621,24 @@ mod tests {
         assert!(r.is_empty());
         r.push_row(&[4, 40]);
         assert_eq!(r.to_rows(), vec![vec![4, 40]]);
+    }
+
+    #[test]
+    fn delete_rows_removes_all_occurrences_and_recomputes_aggs() {
+        let mut r = Relation::new(Schema::new("t", &["a", "b"]));
+        r.push_row(&[1, 10]);
+        r.push_row(&[2, 20]);
+        r.push_row(&[1, 10]);
+        r.push_row(&[3, 30]);
+        assert_eq!(r.delete_rows(&[vec![1, 10], vec![9, 9]]), 2);
+        assert_eq!(r.to_rows(), vec![vec![2, 20], vec![3, 30]]);
+        // Aggregates reflect the survivors, not the original extremes.
+        assert_eq!(r.col_bounds(0), Some((2, 3)));
+        assert_eq!(r.col_bounds(1), Some((20, 30)));
+        // Deleting nothing and deleting everything both behave.
+        assert_eq!(r.delete_rows(&[]), 0);
+        assert_eq!(r.delete_rows(&[vec![2, 20], vec![3, 30]]), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.col_bounds(0), None);
     }
 }

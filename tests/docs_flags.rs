@@ -7,7 +7,7 @@
 const FLAGS_MD: &str = include_str!("../docs/flags.md");
 const CONFIG_RS: &str = include_str!("../crates/core/src/config.rs");
 const STATS_RS: &str = include_str!("../crates/core/src/stats.rs");
-const BIN_RS: &str = include_str!("../crates/core/src/bin/recstep.rs");
+const BIN_RS: &str = include_str!("../crates/serve/src/bin/recstep.rs");
 
 /// Public field names of the struct named `name` in `src` (brace-counted,
 /// one `pub struct` per name assumed — true for these files).
