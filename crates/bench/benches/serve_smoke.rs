@@ -5,7 +5,7 @@
 //! is tracked alongside the engine's. Output path override:
 //! `RECSTEP_BENCH_OUT`.
 
-use recstep::{Config, Database, ServeConfig};
+use recstep::{Config, Database, Durability, ServeConfig};
 use recstep_bench::*;
 use recstep_serve::client::{get, post};
 use recstep_serve::{json::Json, Server};
@@ -33,12 +33,21 @@ fn main() {
         ),
     );
 
-    let server = Server::start(
-        Config::default().threads(max_threads()),
-        ServeConfig::default().addr("127.0.0.1:0"),
-        db,
-    )
-    .expect("server starts");
+    // The service runs durable: WAL per /facts commit, snapshot + log
+    // compaction every 2 commits, and a restart at the end measures
+    // recovery (the durability block below comes from the recovered
+    // process).
+    let data_dir = std::env::temp_dir().join(format!("recstep_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let serve_cfg = || {
+        ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .data_dir(data_dir.to_str().expect("utf-8 temp dir"))
+            .durability(Durability::Commit)
+            .snapshot_every_n_commits(2)
+    };
+    let server = Server::start(Config::default().threads(max_threads()), serve_cfg(), db)
+        .expect("server starts");
     let addr = server.addr();
 
     // One cold request per program (compile + frozen-index build), then a
@@ -86,15 +95,68 @@ fn main() {
     );
     assert_eq!(shed_count, 0, "a sequential smoke run must not shed");
 
+    // Durability leg: three WAL-logged commits (one survives the last
+    // snapshot compaction), then a hard restart from the data dir — the
+    // recovered server must replay the tail and answer over the new facts.
+    for (f, t) in [(500, 501), (501, 502), (502, 503)] {
+        let (status, body) = post(
+            addr,
+            "/facts",
+            &format!("{{\"insert\":{{\"arc\":[[{f},{t}]]}}}}"),
+        )
+        .expect("facts commit");
+        assert_eq!(status, 200, "{body}");
+    }
     server.shutdown();
+    let server = Server::start(
+        Config::default().threads(max_threads()),
+        serve_cfg(),
+        Database::new().expect("database"),
+    )
+    .expect("server recovers");
+    let addr = server.addr();
+    let (status, body) =
+        post(addr, "/query", &format!("{{\"program\":\"{TC}\"}}")).expect("recovered query");
+    assert_eq!(status, 200, "{body}");
+    let (status, stats_body) = get(addr, "/stats").expect("/stats after recovery");
+    assert_eq!(status, 200, "{stats_body}");
+    let stats = Json::parse(&stats_body).expect("recovered stats parse");
+    let pick_dur = |key: &str| -> i64 {
+        stats
+            .get("durability")
+            .and_then(|d| d.get(key))
+            .and_then(Json::as_int)
+            .unwrap_or_else(|| panic!("no durability.{key} in {stats_body}"))
+    };
+    let wal_records = pick_dur("wal_records");
+    let wal_bytes = pick_dur("wal_bytes");
+    let snapshots = pick_dur("snapshots");
+    let recovered_records = pick_dur("recovered_records");
+    assert_eq!(
+        stats.get("data_version").and_then(Json::as_int),
+        Some(3),
+        "recovery reconstructs data_version exactly: {stats_body}"
+    );
+    assert_eq!(recovered_records, 1, "one commit past the last snapshot");
 
-    row(&cells(&["queries", "p50 us", "p95 us", "hits", "shed"]));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    row(&cells(&[
+        "queries",
+        "p50 us",
+        "p95 us",
+        "hits",
+        "shed",
+        "recovered",
+    ]));
     row(&[
         queries.to_string(),
         p50_us.to_string(),
         p95_us.to_string(),
         cache_hits.to_string(),
         shed_count.to_string(),
+        recovered_records.to_string(),
     ]);
 
     // Splice the `"serve"` block into BENCH_pipeline.json (created by the
@@ -109,7 +171,9 @@ fn main() {
     let block = format!(
         "\"serve\": {{\"queries\": {queries}, \"compiles\": {compiles}, \
          \"prepared_hits\": {prepared_hits}, \"p50_us\": {p50_us}, \"p95_us\": {p95_us}, \
-         \"cache_hits\": {cache_hits}, \"shed_count\": {shed_count}}}"
+         \"cache_hits\": {cache_hits}, \"shed_count\": {shed_count}, \
+         \"durability\": {{\"wal_records\": {wal_records}, \"wal_bytes\": {wal_bytes}, \
+         \"snapshots\": {snapshots}, \"recovered_records\": {recovered_records}}}}}"
     );
     let mut doc = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".into());
     // Replace a stale single-line serve block from a previous run, if any.

@@ -25,6 +25,11 @@ pub enum Error {
     /// The evaluation was cooperatively cancelled (request timeout or an
     /// explicit abort) at an iteration boundary; no partial state escaped.
     Cancelled,
+    /// Durable state on disk is inconsistent in a way recovery cannot
+    /// repair by truncation (a corrupt snapshot table, a manifest that
+    /// fails its checksum). Distinct from [`Error::Io`]: the bytes were
+    /// read fine, they just cannot be trusted.
+    Durability(String),
 }
 
 impl fmt::Display for Error {
@@ -37,6 +42,7 @@ impl fmt::Display for Error {
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Cancelled => write!(f, "evaluation cancelled"),
+            Error::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -69,6 +75,11 @@ impl Error {
     pub fn exec(msg: impl Into<String>) -> Self {
         Error::Exec(msg.into())
     }
+
+    /// Shorthand constructor for durability errors.
+    pub fn durability(msg: impl Into<String>) -> Self {
+        Error::Durability(msg.into())
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +97,10 @@ mod tests {
         assert_eq!(Error::analysis("bad").to_string(), "analysis error: bad");
         assert_eq!(Error::exec("boom").to_string(), "execution error: boom");
         assert_eq!(Error::Cancelled.to_string(), "evaluation cancelled");
+        assert_eq!(
+            Error::durability("torn manifest").to_string(),
+            "durability error: torn manifest"
+        );
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //!   produces the memory-over-time series of Figures 3/6/11/14;
 //! * [`dict`] — dictionary encoding of symbolic domains into the dense
 //!   integer ids Datalog evaluation operates on (paper §5.2, footnote 2);
+//! * [`fail`] — failpoints: deterministic fault injection for crash-safety
+//!   tests (zero-cost when disabled);
 //! * [`error`] — the shared error type.
 
 pub mod dict;
 pub mod error;
+pub mod fail;
 pub mod hash;
 pub mod lang;
 pub mod mem;

@@ -3,6 +3,7 @@
 
 use recstep_exec::dedup::DedupImpl;
 use recstep_exec::setdiff::SetDiffStrategy;
+use recstep_storage::wal::Durability;
 
 /// Statistics-collection policy driving on-the-fly re-optimization (§5.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -297,6 +298,22 @@ pub struct ServeConfig {
     /// Prepared-program cache capacity (entries); least-recently-used
     /// programs are evicted past it.
     pub prepared_capacity: usize,
+    /// Durable-state directory (`--data-dir`). When set (and `durability`
+    /// is not [`Durability::Off`]) the server write-ahead-logs every
+    /// `/facts` commit there, snapshots the database periodically, and
+    /// restores snapshot-then-WAL-tail on startup. `None` = in-memory
+    /// only, the pre-durability behaviour.
+    pub data_dir: Option<String>,
+    /// WAL sync policy (`--durability {off,commit,batch}`): `commit`
+    /// fsyncs per `/facts` commit (an acked commit survives `kill -9`),
+    /// `batch` defers the fsync to snapshots/shutdown, `off` disables the
+    /// WAL entirely even with a data dir.
+    pub durability: Durability,
+    /// Snapshot + WAL-compaction threshold
+    /// (`--snapshot-every-n-commits`): after this many logged commits the
+    /// server writes a fresh snapshot and resets the log to a barrier.
+    /// 0 = never snapshot (the log grows unboundedly).
+    pub snapshot_every_n_commits: u64,
 }
 
 impl Default for ServeConfig {
@@ -308,6 +325,9 @@ impl Default for ServeConfig {
             request_timeout_ms: 30_000,
             warmup: Vec::new(),
             prepared_capacity: 64,
+            data_dir: None,
+            durability: Durability::Commit,
+            snapshot_every_n_commits: 64,
         }
     }
 }
@@ -346,6 +366,24 @@ impl ServeConfig {
     /// Set the prepared-program cache capacity.
     pub fn prepared_capacity(mut self, n: usize) -> Self {
         self.prepared_capacity = n.max(1);
+        self
+    }
+
+    /// Set the durable-state directory.
+    pub fn data_dir(mut self, dir: impl Into<String>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the WAL sync policy.
+    pub fn durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
+    }
+
+    /// Set the snapshot/compaction threshold (0 = never snapshot).
+    pub fn snapshot_every_n_commits(mut self, n: u64) -> Self {
+        self.snapshot_every_n_commits = n;
         self
     }
 }

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use recstep_common::{Error, Result, Value};
 use recstep_exec::cache::IndexCache;
+use recstep_storage::wal::WalCommit;
 use recstep_storage::{Catalog, CommitMode, DiskManager, RelHandle, Schema};
 
 use crate::stats::EvalStats;
@@ -123,6 +124,43 @@ impl Database {
             db: self,
             staged: Vec::new(),
         }
+    }
+
+    /// Catalog version of one relation (0 if it does not exist yet).
+    ///
+    /// Every commit touching the relation bumps this; the query service
+    /// uses it to invalidate prepared programs per relation read rather
+    /// than on every `/facts` commit.
+    pub fn relation_version(&self, name: &str) -> u64 {
+        self.catalog
+            .lookup(name)
+            .map_or(0, |id| self.catalog.version(id))
+    }
+
+    /// WAL-recovery entry point: apply one logged `/facts` commit through
+    /// a regular [`Transaction`], reproducing exactly what the original
+    /// commit did (inserts first, then staged deletes).
+    pub fn apply_wal_commit(&mut self, commit: &WalCommit) -> Result<()> {
+        let mut tx = self.transaction();
+        for b in &commit.inserts {
+            if b.arity == 0 {
+                return Err(Error::durability(format!(
+                    "wal commit v{}: relation '{}' has arity 0",
+                    commit.version, b.name
+                )));
+            }
+            tx.load_rows(&b.name, b.arity, b.rows.chunks(b.arity))?;
+        }
+        for b in &commit.deletes {
+            if b.arity == 0 {
+                return Err(Error::durability(format!(
+                    "wal commit v{}: relation '{}' has arity 0",
+                    commit.version, b.name
+                )));
+            }
+            tx.delete_rows(&b.name, b.arity, b.rows.chunks(b.arity))?;
+        }
+        tx.commit()
     }
 
     /// The shared cross-run index cache owned by this database.
@@ -412,6 +450,48 @@ mod tests {
         assert!(tx
             .load_rows("t", 2, rows.iter().map(Vec::as_slice))
             .is_err());
+    }
+
+    #[test]
+    fn wal_commit_replays_like_the_original_transaction() {
+        use recstep_storage::wal::{WalBatch, WalCommit};
+        let mut db = Database::new().unwrap();
+        db.load_edges("arc", &[(1, 2), (2, 3)]).unwrap();
+        let v_arc = db.relation_version("arc");
+        assert!(v_arc > 0);
+        assert_eq!(db.relation_version("nope"), 0);
+
+        db.apply_wal_commit(&WalCommit {
+            version: 1,
+            inserts: vec![WalBatch {
+                name: "arc".into(),
+                arity: 2,
+                rows: vec![3, 4, 4, 5],
+            }],
+            deletes: vec![WalBatch {
+                name: "arc".into(),
+                arity: 2,
+                rows: vec![1, 2],
+            }],
+        })
+        .unwrap();
+        let arc = db.relation("arc").unwrap();
+        assert_eq!(arc.as_pairs().unwrap(), vec![(2, 3), (3, 4), (4, 5)]);
+        assert!(db.relation_version("arc") > v_arc);
+
+        // Corrupt arity is a durability error, not a panic.
+        let err = db
+            .apply_wal_commit(&WalCommit {
+                version: 2,
+                inserts: vec![WalBatch {
+                    name: "arc".into(),
+                    arity: 0,
+                    rows: vec![],
+                }],
+                deletes: vec![],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("arity 0"), "{err}");
     }
 
     #[test]

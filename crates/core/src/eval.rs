@@ -857,6 +857,9 @@ impl EvalRun<'_, '_> {
             if self.cancel.is_some_and(CancelToken::is_cancelled) {
                 return Err(Error::Cancelled);
             }
+            // Fault-injection site for the service's panic-isolation and
+            // error-path tests: one boundary per fixpoint iteration.
+            recstep_common::fail_point!("eval::fixpoint");
             iterations += 1;
             let mut all_empty = true;
             // The paper keeps ∆R of the previous iteration alive while the

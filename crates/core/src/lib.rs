@@ -85,7 +85,8 @@ pub use recstep_common::{Error, Result, Value};
 pub use recstep_datalog::{analyze, parser, plan, programs, sqlgen};
 pub use recstep_exec::dedup::DedupImpl;
 pub use recstep_exec::setdiff::SetDiffStrategy;
-pub use recstep_storage::{RelHandle, RowDecode, RowIter, RowRef};
+pub use recstep_storage::wal;
+pub use recstep_storage::{Durability, RelHandle, Relation, RowDecode, RowIter, RowRef};
 
 /// Parse + analyze + compile a program source in one call (for tools that
 /// want the plan without an engine, e.g. SQL rendering).

@@ -39,12 +39,25 @@
 //!   --warmup FILE     program evaluated at startup to pre-warm the
 //!                     prepared-program and shared index caches (repeat
 //!                     for several; their .input facts load from --facts)
+//!   --data-dir DIR    durable state directory: /facts commits are
+//!                     WAL-logged before they are acknowledged, and a
+//!                     restart recovers snapshot + WAL tail from here
+//!   --durability MODE off | commit | batch          [default: commit]
+//!                     commit fsyncs the WAL on every /facts commit;
+//!                     batch defers fsync to snapshots and shutdown;
+//!                     off disables the WAL entirely
+//!   --snapshot-every-n-commits N
+//!                     WAL commits between snapshot + log compaction
+//!                     (0 = never snapshot after boot)      [default: 64]
 //! ```
 //!
 //! In serve mode every `<name>.facts` file found in `--facts` is loaded
-//! into the database at startup; clients then POST Datalog programs to
-//! `/query` and fact deltas to `/facts` (see `docs/flags.md` and the
-//! README quickstart).
+//! into the database at startup — unless `--data-dir` already holds
+//! recovered state, which then takes precedence; clients then POST
+//! Datalog programs to `/query` and fact deltas to `/facts` (see
+//! `docs/flags.md` and the README quickstart). Fault-injection points
+//! for crash testing are armed via the `RECSTEP_FAILPOINTS` environment
+//! variable (see `recstep_common::fail`).
 //!
 //! The program is compiled exactly once (`Engine::prepare`); evaluation
 //! and the `--explain` rendering both reuse that compilation. The service
@@ -78,7 +91,8 @@ fn usage() -> ! {
          [--no-shared-index-cache] [--index-cache-budget MB]\n\
          \x20      recstep serve [--addr HOST:PORT] [--max-concurrent-runs N] \
          [--queue-depth N] [--request-timeout-ms MS] [--warmup FILE]... \
-         [--facts DIR] [engine options]"
+         [--data-dir DIR] [--durability off|commit|batch] \
+         [--snapshot-every-n-commits N] [--facts DIR] [engine options]"
     );
     std::process::exit(2);
 }
@@ -157,6 +171,25 @@ fn parse_args() -> Args {
             "--warmup" => {
                 let path = value("--warmup");
                 require_serve(&mut serve, "--warmup").warmup.push(path);
+            }
+            "--data-dir" => {
+                let dir = value("--data-dir");
+                require_serve(&mut serve, "--data-dir").data_dir = Some(dir);
+            }
+            "--durability" => {
+                let v = value("--durability");
+                let mode = recstep::Durability::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--durability takes off, commit or batch; got {v}");
+                    usage()
+                });
+                require_serve(&mut serve, "--durability").durability = mode;
+            }
+            "--snapshot-every-n-commits" => {
+                let n = value("--snapshot-every-n-commits")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                require_serve(&mut serve, "--snapshot-every-n-commits").snapshot_every_n_commits =
+                    n;
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -243,15 +276,31 @@ fn serve_main(args: Args, serve: ServeConfig) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match preload_facts_dir(&mut db, &args.facts) {
-        Ok(loaded) => {
-            for (name, rows) in &loaded {
-                println!("loaded {name}: {rows} facts");
+    // On a restart with durable state, the snapshot + WAL are the truth;
+    // preloading .facts files again would double-apply them on top of the
+    // recovered relations. Fresh data dirs still preload (and the initial
+    // snapshot then makes the preload itself durable).
+    let recovering = serve.durability != recstep::Durability::Off
+        && serve
+            .data_dir
+            .as_ref()
+            .is_some_and(|d| recstep::wal::dir_has_state(Path::new(d)));
+    if recovering {
+        println!(
+            "recovering from {} (skipping .facts preload)",
+            serve.data_dir.as_deref().unwrap_or_default()
+        );
+    } else {
+        match preload_facts_dir(&mut db, &args.facts) {
+            Ok(loaded) => {
+                for (name, rows) in &loaded {
+                    println!("loaded {name}: {rows} facts");
+                }
             }
-        }
-        Err(e) => {
-            eprintln!("recstep: {e}");
-            return ExitCode::FAILURE;
+            Err(e) => {
+                eprintln!("recstep: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     let server = match Server::start(args.cfg, serve, db) {

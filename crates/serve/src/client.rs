@@ -2,8 +2,12 @@
 //!
 //! Used by the integration tests and the serve benchmark; real clients
 //! can use anything that speaks HTTP/1.1 (the CI smoke test uses `curl`).
+//! [`post_with_retry`] adds the client half of the service's overload and
+//! restart story: bounded, jittered exponential backoff that honors
+//! `Retry-After` on a 429 and rides out connection-refused windows while
+//! a crashed server comes back up.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -25,6 +29,105 @@ pub fn post_full(
     body: &str,
 ) -> std::io::Result<(u16, String, String)> {
     request(addr, "POST", path, Some(body))
+}
+
+/// Bounded retry for transient failures: `429` shed responses and the
+/// connection errors a restarting server produces.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries, the first included. `0` behaves like `1`.
+    pub max_attempts: u32,
+    /// Backoff before the second try; doubles on every retry after that.
+    pub base_delay: Duration,
+    /// Ceiling on any single sleep, including an honored `Retry-After`.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based): `Retry-After` when
+    /// the server named one, else `base_delay * 2^retry`, jittered ±25%
+    /// (deterministically, from the retry ordinal) so a shed burst of
+    /// clients does not come back as a synchronized burst. Everything is
+    /// clamped to `max_delay`.
+    fn delay(&self, retry: u32, retry_after: Option<Duration>) -> Duration {
+        if let Some(ra) = retry_after {
+            return ra.min(self.max_delay);
+        }
+        let backoff = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_delay);
+        let nanos = backoff.as_nanos().min(u64::MAX as u128) as u64;
+        // hash-derived jitter in [-25%, +25%] — no RNG dependency, and two
+        // different retry ordinals land on different offsets.
+        let jitter =
+            (recstep_common::hash::mix64(0x9e37_79b9 ^ u64::from(retry)) % 512) as i64 - 256;
+        let jittered = nanos as i64 + (nanos as i64 / 1024) * jitter;
+        Duration::from_nanos(jittered.max(0) as u64).min(self.max_delay)
+    }
+}
+
+/// `Retry-After: N` (integral seconds) from a raw response head.
+fn retry_after(head: &str) -> Option<Duration> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse().ok().map(Duration::from_secs))?
+    })
+}
+
+/// Is this I/O error worth retrying? Connection-level failures are what a
+/// restarting or overloaded server produces; anything else (bad address,
+/// permission, protocol garbage) fails fast.
+fn transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+    )
+}
+
+/// [`post`] with bounded retry: retries shed responses (`429`, honoring
+/// `Retry-After`) and transient connection errors with jittered
+/// exponential backoff, and returns the final outcome either way — a
+/// still-shedding server yields its last `(429, body)`, a still-down
+/// server its last error.
+pub fn post_with_retry(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    policy: RetryPolicy,
+) -> std::io::Result<(u16, String)> {
+    let attempts = policy.max_attempts.max(1);
+    let mut retry = 0u32;
+    loop {
+        let last = retry + 1 >= attempts;
+        match request(addr, "POST", path, Some(body)) {
+            Ok((429, head, resp)) if !last => {
+                std::thread::sleep(policy.delay(retry, retry_after(&head)));
+                let _ = resp;
+            }
+            Ok((status, _, resp)) => return Ok((status, resp)),
+            Err(e) if transient(&e) && !last => {
+                std::thread::sleep(policy.delay(retry, None));
+            }
+            Err(e) => return Err(e),
+        }
+        retry += 1;
+    }
 }
 
 fn request(

@@ -1,0 +1,169 @@
+//! Service-side durability: the WAL + snapshot state behind `/facts`.
+//!
+//! [`DurabilityState`] wires [`recstep::wal`] into the server: it recovers
+//! snapshot-then-WAL-tail at startup (exactly reconstructing
+//! `data_version`), logs every `/facts` commit *before* it is applied and
+//! acknowledged, and compacts the log by snapshotting after every
+//! [`recstep::ServeConfig::snapshot_every_n_commits`] logged commits.
+
+use std::path::{Path, PathBuf};
+
+use recstep::wal::{self, Durability, Wal, WalBatch, WalCommit, WalRecord};
+use recstep::{Database, Result, Value};
+
+/// Durability counters surfaced as the `/stats` `"durability"` block.
+pub struct DurabilityStats {
+    /// Records currently in the log (since the last compaction).
+    pub wal_records: u64,
+    /// Valid bytes currently in the log.
+    pub wal_bytes: u64,
+    /// Snapshots written since this process started (including the
+    /// first-boot snapshot of a fresh data dir).
+    pub snapshots: u64,
+    /// WAL commits replayed into the database at startup.
+    pub recovered_records: u64,
+}
+
+/// The server's handle on its durable state. All methods are called with
+/// the database write lock held (commits) or before the server starts
+/// (recovery), so the WAL never sees interleaved commits.
+pub struct DurabilityState {
+    wal: Wal,
+    dir: PathBuf,
+    mode: Durability,
+    snapshot_every: u64,
+    commits_since_snapshot: u64,
+    snapshots: u64,
+    recovered_records: u64,
+}
+
+impl DurabilityState {
+    /// Recover durable state from `dir` into `db` and open the WAL for
+    /// appending. Returns the state plus the recovered `data_version`.
+    ///
+    /// Recovery order: load the snapshot (if any), then replay every WAL
+    /// commit with a version beyond the snapshot's through a regular
+    /// transaction. On a fresh data dir an initial snapshot is written
+    /// immediately, so facts loaded outside the WAL (the binary's
+    /// `.facts` preload, programmatic loads before `Server::start`)
+    /// survive a crash too.
+    pub fn open(
+        dir: &Path,
+        mode: Durability,
+        snapshot_every: u64,
+        db: &mut Database,
+    ) -> Result<(Self, u64)> {
+        std::fs::create_dir_all(dir)?;
+        let snap = wal::read_snapshot(dir)?;
+        let had_snapshot = snap.is_some();
+        let mut version = 0u64;
+        if let Some(s) = snap {
+            version = s.version;
+            let mut tx = db.transaction();
+            for t in &s.tables {
+                if t.arity == 0 {
+                    continue;
+                }
+                tx.load_rows(&t.name, t.arity, t.rows.chunks(t.arity))?;
+            }
+            tx.commit()?;
+        }
+
+        let (wal, records, report) = Wal::recover(dir, mode)?;
+        let mut recovered = 0u64;
+        for rec in &records {
+            match rec {
+                WalRecord::Commit(c) if c.version > version => {
+                    db.apply_wal_commit(c)?;
+                    version = c.version;
+                    recovered += 1;
+                }
+                WalRecord::Commit(_) => {}
+                WalRecord::Barrier { version: v } => version = version.max(*v),
+            }
+        }
+
+        let mut state = DurabilityState {
+            wal,
+            dir: dir.to_path_buf(),
+            mode,
+            snapshot_every,
+            commits_since_snapshot: report.commits,
+            snapshots: 0,
+            recovered_records: recovered,
+        };
+        if !had_snapshot {
+            state.snapshot(db, version)?;
+        }
+        Ok((state, version))
+    }
+
+    /// WAL sync policy in effect.
+    pub fn mode(&self) -> Durability {
+        self.mode
+    }
+
+    /// Log one `/facts` commit (WAL-before-apply). An `Err` means the
+    /// record is *not* durable: the caller must fail the request without
+    /// applying or acknowledging anything.
+    pub fn append_commit(
+        &mut self,
+        version: u64,
+        inserts: &[(String, Vec<Vec<Value>>)],
+        deletes: &[(String, Vec<Vec<Value>>)],
+    ) -> Result<()> {
+        let to_batches = |secs: &[(String, Vec<Vec<Value>>)]| -> Vec<WalBatch> {
+            secs.iter()
+                // Zero-row and zero-arity sections carry no data and are
+                // not representable in the record format; skip them.
+                .filter(|(_, rows)| rows.first().is_some_and(|r| !r.is_empty()))
+                .map(|(name, rows)| WalBatch {
+                    name: name.clone(),
+                    arity: rows[0].len(),
+                    rows: rows.iter().flatten().copied().collect(),
+                })
+                .collect()
+        };
+        self.wal.append(&WalRecord::Commit(WalCommit {
+            version,
+            inserts: to_batches(inserts),
+            deletes: to_batches(deletes),
+        }))?;
+        self.commits_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Called after an applied commit: snapshot + compact the log when
+    /// the threshold is reached. Returns whether a snapshot was written.
+    pub fn maybe_snapshot(&mut self, db: &Database, version: u64) -> Result<bool> {
+        if self.snapshot_every == 0 || self.commits_since_snapshot < self.snapshot_every {
+            return Ok(false);
+        }
+        self.snapshot(db, version)?;
+        Ok(true)
+    }
+
+    fn snapshot(&mut self, db: &Database, version: u64) -> Result<()> {
+        wal::write_snapshot(&self.dir, version, db.catalog().iter().map(|(_, rel)| rel))?;
+        self.wal.reset(version)?;
+        self.snapshots += 1;
+        self.commits_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Fsync the log — the [`Durability::Batch`] sync point, called at
+    /// shutdown (Commit mode already synced every append).
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Current counters for `/stats`.
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            snapshots: self.snapshots,
+            recovered_records: self.recovered_records,
+        }
+    }
+}

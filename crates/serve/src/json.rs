@@ -71,7 +71,6 @@ impl Json {
             _ => None,
         }
     }
-
 }
 
 /// Serialize compactly (no whitespace); `to_string()` comes with it.

@@ -8,14 +8,21 @@
 //! * a minimal HTTP/1.1 front end over `std::net` (no async runtime, no
 //!   external dependencies) with four routes — `POST /query`,
 //!   `POST /facts`, `GET /stats`, `GET /healthz`;
-//! * a **prepared-program cache**: programs compile once per (normalized
-//!   text, data version) and are LRU-evicted;
+//! * a **prepared-program cache**: programs compile once per normalized
+//!   text, stay fresh while the relations they read are unchanged, and
+//!   are LRU-evicted;
 //! * **request batching**: identical concurrent queries coalesce onto a
 //!   single in-flight fixpoint whose output every requester shares;
 //! * **admission control**: a semaphore caps concurrent runs, a bounded
 //!   queue absorbs bursts, everything past it is shed with
 //!   `429 Retry-After`, and per-request deadlines cancel over-budget
-//!   fixpoints cooperatively at iteration boundaries.
+//!   fixpoints cooperatively at iteration boundaries;
+//! * **crash-safe durability** (opt-in via `--data-dir`): `/facts`
+//!   commits are WAL-logged before they are applied or acknowledged,
+//!   snapshots compact the log, and restarts recover
+//!   snapshot-then-WAL-tail ([`durability`]);
+//! * **panic isolation**: fixpoints and request handlers run under
+//!   `catch_unwind`, so a panic is one `500`, not a dead worker.
 //!
 //! The `recstep` binary lives here too: its classic one-shot evaluation
 //! mode is unchanged, and `recstep serve PROGRAM...` starts the service.
@@ -25,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod durability;
 pub mod http;
 pub mod json;
 pub mod server;

@@ -6,9 +6,9 @@
 //!
 //! 1. **Prepared-program cache.** Programs are keyed by normalized source
 //!    text and compiled once ([`Engine::prepare`]); entries are LRU-evicted
-//!    past [`ServeConfig::prepared_capacity`] and carry the database's
-//!    data version, so a `/facts` commit invalidates them instead of
-//!    serving plans built against a stale catalog.
+//!    past [`ServeConfig::prepared_capacity`] and carry the catalog version
+//!    of every relation they read, so a `/facts` commit invalidates exactly
+//!    the plans built over the written relations — the rest stay hot.
 //! 2. **Request batching.** Identical concurrent queries coalesce *before*
 //!    admission: the first requester becomes the leader and runs the
 //!    fixpoint; everyone else blocks on the in-flight entry and shares the
@@ -34,10 +34,20 @@
 //! shared index cache — including full-relation indexes over their final
 //! IDB results, which later programs reuse as inputs.
 //!
+//! With a data directory ([`ServeConfig::data_dir`]), every `/facts`
+//! commit is WAL-logged *before* it is applied or acknowledged, and a
+//! restart recovers snapshot-then-WAL-tail so `data_version` picks up
+//! exactly where the last acked commit left it — see [`crate::durability`].
+//! Evaluation and request routing both run under `catch_unwind`, so a
+//! panicking fixpoint costs one `500` response (counted in `/stats` as
+//! `panics`), never a worker thread.
+//!
 //! [`IndexCache::evict_to_fit`]: recstep::IndexCache::evict_to_fit
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,10 +55,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use recstep::{
-    Config, Database, Engine, Error, EvalStats, PreparedProgram, RunOutput, ServeConfig,
+    Config, Database, Durability, Engine, Error, EvalStats, PreparedProgram, RunOutput, ServeConfig,
 };
 use recstep_common::sched::{Admission, CancelToken, Semaphore};
 
+use crate::durability::DurabilityState;
 use crate::http::{read_request, Request, Response};
 use crate::json::{self, Json};
 
@@ -80,11 +91,36 @@ pub fn normalize_program(src: &str) -> String {
 /// One compiled program in the prepared cache.
 struct PreparedEntry {
     prog: Arc<PreparedProgram>,
-    /// Database data version this plan was compiled against; a `/facts`
-    /// commit bumps the server version and strands the entry.
-    data_version: u64,
+    /// Catalog version of every relation the program mentions, captured
+    /// at compile time. The entry is fresh while they all still match —
+    /// so a `/facts` commit to `edge` strands programs reading `edge`,
+    /// not a program that only reads `arc`.
+    reads: Vec<(String, u64)>,
     /// Last-use tick for LRU eviction.
     tick: u64,
+}
+
+/// The per-relation read set of a compiled program: every relation the
+/// plan mentions, paired with its current catalog version. Conservative
+/// (derived relations are listed too, and reset on every exclusive run),
+/// but exact enough to keep unrelated `/facts` commits from stranding
+/// prepared plans.
+fn plan_reads(prog: &PreparedProgram, db: &Database) -> Vec<(String, u64)> {
+    prog.compiled()
+        .relations
+        .iter()
+        .map(|r| (r.name.clone(), db.relation_version(&r.name)))
+        .collect()
+}
+
+/// Best-effort text of a panic payload (`&str` or `String` in practice;
+/// anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 struct PreparedCache {
@@ -116,14 +152,17 @@ struct Counters {
     timeouts: AtomicU64,
     cancelled_runs: AtomicU64,
     facts_commits: AtomicU64,
+    /// Runs (or handlers) that panicked and were isolated to a 500.
+    panics: AtomicU64,
 }
 
 struct ServerState {
     engine: Engine,
     serve: ServeConfig,
     db: RwLock<Database>,
-    /// Bumped by every `/facts` commit; part of the batch key and of every
-    /// prepared-cache entry, so writes invalidate both.
+    /// Bumped by every `/facts` commit; part of the batch key (so batched
+    /// results never straddle a write) and the version each commit is
+    /// WAL-logged under.
     data_version: AtomicU64,
     prepared: Mutex<PreparedCache>,
     inflight: Mutex<HashMap<(String, u64), Arc<InFlight>>>,
@@ -133,6 +172,9 @@ struct ServerState {
     latencies_us: Mutex<Vec<u64>>,
     /// Engine-lifetime aggregate of every completed run's [`EvalStats`].
     lifetime: Mutex<EvalStats>,
+    /// WAL + snapshot state; `None` when running without a data dir or
+    /// with `--durability off`.
+    durability: Mutex<Option<DurabilityState>>,
 }
 
 impl ServerState {
@@ -183,7 +225,7 @@ impl ServerState {
             }
         };
         let result = if leader {
-            let res = self.lead_query(&key.0, key.1, deadline);
+            let res = self.lead_query(&key.0, deadline);
             *flight.done.lock() = Some(res.clone());
             flight.cv.notify_all();
             // Retire the batch: the next identical request starts fresh.
@@ -215,8 +257,8 @@ impl ServerState {
 
     /// Leader-side work: compile (or hit the prepared cache), pass
     /// admission control, evaluate with a deadline-carrying cancel token.
-    fn lead_query(&self, norm: &str, data_version: u64, deadline: Instant) -> BatchResult {
-        let prog = match self.prepared_for(norm, data_version) {
+    fn lead_query(&self, norm: &str, deadline: Instant) -> BatchResult {
+        let prog = match self.prepared_for(norm) {
             Ok(p) => p,
             Err(e) => return Err((400, e.to_string())),
         };
@@ -249,12 +291,26 @@ impl ServerState {
         }
 
         let cancel = CancelToken::with_deadline(deadline);
-        match prog.run_shared_cancellable(&db, &cancel) {
-            Ok(out) => {
+        // The fixpoint runs under catch_unwind so a poisoned run maps to
+        // one 500 instead of a dead worker: the permit guard and the db
+        // read lock release on unwind, and the leader still publishes to
+        // its batch followers through the normal error path.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            prog.run_shared_cancellable(&db, &cancel)
+        }));
+        match run {
+            Err(payload) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                Err((
+                    500,
+                    format!("evaluation panicked: {}", panic_message(payload.as_ref())),
+                ))
+            }
+            Ok(Ok(out)) => {
                 self.lifetime.lock().merge(out.stats());
                 Ok(Arc::new(out))
             }
-            Err(Error::Cancelled) => {
+            Ok(Err(Error::Cancelled)) => {
                 self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 self.counters.cancelled_runs.fetch_add(1, Ordering::Relaxed);
                 Err((
@@ -262,21 +318,31 @@ impl ServerState {
                     "evaluation cancelled: request deadline exceeded".into(),
                 ))
             }
-            Err(e) => Err((400, e.to_string())),
+            Ok(Err(e)) => Err((400, e.to_string())),
         }
     }
 
-    /// Prepared-cache lookup: hit only when both the text and the data
-    /// version match; otherwise compile and (re)insert, LRU-evicting past
-    /// capacity. Compilation happens under the cache lock — concurrent
-    /// leaders of *different* programs serialize briefly, while identical
-    /// programs already coalesced upstream, so each text compiles once.
-    fn prepared_for(&self, norm: &str, data_version: u64) -> recstep::Result<Arc<PreparedProgram>> {
+    /// Prepared-cache lookup: hit only when the text matches and every
+    /// relation the plan reads is still at the catalog version captured
+    /// at compile time — commits to relations the program never mentions
+    /// leave the entry fresh. Otherwise compile and (re)insert,
+    /// LRU-evicting past capacity. Compilation happens under the cache
+    /// lock — concurrent leaders of *different* programs serialize
+    /// briefly, while identical programs already coalesced upstream, so
+    /// each text compiles once.
+    fn prepared_for(&self, norm: &str) -> recstep::Result<Arc<PreparedProgram>> {
         let mut cache = self.prepared.lock();
         cache.tick += 1;
         let tick = cache.tick;
         if let Some(entry) = cache.entries.get_mut(norm) {
-            if entry.data_version == data_version {
+            let fresh = {
+                let db = self.db.read();
+                entry
+                    .reads
+                    .iter()
+                    .all(|(name, v)| db.relation_version(name) == *v)
+            };
+            if fresh {
                 entry.tick = tick;
                 self.counters.prepared_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&entry.prog));
@@ -284,6 +350,7 @@ impl ServerState {
         }
         let prog = Arc::new(self.engine.prepare(norm)?);
         self.counters.compiles.fetch_add(1, Ordering::Relaxed);
+        let reads = plan_reads(&prog, &self.db.read());
         if !cache.entries.contains_key(norm) && cache.entries.len() >= cache.capacity {
             if let Some(victim) = cache
                 .entries
@@ -301,7 +368,7 @@ impl ServerState {
             norm.to_string(),
             PreparedEntry {
                 prog: Arc::clone(&prog),
-                data_version,
+                reads,
                 tick,
             },
         );
@@ -364,6 +431,14 @@ impl ServerState {
     /// `/facts`: apply inserts and whole-tuple deletes in one
     /// [`recstep::Transaction`], then bump the data version so batched
     /// results and prepared plans built over the old data go stale.
+    ///
+    /// With durability on, the order is WAL-before-apply: stage (all
+    /// validation happens here) → append + fsync the commit record →
+    /// apply → publish the new `data_version` → acknowledge. A failed
+    /// append drops the staged transaction, so nothing un-logged is ever
+    /// visible; a logged-but-unapplied commit (crash or apply error
+    /// between append and ack) is *not* acknowledged and replays into the
+    /// same state at the next restart.
     fn handle_facts(&self, body: &[u8]) -> Response {
         let req = match std::str::from_utf8(body)
             .map_err(|e| e.to_string())
@@ -420,13 +495,33 @@ impl ServerState {
                             tx.delete_rows(name, first.len(), rows.iter().map(Vec::as_slice))
                         }
                     })
-            })
-            .and_then(|()| tx.commit());
+            });
         if let Err(e) = staged {
             return Response::error(400, &e.to_string());
         }
-        let version = self.data_version.fetch_add(1, Ordering::SeqCst) + 1;
+
+        let version = self.data_version.load(Ordering::SeqCst) + 1;
+        if let Some(d) = self.durability.lock().as_mut() {
+            if let Err(e) = d.append_commit(version, &inserts, &deletes) {
+                // Not durable → not applied, not acknowledged. Dropping
+                // `tx` here discards the staged rows.
+                return Response::error(500, &format!("commit not logged: {e}"));
+            }
+        }
+        if let Err(e) = tx.commit() {
+            // The record is already durable but nothing was applied;
+            // replay at the next restart converges. Do not acknowledge.
+            return Response::error(500, &e.to_string());
+        }
+        self.data_version.store(version, Ordering::SeqCst);
         self.counters.facts_commits.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.durability.lock().as_mut() {
+            // A failed snapshot never fails the (durable, applied) commit
+            // it trails — the log just keeps growing until one succeeds.
+            if let Err(e) = d.maybe_snapshot(&db, version) {
+                eprintln!("recstep-serve: snapshot failed: {e}");
+            }
+        }
         Response::ok(
             json::obj(vec![
                 ("ok", Json::Bool(true)),
@@ -472,6 +567,28 @@ impl ServerState {
                 ("total_us", json::int(l.total.as_micros())),
             ])
         };
+        let durability = {
+            let dur = self.durability.lock();
+            let (mode, s) = match dur.as_ref() {
+                Some(d) => (d.mode().as_str(), d.stats()),
+                None => (
+                    "off",
+                    crate::durability::DurabilityStats {
+                        wal_records: 0,
+                        wal_bytes: 0,
+                        snapshots: 0,
+                        recovered_records: 0,
+                    },
+                ),
+            };
+            json::obj(vec![
+                ("mode", json::str(mode)),
+                ("wal_records", json::int(s.wal_records)),
+                ("wal_bytes", json::int(s.wal_bytes)),
+                ("snapshots", json::int(s.snapshots)),
+                ("recovered_records", json::int(s.recovered_records)),
+            ])
+        };
         let load = |a: &AtomicU64| json::int(a.load(Ordering::Relaxed));
         let body = json::obj(vec![
             ("ok", Json::Bool(true)),
@@ -484,6 +601,7 @@ impl ServerState {
             ("timeouts", load(&c.timeouts)),
             ("cancelled_runs", load(&c.cancelled_runs)),
             ("facts_commits", load(&c.facts_commits)),
+            ("panics", load(&c.panics)),
             (
                 "data_version",
                 json::int(self.data_version.load(Ordering::SeqCst)),
@@ -511,6 +629,7 @@ impl ServerState {
                     ("p95_us", json::int(p95)),
                 ]),
             ),
+            ("durability", durability),
             ("lifetime", lifetime),
         ]);
         Response::ok(body.to_string())
@@ -534,7 +653,15 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
             return;
         }
     };
-    let resp = route(state, &req);
+    // A panicking handler must not take its worker thread down — the
+    // worker loop owns accept() for the server's whole lifetime.
+    let resp = match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+        Ok(r) => r,
+        Err(_) => {
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            Response::error(500, "internal error: request handler panicked")
+        }
+    };
     let _ = resp.write(&mut stream);
 }
 
@@ -580,13 +707,27 @@ impl Server {
         // engine-wide is safe: shared runs skip it by construction.
         let engine = Engine::from_config(engine_cfg.publish_idb_indexes(true))?;
 
+        // Recover durable state before warmup, so warmup programs run
+        // over the restored facts. On a fresh data dir this also writes
+        // an initial snapshot covering anything preloaded into `db`.
+        let mut durability = None;
+        let mut data_version = 0u64;
+        if cfg.durability != Durability::Off {
+            if let Some(dir) = &cfg.data_dir {
+                let (d, v) = DurabilityState::open(
+                    Path::new(dir),
+                    cfg.durability,
+                    cfg.snapshot_every_n_commits,
+                    &mut db,
+                )?;
+                durability = Some(d);
+                data_version = v;
+            }
+        }
+
         let mut lifetime = EvalStats::default();
-        let mut prepared = PreparedCache {
-            entries: HashMap::new(),
-            tick: 0,
-            capacity: cfg.prepared_capacity.max(1),
-        };
         let mut compiles = 0u64;
+        let mut warmed = Vec::new();
         for path in &cfg.warmup {
             let src = std::fs::read_to_string(path)
                 .map_err(|e| Error::exec(format!("warmup {path}: {e}")))?;
@@ -595,16 +736,23 @@ impl Server {
             compiles += 1;
             let stats = prog.run(&mut db)?;
             lifetime.merge(&stats);
+            warmed.push((norm, prog));
+        }
+        // Read sets are captured after ALL warmup runs: each exclusive run
+        // bumps the versions of the relations it derives, so capturing
+        // eagerly would strand earlier entries on later runs' writes.
+        let mut prepared = PreparedCache {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: cfg.prepared_capacity.max(1),
+        };
+        for (norm, prog) in warmed {
             prepared.tick += 1;
             let tick = prepared.tick;
-            prepared.entries.insert(
-                norm,
-                PreparedEntry {
-                    prog,
-                    data_version: 0,
-                    tick,
-                },
-            );
+            let reads = plan_reads(&prog, &db);
+            prepared
+                .entries
+                .insert(norm, PreparedEntry { prog, reads, tick });
         }
 
         let listener = TcpListener::bind(&cfg.addr)
@@ -621,7 +769,7 @@ impl Server {
             engine,
             serve: cfg,
             db: RwLock::new(db),
-            data_version: AtomicU64::new(0),
+            data_version: AtomicU64::new(data_version),
             prepared: Mutex::new(prepared),
             inflight: Mutex::new(HashMap::new()),
             sem,
@@ -631,6 +779,7 @@ impl Server {
             },
             latencies_us: Mutex::new(Vec::new()),
             lifetime: Mutex::new(lifetime),
+            durability: Mutex::new(durability),
         });
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -697,6 +846,11 @@ impl Server {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Batch mode defers fsync; flush the log once the workers (and
+        // therefore every in-flight commit) are done.
+        if let Some(d) = self.state.durability.lock().as_mut() {
+            let _ = d.sync();
         }
     }
 }

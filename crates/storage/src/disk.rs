@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use recstep_common::hash::FxHashMap;
-use recstep_common::Result;
+use recstep_common::{fail_point, Result};
 
 use crate::relation::{RelView, Relation};
 
@@ -122,14 +122,48 @@ impl DiskManager {
     }
 
     /// End-of-evaluation commit: persist every dirty table (a no-op for
-    /// PerQuery mode, which already wrote through).
+    /// PerQuery mode, which already wrote through). Each table is
+    /// replaced atomically (temp file + fsync + rename) — so a crash
+    /// mid-commit never leaves a torn table file.
     pub fn commit_all<'a>(&mut self, resolve: impl Fn(&str) -> Option<&'a Relation>) -> Result<()> {
         let dirty = std::mem::take(&mut self.dirty);
         for name in dirty {
             if let Some(rel) = resolve(&name) {
-                self.flush_table(rel)?;
+                self.commit_table(rel)?;
             }
         }
+        Ok(())
+    }
+
+    /// Atomically replace a table's backing file with the relation's full
+    /// state: write `NAME.tbl.new`, fsync, rename over `NAME.tbl`. A
+    /// failure (or crash) anywhere before the rename leaves the
+    /// previously committed file byte-for-byte intact.
+    fn commit_table(&mut self, rel: &Relation) -> Result<()> {
+        let name = rel.schema().name.clone();
+        let from = *self.persisted_rows.get(&name).unwrap_or(&0);
+        let to = rel.len();
+        if to <= from {
+            return Ok(());
+        }
+        let tmp = self.dir.join(format!("{name}.tbl.new"));
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let mut bytes = 0u64;
+        for r in 0..to {
+            for c in 0..rel.arity() {
+                w.write_all(&rel.col(c)[r].to_le_bytes())?;
+                bytes += 8;
+            }
+        }
+        w.flush()?;
+        let file = w.into_inner().map_err(|e| e.into_error())?;
+        file.sync_data()?;
+        drop(file);
+        fail_point!("disk::before_rename");
+        fs::rename(&tmp, self.table_path(&name))?;
+        self.persisted_rows.insert(name, to);
+        self.bytes_written += bytes;
+        self.flushes += 1;
         Ok(())
     }
 
@@ -258,6 +292,36 @@ mod tests {
         let empty = Relation::new(Schema::with_arity("e", 2));
         per_query.flush_temp("e", empty.view()).unwrap();
         assert_eq!(per_query.flushes(), 1);
+    }
+
+    #[test]
+    fn aborted_commit_leaves_previous_file_intact() {
+        use recstep_common::fail;
+        let mut dm = DiskManager::new(CommitMode::Eost).unwrap();
+        let mut r = rel(3);
+        dm.note_dirty(&r).unwrap();
+        dm.commit_all(|name| (name == "t").then_some(&r)).unwrap();
+        let committed = std::fs::read(dm.table_path("t")).unwrap();
+        assert_eq!(committed.len(), 3 * 2 * 8);
+
+        // A commit that dies between fsync and rename must not touch the
+        // previously committed bytes.
+        r.push_row(&[100, 200]);
+        dm.note_dirty(&r).unwrap();
+        fail::cfg("disk::before_rename", "return_io_err").unwrap();
+        assert!(dm.commit_all(|name| (name == "t").then_some(&r)).is_err());
+        fail::remove("disk::before_rename");
+        assert_eq!(
+            std::fs::read(dm.table_path("t")).unwrap(),
+            committed,
+            "old table file is byte-for-byte intact"
+        );
+
+        // Retrying after the fault lands the full new state atomically.
+        dm.note_dirty(&r).unwrap();
+        dm.commit_all(|name| (name == "t").then_some(&r)).unwrap();
+        let len = std::fs::metadata(dm.table_path("t")).unwrap().len();
+        assert_eq!(len, 4 * 2 * 8);
     }
 
     #[test]

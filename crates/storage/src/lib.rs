@@ -20,12 +20,17 @@
 //!   classic runs, or a copy-on-write overlay over a frozen base catalog
 //!   so N concurrent evaluations can share one database.
 
+//! * [`wal`] — crash-safe durability for the query service: an
+//!   append-only checksummed write-ahead log of `/facts` commits plus
+//!   atomic full-database snapshots with a manifest commit point.
+
 pub mod catalog;
 pub mod disk;
 pub mod handle;
 pub mod overlay;
 pub mod relation;
 pub mod stats;
+pub mod wal;
 
 pub use catalog::{Catalog, RelId};
 pub use disk::{CommitMode, DiskManager};
@@ -33,3 +38,4 @@ pub use handle::{RelHandle, RowDecode, RowIter, RowRef};
 pub use overlay::RunCatalog;
 pub use relation::{ColAgg, RelView, Relation, Schema};
 pub use stats::{ColStats, StatsLevel, TableStats};
+pub use wal::Durability;

@@ -163,6 +163,45 @@ fn facts_commit_bumps_data_version_and_invalidates_prepared_entries() {
 }
 
 #[test]
+fn facts_commit_invalidates_only_plans_reading_the_written_relations() {
+    let mut db = neg_db();
+    db.load_edges("arc", &[(1, 2), (2, 3)]).unwrap();
+    let server = Server::start(
+        Config::default().threads(2),
+        ServeConfig::default().addr("127.0.0.1:0"),
+        db,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Two prepared plans over disjoint read sets.
+    assert_eq!(post(addr, "/query", &query_body(TC)).unwrap().0, 200);
+    assert_eq!(post(addr, "/query", &query_body(NEG)).unwrap().0, 200);
+    let (_, stats) = get(addr, "/stats").unwrap();
+    assert_eq!(counter(&stats, "compiles"), 2, "{stats}");
+
+    // Commit to `node` only: the TC plan reads `arc`/`tc`, never `node`,
+    // so it must survive as a prepared hit; the negation plan is stale.
+    let (status, body) = post(addr, "/facts", "{\"insert\":{\"node\":[[65]]}}").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(post(addr, "/query", &query_body(TC)).unwrap().0, 200);
+    let (_, stats) = get(addr, "/stats").unwrap();
+    assert_eq!(counter(&stats, "compiles"), 2, "{stats}");
+    assert_eq!(counter(&stats, "prepared_hits"), 1, "{stats}");
+
+    let (status, body) = post(addr, "/query", &query_body(NEG)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"total\":33"),
+        "node 65 is unblocked: {body}"
+    );
+    let (_, stats) = get(addr, "/stats").unwrap();
+    assert_eq!(counter(&stats, "compiles"), 3, "{stats}");
+
+    server.shutdown();
+}
+
+#[test]
 fn warmup_runs_exclusively_and_publishes_idb_indexes() {
     let dir = std::env::temp_dir().join(format!("recstep_warmup_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
