@@ -11,9 +11,10 @@
 //! (smaller divisor = closer to the paper's sizes, 1 = paper scale) to
 //! grow them.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use recstep::{Config, Database, Engine, PreparedProgram, Value};
+use recstep::{Config, Database, Engine, MaterializedView, PreparedProgram, Value};
 use recstep_common::sched::ThreadPool;
 
 /// Divisor applied to the paper's dataset sizes (default laptop scale).
@@ -438,6 +439,164 @@ pub fn run_pipeline_bench(
         cache_bytes: cache_second.index.cache_bytes,
         agg: None,
     }
+}
+
+/// One scratch-rerun vs incremental-refresh measurement over a standing
+/// [`MaterializedView`] (a sub-block of the `"ivm"` record in
+/// `BENCH_pipeline.json`).
+#[derive(Clone, Debug)]
+pub struct IvmBench {
+    /// Workload label.
+    pub workload: String,
+    /// Base edges before the delta applies.
+    pub edges: usize,
+    /// Rows inserted into (or deleted from) the base relation.
+    pub delta_rows: usize,
+    /// Output rows after the delta — identical across modes by assertion.
+    pub rows: usize,
+    /// Best wall seconds of a from-scratch shared run over the
+    /// post-delta database (what the service paid per version bump
+    /// before standing views).
+    pub scratch_secs: f64,
+    /// Best wall seconds of `MaterializedView::refresh` absorbing the
+    /// same delta.
+    pub refresh_secs: f64,
+}
+
+impl IvmBench {
+    /// Scratch-rerun over incremental-refresh (wall-clock ratio).
+    pub fn speedup(&self) -> f64 {
+        self.scratch_secs / self.refresh_secs.max(1e-9)
+    }
+
+    /// Render as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"edges\": {}, \"delta_rows\": {}, \"rows\": {}, \
+             \"scratch_secs\": {:.6}, \"refresh_secs\": {:.6}, \"speedup\": {:.3}}}",
+            self.workload,
+            self.edges,
+            self.delta_rows,
+            self.rows,
+            self.scratch_secs,
+            self.refresh_secs,
+            self.speedup(),
+        )
+    }
+}
+
+/// Measure incremental view maintenance against the scratch rerun it
+/// replaces: stand a view over `base`, commit `delta` (inserts, or
+/// whole-tuple deletes with `delete = true`), and time
+/// [`MaterializedView::refresh`] vs a shared run over a fresh database
+/// already holding the post-delta facts. Best-of-`repeats` per mode,
+/// interleaved; asserts the maintained result matches scratch every
+/// repeat.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ivm_bench(
+    workload: &str,
+    src: &str,
+    edge_rel: &str,
+    out_rel: &str,
+    base: &[(Value, Value)],
+    delta: &[(Value, Value)],
+    delete: bool,
+    threads: usize,
+    repeats: usize,
+) -> IvmBench {
+    // PBME off: maintenance re-enters the tuple pipeline, so the scratch
+    // side must run the same engine for an honest wall-clock ratio.
+    let cfg = Config::default()
+        .threads(threads)
+        .pbme(recstep::PbmeMode::Off);
+    let prog = Arc::new(recstep_engine(cfg).prepare(src).expect("program compiles"));
+    assert!(
+        MaterializedView::eligible(&prog),
+        "IVM bench program must be maintainable"
+    );
+    let mut with_delta: Vec<(Value, Value)> = base.to_vec();
+    with_delta.extend_from_slice(delta);
+    // The view starts pre-delta and the commit moves it to post-delta.
+    let (initial, finale) = if delete {
+        (with_delta.as_slice(), base)
+    } else {
+        (base, with_delta.as_slice())
+    };
+    let rows: Vec<Vec<Value>> = delta.iter().map(|&(a, b)| vec![a, b]).collect();
+    let commit: Vec<(String, Vec<Vec<Value>>)> = vec![(edge_rel.to_string(), rows)];
+    let empty: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+    let (ins, del) = if delete {
+        (&empty, &commit)
+    } else {
+        (&commit, &empty)
+    };
+
+    let mut best_refresh = f64::MAX;
+    let mut best_scratch = f64::MAX;
+    let mut rows_witness = 0usize;
+    for _ in 0..repeats.max(1) {
+        let mut db = db_with_edges(&[(edge_rel, initial)]);
+        let mut view =
+            MaterializedView::create(Arc::clone(&prog), &db).expect("view creation completes");
+        assert!(view.incremental(), "bench view must maintain incrementally");
+        let mut tx = db.transaction();
+        for (name, rows) in ins {
+            tx.load_rows(name, 2, rows.iter().map(Vec::as_slice))
+                .expect("stage delta inserts");
+        }
+        for (name, rows) in del {
+            tx.delete_rows(name, 2, rows.iter().map(Vec::as_slice))
+                .expect("stage delta deletes");
+        }
+        tx.commit().expect("commit delta");
+        let t0 = Instant::now();
+        view.refresh(&db, ins, del).expect("refresh completes");
+        best_refresh = best_refresh.min(t0.elapsed().as_secs_f64());
+        let maintained = view.output().row_count(out_rel);
+
+        let scratch_db = db_with_edges(&[(edge_rel, finale)]);
+        let t0 = Instant::now();
+        let out = prog.run_shared(&scratch_db).expect("scratch run completes");
+        best_scratch = best_scratch.min(t0.elapsed().as_secs_f64());
+        let scratch = out.row_count(out_rel);
+        assert_eq!(
+            maintained, scratch,
+            "maintained '{out_rel}' diverged from scratch on {workload}"
+        );
+        rows_witness = scratch;
+    }
+    IvmBench {
+        workload: workload.to_string(),
+        edges: initial.len(),
+        delta_rows: delta.len(),
+        rows: rows_witness,
+        scratch_secs: best_scratch,
+        refresh_secs: best_refresh,
+    }
+}
+
+/// Splice a `"key": <block>` member into the top level of the JSON
+/// document at `path` (a minimal document is created if absent, so
+/// recorders can run in any order), replacing any stale single-line block
+/// with the same key from a previous run. The block must be rendered on
+/// one line.
+pub fn splice_json_block(path: &std::path::Path, key: &str, block: &str) {
+    let mut doc = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".into());
+    let needle = format!("\n  \"{key}\": ");
+    if let Some(at) = doc.find(&needle) {
+        let start = if doc[..at].ends_with(',') { at - 1 } else { at };
+        if let Some(len) = doc[at + 1..].find('\n') {
+            doc.replace_range(start..at + 1 + len, "");
+        }
+    }
+    let at = doc.rfind("\n}").expect("JSON document closes");
+    let lead = if doc[..at].trim_end().ends_with('{') {
+        "\n  "
+    } else {
+        ",\n  "
+    };
+    doc.insert_str(at, &format!("{lead}\"{key}\": {block}"));
+    std::fs::write(path, &doc).expect("write bench record");
 }
 
 /// Per-run memory budget (scaled stand-in for the paper's 160 GB server).

@@ -108,6 +108,13 @@ pub struct Config {
     /// Run the offline α calibration for the DSD cost model at engine
     /// construction (Appendix A Eq. 7); otherwise use the default α = 2.
     pub calibrate_dsd: bool,
+    /// Maintain standing materialized views over prepared programs: the
+    /// query service keeps a completed run's IDB relations and full-`R`
+    /// indexes alive and answers version-bumped queries by incremental
+    /// maintenance (∆-seeded semi-naive re-entry for insertions,
+    /// counting/DRed for deletions) instead of recompiling + rerunning
+    /// from scratch. `--no-incremental` is the ablation switch.
+    pub incremental_views: bool,
 }
 
 impl Default for Config {
@@ -130,6 +137,7 @@ impl Default for Config {
             mem_budget_bytes: 8 << 30,
             grain: 4096,
             calibrate_dsd: false,
+            incremental_views: true,
         }
     }
 }
@@ -155,6 +163,12 @@ impl Config {
             pbme: PbmeMode::Off,
             ..Config::default()
         }
+    }
+
+    /// Toggle standing materialized views (incremental maintenance).
+    pub fn incremental_views(mut self, on: bool) -> Self {
+        self.incremental_views = on;
+        self
     }
 
     /// Set worker threads.

@@ -198,6 +198,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Toggle standing materialized views over prepared programs
+    /// (incremental view maintenance; off = every query re-runs from
+    /// scratch, the `--no-incremental` ablation).
+    pub fn incremental_views(mut self, on: bool) -> Self {
+        self.cfg.incremental_views = on;
+        self
+    }
+
     /// Memory budget in bytes (evaluations exceeding it abort with OOM).
     pub fn mem_budget(mut self, bytes: usize) -> Self {
         self.cfg.mem_budget_bytes = bytes;

@@ -67,6 +67,7 @@ use recstep_exec::join::{
 use recstep_exec::key::{bounds_of, KeyMode};
 use recstep_exec::setdiff::{set_difference, DsdState};
 use recstep_exec::sink::{AggSink, AggTarget, DeltaSink, SinkMode, SinkSampler};
+use recstep_exec::view::SupportTable;
 use recstep_exec::ExecCtx;
 use recstep_storage::{DiskManager, RelId, RelView, Relation, RunCatalog, Schema};
 
@@ -116,6 +117,21 @@ impl DeltaBuf {
             DeltaBuf::Owned(r) => r.view(),
         }
     }
+}
+
+/// How a stratum's fixpoint is entered.
+///
+/// A scratch entry is Algorithm 1's: ∆⁰R is everything already in `R`.
+/// A seeded entry re-enters a *completed* fixpoint after new tuples were
+/// appended (incremental view maintenance): ∆⁰R covers only the rows from
+/// the recorded start, the prefix is the Old frontier, and delta-less
+/// subqueries are skipped — the maintenance seed pass already evaluated
+/// every rule against the changed inputs, so only ∆-propagation remains.
+pub(crate) enum StratumEntry {
+    /// Fixpoint from scratch (∆⁰R = all of R).
+    Scratch,
+    /// Re-entry with ∆⁰R = rows from the recorded start per relation.
+    Seeded(FxHashMap<RelId, usize>),
 }
 
 /// Per-IDB mutable state across the iterations of one stratum.
@@ -487,6 +503,26 @@ pub(crate) struct EvalRun<'e, 'd> {
 impl EvalRun<'_, '_> {
     /// Evaluate a compiled program to fixpoint (Algorithm 1).
     pub(crate) fn run(&mut self, prog: &CompiledProgram) -> Result<EvalStats> {
+        self.run_impl(prog, None)
+    }
+
+    /// [`EvalRun::run`], but hand the run's final full-R indexes back to
+    /// the caller (keyed by relation name) instead of publishing them to
+    /// the shared cache — the entry point for a materialized view that
+    /// keeps the indexes alive for later incremental refreshes.
+    pub(crate) fn run_carry(
+        &mut self,
+        prog: &CompiledProgram,
+        carry: &mut FxHashMap<String, PersistentIndex>,
+    ) -> Result<EvalStats> {
+        self.run_impl(prog, Some(carry))
+    }
+
+    fn run_impl(
+        &mut self,
+        prog: &CompiledProgram,
+        carry_out: Option<&mut FxHashMap<String, PersistentIndex>>,
+    ) -> Result<EvalStats> {
         let t0 = Instant::now();
         let busy0 = self.ctx.pool.busy_ns_total();
         let mut stats = EvalStats::default();
@@ -575,7 +611,21 @@ impl EvalRun<'_, '_> {
                 }
             }
             if !handled {
-                self.run_stratum(stratum, &mut index_carry, &mut jcache, &mut stats)?;
+                self.run_stratum(
+                    stratum,
+                    &mut index_carry,
+                    &mut jcache,
+                    &mut stats,
+                    StratumEntry::Scratch,
+                )?;
+            }
+        }
+        // A carrying caller (a materialized view) keeps the indexes alive
+        // itself; hand them over instead of publishing.
+        if let Some(out) = carry_out {
+            for (rel_id, index) in index_carry.drain() {
+                let name = self.catalog.rel(rel_id).schema().name.clone();
+                out.insert(name, index);
             }
         }
         // Publish the final full-R indexes of this run's IDB results into
@@ -768,15 +818,23 @@ impl EvalRun<'_, '_> {
         index_carry: &mut FxHashMap<RelId, PersistentIndex>,
         jcache: &mut JoinCache<'_>,
         stats: &mut EvalStats,
+        entry: StratumEntry,
     ) -> Result<()> {
+        let seeded = matches!(entry, StratumEntry::Seeded(_));
         // Initialize per-IDB state.
         let mut states: Vec<IdbState> = Vec::with_capacity(stratum.idbs.len());
         for idb in &stratum.idbs {
             let rel_id = self.catalog.lookup(&idb.rel).expect("idb relation exists");
             let rel = self.catalog.rel(rel_id);
-            // ∆R of iteration 0 is everything already in R (facts and
-            // earlier-strata results), read as a zero-copy row range.
-            let delta = DeltaBuf::Range(0, rel.len());
+            // ∆R of iteration 0: from scratch, everything already in R
+            // (facts and earlier-strata results); re-entering a completed
+            // fixpoint, only the rows appended since its recorded start —
+            // everything before is the already-converged Old frontier.
+            let start = match &entry {
+                StratumEntry::Scratch => 0,
+                StratumEntry::Seeded(starts) => starts.get(&rel_id).copied().unwrap_or(rel.len()),
+            };
+            let delta = DeltaBuf::Range(start, rel.len());
             let agg = match &idb.agg {
                 None => None,
                 Some(shape) if stratum.recursive => {
@@ -839,7 +897,7 @@ impl EvalRun<'_, '_> {
             states.push(IdbState {
                 rel_id,
                 delta,
-                old_len: 0,
+                old_len: start,
                 dsd: DsdState::new(self.alpha),
                 agg,
                 frozen: idb
@@ -871,7 +929,7 @@ impl EvalRun<'_, '_> {
             // a previously staged range stays valid while R grows.
             let mut staged: Vec<Option<DeltaBuf>> = (0..stratum.idbs.len()).map(|_| None).collect();
             for (i, idb) in stratum.idbs.iter().enumerate() {
-                let delta = self.step_idb(stratum, idb, i, &mut states, jcache, stats)?;
+                let delta = self.step_idb(stratum, idb, i, &mut states, jcache, stats, seeded)?;
                 if !delta.is_empty() {
                     all_empty = false;
                 }
@@ -1067,6 +1125,7 @@ impl EvalRun<'_, '_> {
                     idx,
                     jcache,
                     &SinkMode::Agg(&sink),
+                    false,
                 )?;
                 // Close the pipeline timer before the statistics pass so
                 // the analyze interval is booked under `phase.analyze`
@@ -1130,6 +1189,7 @@ impl EvalRun<'_, '_> {
                 idx,
                 jcache,
                 &SinkMode::Agg(&sink),
+                false,
             )?;
             // As above: keep the analyze interval out of `phase.pipeline`.
             stats.phase.pipeline += t_pipe.elapsed();
@@ -1175,6 +1235,7 @@ impl EvalRun<'_, '_> {
     /// evaluation — each subquery's final operator probes the persistent
     /// full-R index and the shared scratch table per produced row, so the
     /// UNION-ALL intermediate is never buffered, merged or re-scanned.
+    #[allow(clippy::too_many_arguments)]
     fn step_idb_fused(
         &mut self,
         stratum: &CompiledStratum,
@@ -1183,6 +1244,7 @@ impl EvalRun<'_, '_> {
         states: &mut [IdbState],
         jcache: &mut JoinCache<'_>,
         stats: &mut EvalStats,
+        seeded: bool,
     ) -> Result<DeltaBuf> {
         if states[idx].full_index.is_none() {
             let t_index = Instant::now();
@@ -1246,6 +1308,7 @@ impl EvalRun<'_, '_> {
                 idx,
                 jcache,
                 &SinkMode::Delta(&sink),
+                seeded,
             )
             .map(|out| {
                 (
@@ -1346,6 +1409,7 @@ impl EvalRun<'_, '_> {
     /// One Algorithm 1 step (lines 8–13) for one IDB. Returns the freshly
     /// computed ∆R (staged by the caller so peers keep reading the previous
     /// iteration's delta until the pass completes).
+    #[allow(clippy::too_many_arguments)]
     fn step_idb(
         &mut self,
         stratum: &CompiledStratum,
@@ -1354,9 +1418,10 @@ impl EvalRun<'_, '_> {
         states: &mut [IdbState],
         jcache: &mut JoinCache<'_>,
         stats: &mut EvalStats,
+        seeded: bool,
     ) -> Result<DeltaBuf> {
         if self.fused_applies(&states[idx]) {
-            return self.step_idb_fused(stratum, idb, idx, states, jcache, stats);
+            return self.step_idb_fused(stratum, idb, idx, states, jcache, stats, seeded);
         }
         if states[idx].agg.is_some() && self.fused_agg_applies() {
             return self.step_idb_agg_fused(stratum, idb, idx, states, jcache, stats);
@@ -1374,6 +1439,7 @@ impl EvalRun<'_, '_> {
             idx,
             jcache,
             &SinkMode::Materialize,
+            seeded,
         )?;
         let (candidates, queries) = (out.cols, out.queries);
         stats.phase.eval += t_eval.elapsed();
@@ -1669,6 +1735,874 @@ impl EvalRun<'_, '_> {
     }
 }
 
+/// The signed row deltas an incremental refresh maintains, keyed by
+/// relation name.
+///
+/// Seeded from the commit's *effective* base-relation deltas (set
+/// semantics: an insert of an already-present row or a delete of an
+/// absent one is no delta at all) and grown with each stratum's net IDB
+/// changes as the refresh walks the program top-down — which is what
+/// makes downstream strata incremental too.
+#[derive(Default)]
+pub(crate) struct RefreshDeltas {
+    pub(crate) plus: FxHashMap<String, Vec<Vec<Value>>>,
+    pub(crate) minus: FxHashMap<String, Vec<Vec<Value>>>,
+}
+
+impl RefreshDeltas {
+    fn has_plus(&self, rel: &str) -> bool {
+        self.plus.get(rel).is_some_and(|v| !v.is_empty())
+    }
+
+    fn has_minus(&self, rel: &str) -> bool {
+        self.minus.get(rel).is_some_and(|v| !v.is_empty())
+    }
+
+    fn changed(&self, rel: &str) -> bool {
+        self.has_plus(rel) || self.has_minus(rel)
+    }
+}
+
+fn cols_from_rows(arity: usize, rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut cols = vec![Vec::with_capacity(rows.len()); arity];
+    for row in rows {
+        for (c, &v) in row.iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    cols
+}
+
+fn cols_from_iter<'r>(arity: usize, rows: impl Iterator<Item = &'r Vec<Value>>) -> Vec<Vec<Value>> {
+    let mut cols = vec![Vec::new(); arity];
+    for row in rows {
+        for (c, &v) in row.iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    cols
+}
+
+/// IDBs derived (at least partly) by a recursive stratum. Strata are
+/// rule-level SCCs, so a predicate like TC's `tc` spans a non-recursive
+/// stratum (`tc ← arc`) *and* the recursive one — everything here must be
+/// maintained by the recursive machinery, never by counting.
+fn recursive_idb_names(prog: &CompiledProgram) -> FxHashSet<&str> {
+    prog.strata
+        .iter()
+        .filter(|s| s.recursive)
+        .flat_map(|s| s.idbs.iter().map(|i| i.rel.as_str()))
+        .collect()
+}
+
+/// Every relation the program derives (its IDBs), by name.
+fn derived_names(prog: &CompiledProgram) -> FxHashSet<&str> {
+    prog.relations
+        .iter()
+        .filter(|d| d.is_idb)
+        .map(|d| d.name.as_str())
+        .collect()
+}
+
+/// Whether any of the cluster's rules reads a changed non-cluster input.
+fn cluster_changed(
+    members: &[&CompiledStratum],
+    cluster_idbs: &FxHashSet<&str>,
+    deltas: &RefreshDeltas,
+) -> (bool, bool) {
+    let (mut plus, mut minus) = (false, false);
+    for stratum in members {
+        for idb in &stratum.idbs {
+            for sq in &idb.subqueries {
+                for scan in &sq.scans {
+                    if cluster_idbs.contains(scan.rel.as_str()) {
+                        continue;
+                    }
+                    plus |= deltas.has_plus(&scan.rel);
+                    minus |= deltas.has_minus(&scan.rel);
+                }
+            }
+        }
+    }
+    (plus, minus)
+}
+
+/// Invoke `f` with each row of a column-major materialized result.
+fn each_row(cols: &[Vec<Value>], mut f: impl FnMut(&[Value])) {
+    let rows = cols.first().map_or(0, Vec::len);
+    let mut row = vec![0 as Value; cols.len()];
+    for r in 0..rows {
+        for (v, col) in row.iter_mut().zip(cols) {
+            *v = col[r];
+        }
+        f(&row);
+    }
+}
+
+/// Incremental view maintenance: the refresh driver behind
+/// [`crate::view::MaterializedView`]. A refresh walks the strata in
+/// order, maintaining each against the deltas accumulated so far:
+///
+/// * **counting** for IDBs derived only in non-recursive strata — exact
+///   per-derivation support counts ([`SupportTable`]) decide when a
+///   tuple's first derivation appears or its last one disappears;
+/// * **∆-seeding** for insert-only changes to recursive clusters — every
+///   rule runs once per changed scan position through the fused
+///   [`DeltaSink`], then the fixpoint re-enters with ∆ = the fresh rows
+///   only ([`StratumEntry::Seeded`]);
+/// * **DRed** when a recursive cluster sees deletions — over-delete
+///   everything with a derivation through a deleted tuple, retract,
+///   re-derive by a monotone fixpoint from the survivors.
+impl EvalRun<'_, '_> {
+    /// Evaluate one subquery as a maintenance pass: overridden positions
+    /// read the given views, everything else the catalog's full
+    /// relations, with the join cache disabled (see [`eval_subquery`]).
+    fn eval_maintenance(
+        &self,
+        stratum: &CompiledStratum,
+        sq: &SubQuery,
+        overrides: &ScanOverrides<'_>,
+        sink: &SinkMode<'_>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let frozen = vec![None; sq.joins.len()];
+        let mut jcache = JoinCache::new(false, None, FxHashSet::default());
+        eval_subquery(
+            self.ctx,
+            self.cfg,
+            &self.catalog,
+            stratum,
+            sq,
+            &[],
+            &frozen,
+            &mut jcache,
+            Some(overrides),
+            sink,
+        )
+    }
+
+    /// Initialize support counts for every counting-maintained IDB of a
+    /// freshly evaluated program: each rule re-runs once over
+    /// *set-semantic* views of its inputs (stored base relations may hold
+    /// duplicate rows, which must not inflate counts), contributing one
+    /// support per derivation row.
+    pub(crate) fn init_supports(
+        &mut self,
+        prog: &CompiledProgram,
+        supports: &mut FxHashMap<String, SupportTable>,
+    ) -> Result<()> {
+        let rec_names = recursive_idb_names(prog);
+        let derived = derived_names(prog);
+        for stratum in &prog.strata {
+            if stratum.recursive {
+                continue;
+            }
+            for idb in &stratum.idbs {
+                if rec_names.contains(idb.rel.as_str()) {
+                    continue;
+                }
+                let rel_len = self
+                    .catalog
+                    .lookup(&idb.rel)
+                    .map_or(0, |id| self.catalog.rel(id).len());
+                let support = supports
+                    .entry(idb.rel.clone())
+                    .or_insert_with(|| SupportTable::new(idb.arity, rel_len.max(64)));
+                for sq in &idb.subqueries {
+                    // Deduplicated views for base inputs; IDB inputs are
+                    // sets already and fall back to the catalog.
+                    let mut dedup_cols: Vec<(usize, Vec<Vec<Value>>)> = Vec::new();
+                    for (p, scan) in sq.scans.iter().enumerate() {
+                        if derived.contains(scan.rel.as_str()) {
+                            continue;
+                        }
+                        let id = self.catalog.lookup(&scan.rel).ok_or_else(|| {
+                            Error::exec(format!("unknown relation '{}'", scan.rel))
+                        })?;
+                        let set: FxHashSet<Vec<Value>> =
+                            self.catalog.rel(id).to_rows().into_iter().collect();
+                        dedup_cols.push((p, cols_from_iter(scan.arity, set.iter())));
+                    }
+                    let ovr: ScanOverrides<'_> = dedup_cols
+                        .iter()
+                        .map(|(p, cols)| (*p, RelView::over(cols)))
+                        .collect();
+                    let out = self.eval_maintenance(stratum, sq, &ovr, &SinkMode::Materialize)?;
+                    each_row(&out, |row| {
+                        support.add(row, 1);
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Incrementally refresh a completed run's IDB relations after the
+    /// given effective base deltas (the IVM tentpole). The catalog must
+    /// carry the previous run's results (an overlay pre-seeded via
+    /// [`RunCatalog::shared_with`], or the exclusively owned database);
+    /// `carry` holds the previous run's full-R indexes by relation name
+    /// and is updated in place.
+    pub(crate) fn run_refresh(
+        &mut self,
+        prog: &CompiledProgram,
+        deltas: &mut RefreshDeltas,
+        supports: &mut FxHashMap<String, SupportTable>,
+        carry: &mut FxHashMap<String, PersistentIndex>,
+    ) -> Result<EvalStats> {
+        let t0 = Instant::now();
+        let busy0 = self.ctx.pool.busy_ns_total();
+        let mut stats = EvalStats::default();
+        stats.view.view_refreshes = 1;
+
+        let mut index_carry: FxHashMap<RelId, PersistentIndex> = FxHashMap::default();
+        for (name, index) in carry.drain() {
+            if let Some(id) = self.catalog.lookup(&name) {
+                index_carry.insert(id, index);
+            }
+        }
+        let mutable_ids: FxHashSet<RelId> = prog
+            .relations
+            .iter()
+            .filter(|d| d.is_idb)
+            .filter_map(|d| self.catalog.lookup(&d.name))
+            .collect();
+        let mut jcache = JoinCache::new(
+            self.cfg.index_reuse,
+            self.cache.map(|c| (c, self.cfg.index_cache_budget_bytes)),
+            mutable_ids,
+        );
+
+        let rec_names = recursive_idb_names(prog);
+        for (si, stratum) in prog.strata.iter().enumerate() {
+            if stratum.recursive {
+                let cluster_idbs: FxHashSet<&str> =
+                    stratum.idbs.iter().map(|i| i.rel.as_str()).collect();
+                let mut members: Vec<&CompiledStratum> = prog.strata[..si]
+                    .iter()
+                    .filter(|s| {
+                        !s.recursive && s.idbs.iter().any(|i| cluster_idbs.contains(i.rel.as_str()))
+                    })
+                    .collect();
+                members.push(stratum);
+                let (any_plus, any_minus) = cluster_changed(&members, &cluster_idbs, deltas);
+                if !any_plus && !any_minus {
+                    continue;
+                }
+                if any_minus {
+                    self.refresh_cluster_dred(
+                        &members,
+                        stratum,
+                        deltas,
+                        &mut index_carry,
+                        &mut jcache,
+                        &mut stats,
+                    )?;
+                } else {
+                    self.refresh_cluster_seeded(
+                        &members,
+                        stratum,
+                        deltas,
+                        &mut index_carry,
+                        &mut jcache,
+                        &mut stats,
+                    )?;
+                }
+            } else {
+                if stratum
+                    .idbs
+                    .iter()
+                    .any(|i| rec_names.contains(i.rel.as_str()))
+                {
+                    // Deferred: maintained with its recursive cluster.
+                    continue;
+                }
+                let cluster_idbs: FxHashSet<&str> =
+                    stratum.idbs.iter().map(|i| i.rel.as_str()).collect();
+                let (any_plus, any_minus) = cluster_changed(&[stratum], &cluster_idbs, deltas);
+                if !any_plus && !any_minus {
+                    continue;
+                }
+                self.refresh_stratum_counting(
+                    prog,
+                    stratum,
+                    deltas,
+                    supports,
+                    &mut index_carry,
+                    &mut jcache,
+                    &mut stats,
+                )?;
+            }
+        }
+
+        for (rel_id, index) in index_carry.drain() {
+            let name = self.catalog.rel(rel_id).schema().name.clone();
+            carry.insert(name, index);
+        }
+        jcache.fold_into(&mut stats);
+        stats.total = t0.elapsed();
+        stats.busy =
+            std::time::Duration::from_nanos(self.ctx.pool.busy_ns_total().saturating_sub(busy0));
+        stats.peak_bytes = stats.peak_bytes.max(self.catalog.heap_bytes());
+        Ok(stats)
+    }
+
+    /// Stream maintenance derivations for one cluster IDB through a
+    /// [`DeltaSink`] against its carried full-R index and append the
+    /// winners. With `positions`, each member rule runs once per changed
+    /// scan position — that position pinned to the new tuples, everything
+    /// else at current full views (an over-approximation the sink
+    /// dedups). Without, every rule of the *non-recursive* member strata
+    /// re-runs once in full (DRed re-derivation; the recursive rules
+    /// re-run in the fixpoint that follows).
+    #[allow(clippy::too_many_arguments)]
+    fn seed_idb(
+        &mut self,
+        members: &[&CompiledStratum],
+        rel_name: &str,
+        arity: usize,
+        positions: Option<&FxHashMap<String, Vec<Vec<Value>>>>,
+        index_carry: &mut FxHashMap<RelId, PersistentIndex>,
+        stats: &mut EvalStats,
+    ) -> Result<usize> {
+        let rel_id = self
+            .catalog
+            .lookup(rel_name)
+            .ok_or_else(|| Error::exec(format!("unknown relation '{rel_name}'")))?;
+        let mut full_index = match index_carry.remove(&rel_id) {
+            Some(index) => index,
+            None => {
+                let rel = self.catalog.rel(rel_id);
+                stats.index.full_builds += 1;
+                stats.index.build_rows += rel.len();
+                PersistentIndex::build(self.ctx, rel.view(), (0..arity).collect())
+            }
+        };
+        {
+            let rel = self.catalog.rel(rel_id);
+            if full_index.rows() != rel.len() {
+                let t_index = Instant::now();
+                match full_index.append(self.ctx, rel.view()) {
+                    SyncAction::Appended(n) => {
+                        stats.index.full_appends += 1;
+                        stats.index.append_rows += n;
+                    }
+                    SyncAction::Reused => {}
+                    SyncAction::Rebuilt => {
+                        stats.index.full_builds += 1;
+                        stats.index.build_rows += rel.len();
+                    }
+                }
+                stats.phase.index += t_index.elapsed();
+            }
+        }
+        let t_pipe = Instant::now();
+        let evaluated = {
+            let base = self.catalog.rel(rel_id).view();
+            let sink = DeltaSink::new(&full_index, base, 1024);
+            let mut fresh: Vec<Vec<Value>> = vec![Vec::new(); arity];
+            let mut err = None;
+            'eval: for stratum in members {
+                if positions.is_none() && stratum.recursive {
+                    continue;
+                }
+                for idb in stratum.idbs.iter().filter(|i| i.rel == rel_name) {
+                    let mut seen_rules = FxHashSet::default();
+                    for sq in &idb.subqueries {
+                        if !seen_rules.insert(sq.rule_idx) {
+                            continue;
+                        }
+                        let mut calls: Vec<ScanOverrides<'_>> = Vec::new();
+                        match positions {
+                            Some(plus_cols) => {
+                                for (p, scan) in sq.scans.iter().enumerate() {
+                                    if let Some(cols) = plus_cols.get(&scan.rel) {
+                                        let mut ovr = ScanOverrides::default();
+                                        ovr.insert(p, RelView::over(cols));
+                                        calls.push(ovr);
+                                    }
+                                }
+                            }
+                            None => calls.push(ScanOverrides::default()),
+                        }
+                        for ovr in &calls {
+                            match self.eval_maintenance(stratum, sq, ovr, &SinkMode::Delta(&sink)) {
+                                Ok(cols) => {
+                                    for (dst, mut src) in fresh.iter_mut().zip(cols) {
+                                        if dst.is_empty() {
+                                            *dst = src;
+                                        } else {
+                                            dst.append(&mut src);
+                                        }
+                                    }
+                                }
+                                Err(e) => {
+                                    err = Some(e);
+                                    break 'eval;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            match err {
+                Some(e) => Err(e),
+                None => Ok((fresh, sink.take_overflow(), sink.considered())),
+            }
+        };
+        let (mut fresh, overflow, considered) = match evaluated {
+            Ok(v) => v,
+            Err(e) => {
+                index_carry.insert(rel_id, full_index);
+                return Err(e);
+            }
+        };
+        // Compact-key escapes are new w.r.t. R and the sink's winners;
+        // they only need dedup among themselves (as on the fused path).
+        if !overflow.is_empty() {
+            let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+            for row in &overflow {
+                if seen.insert(row.clone()) {
+                    for (col, &v) in fresh.iter_mut().zip(row) {
+                        col.push(v);
+                    }
+                }
+            }
+        }
+        let fresh_rows = fresh.first().map_or(0, Vec::len);
+        stats.tuples_considered += considered;
+        stats.index.scratch_builds += 1;
+        stats.phase.pipeline += t_pipe.elapsed();
+        if fresh_rows > 0 {
+            self.catalog.rel_mut(rel_id).append_columns(fresh);
+            let t_index = Instant::now();
+            let rel = self.catalog.rel(rel_id);
+            match full_index.append(self.ctx, rel.view()) {
+                SyncAction::Appended(n) => {
+                    stats.index.full_appends += 1;
+                    stats.index.append_rows += n;
+                }
+                SyncAction::Reused => {}
+                SyncAction::Rebuilt => {
+                    stats.index.full_builds += 1;
+                    stats.index.build_rows += rel.len();
+                }
+            }
+            stats.phase.index += t_index.elapsed();
+        }
+        index_carry.insert(rel_id, full_index);
+        Ok(fresh_rows)
+    }
+
+    /// Insert-only maintenance of a recursive cluster: ∆-seed every rule
+    /// against the new tuples, then re-enter the fixpoint with ∆ = the
+    /// fresh rows only.
+    fn refresh_cluster_seeded(
+        &mut self,
+        members: &[&CompiledStratum],
+        rec: &CompiledStratum,
+        deltas: &mut RefreshDeltas,
+        index_carry: &mut FxHashMap<RelId, PersistentIndex>,
+        jcache: &mut JoinCache<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let cluster_idbs: FxHashSet<&str> = rec.idbs.iter().map(|i| i.rel.as_str()).collect();
+        // Insert columns for every changed non-cluster input.
+        let mut plus_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        for stratum in members {
+            for idb in &stratum.idbs {
+                for sq in &idb.subqueries {
+                    for scan in &sq.scans {
+                        if cluster_idbs.contains(scan.rel.as_str())
+                            || plus_cols.contains_key(&scan.rel)
+                        {
+                            continue;
+                        }
+                        if let Some(rows) = deltas.plus.get(&scan.rel) {
+                            if !rows.is_empty() {
+                                plus_cols
+                                    .insert(scan.rel.clone(), cols_from_rows(scan.arity, rows));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Fixpoint entry points, recorded before any seed appends.
+        let mut starts: FxHashMap<RelId, usize> = FxHashMap::default();
+        for idb in &rec.idbs {
+            let id = self
+                .catalog
+                .lookup(&idb.rel)
+                .ok_or_else(|| Error::exec(format!("unknown relation '{}'", idb.rel)))?;
+            starts.insert(id, self.catalog.rel(id).len());
+        }
+        for idb in &rec.idbs {
+            let seeded = self.seed_idb(
+                members,
+                &idb.rel,
+                idb.arity,
+                Some(&plus_cols),
+                index_carry,
+                stats,
+            )?;
+            stats.view.view_tuples_seeded += seeded as u64;
+        }
+        self.run_stratum(
+            rec,
+            index_carry,
+            jcache,
+            stats,
+            StratumEntry::Seeded(starts.clone()),
+        )?;
+        stats.view.view_seeded_strata += 1;
+        // Net new tuples feed downstream strata.
+        for (rel_id, start) in starts {
+            let rel = self.catalog.rel(rel_id);
+            if rel.len() > start {
+                let name = rel.schema().name.clone();
+                let out = deltas.plus.entry(name).or_default();
+                for r in start..rel.len() {
+                    out.push((0..rel.arity()).map(|c| rel.col(c)[r]).collect());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DRed maintenance of a recursive cluster that saw deletions:
+    /// over-delete everything with a derivation through a deleted tuple
+    /// (worklist to transitive closure), retract, then re-derive by a
+    /// monotone fixpoint from the survivors over the post-commit base —
+    /// which also absorbs any same-commit inserts.
+    #[allow(clippy::too_many_arguments)]
+    fn refresh_cluster_dred(
+        &mut self,
+        members: &[&CompiledStratum],
+        rec: &CompiledStratum,
+        deltas: &mut RefreshDeltas,
+        index_carry: &mut FxHashMap<RelId, PersistentIndex>,
+        jcache: &mut JoinCache<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let cluster_idbs: FxHashSet<&str> = rec.idbs.iter().map(|i| i.rel.as_str()).collect();
+        // Membership and tombstones per cluster IDB (pre-delete values).
+        let mut alive: FxHashMap<String, FxHashSet<Vec<Value>>> = FxHashMap::default();
+        let mut dead: FxHashMap<String, FxHashSet<Vec<Value>>> = FxHashMap::default();
+        for idb in &rec.idbs {
+            let id = self
+                .catalog
+                .lookup(&idb.rel)
+                .ok_or_else(|| Error::exec(format!("unknown relation '{}'", idb.rel)))?;
+            alive.insert(
+                idb.rel.clone(),
+                self.catalog.rel(id).to_rows().into_iter().collect(),
+            );
+            dead.insert(idb.rel.clone(), FxHashSet::default());
+        }
+        // Pre-commit (OLD) columns for changed non-cluster inputs; the
+        // unchanged ones read the catalog as-is — duplicate stored rows
+        // cost nothing here, hits are membership-filtered, not counted.
+        let mut old_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        for stratum in members {
+            for idb in &stratum.idbs {
+                for sq in &idb.subqueries {
+                    for scan in &sq.scans {
+                        let rel = scan.rel.as_str();
+                        if cluster_idbs.contains(rel)
+                            || old_cols.contains_key(rel)
+                            || !deltas.changed(rel)
+                        {
+                            continue;
+                        }
+                        let id = self
+                            .catalog
+                            .lookup(rel)
+                            .ok_or_else(|| Error::exec(format!("unknown relation '{rel}'")))?;
+                        let mut set: FxHashSet<Vec<Value>> =
+                            self.catalog.rel(id).to_rows().into_iter().collect();
+                        if let Some(rows) = deltas.plus.get(rel) {
+                            for row in rows {
+                                set.remove(row);
+                            }
+                        }
+                        if let Some(rows) = deltas.minus.get(rel) {
+                            for row in rows {
+                                set.insert(row.clone());
+                            }
+                        }
+                        old_cols.insert(rel.to_string(), cols_from_iter(scan.arity, set.iter()));
+                    }
+                }
+            }
+        }
+        // Worklist seed: the deleted tuples of every changed input.
+        let mut pending: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        for stratum in members {
+            for idb in &stratum.idbs {
+                for sq in &idb.subqueries {
+                    for scan in &sq.scans {
+                        if cluster_idbs.contains(scan.rel.as_str())
+                            || pending.contains_key(&scan.rel)
+                        {
+                            continue;
+                        }
+                        if let Some(rows) = deltas.minus.get(&scan.rel) {
+                            if !rows.is_empty() {
+                                pending.insert(scan.rel.clone(), rows.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        while !pending.is_empty() {
+            let mut pend_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+            for (name, rows) in &pending {
+                pend_cols.insert(name.clone(), cols_from_rows(rows[0].len(), rows));
+            }
+            let mut next: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+            for stratum in members {
+                for idb in &stratum.idbs {
+                    let mut seen_rules = FxHashSet::default();
+                    for sq in &idb.subqueries {
+                        if !seen_rules.insert(sq.rule_idx) {
+                            continue;
+                        }
+                        for (p, scan) in sq.scans.iter().enumerate() {
+                            let Some(batch) = pend_cols.get(&scan.rel) else {
+                                continue;
+                            };
+                            let mut ovr = ScanOverrides::default();
+                            ovr.insert(p, RelView::over(batch));
+                            for (q, qscan) in sq.scans.iter().enumerate() {
+                                if q == p {
+                                    continue;
+                                }
+                                if let Some(cols) = old_cols.get(&qscan.rel) {
+                                    ovr.insert(q, RelView::over(cols));
+                                }
+                            }
+                            let out =
+                                self.eval_maintenance(stratum, sq, &ovr, &SinkMode::Materialize)?;
+                            if out.first().map_or(0, Vec::len) == 0 {
+                                continue;
+                            }
+                            let alive_set = alive.get(&idb.rel).expect("cluster idb");
+                            let dead_set = dead.get_mut(&idb.rel).expect("cluster idb");
+                            each_row(&out, |row| {
+                                if alive_set.contains(row) && !dead_set.contains(row) {
+                                    dead_set.insert(row.to_vec());
+                                    next.entry(idb.rel.clone()).or_default().push(row.to_vec());
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+            pending = next;
+        }
+        // Physical retraction, then re-derivation.
+        let mut starts: FxHashMap<RelId, usize> = FxHashMap::default();
+        for idb in &rec.idbs {
+            let rel_id = self.catalog.lookup(&idb.rel).expect("cluster idb exists");
+            let dead_set = dead.get(&idb.rel).expect("cluster idb");
+            if !dead_set.is_empty() {
+                let rows: Vec<Vec<Value>> = dead_set.iter().cloned().collect();
+                self.catalog.rel_mut(rel_id).delete_rows(&rows);
+                jcache.invalidate(rel_id);
+            }
+            stats.view.view_tuples_retracted += dead_set.len() as u64;
+            starts.insert(rel_id, self.catalog.rel(rel_id).len());
+        }
+        for idb in &rec.idbs {
+            self.seed_idb(members, &idb.rel, idb.arity, None, index_carry, stats)?;
+        }
+        self.run_stratum(rec, index_carry, jcache, stats, StratumEntry::Scratch)?;
+        stats.view.view_dred_strata += 1;
+        // Net downstream changes: a physically deleted tuple that was
+        // re-derived is no change at all.
+        for idb in &rec.idbs {
+            let rel_id = self.catalog.lookup(&idb.rel).expect("cluster idb exists");
+            let start = starts[&rel_id];
+            let rel = self.catalog.rel(rel_id);
+            let dead_set = dead.remove(&idb.rel).unwrap_or_default();
+            let mut added: Vec<Vec<Value>> = Vec::with_capacity(rel.len() - start);
+            for r in start..rel.len() {
+                added.push((0..rel.arity()).map(|c| rel.col(c)[r]).collect());
+            }
+            let added_set: FxHashSet<&Vec<Value>> = added.iter().collect();
+            let minus: Vec<Vec<Value>> = dead_set
+                .iter()
+                .filter(|r| !added_set.contains(*r))
+                .cloned()
+                .collect();
+            drop(added_set);
+            let plus: Vec<Vec<Value>> = added
+                .into_iter()
+                .filter(|r| !dead_set.contains(r))
+                .collect();
+            if !minus.is_empty() {
+                deltas
+                    .minus
+                    .entry(idb.rel.clone())
+                    .or_default()
+                    .extend(minus);
+            }
+            if !plus.is_empty() {
+                deltas.plus.entry(idb.rel.clone()).or_default().extend(plus);
+            }
+        }
+        Ok(())
+    }
+
+    /// Counting maintenance of a non-recursive stratum: finite
+    /// differencing accumulates signed per-derivation deltas (position
+    /// `p` pinned to the change, earlier positions at NEW, later at OLD
+    /// views — all set-semantic), and the settled support counts decide
+    /// which tuples materialize or retract.
+    #[allow(clippy::too_many_arguments)]
+    fn refresh_stratum_counting(
+        &mut self,
+        prog: &CompiledProgram,
+        stratum: &CompiledStratum,
+        deltas: &mut RefreshDeltas,
+        supports: &mut FxHashMap<String, SupportTable>,
+        index_carry: &mut FxHashMap<RelId, PersistentIndex>,
+        jcache: &mut JoinCache<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let derived = derived_names(prog);
+        // Set-semantic OLD / NEW columns per input relation. Base inputs
+        // materialize deduplicated (stored relations may hold duplicate
+        // rows, which would inflate counts); IDB inputs are sets already,
+        // so NEW reads the catalog directly and OLD materializes only
+        // when the relation changed this refresh. For every input,
+        // OLD = NEW ∖ plus ∪ minus — the deltas are effective set deltas.
+        let mut old_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        let mut new_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        let mut plus_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        let mut minus_cols: FxHashMap<String, Vec<Vec<Value>>> = FxHashMap::default();
+        for idb in &stratum.idbs {
+            for sq in &idb.subqueries {
+                for scan in &sq.scans {
+                    let rel = scan.rel.as_str();
+                    if old_cols.contains_key(rel) {
+                        continue;
+                    }
+                    let is_base = !derived.contains(rel);
+                    if !is_base && !deltas.changed(rel) {
+                        continue; // catalog serves both OLD and NEW
+                    }
+                    let id = self
+                        .catalog
+                        .lookup(rel)
+                        .ok_or_else(|| Error::exec(format!("unknown relation '{rel}'")))?;
+                    let new_set: FxHashSet<Vec<Value>> =
+                        self.catalog.rel(id).to_rows().into_iter().collect();
+                    let mut old_set = new_set.clone();
+                    if let Some(rows) = deltas.plus.get(rel) {
+                        if !rows.is_empty() {
+                            plus_cols.insert(rel.to_string(), cols_from_rows(scan.arity, rows));
+                            for row in rows {
+                                old_set.remove(row);
+                            }
+                        }
+                    }
+                    if let Some(rows) = deltas.minus.get(rel) {
+                        if !rows.is_empty() {
+                            minus_cols.insert(rel.to_string(), cols_from_rows(scan.arity, rows));
+                            for row in rows {
+                                old_set.insert(row.clone());
+                            }
+                        }
+                    }
+                    if is_base {
+                        new_cols
+                            .insert(rel.to_string(), cols_from_iter(scan.arity, new_set.iter()));
+                    }
+                    old_cols.insert(rel.to_string(), cols_from_iter(scan.arity, old_set.iter()));
+                }
+            }
+        }
+        for idb in &stratum.idbs {
+            let rel_id = self
+                .catalog
+                .lookup(&idb.rel)
+                .ok_or_else(|| Error::exec(format!("unknown relation '{}'", idb.rel)))?;
+            let support = supports
+                .entry(idb.rel.clone())
+                .or_insert_with(|| SupportTable::new(idb.arity, 64));
+            let mut dc: FxHashMap<Vec<Value>, i64> = FxHashMap::default();
+            for sq in &idb.subqueries {
+                for (p, scan) in sq.scans.iter().enumerate() {
+                    for (sign, delta_map) in [(-1i64, &minus_cols), (1i64, &plus_cols)] {
+                        let Some(delta_view) = delta_map.get(scan.rel.as_str()) else {
+                            continue;
+                        };
+                        let mut ovr = ScanOverrides::default();
+                        ovr.insert(p, RelView::over(delta_view));
+                        for (q, qscan) in sq.scans.iter().enumerate() {
+                            if q == p {
+                                continue;
+                            }
+                            let side = if q < p { &new_cols } else { &old_cols };
+                            if let Some(cols) = side.get(qscan.rel.as_str()) {
+                                ovr.insert(q, RelView::over(cols));
+                            }
+                        }
+                        let out =
+                            self.eval_maintenance(stratum, sq, &ovr, &SinkMode::Materialize)?;
+                        each_row(&out, |row| *dc.entry(row.to_vec()).or_insert(0) += sign);
+                    }
+                }
+            }
+            let mut dels: Vec<Vec<Value>> = Vec::new();
+            let mut adds: Vec<Vec<Value>> = Vec::new();
+            for (row, d) in dc {
+                if d == 0 {
+                    continue;
+                }
+                let before = support.count(&row);
+                let after = support.add(&row, d);
+                debug_assert!(after >= 0, "support count went negative for {row:?}");
+                if before > 0 && after <= 0 {
+                    dels.push(row);
+                } else if before <= 0 && after > 0 {
+                    adds.push(row);
+                }
+            }
+            if !dels.is_empty() {
+                self.catalog.rel_mut(rel_id).delete_rows(&dels);
+                stats.view.view_tuples_retracted += dels.len() as u64;
+            }
+            if !adds.is_empty() {
+                let cols = cols_from_rows(idb.arity, &adds);
+                self.catalog.rel_mut(rel_id).append_columns(cols);
+                stats.view.view_tuples_seeded += adds.len() as u64;
+            }
+            if !dels.is_empty() || !adds.is_empty() {
+                // Row ids moved (and an equal-sized delete+append would
+                // fool a length-based sync): the carried index and any
+                // cached build sides over this relation are stale.
+                index_carry.remove(&rel_id);
+                jcache.invalidate(rel_id);
+                if !dels.is_empty() {
+                    deltas
+                        .minus
+                        .entry(idb.rel.clone())
+                        .or_default()
+                        .extend(dels);
+                }
+                if !adds.is_empty() {
+                    deltas.plus.entry(idb.rel.clone()).or_default().extend(adds);
+                }
+            }
+        }
+        stats.view.view_counting_strata += 1;
+        Ok(())
+    }
+}
+
 /// Flush a temporary table to the simulated store — skipped entirely when
 /// disk spilling is disabled (EOST pends all I/O until the final commit,
 /// and shared-mode runs have no store at all), so the hot loop pays
@@ -1778,11 +2712,18 @@ fn eval_idb(
     idx: usize,
     jcache: &mut JoinCache<'_>,
     sink: &SinkMode<'_>,
+    seeded: bool,
 ) -> Result<EvalOut> {
     let out_arity = idb.arity;
     let mut unioned: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
     let mut queries = 0usize;
     for (si, sq) in idb.subqueries.iter().enumerate() {
+        // Seeded re-entry: subqueries with no ∆ scan re-derive only what
+        // the maintenance seed pass already streamed; skipping them is
+        // what makes a small-delta refresh cost |∆|-ish, not |R|-ish.
+        if seeded && sq.delta_scan.is_none() {
+            continue;
+        }
         let cols = eval_subquery(
             ctx,
             cfg,
@@ -1792,6 +2733,7 @@ fn eval_idb(
             states,
             &states[idx].frozen[si],
             jcache,
+            None,
             sink,
         )?;
         if cfg.uie {
@@ -1829,22 +2771,55 @@ fn eval_idb(
 /// `sink` applies only to the subquery's *final* operator — the one
 /// projecting to the head layout; intermediate join results materialize
 /// as before (they feed the next join, not `Rt`).
+/// Per-scan-position view replacements for incremental-maintenance passes
+/// (see [`eval_subquery`]'s `overrides` parameter).
+type ScanOverrides<'v> = FxHashMap<usize, RelView<'v>>;
+
+/// Evaluate one subquery to its head layout.
+///
+/// With `overrides`, the subquery is evaluated as a *maintenance pass*:
+/// an overridden scan position reads the given view instead of its
+/// compiled source, and every un-overridden position reads the catalog's
+/// full relation by name — the Base/Full/Delta/Old version annotation is
+/// ignored (maintenance passes carry no per-stratum delta state). The
+/// join cache must be disabled for such calls: a cached build side would
+/// serve the catalog's rows for an overridden position.
 #[allow(clippy::too_many_arguments)]
-fn eval_subquery(
+fn eval_subquery<'a>(
     ctx: &ExecCtx,
     cfg: &Config,
-    catalog: &RunCatalog<'_>,
+    catalog: &'a RunCatalog<'_>,
     stratum: &CompiledStratum,
     sq: &SubQuery,
-    states: &[IdbState],
+    states: &'a [IdbState],
     frozen: &[Option<bool>],
     jcache: &mut JoinCache<'_>,
+    overrides: Option<&ScanOverrides<'a>>,
     sink: &SinkMode<'_>,
 ) -> Result<Vec<Vec<Value>>> {
+    debug_assert!(
+        overrides.is_none() || !jcache.enabled,
+        "maintenance passes must run with the join cache disabled"
+    );
+    let source_of = |i: usize| -> Result<RelView<'a>> {
+        let scan = &sq.scans[i];
+        match overrides {
+            Some(ovr) => match ovr.get(&i) {
+                Some(v) => Ok(*v),
+                None => {
+                    let id = catalog
+                        .lookup(&scan.rel)
+                        .ok_or_else(|| Error::exec(format!("unknown relation '{}'", scan.rel)))?;
+                    Ok(catalog.rel(id).view())
+                }
+            },
+            None => resolve_view(catalog, stratum, states, &scan.rel, scan.version),
+        }
+    };
     // Materialize filtered scans; untouched scans stay zero-copy views.
     let mut filtered: Vec<Option<Vec<Vec<Value>>>> = Vec::with_capacity(sq.scans.len());
-    for scan in &sq.scans {
-        let view = resolve_view(catalog, stratum, states, &scan.rel, scan.version)?;
+    for (i, scan) in sq.scans.iter().enumerate() {
+        let view = source_of(i)?;
         if scan.filters.is_empty() {
             filtered.push(None);
         } else {
@@ -1855,13 +2830,7 @@ fn eval_subquery(
     let view_of = |i: usize| -> Result<RelView<'_>> {
         match &filtered[i] {
             Some(cols) => Ok(RelView::over(cols)),
-            None => resolve_view(
-                catalog,
-                stratum,
-                states,
-                &sq.scans[i].rel,
-                sq.scans[i].version,
-            ),
+            None => source_of(i),
         }
     };
 

@@ -70,6 +70,7 @@ pub mod pbme;
 pub mod prepared;
 mod shim;
 pub mod stats;
+pub mod view;
 
 pub use config::{Config, OofMode, PbmeMode, ServeConfig};
 pub use db::{Database, RunOutput, Transaction};
@@ -78,7 +79,8 @@ pub use prepared::PreparedProgram;
 pub use recstep_exec::cache::IndexCache;
 #[allow(deprecated)]
 pub use shim::RecStep;
-pub use stats::{EvalStats, IndexStats, PhaseTimes, StratumStats};
+pub use stats::{EvalStats, IndexStats, PhaseTimes, StratumStats, ViewStats};
+pub use view::MaterializedView;
 
 // Re-exports so downstream users need only this crate.
 pub use recstep_common::{Error, Result, Value};

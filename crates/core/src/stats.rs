@@ -92,6 +92,44 @@ pub struct StratumStats {
     pub pbme: bool,
 }
 
+/// Incremental view maintenance accounting: how a standing materialized
+/// view absorbed `/facts` commits — ∆-seeded semi-naive re-entries for
+/// insertions, support-count (counting) updates for non-recursive strata,
+/// DRed over-delete + rederive for recursive strata under deletions, and
+/// full scratch recomputes when the program shape (aggregation, negation,
+/// inline facts) or a failed refresh forces the fallback.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ViewStats {
+    /// Incremental refreshes applied to a standing view.
+    pub view_refreshes: u64,
+    /// Strata re-entered from insertion-seeded deltas.
+    pub view_seeded_strata: u64,
+    /// Non-recursive strata maintained by support counting.
+    pub view_counting_strata: u64,
+    /// Recursive strata maintained by DRed over-delete + rederivation.
+    pub view_dred_strata: u64,
+    /// Refreshes answered by a full from-scratch recompute instead
+    /// (ineligible program shape, ineligible commit, or a failed refresh).
+    pub view_fallbacks: u64,
+    /// Fresh tuples appended by seeding and rederivation passes.
+    pub view_tuples_seeded: u64,
+    /// Tuples retracted by counting and DRed maintenance.
+    pub view_tuples_retracted: u64,
+}
+
+impl ViewStats {
+    /// Accumulate another operation's counters (lifetime aggregation).
+    pub fn merge(&mut self, other: &ViewStats) {
+        self.view_refreshes += other.view_refreshes;
+        self.view_seeded_strata += other.view_seeded_strata;
+        self.view_counting_strata += other.view_counting_strata;
+        self.view_dred_strata += other.view_dred_strata;
+        self.view_fallbacks += other.view_fallbacks;
+        self.view_tuples_seeded += other.view_tuples_seeded;
+        self.view_tuples_retracted += other.view_tuples_retracted;
+    }
+}
+
 /// Statistics of one `run` of the engine.
 #[derive(Clone, Debug, Default)]
 pub struct EvalStats {
@@ -158,6 +196,9 @@ pub struct EvalStats {
     pub pbme_matrix_bytes: usize,
     /// Work orders posted by coordinated SG-PBME.
     pub coord_orders_posted: u64,
+    /// Incremental view maintenance accounting (all zero outside the
+    /// query service's standing materialized views).
+    pub view: ViewStats,
 }
 
 impl PhaseTimes {
@@ -227,6 +268,7 @@ impl EvalStats {
         self.busy += other.busy;
         self.pbme_matrix_bytes = self.pbme_matrix_bytes.max(other.pbme_matrix_bytes);
         self.coord_orders_posted += other.coord_orders_posted;
+        self.view.merge(&other.view);
     }
 
     /// Record a set-difference algorithm choice.

@@ -338,18 +338,22 @@ impl GrowChainTable {
     }
 
     /// Walk the chain from `cur`, stopping at `until` (exclusive; `NIL`
-    /// walks the whole chain). Chains are prepend-only, so `until` set to
-    /// a previously observed head restricts the scan to nodes published
-    /// since that observation.
-    fn chain_contains(&self, mut cur: u32, until: u32, key: u64, row: &[Value]) -> bool {
+    /// walks the whole chain), returning the slot id of an equal row.
+    /// Chains are prepend-only, so `until` set to a previously observed
+    /// head restricts the scan to nodes published since that observation.
+    fn chain_find(&self, mut cur: u32, until: u32, key: u64, row: &[Value]) -> Option<u32> {
         while cur != until && cur != NIL {
             let (chunk, off) = self.locate((cur - 1) as usize);
             if chunk.keys[off].load(Ordering::Relaxed) == key && self.row_eq(chunk, off, row) {
-                return true;
+                return Some(cur - 1);
             }
             cur = chunk.next[off].load(Ordering::Relaxed);
         }
-        false
+        None
+    }
+
+    fn chain_contains(&self, cur: u32, until: u32, key: u64, row: &[Value]) -> bool {
+        self.chain_find(cur, until, key, row).is_some()
     }
 
     /// True if an equal row is stored under `key`.
@@ -359,16 +363,35 @@ impl GrowChainTable {
         self.chain_contains(head, NIL, key, row)
     }
 
+    /// Slot id of the stored row equal to `row` under `key`, if any. Slot
+    /// ids are the values [`GrowChainTable::insert_unique_row_slot`]
+    /// returned; under sequential insertion they are dense from 0, which
+    /// is what lets side tables index per-row payloads by slot.
+    pub fn find_row(&self, key: u64, row: &[Value]) -> Option<u32> {
+        debug_assert_eq!(row.len(), self.width);
+        let head = self.heads[bucket_of(key, self.mask)].load(Ordering::Acquire);
+        self.chain_find(head, NIL, key, row)
+    }
+
     /// Insert `row` under `key` unless an equal row is already stored.
     /// Returns `true` when this call's row won (it was new). Safe to call
     /// from any number of threads concurrently; the caller does not manage
     /// node ids or capacity.
     pub fn insert_unique_row(&self, key: u64, row: &[Value]) -> bool {
+        self.insert_unique_row_slot(key, row).is_some()
+    }
+
+    /// [`GrowChainTable::insert_unique_row`], but a winning insert returns
+    /// the row's slot id (`None` when an equal row already exists). Under
+    /// sequential use, slot ids are dense insertion indexes — a race lost
+    /// to a concurrent equal insert leaks its reserved slot, so only
+    /// single-threaded writers may rely on density.
+    pub fn insert_unique_row_slot(&self, key: u64, row: &[Value]) -> Option<u32> {
         debug_assert_eq!(row.len(), self.width);
         let bucket = &self.heads[bucket_of(key, self.mask)];
         let mut head = bucket.load(Ordering::Acquire);
         if self.chain_contains(head, NIL, key, row) {
-            return false;
+            return None;
         }
         // Reserve a slot and fill it privately (Relaxed: unpublished).
         let idx = self.alloc.fetch_add(1, Ordering::Relaxed);
@@ -386,12 +409,12 @@ impl GrowChainTable {
         loop {
             chunk.next[off].store(head, Ordering::Relaxed);
             match bucket.compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return true,
+                Ok(_) => return Some(idx as u32),
                 Err(actual) => {
                     // Lost a race: scan only the newly published prefix
                     // for an equal tuple; the slot leaks if one is found.
                     if self.chain_contains(actual, head, key, row) {
-                        return false;
+                        return None;
                     }
                     head = actual;
                 }

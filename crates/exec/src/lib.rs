@@ -33,7 +33,10 @@
 //!   the dynamic choice (DSD) driven by the Appendix A cost model;
 //! * [`agg`] — hash group-by aggregation (MIN/MAX/SUM/COUNT/AVG) and the
 //!   monotonic aggregate map behind recursive aggregation (CC, SSSP);
-//! * [`util`] — morsel-driven production helpers shared by the operators.
+//! * [`util`] — morsel-driven production helpers shared by the operators;
+//! * [`view`] — the support-count side table ([`view::SupportTable`],
+//!   `GrowChainTable`-backed) behind counting-based incremental view
+//!   maintenance of non-recursive strata.
 
 pub mod agg;
 pub mod cache;
@@ -46,6 +49,7 @@ pub mod key;
 pub mod setdiff;
 pub mod sink;
 pub mod util;
+pub mod view;
 
 use std::sync::Arc;
 

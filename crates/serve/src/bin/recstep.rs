@@ -88,7 +88,7 @@ fn usage() -> ! {
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
          [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
          [--no-index-reuse] [--no-fused-pipeline] [--no-fused-agg] \
-         [--no-shared-index-cache] [--index-cache-budget MB]\n\
+         [--no-shared-index-cache] [--index-cache-budget MB] [--no-incremental]\n\
          \x20      recstep serve [--addr HOST:PORT] [--max-concurrent-runs N] \
          [--queue-depth N] [--request-timeout-ms MS] [--warmup FILE]... \
          [--data-dir DIR] [--durability off|commit|batch] \
@@ -142,6 +142,7 @@ fn parse_args() -> Args {
             "--no-fused-pipeline" => cfg.fused_pipeline = false,
             "--no-fused-agg" => cfg.fused_agg = false,
             "--no-shared-index-cache" => cfg.shared_index_cache = false,
+            "--no-incremental" => cfg.incremental_views = false,
             "--index-cache-budget" => {
                 cfg.index_cache_budget_bytes = value("--index-cache-budget")
                     .parse::<usize>()

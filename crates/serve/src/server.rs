@@ -55,7 +55,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use recstep::{
-    Config, Database, Durability, Engine, Error, EvalStats, PreparedProgram, RunOutput, ServeConfig,
+    Config, Database, Durability, Engine, Error, EvalStats, MaterializedView, PreparedProgram,
+    RunOutput, ServeConfig,
 };
 use recstep_common::sched::{Admission, CancelToken, Semaphore};
 
@@ -129,6 +130,29 @@ struct PreparedCache {
     capacity: usize,
 }
 
+/// One standing materialized view in the view registry.
+struct ViewEntry {
+    view: MaterializedView,
+    /// Immutable published contents; query batches share `Arc`s of this
+    /// while the view itself stays mutable for the next refresh.
+    published: Arc<RunOutput>,
+    /// Data version the published contents reflect.
+    version: u64,
+    /// Last-use tick for LRU eviction.
+    tick: u64,
+}
+
+/// Standing materialized views keyed by normalized program text — the
+/// incremental sibling of the prepared-program cache. Every `/facts`
+/// commit refreshes all entries inside the write critical section (see
+/// [`ServerState::handle_facts`]), so a fresh entry always answers at the
+/// current data version without re-running the fixpoint.
+struct ViewRegistry {
+    entries: HashMap<String, ViewEntry>,
+    tick: u64,
+    capacity: usize,
+}
+
 /// Either the shared run output or the HTTP error the whole batch gets.
 type BatchResult = Result<Arc<RunOutput>, (u16, String)>;
 
@@ -152,6 +176,8 @@ struct Counters {
     timeouts: AtomicU64,
     cancelled_runs: AtomicU64,
     facts_commits: AtomicU64,
+    /// Queries answered from a standing materialized view (no fixpoint).
+    view_hits: AtomicU64,
     /// Runs (or handlers) that panicked and were isolated to a 500.
     panics: AtomicU64,
 }
@@ -165,6 +191,7 @@ struct ServerState {
     /// WAL-logged under.
     data_version: AtomicU64,
     prepared: Mutex<PreparedCache>,
+    views: Mutex<ViewRegistry>,
     inflight: Mutex<HashMap<(String, u64), Arc<InFlight>>>,
     sem: Arc<Semaphore>,
     counters: Counters,
@@ -255,9 +282,34 @@ impl ServerState {
         }
     }
 
-    /// Leader-side work: compile (or hit the prepared cache), pass
-    /// admission control, evaluate with a deadline-carrying cancel token.
+    /// Leader-side work: serve a standing materialized view when one is
+    /// current, else compile (or hit the prepared cache), pass admission
+    /// control, evaluate with a deadline-carrying cancel token — and
+    /// leave the result standing as a view for the next version bump.
     fn lead_query(&self, norm: &str, deadline: Instant) -> BatchResult {
+        // View fast path, before admission: a fresh view answers without
+        // running any fixpoint, so it consumes no run permit. Freshness
+        // is exact — views are refreshed inside the `/facts` write
+        // critical section, and `data_version` only moves under the
+        // write lock this read lock excludes.
+        if self.engine.config().incremental_views {
+            let _db = self.db.read();
+            let version = self.data_version.load(Ordering::SeqCst);
+            let mut views = self.views.lock();
+            views.tick += 1;
+            let tick = views.tick;
+            if let Some(entry) = views.entries.get_mut(norm) {
+                if entry.version == version {
+                    entry.tick = tick;
+                    self.counters.view_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.published));
+                }
+                // A view that missed a refresh (it failed or panicked)
+                // cannot catch up — the deltas are gone. Rebuild below.
+                views.entries.remove(norm);
+            }
+        }
+
         let prog = match self.prepared_for(norm) {
             Ok(p) => p,
             Err(e) => return Err((400, e.to_string())),
@@ -291,12 +343,29 @@ impl ServerState {
         }
 
         let cancel = CancelToken::with_deadline(deadline);
+        // The data version the run will reflect — stable while `db` is
+        // read-locked, since commits store it under the write lock.
+        let version = self.data_version.load(Ordering::SeqCst);
         // The fixpoint runs under catch_unwind so a poisoned run maps to
         // one 500 instead of a dead worker: the permit guard and the db
         // read lock release on unwind, and the leader still publishes to
         // its batch followers through the normal error path.
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            prog.run_shared_cancellable(&db, &cancel)
+        let run = catch_unwind(AssertUnwindSafe(|| -> recstep::Result<Arc<RunOutput>> {
+            if MaterializedView::eligible(&prog) {
+                // Creating the view IS the evaluation; it then stands to
+                // absorb future commits incrementally. Ineligible
+                // programs (negation, aggregation, inline facts, or
+                // ablated configs) keep the plain shared-run path — a
+                // standing scratch view would only move their recompute
+                // cost into the `/facts` critical section.
+                let view =
+                    MaterializedView::create_cancellable(Arc::clone(&prog), &db, Some(&cancel))?;
+                let out = Arc::new(view.output());
+                self.install_view(norm, view, Arc::clone(&out), version);
+                Ok(out)
+            } else {
+                Ok(Arc::new(prog.run_shared_cancellable(&db, &cancel)?))
+            }
         }));
         match run {
             Err(payload) => {
@@ -308,7 +377,7 @@ impl ServerState {
             }
             Ok(Ok(out)) => {
                 self.lifetime.lock().merge(out.stats());
-                Ok(Arc::new(out))
+                Ok(out)
             }
             Ok(Err(Error::Cancelled)) => {
                 self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -373,6 +442,38 @@ impl ServerState {
             },
         );
         Ok(prog)
+    }
+
+    /// Register (or replace) a standing view, LRU-evicting past capacity.
+    fn install_view(
+        &self,
+        norm: &str,
+        view: MaterializedView,
+        published: Arc<RunOutput>,
+        version: u64,
+    ) {
+        let mut views = self.views.lock();
+        views.tick += 1;
+        let tick = views.tick;
+        if !views.entries.contains_key(norm) && views.entries.len() >= views.capacity {
+            if let Some(victim) = views
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                views.entries.remove(&victim);
+            }
+        }
+        views.entries.insert(
+            norm.to_string(),
+            ViewEntry {
+                view,
+                published,
+                version,
+                tick,
+            },
+        );
     }
 
     fn render_query(
@@ -515,6 +616,32 @@ impl ServerState {
         }
         self.data_version.store(version, Ordering::SeqCst);
         self.counters.facts_commits.fetch_add(1, Ordering::Relaxed);
+        // Standing views absorb the commit inside the write critical
+        // section: every entry leaves here either refreshed to `version`
+        // or dropped. A refresh that fails or panics never leaves a
+        // half-maintained view servable — the entry is removed and the
+        // next query for that program rebuilds from scratch.
+        if self.engine.config().incremental_views {
+            let mut views = self.views.lock();
+            views.entries.retain(|_, entry| {
+                let refreshed = catch_unwind(AssertUnwindSafe(|| {
+                    entry.view.refresh(&db, &inserts, &deletes)
+                }));
+                match refreshed {
+                    Ok(Ok(())) => {
+                        self.lifetime.lock().merge(entry.view.stats());
+                        entry.published = Arc::new(entry.view.output());
+                        entry.version = version;
+                        true
+                    }
+                    Ok(Err(_)) => false,
+                    Err(_) => {
+                        self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                }
+            });
+        }
         if let Some(d) = self.durability.lock().as_mut() {
             // A failed snapshot never fails the (durable, applied) commit
             // it trails — the log just keeps growing until one succeeds.
@@ -550,6 +677,15 @@ impl ServerState {
             let cache = self.prepared.lock();
             (cache.entries.len(), cache.capacity)
         };
+        let (view_entries, view_capacity, view_incremental) = {
+            let views = self.views.lock();
+            let incremental = views
+                .entries
+                .values()
+                .filter(|e| e.view.incremental())
+                .count();
+            (views.entries.len(), views.capacity, incremental)
+        };
         let (index_resident, index_entries) = {
             let db = self.db.read();
             (db.index_cache().resident_bytes(), db.index_cache().len())
@@ -564,6 +700,14 @@ impl ServerState {
                 ("cache_misses", json::int(l.index.cache_misses)),
                 ("cache_evictions", json::int(l.index.cache_evictions)),
                 ("published", json::int(l.index.published)),
+                ("view_refreshes", json::int(l.view.view_refreshes)),
+                ("view_seeded_strata", json::int(l.view.view_seeded_strata)),
+                (
+                    "view_counting_strata",
+                    json::int(l.view.view_counting_strata),
+                ),
+                ("view_dred_strata", json::int(l.view.view_dred_strata)),
+                ("view_fallbacks", json::int(l.view.view_fallbacks)),
                 ("total_us", json::int(l.total.as_micros())),
             ])
         };
@@ -601,6 +745,7 @@ impl ServerState {
             ("timeouts", load(&c.timeouts)),
             ("cancelled_runs", load(&c.cancelled_runs)),
             ("facts_commits", load(&c.facts_commits)),
+            ("view_hits", load(&c.view_hits)),
             ("panics", load(&c.panics)),
             (
                 "data_version",
@@ -612,6 +757,14 @@ impl ServerState {
                 json::obj(vec![
                     ("entries", json::int(prepared_entries)),
                     ("capacity", json::int(prepared_capacity)),
+                ]),
+            ),
+            (
+                "views",
+                json::obj(vec![
+                    ("entries", json::int(view_entries)),
+                    ("incremental", json::int(view_incremental)),
+                    ("capacity", json::int(view_capacity)),
                 ]),
             ),
             (
@@ -741,6 +894,7 @@ impl Server {
         // Read sets are captured after ALL warmup runs: each exclusive run
         // bumps the versions of the relations it derives, so capturing
         // eagerly would strand earlier entries on later runs' writes.
+        let view_capacity = cfg.prepared_capacity.max(1);
         let mut prepared = PreparedCache {
             entries: HashMap::new(),
             tick: 0,
@@ -771,6 +925,11 @@ impl Server {
             db: RwLock::new(db),
             data_version: AtomicU64::new(data_version),
             prepared: Mutex::new(prepared),
+            views: Mutex::new(ViewRegistry {
+                entries: HashMap::new(),
+                tick: 0,
+                capacity: view_capacity,
+            }),
             inflight: Mutex::new(HashMap::new()),
             sem,
             counters: Counters {

@@ -14,14 +14,17 @@ use crate::stats::{analyze_view, StatsLevel, TableStats};
 /// Index of a relation within a [`Catalog`].
 pub type RelId = usize;
 
+#[derive(Clone)]
 struct Entry {
     rel: Relation,
     version: u64,
     stats: Option<TableStats>,
 }
 
-/// Relation registry.
-#[derive(Default)]
+/// Relation registry. Cloning deep-copies every relation — the query
+/// service's materialized views use this to publish an immutable result
+/// snapshot per refresh while keeping the original mutable.
+#[derive(Clone, Default)]
 pub struct Catalog {
     entries: Vec<Entry>,
     by_name: recstep_common::hash::FxHashMap<String, RelId>,

@@ -57,6 +57,28 @@ impl<'d> RunCatalog<'d> {
         })
     }
 
+    /// Shared-mode accessor whose overlay is pre-seeded with a previous
+    /// run's results: every relation of `local` shadows the same-named
+    /// base relation (when one exists), so a re-entered evaluation reads
+    /// the prior run's relation contents instead of starting from the
+    /// base rows. The base stays frozen, exactly as under
+    /// [`RunCatalog::shared`] — this is the overlay-refresh entry point
+    /// incremental view maintenance uses to re-run a program against a
+    /// *mutated* base while carrying its previous IDB results forward.
+    pub fn shared_with(base: &'d Catalog, local: Catalog) -> Self {
+        let mut shadow = FxHashMap::default();
+        for (j, rel) in local.iter() {
+            if let Some(id) = base.lookup(&rel.schema().name) {
+                shadow.insert(id, j);
+            }
+        }
+        RunCatalog::Shared(Overlay {
+            base,
+            local,
+            shadow,
+        })
+    }
+
     /// Resolve a relation by name; overlay relations shadow base ones.
     pub fn lookup(&self, name: &str) -> Option<RelId> {
         match self {
@@ -264,6 +286,44 @@ mod tests {
         assert!(run.shared_version(new).is_none());
         run.reset_for_run(new);
         assert_eq!(run.rel(new).len(), 0);
+    }
+
+    #[test]
+    fn shared_with_preseeds_shadows_from_a_previous_overlay() {
+        let base = base_with("arc", &[vec![1, 2]]);
+        // First run: derive tc into the overlay.
+        let mut run = RunCatalog::shared(&base);
+        run.create(Schema::with_arity("tc", 2)).unwrap();
+        let tc = run.lookup("tc").unwrap();
+        run.rel_mut(tc).push_row(&[1, 2]);
+        let prev = run.into_overlay().unwrap();
+
+        // Second run re-enters with the previous results carried forward.
+        let run = RunCatalog::shared_with(&base, prev);
+        let tc = run.lookup("tc").unwrap();
+        assert_eq!(run.rel(tc).len(), 1, "previous results visible");
+        assert!(run.shared_version(tc).is_none());
+        let arc = run.lookup("arc").unwrap();
+        assert_eq!(run.rel(arc).len(), 1, "base still reads through");
+        assert!(
+            run.shared_version(arc).is_some(),
+            "unshadowed base is frozen"
+        );
+
+        // A previous-run relation that shadows a same-named base relation
+        // resolves to the carried rows, through both id spaces.
+        let mut seeded = Catalog::new();
+        seeded
+            .register(Relation::from_rows(
+                Schema::with_arity("arc", 2),
+                &[vec![7, 8], vec![9, 10]],
+            ))
+            .unwrap();
+        let run = RunCatalog::shared_with(&base, seeded);
+        let arc = run.lookup("arc").unwrap();
+        assert_eq!(run.rel(arc).len(), 2, "carried rows shadow the base");
+        assert_eq!(run.rel(0).len(), 2, "stale base id redirects");
+        assert!(run.shared_version(0).is_none(), "shadowed id not shareable");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! `docs/flags.md` is checked, not trusted: every public field of
-//! `Config`, `EvalStats` and `IndexStats` must appear (as `` `name` ``)
+//! `Config`, `EvalStats`, `IndexStats` and `ViewStats` must appear (as `` `name` ``)
 //! in the flags table, and every CLI flag the binary parses must be
 //! mentioned there and in the binary's usage string — so a new toggle or
 //! counter cannot land undocumented.
@@ -60,7 +60,7 @@ fn every_config_field_is_documented() {
 
 #[test]
 fn every_stats_field_is_documented() {
-    for strukt in ["EvalStats", "IndexStats"] {
+    for strukt in ["EvalStats", "IndexStats", "ViewStats"] {
         let fields = pub_fields(STATS_RS, strukt);
         assert!(!fields.is_empty(), "no fields parsed for {strukt}");
         for f in fields {

@@ -133,11 +133,12 @@ fn facts_commit_bumps_data_version_and_invalidates_prepared_entries() {
     let (status, body) = post(addr, "/query", &query_body(TC)).unwrap();
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"total\":3"), "{body}");
-    // Identical program again: served from the prepared cache.
+    // Identical program again: answered by the standing materialized
+    // view — no fixpoint, no prepared-cache probe.
     post(addr, "/query", &query_body(TC)).unwrap();
     let (_, stats) = get(addr, "/stats").unwrap();
     assert_eq!(counter(&stats, "compiles"), 1, "{stats}");
-    assert_eq!(counter(&stats, "prepared_hits"), 1, "{stats}");
+    assert_eq!(counter(&stats, "view_hits"), 1, "{stats}");
 
     // A write moves the data version: inserts + a whole-tuple delete in
     // one transaction.
@@ -150,14 +151,17 @@ fn facts_commit_bumps_data_version_and_invalidates_prepared_entries() {
     assert_eq!(status, 200, "{body}");
     assert_eq!(counter(&body, "data_version"), 1, "{body}");
 
-    // The cached plan is stale now: same text recompiles, and the result
-    // reflects the new facts ((1,2),(2,3),(3,4) closes to 6 pairs).
+    // The commit refreshed the standing view in place, so the same text
+    // is answered at the new version without recompiling or re-running
+    // ((1,2),(2,3),(3,4) closes to 6 pairs).
     let (status, body) = post(addr, "/query", &query_body(TC)).unwrap();
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"total\":6"), "{body}");
     let (_, stats) = get(addr, "/stats").unwrap();
-    assert_eq!(counter(&stats, "compiles"), 2, "{stats}");
+    assert_eq!(counter(&stats, "compiles"), 1, "{stats}");
+    assert_eq!(counter(&stats, "view_hits"), 2, "{stats}");
     assert_eq!(counter(&stats, "facts_commits"), 1, "{stats}");
+    assert!(counter(&stats, "view_refreshes") >= 1, "{stats}");
 
     server.shutdown();
 }
@@ -180,14 +184,16 @@ fn facts_commit_invalidates_only_plans_reading_the_written_relations() {
     let (_, stats) = get(addr, "/stats").unwrap();
     assert_eq!(counter(&stats, "compiles"), 2, "{stats}");
 
-    // Commit to `node` only: the TC plan reads `arc`/`tc`, never `node`,
-    // so it must survive as a prepared hit; the negation plan is stale.
+    // Commit to `node` only: the TC program reads `arc`/`tc`, never
+    // `node`, so its standing view absorbs the commit as a no-op and
+    // still answers directly; the negation plan (ineligible for a view)
+    // is stale and recompiles.
     let (status, body) = post(addr, "/facts", "{\"insert\":{\"node\":[[65]]}}").unwrap();
     assert_eq!(status, 200, "{body}");
     assert_eq!(post(addr, "/query", &query_body(TC)).unwrap().0, 200);
     let (_, stats) = get(addr, "/stats").unwrap();
     assert_eq!(counter(&stats, "compiles"), 2, "{stats}");
-    assert_eq!(counter(&stats, "prepared_hits"), 1, "{stats}");
+    assert_eq!(counter(&stats, "view_hits"), 1, "{stats}");
 
     let (status, body) = post(addr, "/query", &query_body(NEG)).unwrap();
     assert_eq!(status, 200, "{body}");
