@@ -169,31 +169,12 @@ fn main() {
     });
     let path = std::path::PathBuf::from(out);
     let block = format!(
-        "\"serve\": {{\"queries\": {queries}, \"compiles\": {compiles}, \
+        "{{\"queries\": {queries}, \"compiles\": {compiles}, \
          \"prepared_hits\": {prepared_hits}, \"p50_us\": {p50_us}, \"p95_us\": {p95_us}, \
          \"cache_hits\": {cache_hits}, \"shed_count\": {shed_count}, \
          \"durability\": {{\"wal_records\": {wal_records}, \"wal_bytes\": {wal_bytes}, \
          \"snapshots\": {snapshots}, \"recovered_records\": {recovered_records}}}}}"
     );
-    let mut doc = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".into());
-    // Replace a stale single-line serve block from a previous run, if any.
-    if let Some(key) = doc.find("\n  \"serve\": ") {
-        let start = if doc[..key].ends_with(',') {
-            key - 1
-        } else {
-            key
-        };
-        if let Some(len) = doc[key + 1..].find('\n') {
-            doc.replace_range(start..key + 1 + len, "");
-        }
-    }
-    let at = doc.rfind("\n}").expect("pipeline document closes");
-    let lead = if doc[..at].trim_end().ends_with('{') {
-        "\n  "
-    } else {
-        ",\n  "
-    };
-    doc.insert_str(at, &format!("{lead}{block}"));
-    std::fs::write(&path, &doc).expect("write BENCH_pipeline.json");
+    splice_json_block(&path, "serve", &block);
     println!("  spliced \"serve\" block into {}", path.display());
 }

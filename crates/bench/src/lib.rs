@@ -201,6 +201,26 @@ impl AggBench {
     pub fn speedup(&self) -> f64 {
         self.unfused_secs / self.fused_secs.max(1e-9)
     }
+
+    /// Render as the single-line JSON block [`splice_json_block`] takes
+    /// (also embedded by [`PipelineBench::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"edges\": {}, \"rows\": {}, \
+             \"iterations\": {}, \"fused\": {:.6}, \"unfused\": {:.6}, \
+             \"rows_folded_at_source\": {}, \"groups_improved\": {}, \
+             \"speedup\": {:.3}}}",
+            self.workload,
+            self.edges,
+            self.rows,
+            self.iterations,
+            self.fused_secs,
+            self.unfused_secs,
+            self.rows_folded_at_source,
+            self.groups_improved,
+            self.speedup(),
+        )
+    }
 }
 
 /// Run connected components with group-at-source streaming aggregation on
@@ -286,21 +306,7 @@ impl PipelineBench {
     pub fn to_json(&self) -> String {
         let mut json = self.to_json_base();
         if let Some(a) = &self.agg {
-            let block = format!(
-                ",\n  \"agg\": {{\"workload\": \"{}\", \"edges\": {}, \"rows\": {}, \
-                 \"iterations\": {}, \"fused\": {:.6}, \"unfused\": {:.6}, \
-                 \"rows_folded_at_source\": {}, \"groups_improved\": {}, \
-                 \"speedup\": {:.3}}}",
-                a.workload,
-                a.edges,
-                a.rows,
-                a.iterations,
-                a.fused_secs,
-                a.unfused_secs,
-                a.rows_folded_at_source,
-                a.groups_improved,
-                a.speedup(),
-            );
+            let block = format!(",\n  \"agg\": {}", a.to_json());
             let at = json.rfind("\n}").expect("base document closes");
             json.insert_str(at, &block);
         }
@@ -575,18 +581,199 @@ pub fn run_ivm_bench(
     }
 }
 
+/// One generic-join-vs-binary-chain measurement of triangle enumeration:
+/// [`recstep::programs::TRIANGLE`] with the worst-case optimal join on
+/// vs. `--no-wcoj`. The same compiled program carries both plans — the
+/// flag picks at run time — so the two arms differ only in the operator
+/// walking the cyclic body.
+#[derive(Clone, Debug)]
+pub struct WcojBench {
+    /// Workload label.
+    pub workload: String,
+    /// Input edges.
+    pub edges: usize,
+    /// Output (`triangle`) rows — identical across modes by assertion.
+    pub triangles: usize,
+    /// Rows the WCOJ leaf enumeration emitted into its sink, pre-dedup
+    /// (one per distinct variable binding; the binary chain's 2-path
+    /// intermediate is what this number refuses to be).
+    pub wcoj_rows_emitted: usize,
+    /// Best wall seconds with the generic join on.
+    pub wcoj_secs: f64,
+    /// Best wall seconds with `--no-wcoj` (binary join chain).
+    pub binary_secs: f64,
+}
+
+impl WcojBench {
+    /// Generic-join speedup over the binary chain (wall-clock ratio).
+    pub fn speedup(&self) -> f64 {
+        self.binary_secs / self.wcoj_secs.max(1e-9)
+    }
+
+    /// Render as the single-line JSON block [`splice_json_block`] takes.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\": \"{}\", \"edges\": {}, \"triangles\": {}, \
+             \"wcoj_rows_emitted\": {}, \"wcoj_secs\": {:.6}, \
+             \"binary_secs\": {:.6}, \"speedup\": {:.3}}}",
+            self.workload,
+            self.edges,
+            self.triangles,
+            self.wcoj_rows_emitted,
+            self.wcoj_secs,
+            self.binary_secs,
+            self.speedup(),
+        )
+    }
+}
+
+/// A G(n,p) workload for the cyclic-body benchmarks: moderate density,
+/// so the binary chain's 2-path intermediate dwarfs both the input and
+/// the triangle output (the regime the AGM bound says a worst-case
+/// optimal join must not touch).
+pub fn triangle_workload(n: u32, p: f64, seed: u64) -> Vec<(Value, Value)> {
+    recstep_graphgen::gnp::gnp(n, p, seed)
+        .into_iter()
+        .map(|(a, b)| (a as Value, b as Value))
+        .collect()
+}
+
+/// The skewed triangle workload the wcoj bench gate measures: a G(n,p)
+/// background (which contributes the actual triangles) plus one hub
+/// vertex with `k` in-spokes from the background vertices and `k`
+/// out-spokes to `k` fresh vertices. Every in×out spoke pair is a 2-path
+/// through the hub and none closes into a triangle, so a binary triangle
+/// plan materializes (and then discards) a `k²`-row intermediate the
+/// generic join never touches — the canonical degree-skew regime where
+/// worst-case optimal joins beat any binary plan asymptotically.
+pub fn skewed_triangle_workload(n: u32, p: f64, k: u32, seed: u64) -> Vec<(Value, Value)> {
+    let mut edges = triangle_workload(n, p, seed);
+    let hub = n as Value;
+    // In-spokes stay distinct (capped at the background's vertex count):
+    // duplicate input rows would inflate the binary chain's intermediate
+    // beyond what the graph shape justifies.
+    for i in 0..k.min(n) {
+        edges.push((i as Value, hub));
+    }
+    for i in 0..k {
+        edges.push((hub, (n + 1 + i) as Value));
+    }
+    edges
+}
+
+/// Run triangle enumeration with the generic join on and off,
+/// best-of-`repeats` wall time per mode (interleaved), asserting both
+/// modes compute the identical relation and that the flag really moved
+/// evaluation between the generic join and the binary chain.
+pub fn run_wcoj_bench(
+    workload: &str,
+    edges: &[(Value, Value)],
+    threads: usize,
+    repeats: usize,
+) -> WcojBench {
+    let cfg = |wcoj: bool| {
+        Config::default()
+            .threads(threads)
+            .pbme(recstep::PbmeMode::Off)
+            .wcoj(wcoj)
+    };
+    let run_once = |wcoj: bool| {
+        let prog = prepared(cfg(wcoj), recstep::programs::TRIANGLE);
+        let mut db = db_with_edges(&[("arc", edges)]);
+        let t0 = Instant::now();
+        let stats = prog.run(&mut db).expect("TRIANGLE completes");
+        (t0.elapsed().as_secs_f64(), stats, db.row_count("triangle"))
+    };
+    let mut best: [Option<(f64, recstep::EvalStats, usize)>; 2] = [None, None];
+    for _ in 0..repeats.max(1) {
+        for (slot, on) in [(0, true), (1, false)] {
+            let (secs, stats, rows) = run_once(on);
+            if best[slot].as_ref().is_none_or(|(b, _, _)| secs < *b) {
+                best[slot] = Some((secs, stats, rows));
+            }
+        }
+    }
+    let (wcoj_secs, wcoj_stats, wcoj_rows) = best[0].take().expect("ran");
+    let (binary_secs, binary_stats, binary_rows) = best[1].take().expect("ran");
+    assert_eq!(
+        wcoj_rows, binary_rows,
+        "generic join and binary chain must agree on the triangles"
+    );
+    assert!(
+        wcoj_stats.wcoj_runs > 0,
+        "the cyclic body must dispatch to the generic join"
+    );
+    assert_eq!(
+        binary_stats.wcoj_runs, 0,
+        "--no-wcoj must keep the binary join chain"
+    );
+    WcojBench {
+        workload: workload.to_string(),
+        edges: edges.len(),
+        triangles: wcoj_rows,
+        wcoj_rows_emitted: wcoj_stats.wcoj_rows_emitted,
+        wcoj_secs,
+        binary_secs,
+    }
+}
+
+/// The `"speedup"` floor a gated bench block must clear before
+/// [`splice_json_block`] records it — the same thresholds CI asserts
+/// over `BENCH_pipeline.json` (see `docs/benchmarks.md`), enforced at
+/// the recorder so a regressed measurement cannot land silently.
+fn speedup_gate(key: &str) -> Option<f64> {
+    match key {
+        "agg" => Some(1.1),
+        "wcoj" => Some(2.0),
+        _ => None,
+    }
+}
+
 /// Splice a `"key": <block>` member into the top level of the JSON
 /// document at `path` (a minimal document is created if absent, so
 /// recorders can run in any order), replacing any stale single-line block
 /// with the same key from a previous run. The block must be rendered on
 /// one line.
+///
+/// Gated keys (`"agg"`, `"wcoj"`) are refused — panicking instead of
+/// writing — when the block's `"speedup"` member falls below the CI
+/// gate; `RECSTEP_SKIP_SPEEDUP_GATE=1` records it anyway (for heavily
+/// loaded machines — CI leaves the gate enforced).
 pub fn splice_json_block(path: &std::path::Path, key: &str, block: &str) {
+    if std::env::var_os("RECSTEP_SKIP_SPEEDUP_GATE").is_none() {
+        if let Some(gate) = speedup_gate(key) {
+            let needle = "\"speedup\": ";
+            let sp = block
+                .rfind(needle)
+                .map(|at| &block[at + needle.len()..])
+                .and_then(|rest| {
+                    let end = rest
+                        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                        .unwrap_or(rest.len());
+                    rest[..end].parse::<f64>().ok()
+                })
+                .unwrap_or_else(|| panic!("gated block \"{key}\" must carry \"speedup\""));
+            assert!(
+                sp >= gate,
+                "refusing to record \"{key}\" speedup {sp:.3} below its {gate:.1}x gate \
+                 (set RECSTEP_SKIP_SPEEDUP_GATE=1 to record anyway)"
+            );
+        }
+    }
     let mut doc = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".into());
     let needle = format!("\n  \"{key}\": ");
     if let Some(at) = doc.find(&needle) {
-        let start = if doc[..at].ends_with(',') { at - 1 } else { at };
         if let Some(len) = doc[at + 1..].find('\n') {
-            doc.replace_range(start..at + 1 + len, "");
+            let line_end = at + 1 + len;
+            // A middle member carries its own trailing comma — dropping
+            // the line alone keeps the document balanced; only for the
+            // last member must the *preceding* comma go with it.
+            let start = if !doc[..line_end].ends_with(',') && doc[..at].ends_with(',') {
+                at - 1
+            } else {
+                at
+            };
+            doc.replace_range(start..line_end, "");
         }
     }
     let at = doc.rfind("\n}").expect("JSON document closes");

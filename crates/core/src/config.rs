@@ -115,6 +115,15 @@ pub struct Config {
     /// counting/DRed for deletions) instead of recompiling + rerunning
     /// from scratch. `--no-incremental` is the ablation switch.
     pub incremental_views: bool,
+    /// Worst-case optimal multiway joins: subqueries whose body is a
+    /// *cyclic* join hypergraph (the triangle query, longer cycles) are
+    /// evaluated by a variable-ordered generic join over sorted
+    /// compact-key tries instead of the binary chain, bounding work by
+    /// the AGM output bound rather than the largest binary intermediate.
+    /// The planner attaches the WCOJ plan at compile time; this flag picks
+    /// it at run time, so `--no-wcoj` ablates without recompiling.
+    /// Acyclic bodies always keep their binary plans.
+    pub wcoj: bool,
 }
 
 impl Default for Config {
@@ -138,6 +147,7 @@ impl Default for Config {
             grain: 4096,
             calibrate_dsd: false,
             incremental_views: true,
+            wcoj: true,
         }
     }
 }
@@ -161,6 +171,7 @@ impl Config {
             fused_agg: false,
             shared_index_cache: false,
             pbme: PbmeMode::Off,
+            wcoj: false,
             ..Config::default()
         }
     }
@@ -168,6 +179,13 @@ impl Config {
     /// Toggle standing materialized views (incremental maintenance).
     pub fn incremental_views(mut self, on: bool) -> Self {
         self.incremental_views = on;
+        self
+    }
+
+    /// Toggle worst-case optimal joins on cyclic rule bodies (off = the
+    /// binary join chain everywhere).
+    pub fn wcoj(mut self, on: bool) -> Self {
+        self.wcoj = on;
         self
     }
 
@@ -415,6 +433,7 @@ mod tests {
         assert!(c.fused_pipeline);
         assert!(c.fused_agg);
         assert!(c.shared_index_cache);
+        assert!(c.wcoj);
         assert!(c.index_cache_budget_bytes > 0);
         assert_eq!(c.oof, OofMode::Selective);
         assert_eq!(c.setdiff, SetDiffStrategy::Dynamic);
@@ -431,6 +450,7 @@ mod tests {
         assert!(!c.fused_pipeline);
         assert!(!c.fused_agg);
         assert!(!c.shared_index_cache);
+        assert!(!c.wcoj);
         assert_eq!(c.oof, OofMode::None);
         assert_eq!(c.setdiff, SetDiffStrategy::AlwaysOpsd);
         assert_eq!(c.dedup, DedupImpl::Generic);

@@ -68,6 +68,7 @@ use recstep_exec::key::{bounds_of, KeyMode};
 use recstep_exec::setdiff::{set_difference, DsdState};
 use recstep_exec::sink::{AggSink, AggTarget, DeltaSink, SinkMode, SinkSampler};
 use recstep_exec::view::SupportTable;
+use recstep_exec::wcoj::{wcoj_sink, WcojSpec};
 use recstep_exec::ExecCtx;
 use recstep_storage::{DiskManager, RelId, RelView, Relation, RunCatalog, Schema};
 
@@ -1135,6 +1136,8 @@ impl EvalRun<'_, '_> {
                 (out, sink.considered())
             };
             stats.queries_issued += out.queries + 1;
+            stats.wcoj_runs += out.wcoj.runs;
+            stats.wcoj_rows_emitted += out.wcoj.rows;
             stats.tuples_considered += considered;
             stats.agg_sink_runs += 1;
             stats.agg_rows_folded_at_source += considered;
@@ -1197,6 +1200,8 @@ impl EvalRun<'_, '_> {
             (out, sink.considered())
         };
         stats.queries_issued += out.queries + 1;
+        stats.wcoj_runs += out.wcoj.runs;
+        stats.wcoj_rows_emitted += out.wcoj.rows;
         stats.tuples_considered += considered;
         stats.agg_sink_runs += 1;
         stats.agg_rows_folded_at_source += considered;
@@ -1346,6 +1351,8 @@ impl EvalRun<'_, '_> {
         let fresh_rows = fresh.first().map_or(0, Vec::len);
         let skipped = considered - sink_fresh - overflow.len();
         stats.queries_issued += out.queries + 1;
+        stats.wcoj_runs += out.wcoj.runs;
+        stats.wcoj_rows_emitted += out.wcoj.rows;
         stats.tuples_considered += considered;
         stats.rt_rows_skipped_at_source += skipped;
         stats.rt_bytes_never_materialized += skipped * idb.arity * 8;
@@ -1444,6 +1451,8 @@ impl EvalRun<'_, '_> {
         let (candidates, queries) = (out.cols, out.queries);
         stats.phase.eval += t_eval.elapsed();
         stats.queries_issued += queries;
+        stats.wcoj_runs += out.wcoj.runs;
+        stats.wcoj_rows_emitted += out.wcoj.rows;
         let produced = candidates.first().map_or(0, Vec::len);
         stats.tuples_considered += produced;
         // The whole UNION-ALL intermediate was buffered and merged — the
@@ -1866,6 +1875,9 @@ impl EvalRun<'_, '_> {
     ) -> Result<Vec<Vec<Value>>> {
         let frozen = vec![None; sq.joins.len()];
         let mut jcache = JoinCache::new(false, None, FxHashSet::default());
+        // Maintenance passes are driven per changed scan position and not
+        // per evaluation run, so their generic-join accounting is dropped.
+        let mut wcoj = WcojTally::default();
         eval_subquery(
             self.ctx,
             self.cfg,
@@ -1877,6 +1889,7 @@ impl EvalRun<'_, '_> {
             &mut jcache,
             Some(overrides),
             sink,
+            &mut wcoj,
         )
     }
 
@@ -2682,6 +2695,17 @@ fn estimate_left_rows(
         .unwrap_or(0)
 }
 
+/// Worst-case-optimal-join accounting carried out of subquery evaluation
+/// (folded into [`EvalStats::wcoj_runs`] / [`EvalStats::wcoj_rows_emitted`]
+/// by the step functions).
+#[derive(Default, Clone, Copy)]
+struct WcojTally {
+    /// Subqueries dispatched to the generic join.
+    runs: usize,
+    /// Rows its leaf enumeration emitted into the sink, pre-dedup.
+    rows: usize,
+}
+
 /// Output of [`eval_idb`].
 struct EvalOut {
     /// Materializing: the UNION ALL of the subquery outputs (`Rt`,
@@ -2692,6 +2716,8 @@ struct EvalOut {
     cols: Vec<Vec<Value>>,
     /// Backend queries the evaluation cost (UIE batches them into one).
     queries: usize,
+    /// Generic-join accounting across the IDB's subqueries.
+    wcoj: WcojTally,
 }
 
 /// Evaluate all subqueries of one IDB.
@@ -2717,6 +2743,7 @@ fn eval_idb(
     let out_arity = idb.arity;
     let mut unioned: Vec<Vec<Value>> = vec![Vec::new(); out_arity];
     let mut queries = 0usize;
+    let mut wcoj = WcojTally::default();
     for (si, sq) in idb.subqueries.iter().enumerate() {
         // Seeded re-entry: subqueries with no ∆ scan re-derive only what
         // the maintenance seed pass already streamed; skipping them is
@@ -2735,6 +2762,7 @@ fn eval_idb(
             jcache,
             None,
             sink,
+            &mut wcoj,
         )?;
         if cfg.uie {
             // One unified query: results land in a single output buffer.
@@ -2763,6 +2791,7 @@ fn eval_idb(
     Ok(EvalOut {
         cols: unioned,
         queries,
+        wcoj,
     })
 }
 
@@ -2796,6 +2825,7 @@ fn eval_subquery<'a>(
     jcache: &mut JoinCache<'_>,
     overrides: Option<&ScanOverrides<'a>>,
     sink: &SinkMode<'_>,
+    wcoj: &mut WcojTally,
 ) -> Result<Vec<Vec<Value>>> {
     debug_assert!(
         overrides.is_none() || !jcache.enabled,
@@ -2833,6 +2863,48 @@ fn eval_subquery<'a>(
             None => source_of(i),
         }
     };
+
+    // Cyclic bodies: walk all scans at once as a variable-ordered generic
+    // join (worst-case optimal) instead of a chain of binary joins, so no
+    // 2-path-shaped intermediate ever materializes. The planner attaches
+    // the plan at compile time; the flag picks at run time, which lets one
+    // compiled program serve both ablation arms. Eligibility guarantees
+    // empty per-scan filters and no negations, so the plain body path
+    // below is fully subsumed.
+    if cfg.wcoj {
+        if let Some(wp) = &sq.wcoj {
+            let mut views = Vec::with_capacity(sq.scans.len());
+            for i in 0..sq.scans.len() {
+                views.push(view_of(i)?);
+            }
+            // Same width-accurate materialization cap as the join chain:
+            // the producer stops emitting past it and the post-check turns
+            // the truncation into an out-of-memory error.
+            let mut capped = ctx.clone();
+            capped.row_cap = (cfg.mem_budget_bytes / (sq.head_exprs.len().max(1) * 8)).max(1);
+            let spec = WcojSpec {
+                levels: wp.levels,
+                scan_cols: &wp.scan_cols,
+                level_scans: &wp.level_scans,
+                level_slots: &wp.level_slots,
+                width: sq.width,
+                output: &sq.head_exprs,
+                residual: &sq.residual,
+            };
+            let (cols, emitted) = wcoj_sink(&capped, &views, &spec, sink);
+            wcoj.runs += 1;
+            wcoj.rows += emitted;
+            let rows = cols.first().map_or(0, Vec::len);
+            let bytes = cols.iter().map(|c| c.len() * 8).sum::<usize>();
+            if rows >= capped.row_cap || bytes > cfg.mem_budget_bytes {
+                return Err(Error::exec(format!(
+                    "out of memory: WCOJ output {rows} rows / {bytes} bytes exceed budget {}",
+                    cfg.mem_budget_bytes
+                )));
+            }
+            return Ok(cols);
+        }
+    }
 
     let has_neg = !sq.negations.is_empty();
     let identity_of = |w: usize| -> Vec<Expr> { (0..w).map(Expr::Col).collect() };

@@ -166,6 +166,14 @@ pub struct EvalStats {
     /// by the non-streaming path. Zero under the fused pipeline — the
     /// acceptance signal that duplicates die at the probe site.
     pub rt_merge_bytes: usize,
+    /// Subquery evaluations dispatched to the generic worst-case optimal
+    /// join (cyclic bodies walked as one variable-ordered intersection
+    /// instead of a chain of binary joins).
+    pub wcoj_runs: usize,
+    /// Rows the WCOJ leaf enumeration emitted into its sink, pre-dedup —
+    /// one per distinct variable binding, never one per intermediate
+    /// row-combination.
+    pub wcoj_rows_emitted: usize,
     /// Group-at-source streaming aggregation passes: aggregated heads
     /// whose produced rows were folded into concurrent aggregate state at
     /// the probe site instead of materializing a pre-aggregation `Rt`.
@@ -257,6 +265,8 @@ impl EvalStats {
         self.rt_rows_skipped_at_source += other.rt_rows_skipped_at_source;
         self.rt_bytes_never_materialized += other.rt_bytes_never_materialized;
         self.rt_merge_bytes += other.rt_merge_bytes;
+        self.wcoj_runs += other.wcoj_runs;
+        self.wcoj_rows_emitted += other.wcoj_rows_emitted;
         self.agg_sink_runs += other.agg_sink_runs;
         self.agg_rows_folded_at_source += other.agg_rows_folded_at_source;
         self.agg_groups_improved += other.agg_groups_improved;

@@ -69,6 +69,34 @@ pub struct NegSpec {
     pub right_keys: Vec<usize>,
 }
 
+/// Plan for evaluating one subquery with the generic worst-case optimal
+/// multiway join instead of the binary chain.
+///
+/// Attached to a [`SubQuery`] when its body qualifies: at least three
+/// filter-free positive atoms (every argument a distinct variable), no
+/// negation, and a *cyclic* join hypergraph ([`hypergraph_is_cyclic`]) —
+/// exactly the shapes where a binary plan materializes an asymptotically
+/// larger intermediate than the AGM output bound. Variables are ordered
+/// globally (most-shared first); each scan's columns reordered by that
+/// order become a sorted-trie access path, and evaluation intersects one
+/// variable per *level*. All fields are positional, like the rest of the
+/// plan: the backend never sees variable names.
+#[derive(Clone, Debug)]
+pub struct WcojPlan {
+    /// Number of join variables (= intersection levels), in order.
+    pub levels: usize,
+    /// Per scan: its column indices ordered by the global variable order
+    /// (the trie sort order).
+    pub scan_cols: Vec<Vec<usize>>,
+    /// Per level: `(scan, depth)` participants — the scans containing this
+    /// level's variable, with the variable's depth in that scan's
+    /// `scan_cols` order.
+    pub level_scans: Vec<Vec<(usize, usize)>>,
+    /// Per level: flattened-layout positions bound by this level's value
+    /// (every occurrence of the variable across the body).
+    pub level_slots: Vec<Vec<usize>>,
+}
+
 /// One subquery of the semi-naïve rewriting of one rule.
 #[derive(Clone, Debug)]
 pub struct SubQuery {
@@ -89,6 +117,10 @@ pub struct SubQuery {
     pub head_exprs: Vec<Expr>,
     /// Total width of the flattened layout (sum of scan arities).
     pub width: usize,
+    /// Worst-case optimal evaluation plan, attached when the body is
+    /// cyclic (the `wcoj` config flag picks between this and `joins` at
+    /// run time, so one compiled program serves both ablation arms).
+    pub wcoj: Option<WcojPlan>,
 }
 
 /// Aggregation metadata of an aggregated IDB.
@@ -457,6 +489,11 @@ fn compile_subquery(
         }
     }
 
+    let wcoj = if negations.is_empty() {
+        wcoj_plan(&atoms, &scans)
+    } else {
+        None
+    };
     Ok(SubQuery {
         rule_idx,
         delta_scan: delta_pos,
@@ -466,6 +503,126 @@ fn compile_subquery(
         negations,
         head_exprs,
         width,
+        wcoj,
+    })
+}
+
+/// GYO reduction: is the join hypergraph (one hyperedge of variable ids
+/// per atom) cyclic?
+///
+/// Repeatedly (1) drops *ear* vertices — variables appearing in exactly
+/// one remaining edge — and (2) drops edges that became empty or a subset
+/// of another remaining edge. The hypergraph is α-acyclic iff this
+/// reduction consumes every edge; a body on which it gets stuck (the
+/// triangle, any odd cycle, …) is cyclic, and those are the shapes where
+/// the worst-case optimal plan beats the binary chain asymptotically.
+/// Bodies of one or two atoms are always acyclic.
+pub fn hypergraph_is_cyclic(edges: &[Vec<usize>]) -> bool {
+    let mut edges: Vec<Vec<usize>> = edges.to_vec();
+    loop {
+        // Drop ear vertices (variables local to one edge).
+        let mut count: FxHashMap<usize, usize> = FxHashMap::default();
+        for e in &edges {
+            for &v in e {
+                *count.entry(v).or_insert(0) += 1;
+            }
+        }
+        let before: usize = edges.iter().map(Vec::len).sum();
+        for e in &mut edges {
+            e.retain(|v| count[v] > 1);
+        }
+        // Drop empty edges and edges covered by another remaining edge.
+        let snapshot = edges.clone();
+        let mut kept = Vec::with_capacity(edges.len());
+        for (i, e) in snapshot.iter().enumerate() {
+            let covered = e.is_empty()
+                || snapshot.iter().enumerate().any(|(j, other)| {
+                    // Subset of an earlier equal edge or any strict superset
+                    // (ties broken by index so equal edges drop all but one).
+                    j != i
+                        && e.iter().all(|v| other.contains(v))
+                        && (other.len() > e.len() || j < i)
+                });
+            if !covered {
+                kept.push(e.clone());
+            }
+        }
+        let after: usize = kept.iter().map(Vec::len).sum();
+        let stuck = kept.len() == edges.len() && after == before;
+        edges = kept;
+        if edges.is_empty() {
+            return false;
+        }
+        if stuck {
+            return true;
+        }
+    }
+}
+
+/// Build the worst-case optimal plan for a rule body, or `None` when the
+/// body does not qualify (fewer than three atoms, any filtered scan —
+/// constants or atom-local repeats — or an acyclic hypergraph, where the
+/// binary chain is already optimal).
+fn wcoj_plan(atoms: &[&Atom<BodyTerm>], scans: &[ScanSpec]) -> Option<WcojPlan> {
+    if atoms.len() < 3 || scans.iter().any(|s| !s.filters.is_empty()) {
+        return None;
+    }
+    // Filter-free scans have all-variable, locally-distinct arguments.
+    let mut ids: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        let mut edge = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            let BodyTerm::Var(v) = t else {
+                debug_assert!(false, "constants imply scan filters");
+                return None;
+            };
+            let next = ids.len();
+            edge.push(*ids.entry(v.as_str()).or_insert(next));
+        }
+        edges.push(edge);
+    }
+    if !hypergraph_is_cyclic(&edges) {
+        return None;
+    }
+    // Global variable order: most-shared first (ties by first occurrence),
+    // so the top intersection levels are the most constrained.
+    let nvars = ids.len();
+    let mut freq = vec![0usize; nvars];
+    for edge in &edges {
+        for &v in edge {
+            freq[v] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..nvars).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(freq[v]), v));
+    let mut level_of = vec![0usize; nvars];
+    for (l, &v) in order.iter().enumerate() {
+        level_of[v] = l;
+    }
+    let mut scan_cols = Vec::with_capacity(atoms.len());
+    let mut level_scans = vec![Vec::new(); nvars];
+    let mut level_slots = vec![Vec::new(); nvars];
+    let mut offset = 0usize;
+    for (i, edge) in edges.iter().enumerate() {
+        let mut by_level: Vec<(usize, usize)> = edge
+            .iter()
+            .enumerate()
+            .map(|(col, &v)| (level_of[v], col))
+            .collect();
+        by_level.sort_unstable();
+        for (depth, &(level, col)) in by_level.iter().enumerate() {
+            level_scans[level].push((i, depth));
+            level_slots[level].push(offset + col);
+        }
+        scan_cols.push(by_level.into_iter().map(|(_, col)| col).collect());
+        offset += scans[i].arity;
+    }
+    Some(WcojPlan {
+        levels: nvars,
+        scan_cols,
+        level_scans,
+        level_slots,
     })
 }
 
@@ -627,6 +784,126 @@ mod tests {
                 assert!(!j.left_keys.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn gyo_classifies_hypergraphs() {
+        // Chains and stars are acyclic.
+        assert!(!hypergraph_is_cyclic(&[vec![0, 1], vec![1, 2]]));
+        assert!(!hypergraph_is_cyclic(&[vec![0, 1], vec![0, 2], vec![0, 3]]));
+        // A path of three atoms is acyclic too.
+        assert!(!hypergraph_is_cyclic(&[vec![0, 1], vec![1, 2], vec![2, 3]]));
+        // Self-join shape: two atoms over the same variable pair collapse.
+        assert!(!hypergraph_is_cyclic(&[vec![0, 1], vec![0, 1]]));
+        // One wide atom covering a triangle's variables absorbs it.
+        assert!(!hypergraph_is_cyclic(&[
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![0, 1, 2]
+        ]));
+        // The triangle and longer cycles are cyclic.
+        assert!(hypergraph_is_cyclic(&[vec![0, 1], vec![1, 2], vec![0, 2]]));
+        assert!(hypergraph_is_cyclic(&[
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 0]
+        ]));
+        // Empty and single-edge hypergraphs are trivially acyclic.
+        assert!(!hypergraph_is_cyclic(&[]));
+        assert!(!hypergraph_is_cyclic(&[vec![0, 1, 2]]));
+    }
+
+    #[test]
+    fn triangle_body_gets_a_wcoj_plan() {
+        let p = compiled(crate::programs::TRIANGLE);
+        let sq = &p.strata[0].idbs[0].subqueries[0];
+        let wp = sq.wcoj.as_ref().expect("cyclic body plans WCOJ");
+        assert_eq!(wp.levels, 3);
+        // Each scan sorts by both its columns; every level intersects two
+        // of the three scans and binds two flattened slots.
+        assert_eq!(wp.scan_cols, vec![vec![0, 1]; 3]);
+        for level in 0..3 {
+            assert_eq!(wp.level_scans[level].len(), 2);
+            assert_eq!(wp.level_slots[level].len(), 2);
+        }
+        // Every flattened slot is bound exactly once across the levels.
+        let mut slots: Vec<usize> = wp.level_slots.iter().flatten().copied().collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..6).collect::<Vec<_>>());
+        // The binary chain stays compiled alongside for the ablation arm.
+        assert_eq!(sq.joins.len(), 2);
+    }
+
+    #[test]
+    fn acyclic_and_small_bodies_keep_binary_plans() {
+        // Linear TC: two-atom body.
+        let p = compiled(crate::programs::TC);
+        for s in &p.strata {
+            for idb in &s.idbs {
+                for sq in &idb.subqueries {
+                    assert!(sq.wcoj.is_none(), "acyclic body must not plan WCOJ");
+                }
+            }
+        }
+        // Three-atom path r(x,y,w) :- a(x,z), b(z,y), c(y,w): acyclic.
+        let p = compiled("r(x, y, w) :- a(x, z), b(z, y), c(y, w).");
+        assert!(p.strata[0].idbs[0].subqueries[0].wcoj.is_none());
+    }
+
+    #[test]
+    fn filtered_and_negated_cyclic_bodies_are_ineligible() {
+        // A constant argument forces a scan filter → no WCOJ.
+        let p = compiled("r(x, y) :- a(x, y), a(y, z), a(x, 5).");
+        assert!(p.strata[0].idbs[0].subqueries[0].wcoj.is_none());
+        // A negation after a cyclic positive body → no WCOJ.
+        let p = compiled(
+            "t(x, y) :- e(x, y).\n\
+             r(x, y, z) :- e(x, y), e(y, z), e(x, z), !t(z, x).",
+        );
+        let r = p
+            .strata
+            .iter()
+            .flat_map(|s| &s.idbs)
+            .find(|i| i.rel == "r")
+            .unwrap();
+        assert!(r.subqueries[0].wcoj.is_none());
+        // The same body without the negation qualifies.
+        let p = compiled("r(x, y, z) :- e(x, y), e(y, z), e(x, z).");
+        assert!(p.strata[0].idbs[0].subqueries[0].wcoj.is_some());
+    }
+
+    #[test]
+    fn recursive_cyclic_rule_plans_wcoj_per_subquery() {
+        // A cyclic recursive body: every ∆ rewriting keeps the same
+        // hypergraph, so each subquery carries its own WCOJ plan.
+        let p = compiled(
+            "t(x, y) :- arc(x, y).\n\
+             t(x, z) :- t(x, y), t(y, z), arc(x, z).",
+        );
+        let rec = p.strata.iter().find(|s| s.recursive).unwrap();
+        let t = &rec.idbs[0];
+        let cyclic: Vec<&SubQuery> = t.subqueries.iter().filter(|s| s.scans.len() == 3).collect();
+        assert_eq!(cyclic.len(), 2, "one subquery per ∆ position");
+        for sq in cyclic {
+            let wp = sq.wcoj.as_ref().expect("cyclic recursive body");
+            assert_eq!(wp.levels, 3);
+        }
+    }
+
+    #[test]
+    fn wcoj_variable_order_puts_most_shared_first() {
+        // Triangle x-y-z plus a pendant atom on y: y is the most shared
+        // variable (3 atoms), so it leads the order and the first level
+        // intersects its three scans.
+        let p = compiled("r(x, y, z, w) :- a(x, y), b(y, z), c(z, x), d(y, w).");
+        let sq = &p.strata[0].idbs[0].subqueries[0];
+        let wp = sq.wcoj.as_ref().expect("triangle core is cyclic");
+        assert_eq!(wp.levels, 4);
+        assert_eq!(wp.level_scans[0].len(), 3, "y leads the order");
+        // The pendant variable w is least shared: last level, one scan.
+        assert_eq!(wp.level_scans[3].len(), 1);
     }
 
     #[test]

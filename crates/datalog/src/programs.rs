@@ -79,6 +79,12 @@ tc(x, y) :- tc(x, z), arc(z, y).
 gtc(x, COUNT(y)) :- tc(x, y).
 ";
 
+/// Triangle enumeration — the canonical cyclic body, where a binary plan
+/// materializes every 2-path and the worst-case optimal plan does not.
+pub const TRIANGLE: &str = "\
+triangle(x, y, z) :- arc(x, y), arc(y, z), arc(x, z).
+";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +104,7 @@ mod tests {
             ("CSDA", CSDA),
             ("NTC", NTC),
             ("GTC", GTC),
+            ("TRIANGLE", TRIANGLE),
         ] {
             let prog = parse(src).unwrap_or_else(|e| panic!("{name} parse: {e}"));
             analyze(prog).unwrap_or_else(|e| panic!("{name} analyze: {e}"));

@@ -124,6 +124,14 @@ impl KeyLayout {
         self.slots.len()
     }
 
+    /// The per-column slots, in the order the bounds were given. Seek-style
+    /// consumers (the worst-case optimal join's sorted tries) use the
+    /// shift/bits of each slot to extract one column's field out of a
+    /// packed key without unpacking the whole tuple.
+    pub fn slots(&self) -> &[KeySlot] {
+        &self.slots
+    }
+
     /// Total bits used by the packed representation.
     pub fn total_bits(&self) -> u32 {
         self.total_bits

@@ -36,7 +36,13 @@
 //! * [`util`] — morsel-driven production helpers shared by the operators;
 //! * [`view`] — the support-count side table ([`view::SupportTable`],
 //!   `GrowChainTable`-backed) behind counting-based incremental view
-//!   maintenance of non-recursive strata.
+//!   maintenance of non-recursive strata;
+//! * [`wcoj`] — the generic worst-case optimal multiway join: a
+//!   variable-ordered intersect over per-scan sorted compact-key tries
+//!   ([`wcoj::ScanTrie`]), sink-fused like every other producer, used by
+//!   the planner for cyclic rule bodies.
+
+#![deny(missing_docs)]
 
 pub mod agg;
 pub mod cache;
@@ -50,6 +56,7 @@ pub mod setdiff;
 pub mod sink;
 pub mod util;
 pub mod view;
+pub mod wcoj;
 
 use std::sync::Arc;
 

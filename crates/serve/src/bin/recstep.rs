@@ -15,6 +15,7 @@
 //!   --no-uie | --no-eost | --no-pbme | --oof-na | --oof-fa
 //!   --dedup-generic | --setdiff-opsd | --setdiff-tpsd | --no-index-reuse
 //!   --no-fused-pipeline | --no-fused-agg | --no-shared-index-cache
+//!   --no-wcoj
 //!                     turn individual optimizations off (the paper's
 //!                     Figure 2 ablation switches, the persistent
 //!                     incremental-index toggle, the fused streaming
@@ -87,7 +88,7 @@ fn usage() -> ! {
         "usage: recstep PROGRAM.datalog [--facts DIR] [--out DIR] [--threads N] \
          [--budget-mb MB] [--explain] [--stats] [--no-uie] [--no-eost] [--no-pbme] \
          [--oof-na] [--oof-fa] [--dedup-generic] [--setdiff-opsd] [--setdiff-tpsd] \
-         [--no-index-reuse] [--no-fused-pipeline] [--no-fused-agg] \
+         [--no-index-reuse] [--no-fused-pipeline] [--no-fused-agg] [--no-wcoj] \
          [--no-shared-index-cache] [--index-cache-budget MB] [--no-incremental]\n\
          \x20      recstep serve [--addr HOST:PORT] [--max-concurrent-runs N] \
          [--queue-depth N] [--request-timeout-ms MS] [--warmup FILE]... \
@@ -141,6 +142,7 @@ fn parse_args() -> Args {
             "--no-index-reuse" => cfg.index_reuse = false,
             "--no-fused-pipeline" => cfg.fused_pipeline = false,
             "--no-fused-agg" => cfg.fused_agg = false,
+            "--no-wcoj" => cfg.wcoj = false,
             "--no-shared-index-cache" => cfg.shared_index_cache = false,
             "--no-incremental" => cfg.incremental_views = false,
             "--index-cache-budget" => {
@@ -428,6 +430,10 @@ fn main() -> ExitCode {
                     stats_out.agg_rows_folded_at_source,
                     stats_out.agg_groups_improved,
                     stats_out.sink_stat_samples
+                );
+                println!(
+                    "worst-case optimal joins: {} runs, {} rows emitted",
+                    stats_out.wcoj_runs, stats_out.wcoj_rows_emitted
                 );
                 println!(
                     "index tables: {} full builds / {} appends / {} scratch; \
